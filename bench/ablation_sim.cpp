@@ -1,0 +1,75 @@
+// Response-surface ablation: sweeps the two tuned parameters over fixed
+// values for several workloads and prints throughput with 95% CIs. This
+// validates the simulator mechanisms DESIGN.md calls out — write-heavy
+// workloads should gain from deeper congestion windows (queue merging),
+// reads should be flat (seek-bound), and extreme settings should collapse
+// (RPC timeouts). It is also the calibration harness for the Figure 2
+// reproduction.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "workload/file_server.hpp"
+#include "workload/random_rw.hpp"
+#include "workload/seq_write.hpp"
+
+using namespace capes;
+
+namespace {
+
+void sweep_cwnd(const char* label, double read_fraction, std::int64_t ticks) {
+  std::printf("\n-- %s: cwnd sweep (rate limit unbounded) --\n", label);
+  for (double cwnd : {1.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0}) {
+    core::EvaluationPreset preset = core::fast_preset();
+    sim::Simulator sim;
+    lustre::Cluster cluster(sim, preset.cluster);
+    workload::RandomRwOptions wopts;
+    wopts.read_fraction = read_fraction;
+    workload::RandomRw wl(cluster, wopts);
+    wl.start();
+    cluster.set_parameters({cwnd, preset.cluster.rate_limit_max});
+    sim.run_until(sim::seconds(5));  // warm up
+    auto session = benchutil::measure_fixed(sim, cluster, ticks);
+    auto r = session.analyze();
+    std::printf("  cwnd=%6.0f  %8.2f ± %5.2f MB/s   retransmits=%llu\n", cwnd,
+                r.mean, r.ci_half_width,
+                static_cast<unsigned long long>(cluster.total_retransmits()));
+  }
+}
+
+void sweep_rate(const char* label, double read_fraction, double cwnd,
+                std::int64_t ticks) {
+  std::printf("\n-- %s: rate-limit sweep (cwnd=%.0f) --\n", label, cwnd);
+  for (double rate : {100.0, 250.0, 500.0, 1000.0, 2000.0, 4000.0}) {
+    core::EvaluationPreset preset = core::fast_preset();
+    sim::Simulator sim;
+    lustre::Cluster cluster(sim, preset.cluster);
+    workload::RandomRwOptions wopts;
+    wopts.read_fraction = read_fraction;
+    workload::RandomRw wl(cluster, wopts);
+    wl.start();
+    cluster.set_parameters({cwnd, rate});
+    sim.run_until(sim::seconds(5));
+    auto session = benchutil::measure_fixed(sim, cluster, ticks);
+    auto r = session.analyze();
+    std::printf("  rate=%6.0f  %8.2f ± %5.2f MB/s   retransmits=%llu\n", rate,
+                r.mean, r.ci_half_width,
+                static_cast<unsigned long long>(cluster.total_retransmits()));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::int64_t ticks = 120;
+  if (argc > 1) ticks = std::atoll(argv[1]);
+  std::printf("simulator response-surface ablation (%lld ticks per point)\n",
+              static_cast<long long>(ticks));
+
+  sweep_cwnd("write-heavy 1:9", 0.1, ticks);
+  sweep_cwnd("balanced 1:1", 0.5, ticks);
+  sweep_cwnd("read-heavy 9:1", 0.9, ticks);
+  sweep_rate("write-heavy 1:9", 0.1, 256.0, ticks);
+  return 0;
+}

@@ -1,0 +1,50 @@
+#pragma once
+// Shared helpers for the reproduction benches: phase runners, formatted
+// table output, and the Pilot-style measurement wrapper used to report
+// every number with a 95% confidence interval.
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/capes_system.hpp"
+#include "core/presets.hpp"
+#include "lustre/cluster.hpp"
+#include "sim/simulator.hpp"
+#include "stats/measurement.hpp"
+#include "workload/workload.hpp"
+
+namespace capes::benchutil {
+
+/// Run `workload` on `cluster` with the *current* parameter values for
+/// `ticks` sampling ticks and return per-tick throughput samples.
+inline stats::MeasurementSession measure_fixed(
+    sim::Simulator& sim, lustre::Cluster& cluster, std::int64_t ticks,
+    double tick_s = 1.0) {
+  stats::MeasurementSession session;
+  const auto tick_us = sim::seconds(tick_s);
+  (void)cluster.sample_performance();  // reset the window
+  for (std::int64_t i = 0; i < ticks; ++i) {
+    sim.run_until(sim.now() + tick_us);
+    session.add(cluster.sample_performance().throughput_mbs());
+  }
+  return session;
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void print_row(const std::string& label, const stats::MeasurementResult& r,
+                      const char* suffix = "MB/s") {
+  std::printf("%-28s %8.2f ± %6.2f %s  (n=%zu, merge=%zu, iid=%s)\n",
+              label.c_str(), r.mean, r.ci_half_width, suffix, r.used_samples,
+              r.merge_factor, r.iid_validated ? "yes" : "no");
+}
+
+inline double percent_gain(double tuned, double baseline) {
+  return baseline <= 0.0 ? 0.0 : (tuned / baseline - 1.0) * 100.0;
+}
+
+}  // namespace capes::benchutil

@@ -1,0 +1,96 @@
+// Extensions from the paper's §6 future-work list, evaluated:
+//   1. server-side monitoring — "we can collect information from server
+//      nodes in addition to client nodes";
+//   2. a third tunable parameter (the client write-cache limit) — "we can
+//      also tune more parameters ... DNN is known to be quite effective
+//      at handling 20 or more candidate actions";
+//   3. multi-objective tuning — "tune for two performance indices, such
+//      as throughput and latency, at the same time".
+// Defaults to half-length sessions (pass a scale argument to change).
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_util.hpp"
+#include "workload/random_rw.hpp"
+
+using namespace capes;
+
+namespace {
+
+struct Outcome {
+  stats::MeasurementResult baseline;
+  stats::MeasurementResult tuned;
+  stats::MeasurementResult baseline_latency;
+  stats::MeasurementResult tuned_latency;
+};
+
+Outcome run(const core::EvaluationPreset& preset, double read_fraction,
+            double scale, core::ObjectiveFunction objective = nullptr) {
+  const auto train = static_cast<std::int64_t>(preset.train_ticks_long * scale);
+  const auto eval = static_cast<std::int64_t>(preset.eval_ticks * scale);
+  sim::Simulator sim;
+  lustre::Cluster cluster(sim, preset.cluster);
+  workload::RandomRwOptions wopts;
+  wopts.read_fraction = read_fraction;
+  workload::RandomRw wl(cluster, wopts);
+  wl.start();
+  core::CapesSystem capes(sim, cluster, preset.capes, std::move(objective));
+  sim.run_until(sim::seconds(5));
+
+  Outcome o;
+  const auto base = capes.run_baseline(eval);
+  o.baseline = base.analyze();
+  o.baseline_latency = base.analyze_latency();
+  capes.run_training(train);
+  const auto tuned = capes.run_tuned(eval);
+  o.tuned = tuned.analyze();
+  o.tuned_latency = tuned.analyze_latency();
+  return o;
+}
+
+void print_gain(const char* label, const Outcome& o) {
+  std::printf("%-40s %7.2f -> %7.2f ± %5.2f MB/s  (%+5.1f%%)\n", label,
+              o.baseline.mean, o.tuned.mean, o.tuned.ci_half_width,
+              benchutil::percent_gain(o.tuned.mean, o.baseline.mean));
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.4;
+  benchutil::print_header("§6 future-work extensions");
+  std::printf("time scale %.2f, write-heavy 1:9 except where noted\n\n", scale);
+
+  {
+    auto preset = core::fast_preset();
+    print_gain("client-only monitoring (paper setup)", run(preset, 0.1, scale));
+  }
+  {
+    auto preset = core::fast_preset();
+    preset.cluster.monitor_servers = true;
+    print_gain("+ server-side monitoring (9 nodes)", run(preset, 0.1, scale));
+  }
+  {
+    auto preset = core::fast_preset();
+    preset.cluster.tune_write_cache = true;
+    print_gain("+ third tunable (write cache, 7 actions)",
+               run(preset, 0.1, scale));
+  }
+  {
+    std::printf("\nmulti-objective tuning on the 1:1 mix:\n");
+    auto preset = core::fast_preset();
+    const Outcome tput = run(preset, 0.5, scale);
+    std::printf("  throughput-only objective: %7.2f MB/s at %6.1f ms mean latency\n",
+                tput.tuned.mean, tput.tuned_latency.mean);
+    const Outcome multi =
+        run(preset, 0.5, scale,
+            core::throughput_latency_objective(200.0, 0.3, 50.0));
+    std::printf("  throughput+latency objective: %6.2f MB/s at %6.1f ms mean latency\n",
+                multi.tuned.mean, multi.tuned_latency.mean);
+    std::printf("  (the combined objective should trade a little throughput\n"
+                "   for a latency reduction)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Figure 4 reproduction: the overfitting check. One DNN is trained on the
+// fileserver workload, checkpointed, and then evaluated in three separate
+// sessions with perturbed file-system state ("numerous unrelated file
+// operations between the sessions": different on-disk layout,
+// fragmentation and free space). Each session measures baseline vs tuned
+// throughput. The paper saw +13% to +36% in every session — i.e. the
+// trained model generalizes across layout perturbations.
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "bench_util.hpp"
+#include "workload/file_server.hpp"
+
+using namespace capes;
+
+namespace {
+
+struct SessionPerturbation {
+  const char* name;
+  double fragmentation;
+  double disk_fullness;
+  std::uint64_t workload_seed;
+};
+
+void run_session(const SessionPerturbation& p, const std::string& model_path,
+                 double scale) {
+  core::EvaluationPreset preset = core::fast_preset();
+  preset.cluster.fragmentation = p.fragmentation;
+  preset.cluster.disk_fullness = p.disk_fullness;
+  preset.cluster.seed ^= p.workload_seed * 977;
+  const auto t_eval = static_cast<std::int64_t>(preset.eval_ticks * scale);
+
+  sim::Simulator sim;
+  lustre::Cluster cluster(sim, preset.cluster);
+  workload::FileServerOptions wopts;
+  wopts.seed = p.workload_seed;
+  workload::FileServer wl(cluster, wopts);
+  wl.start();
+  core::CapesSystem capes(sim, cluster, preset.capes);
+  if (!capes.load_model(model_path)) {
+    std::printf("  (failed to load checkpoint)\n");
+    return;
+  }
+  sim.run_until(sim::seconds(10));
+
+  // Each session: 2 h baseline + 2 h tuned (paper: "four hours long").
+  const auto baseline = capes.run_baseline(t_eval).analyze();
+  const auto tuned = capes.run_tuned(t_eval).analyze();
+  std::printf("%-34s baseline %7.2f ± %5.2f  tuned %7.2f ± %5.2f  gain %+5.1f%%\n",
+              p.name, baseline.mean, baseline.ci_half_width, tuned.mean,
+              tuned.ci_half_width,
+              benchutil::percent_gain(tuned.mean, baseline.mean));
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.5;
+  benchutil::print_header(
+      "Figure 4: overfitting check (one trained DNN, three perturbed sessions)");
+  std::printf("time scale %.2f\n\n", scale);
+
+  const std::string model_path =
+      (std::filesystem::temp_directory_path() / "capes_fig4_model.bin").string();
+
+  // Train once on the unperturbed system and checkpoint (§A.4).
+  {
+    core::EvaluationPreset preset = core::fast_preset();
+    sim::Simulator sim;
+    lustre::Cluster cluster(sim, preset.cluster);
+    workload::FileServerOptions wopts;
+    workload::FileServer wl(cluster, wopts);
+    wl.start();
+    core::CapesSystem capes(sim, cluster, preset.capes);
+    sim.run_until(sim::seconds(10));
+    const auto ticks =
+        static_cast<std::int64_t>(preset.train_ticks_long * scale);
+    std::printf("training for %lld ticks...\n", static_cast<long long>(ticks));
+    capes.run_training(ticks);
+    capes.save_model(model_path);
+  }
+
+  // Three sessions "spread over two weeks": fresh cluster state, altered
+  // layout/fragmentation/free-space each time.
+  const SessionPerturbation sessions[] = {
+      {"session 1 (light fragmentation)", 0.05, 0.2, 101},
+      {"session 2 (moderate fragmentation)", 0.15, 0.5, 202},
+      {"session 3 (heavy fragmentation, fuller)", 0.30, 0.8, 303},
+  };
+  for (const auto& s : sessions) run_session(s, model_path, scale);
+
+  std::printf("\nPaper's shape: every session keeps a double-digit gain\n"
+              "(+13%% to +36%%) -> no overfitting to the training-time layout.\n");
+  std::filesystem::remove(model_path);
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Figure 5 reproduction: prediction error over the training session.
+// Prediction error is the difference between the network's predicted
+// performance and the actual performance one second later (here: the mean
+// |Q(s,a) - (r + gamma max Q(s',a'))| per training step). The paper shows
+// it decreasing steadily after an initial warm-up.
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "workload/random_rw.hpp"
+
+using namespace capes;
+
+int main(int argc, char** argv) {
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.75;
+  benchutil::print_header("Figure 5: prediction error during training");
+
+  core::EvaluationPreset preset = core::fast_preset();
+  const auto ticks = static_cast<std::int64_t>(preset.train_ticks_long * scale);
+
+  sim::Simulator sim;
+  lustre::Cluster cluster(sim, preset.cluster);
+  workload::RandomRwOptions wopts;
+  wopts.read_fraction = 0.1;
+  workload::RandomRw wl(cluster, wopts);
+  wl.start();
+  core::CapesSystem capes(sim, cluster, preset.capes);
+  sim.run_until(sim::seconds(5));
+  std::printf("training for %lld ticks...\n\n", static_cast<long long>(ticks));
+  capes.run_training(ticks);
+
+  const auto& log = capes.engine().prediction_error_log();
+  if (log.empty()) {
+    std::printf("no training steps ran\n");
+    return 1;
+  }
+
+  // Bucket the series into 24 windows and print mean error per window
+  // (the downsampled version of the paper's curve), with a text sparkline.
+  constexpr int kBuckets = 24;
+  const std::size_t per = (log.size() + kBuckets - 1) / kBuckets;
+  std::vector<double> series;
+  double max_err = 0.0;
+  for (std::size_t b = 0; b * per < log.size(); ++b) {
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = b * per; i < std::min(log.size(), (b + 1) * per); ++i) {
+      sum += log[i].second;
+      ++n;
+    }
+    series.push_back(sum / static_cast<double>(n));
+    max_err = std::max(max_err, series.back());
+  }
+
+  std::printf("%-12s %-14s %s\n", "train step", "pred. error", "");
+  for (std::size_t b = 0; b < series.size(); ++b) {
+    const int bar = static_cast<int>(series[b] / max_err * 50.0);
+    std::printf("%10zu   %10.4f   |%s\n", (b + 1) * per, series[b],
+                std::string(static_cast<std::size_t>(bar), '#').c_str());
+  }
+
+  const std::size_t k = series.size() / 4;
+  double early = 0.0, late = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    early += series[i];
+    late += series[series.size() - 1 - i];
+  }
+  std::printf("\nmean error, first quarter:  %.4f\n", early / k);
+  std::printf("mean error, last quarter:   %.4f  (%+.0f%%)\n", late / k,
+              (late / early - 1.0) * 100.0);
+  std::printf("\nPaper's shape: steady decline after the initial warm-up.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Figure 6 reproduction: the training session's impact on the workload.
+// The paper compares the overall throughput of a long (70 h) training
+// session — which includes the epsilon-greedy random actions — against
+// three baseline measurements taken at different times, and finds them
+// comparable: training does not hurt the production workload.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_util.hpp"
+#include "workload/random_rw.hpp"
+
+using namespace capes;
+
+namespace {
+
+stats::MeasurementResult measure_baseline(std::uint64_t seed,
+                                          std::int64_t ticks) {
+  core::EvaluationPreset preset = core::fast_preset(seed);
+  sim::Simulator sim;
+  lustre::Cluster cluster(sim, preset.cluster);
+  workload::RandomRwOptions wopts;
+  wopts.read_fraction = 0.5;
+  wopts.seed = seed * 31 + 7;
+  workload::RandomRw wl(cluster, wopts);
+  wl.start();
+  core::CapesSystem capes(sim, cluster, preset.capes);
+  sim.run_until(sim::seconds(5));
+  return capes.run_baseline(ticks).analyze();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = argc > 1 ? std::atof(argv[1]) : 1.0;
+  benchutil::print_header(
+      "Figure 6: baseline throughputs vs whole-training-session throughput");
+
+  core::EvaluationPreset preset = core::fast_preset();
+  // The paper's training session was 70 h against 12-24 h sessions
+  // elsewhere; run a 2x-long session on top of the long preset here.
+  const auto train_ticks =
+      static_cast<std::int64_t>(2 * preset.train_ticks_long * scale);
+  const auto eval_ticks = static_cast<std::int64_t>(preset.eval_ticks * scale);
+
+  for (int i = 1; i <= 3; ++i) {
+    const auto r = measure_baseline(static_cast<std::uint64_t>(i), eval_ticks);
+    benchutil::print_row("baseline " + std::to_string(i), r);
+    std::fflush(stdout);
+  }
+
+  sim::Simulator sim;
+  lustre::Cluster cluster(sim, preset.cluster);
+  workload::RandomRwOptions wopts;
+  wopts.read_fraction = 0.5;
+  workload::RandomRw wl(cluster, wopts);
+  wl.start();
+  core::CapesSystem capes(sim, cluster, preset.capes);
+  sim.run_until(sim::seconds(5));
+  std::printf("training session (%lld ticks, includes random exploration)...\n",
+              static_cast<long long>(train_ticks));
+  const auto training = capes.run_training(train_ticks);
+  benchutil::print_row("training session overall", training.analyze());
+
+  std::printf(
+      "\nPaper's shape: the training session's overall throughput is\n"
+      "comparable to (within the band of) the baselines — exploration does\n"
+      "not collapse the production workload.\n");
+  return 0;
+}

@@ -1,0 +1,161 @@
+// Table 2 reproduction: technical measurements of the CAPES system.
+//   - duration of a training step (CPU; the paper's GPU row is N/A here)
+//   - number of records / size of the replay DB on disk and in memory
+//   - size of the DNN model
+//   - performance indicators per client and observation size
+//   - average (compressed, differential) message size per client
+// Timing rows use google-benchmark; inventory rows are measured directly.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/capes_system.hpp"
+#include "core/pi_codec.hpp"
+#include "core/presets.hpp"
+#include "lustre/cluster.hpp"
+#include "rl/dqn.hpp"
+#include "rl/replay_db.hpp"
+#include "util/rng.hpp"
+#include "workload/random_rw.hpp"
+
+using namespace capes;
+
+namespace {
+
+/// Replay DB prefilled like a training session, sized per the preset.
+rl::ReplayDb make_filled_replay(const core::EvaluationPreset& preset,
+                                std::int64_t ticks,
+                                waldb::Database* db = nullptr) {
+  rl::ReplayDbOptions opts = preset.capes.replay;
+  opts.num_nodes = preset.cluster.num_clients;
+  opts.pis_per_node = lustre::Cluster::kPisPerNode;
+  rl::ReplayDb replay(opts, db);
+  util::Rng rng(1);
+  std::vector<float> pis(opts.pis_per_node);
+  for (std::int64_t t = 0; t < ticks; ++t) {
+    for (std::size_t n = 0; n < opts.num_nodes; ++n) {
+      for (auto& v : pis) v = static_cast<float>(rng.uniform(0, 1));
+      replay.record_status(t, n, pis);
+    }
+    replay.record_action(t, rng.pick_index(5));
+    replay.record_reward(t, rng.uniform(0, 1));
+  }
+  return replay;
+}
+
+rl::Dqn make_dqn(const core::EvaluationPreset& preset,
+                 const rl::ReplayDb& replay) {
+  rl::DqnOptions d = preset.capes.engine.dqn;
+  d.observation_size = replay.observation_size();
+  d.num_actions = 5;
+  return rl::Dqn(d);
+}
+
+void BM_TrainingStepCpu(benchmark::State& state) {
+  auto preset = core::fast_preset();
+  auto replay = make_filled_replay(preset, 2000);
+  auto dqn = make_dqn(preset, replay);
+  util::Rng rng(2);
+  auto batch = replay.construct_minibatch(preset.capes.engine.minibatch_size, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dqn.train_step(*batch));
+  }
+}
+BENCHMARK(BM_TrainingStepCpu)->Unit(benchmark::kMillisecond);
+
+void BM_MinibatchConstruction(benchmark::State& state) {
+  auto preset = core::fast_preset();
+  auto replay = make_filled_replay(preset, 2000);
+  util::Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        replay.construct_minibatch(preset.capes.engine.minibatch_size, rng));
+  }
+}
+BENCHMARK(BM_MinibatchConstruction)->Unit(benchmark::kMicrosecond);
+
+void BM_ActionForwardPass(benchmark::State& state) {
+  auto preset = core::fast_preset();
+  auto replay = make_filled_replay(preset, 50);
+  auto dqn = make_dqn(preset, replay);
+  std::vector<float> obs(replay.observation_size());
+  replay.build_observation(30, obs.data());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dqn.q_values(obs));
+  }
+}
+BENCHMARK(BM_ActionForwardPass)->Unit(benchmark::kMicrosecond);
+
+void BM_PiEncodeDifferential(benchmark::State& state) {
+  core::PiEncoder enc(0, lustre::Cluster::kPisPerNode);
+  util::Rng rng(4);
+  std::vector<float> pis(lustre::Cluster::kPisPerNode);
+  for (auto& v : pis) v = static_cast<float>(rng.uniform(0, 1));
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    for (auto& v : pis) v += static_cast<float>(rng.uniform(-0.01, 0.01));
+    benchmark::DoNotOptimize(enc.encode(t++, pis));
+  }
+}
+BENCHMARK(BM_PiEncodeDifferential);
+
+void print_inventory() {
+  auto preset = core::fast_preset();
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "capes_table2_db").string();
+  std::filesystem::remove_all(dir);
+
+  // Replay DB sized like a full fast-preset training session (the paper
+  // reports a 70 h / 250 k-record session; ours holds the scaled session).
+  const std::int64_t ticks = 3 * preset.train_ticks_long;
+  waldb::Database db;
+  db.open(dir);
+  auto replay = make_filled_replay(preset, ticks, &db);
+  db.flush();
+  auto dqn = make_dqn(preset, replay);
+
+  // Message sizes over a realistic monitored run.
+  sim::Simulator sim;
+  lustre::Cluster cluster(sim, preset.cluster);
+  workload::RandomRwOptions wopts;
+  wopts.read_fraction = 0.5;
+  workload::RandomRw wl(cluster, wopts);
+  wl.start();
+  core::CapesSystem capes(sim, cluster, preset.capes);
+  sim.run_until(sim::seconds(5));
+  capes.run_baseline(300);
+  const double bytes_per_client_tick =
+      static_cast<double>(capes.monitoring_bytes_sent()) /
+      (300.0 * static_cast<double>(cluster.num_clients()));
+
+  std::printf("\n=== Table 2: technical measurements (paper value in braces) ===\n");
+  std::printf("%-44s %zu ticks {250 k}\n", "number of records of the Replay DB",
+              static_cast<std::size_t>(ticks));
+  std::printf("%-44s %.1f MB {84 MB for the paper's larger DNN}\n",
+              "size of the DNN model in memory",
+              static_cast<double>(dqn.memory_bytes()) / 1e6);
+  std::printf("%-44s %.2f GB {0.5 GB}\n", "total size of the Replay DB on disk",
+              static_cast<double>(db.disk_bytes()) / 1e9);
+  std::printf("%-44s %.2f GB {1.5 GB}\n",
+              "total size of the Replay DB in memory",
+              static_cast<double>(replay.memory_bytes()) / 1e9);
+  std::printf("%-44s %zu {44}\n", "performance indicators per client",
+              lustre::Cluster::kPisPerNode);
+  std::printf("%-44s %zu floats {1760}\n", "observation size",
+              replay.observation_size());
+  std::printf("%-44s %.0f B {~186 B}\n",
+              "average message size per client per tick", bytes_per_client_tick);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_inventory();
+  return 0;
+}

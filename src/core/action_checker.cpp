@@ -1,0 +1,25 @@
+#include "core/action_checker.hpp"
+
+namespace capes::core {
+
+void ActionChecker::add_rule(std::string name, Rule rule) {
+  rules_.emplace_back(std::move(name), std::move(rule));
+}
+
+bool ActionChecker::check(const rl::DecodedAction& action,
+                          const std::vector<double>& current_values) {
+  if (action.null_action) return true;
+  std::vector<double> next = current_values;
+  // apply() clamps into range, so the range check is implicit; rules see
+  // the values that would actually be set.
+  space_.apply(action, next);
+  for (const auto& [name, rule] : rules_) {
+    if (!rule(next)) {
+      ++vetoed_;
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace capes::core

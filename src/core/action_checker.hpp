@@ -1,0 +1,40 @@
+#pragma once
+// Action checker (§3.7, Figure 1): an optional guard between the DRL
+// Engine and the Control Agents that rules out egregiously bad actions
+// (e.g. a congestion window of zero) before they reach the target system.
+// Bounds are always enforced; users can add domain rules.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "rl/action_space.hpp"
+
+namespace capes::core {
+
+class ActionChecker {
+ public:
+  explicit ActionChecker(const rl::ActionSpace& space) : space_(space) {}
+
+  /// A rule inspects the *post-action* parameter values; returning false
+  /// vetoes the action.
+  using Rule = std::function<bool(const std::vector<double>&)>;
+
+  void add_rule(std::string name, Rule rule);
+
+  /// Validate applying `action` on top of `current_values`. Returns true
+  /// if the resulting values are inside every parameter's range and pass
+  /// all rules. Vetoed actions are counted.
+  bool check(const rl::DecodedAction& action,
+             const std::vector<double>& current_values);
+
+  std::uint64_t vetoed_actions() const { return vetoed_; }
+  std::size_t num_rules() const { return rules_.size(); }
+
+ private:
+  const rl::ActionSpace& space_;
+  std::vector<std::pair<std::string, Rule>> rules_;
+  std::uint64_t vetoed_ = 0;
+};
+
+}  // namespace capes::core

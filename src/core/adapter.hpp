@@ -1,0 +1,55 @@
+#pragma once
+// The target-system adapter: CAPES "assumes little of the target system
+// and only requires an interface to periodically extract states of the
+// system and a way to change parameter values" (§3). This interface is the
+// C++ analogue of the prototype's collector/controller functions
+// (Appendix A.3.3). Implement it to tune any system; the bundled
+// implementation is lustre::Cluster.
+
+#include <cstddef>
+#include <vector>
+
+#include "rl/action_space.hpp"
+
+namespace capes::core {
+
+/// Performance metrics over one sampling tick, used by the objective
+/// function to compute the reward.
+struct PerfSample {
+  double read_mbs = 0.0;       ///< aggregate read throughput, MB/s
+  double write_mbs = 0.0;      ///< aggregate write throughput, MB/s
+  double avg_latency_ms = 0.0; ///< mean I/O completion latency, ms
+  double throughput_mbs() const { return read_mbs + write_mbs; }
+};
+
+/// Adapter between CAPES and a target system.
+class TargetSystemAdapter {
+ public:
+  virtual ~TargetSystemAdapter() = default;
+
+  /// Number of monitored nodes (each runs a Monitoring Agent).
+  virtual std::size_t num_nodes() const = 0;
+
+  /// Number of performance indicators collected per node per tick.
+  virtual std::size_t pis_per_node() const = 0;
+
+  /// Collector function: the PI vector of `node` for the current sampling
+  /// tick, already normalized to roughly [-1, 1] floats (§3.1).
+  virtual std::vector<float> collect_observation(std::size_t node) = 0;
+
+  /// The tunable parameters (valid range, step, initial value) — drives
+  /// the action space (§3.7).
+  virtual std::vector<rl::TunableParameter> tunable_parameters() const = 0;
+
+  /// Controller function: apply a full parameter-value vector (one entry
+  /// per tunable parameter; all nodes use the same values, §4.1).
+  virtual void set_parameters(const std::vector<double>& values) = 0;
+
+  /// Current parameter values.
+  virtual std::vector<double> current_parameters() const = 0;
+
+  /// Performance since the previous call (one sampling tick's worth).
+  virtual PerfSample sample_performance() = 0;
+};
+
+}  // namespace capes::core

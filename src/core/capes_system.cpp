@@ -1,0 +1,135 @@
+#include "core/capes_system.hpp"
+
+#include <cassert>
+#include <sstream>
+
+namespace capes::core {
+
+std::string RunResult::to_csv() const {
+  std::ostringstream out;
+  out << "tick,throughput_mbs,latency_ms,reward\n";
+  const auto& tput = throughput.samples();
+  const auto& lat = latency_ms.samples();
+  for (std::size_t i = 0; i < tput.size(); ++i) {
+    out << (start_tick + static_cast<std::int64_t>(i)) << ',' << tput[i] << ','
+        << (i < lat.size() ? lat[i] : 0.0) << ','
+        << (i < rewards.size() ? rewards[i] : 0.0) << '\n';
+  }
+  return out.str();
+}
+
+CapesSystem::CapesSystem(sim::Simulator& sim, TargetSystemAdapter& adapter,
+                         CapesOptions opts, ObjectiveFunction objective)
+    : sim_(sim), adapter_(adapter), opts_(std::move(opts)),
+      objective_(objective ? std::move(objective)
+                           : throughput_objective(opts.reward_scale_mbs)) {
+  space_ = std::make_unique<rl::ActionSpace>(adapter_.tunable_parameters());
+  param_values_ = space_->initial_values();
+
+  opts_.replay.num_nodes = adapter_.num_nodes();
+  opts_.replay.pis_per_node = adapter_.pis_per_node();
+  if (!opts_.replay_db_dir.empty()) {
+    db_ = std::make_unique<waldb::Database>();
+    if (!db_->open(opts_.replay_db_dir)) db_.reset();
+  }
+  replay_ = std::make_unique<rl::ReplayDb>(opts_.replay, db_.get());
+
+  daemon_ = std::make_unique<InterfaceDaemon>(*replay_, *space_,
+                                              adapter_.num_nodes(),
+                                              adapter_.pis_per_node());
+  opts_.engine.dqn.num_actions = space_->num_actions();
+  engine_ = std::make_unique<DrlEngine>(opts_.engine, *replay_);
+
+  for (std::size_t n = 0; n < adapter_.num_nodes(); ++n) {
+    monitoring_agents_.push_back(std::make_unique<MonitoringAgent>(
+        n, adapter_, [this](const std::vector<std::uint8_t>& msg) {
+          daemon_->on_status_message(msg);
+        }));
+    control_agents_.push_back(std::make_unique<ControlAgent>(n, adapter_));
+    daemon_->register_control_agent(control_agents_.back().get());
+  }
+}
+
+CapesSystem::~CapesSystem() {
+  if (db_) db_->checkpoint();
+}
+
+void CapesSystem::reset_parameters() {
+  param_values_ = space_->initial_values();
+  adapter_.set_parameters(param_values_);
+}
+
+void CapesSystem::notify_workload_change() {
+  engine_->notify_workload_change();
+}
+
+void CapesSystem::on_sampling_tick(RunResult& result, Mode mode) {
+  const std::int64_t t = tick_;
+
+  // 1. Monitoring Agents sample and ship PIs (stored in the replay DB).
+  for (auto& agent : monitoring_agents_) agent->sample(t);
+
+  // 2. Reward: objective-function output over the last tick's performance.
+  const PerfSample perf = adapter_.sample_performance();
+  const double reward = objective_(perf);
+  daemon_->on_reward(t, reward);
+  result.throughput.add(perf.throughput_mbs());
+  result.latency_ms.add(perf.avg_latency_ms);
+  result.rewards.push_back(reward);
+
+  // 3. Action tick: the engine suggests, the daemon checks + broadcasts.
+  if (mode == Mode::kTraining || mode == Mode::kTuned) {
+    const std::size_t suggested =
+        engine_->compute_action(t, mode == Mode::kTraining);
+    daemon_->on_suggested_action(t, suggested, param_values_);
+  } else {
+    daemon_->on_suggested_action(t, 0, param_values_);  // NULL action
+  }
+
+  // 4. Training steps (the DRL Engine trains continuously, §3.4).
+  if (mode == Mode::kTraining) {
+    result.train_steps += engine_->train_tick();
+  }
+  ++tick_;
+}
+
+RunResult CapesSystem::run_phase(std::int64_t ticks, Mode mode) {
+  RunResult result;
+  result.start_tick = tick_;
+  const auto tick_us = sim::seconds(opts_.sampling_tick_s);
+  for (std::int64_t i = 0; i < ticks; ++i) {
+    sim_.run_until(sim_.now() + tick_us);
+    on_sampling_tick(result, mode);
+  }
+  result.end_tick = tick_;
+  return result;
+}
+
+RunResult CapesSystem::run_training(std::int64_t ticks) {
+  return run_phase(ticks, Mode::kTraining);
+}
+
+RunResult CapesSystem::run_baseline(std::int64_t ticks) {
+  reset_parameters();
+  return run_phase(ticks, Mode::kBaseline);
+}
+
+RunResult CapesSystem::run_tuned(std::int64_t ticks) {
+  return run_phase(ticks, Mode::kTuned);
+}
+
+std::uint64_t CapesSystem::monitoring_bytes_sent() const {
+  std::uint64_t total = 0;
+  for (const auto& agent : monitoring_agents_) total += agent->bytes_sent();
+  return total;
+}
+
+bool CapesSystem::save_model(const std::string& path) const {
+  return engine_->dqn().save_checkpoint(path);
+}
+
+bool CapesSystem::load_model(const std::string& path) {
+  return engine_->dqn().load_checkpoint(path);
+}
+
+}  // namespace capes::core

@@ -1,0 +1,124 @@
+#pragma once
+// CapesSystem: wires the whole Figure 1 architecture onto a target system
+// and a simulator — Monitoring Agents on every node, the Interface Daemon
+// with its Action Checker, the Replay DB (optionally WAL-durable), the
+// DRL Engine, and Control Agents. Drives sampling/action/training ticks
+// and exposes the evaluation workflow of Appendix A.4:
+// run_training / run_baseline / run_tuned.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/adapter.hpp"
+#include "core/drl_engine.hpp"
+#include "core/interface_daemon.hpp"
+#include "core/monitoring_agent.hpp"
+#include "core/objective.hpp"
+#include "rl/action_space.hpp"
+#include "rl/replay_db.hpp"
+#include "sim/simulator.hpp"
+#include "stats/measurement.hpp"
+#include "waldb/database.hpp"
+
+namespace capes::core {
+
+struct CapesOptions {
+  /// Table 1: sampling tick length (1 s) and action tick length (1 action
+  /// per second).
+  double sampling_tick_s = 1.0;
+  std::size_t action_ticks_per_sample = 1;
+  rl::ReplayDbOptions replay;  ///< num_nodes/pis_per_node filled from adapter
+  DrlEngineOptions engine;
+  /// Objective normalization scale (MB/s mapped to O(1) rewards).
+  double reward_scale_mbs = 200.0;
+  /// Durable replay DB directory ("" = memory only).
+  std::string replay_db_dir;
+};
+
+/// Result of one run phase (training, baseline, or tuned measurement).
+struct RunResult {
+  stats::MeasurementSession throughput;  ///< one MB/s sample per tick
+  stats::MeasurementSession latency_ms;  ///< one mean-latency sample per tick
+  std::vector<double> rewards;           ///< objective outputs per tick
+  std::int64_t start_tick = 0;
+  std::int64_t end_tick = 0;
+  std::size_t train_steps = 0;
+
+  stats::MeasurementResult analyze() const { return throughput.analyze(); }
+  stats::MeasurementResult analyze_latency() const { return latency_ms.analyze(); }
+
+  /// One CSV row per tick: tick,throughput_mbs,latency_ms,reward.
+  std::string to_csv() const;
+};
+
+class CapesSystem {
+ public:
+  /// The adapter must outlive the system. The objective defaults to
+  /// aggregate throughput.
+  CapesSystem(sim::Simulator& sim, TargetSystemAdapter& adapter,
+              CapesOptions opts, ObjectiveFunction objective = nullptr);
+  ~CapesSystem();
+
+  /// Train for `ticks` sampling ticks (control on, epsilon annealing,
+  /// training steps running). Continues from the current tick count, so
+  /// consecutive calls extend one training session.
+  RunResult run_training(std::int64_t ticks);
+
+  /// Measure with default parameter values and no CAPES control.
+  RunResult run_baseline(std::int64_t ticks);
+
+  /// Measure with CAPES steering at eval epsilon, training frozen.
+  RunResult run_tuned(std::int64_t ticks);
+
+  /// §3.6: tell CAPES a new workload just started (bumps epsilon).
+  void notify_workload_change();
+
+  /// Reset tuned parameters to their initial (default) values.
+  void reset_parameters();
+
+  DrlEngine& engine() { return *engine_; }
+  rl::ReplayDb& replay() { return *replay_; }
+  InterfaceDaemon& interface_daemon() { return *daemon_; }
+  const rl::ActionSpace& action_space() const { return *space_; }
+  const std::vector<double>& parameter_values() const { return param_values_; }
+  std::int64_t current_tick() const { return tick_; }
+
+  const std::vector<std::unique_ptr<MonitoringAgent>>& monitoring_agents() const {
+    return monitoring_agents_;
+  }
+
+  /// Total bytes sent by all Monitoring Agents (Table 2).
+  std::uint64_t monitoring_bytes_sent() const;
+
+  /// Checkpoint the trained model (§A.4). Returns false on I/O error.
+  bool save_model(const std::string& path) const;
+  bool load_model(const std::string& path);
+
+  /// The durable replay database, when configured (else nullptr).
+  waldb::Database* database() { return db_.get(); }
+
+ private:
+  enum class Mode { kIdle, kTraining, kBaseline, kTuned };
+  RunResult run_phase(std::int64_t ticks, Mode mode);
+  void on_sampling_tick(RunResult& result, Mode mode);
+
+  sim::Simulator& sim_;
+  TargetSystemAdapter& adapter_;
+  CapesOptions opts_;
+  ObjectiveFunction objective_;
+
+  std::unique_ptr<rl::ActionSpace> space_;
+  std::unique_ptr<waldb::Database> db_;
+  std::unique_ptr<rl::ReplayDb> replay_;
+  std::unique_ptr<InterfaceDaemon> daemon_;
+  std::unique_ptr<DrlEngine> engine_;
+  std::vector<std::unique_ptr<MonitoringAgent>> monitoring_agents_;
+  std::vector<std::unique_ptr<ControlAgent>> control_agents_;
+
+  std::vector<double> param_values_;
+  std::int64_t tick_ = 0;
+};
+
+}  // namespace capes::core

@@ -1,0 +1,135 @@
+#include "core/config_io.hpp"
+
+namespace capes::core {
+
+CapesOptions capes_options_from_config(const util::Config& cfg,
+                                       CapesOptions base) {
+  CapesOptions o = base;
+  o.sampling_tick_s = cfg.get_double("capes.sampling_tick_s", o.sampling_tick_s);
+  o.reward_scale_mbs = cfg.get_double("capes.reward_scale_mbs", o.reward_scale_mbs);
+  o.replay_db_dir = cfg.get("capes.replay_db_dir", o.replay_db_dir);
+
+  auto& e = o.engine;
+  e.minibatch_size = static_cast<std::size_t>(
+      cfg.get_int("drl.minibatch_size", static_cast<std::int64_t>(e.minibatch_size)));
+  e.train_steps_per_tick = static_cast<std::size_t>(cfg.get_int(
+      "drl.train_steps_per_tick", static_cast<std::int64_t>(e.train_steps_per_tick)));
+  e.eval_epsilon = cfg.get_double("drl.eval_epsilon", e.eval_epsilon);
+  e.dqn.gamma = static_cast<float>(cfg.get_double("drl.gamma", e.dqn.gamma));
+  e.dqn.learning_rate =
+      static_cast<float>(cfg.get_double("drl.learning_rate", e.dqn.learning_rate));
+  e.dqn.target_update_alpha = static_cast<float>(
+      cfg.get_double("drl.target_update_alpha", e.dqn.target_update_alpha));
+  e.dqn.num_hidden_layers = static_cast<std::size_t>(cfg.get_int(
+      "drl.num_hidden_layers", static_cast<std::int64_t>(e.dqn.num_hidden_layers)));
+  e.dqn.hidden_size = static_cast<std::size_t>(
+      cfg.get_int("drl.hidden_size", static_cast<std::int64_t>(e.dqn.hidden_size)));
+  e.dqn.use_target_network =
+      cfg.get_bool("drl.use_target_network", e.dqn.use_target_network);
+  e.epsilon.initial = cfg.get_double("drl.epsilon_initial", e.epsilon.initial);
+  e.epsilon.final_value = cfg.get_double("drl.epsilon_final", e.epsilon.final_value);
+  e.epsilon.anneal_ticks =
+      cfg.get_int("drl.epsilon_anneal_ticks", e.epsilon.anneal_ticks);
+  e.epsilon.bump_value = cfg.get_double("drl.epsilon_bump", e.epsilon.bump_value);
+
+  auto& r = o.replay;
+  r.ticks_per_observation = static_cast<std::size_t>(cfg.get_int(
+      "replay.ticks_per_observation",
+      static_cast<std::int64_t>(r.ticks_per_observation)));
+  r.missing_tolerance =
+      cfg.get_double("replay.missing_tolerance", r.missing_tolerance);
+  r.max_ticks_retained = static_cast<std::size_t>(cfg.get_int(
+      "replay.max_ticks_retained", static_cast<std::int64_t>(r.max_ticks_retained)));
+  return o;
+}
+
+lustre::ClusterOptions cluster_options_from_config(const util::Config& cfg,
+                                                   lustre::ClusterOptions base) {
+  lustre::ClusterOptions o = base;
+  o.num_clients = static_cast<std::size_t>(
+      cfg.get_int("lustre.num_clients", static_cast<std::int64_t>(o.num_clients)));
+  o.num_servers = static_cast<std::size_t>(
+      cfg.get_int("lustre.num_servers", static_cast<std::int64_t>(o.num_servers)));
+  o.default_cwnd = cfg.get_double("lustre.default_cwnd", o.default_cwnd);
+  o.cwnd_min = cfg.get_double("lustre.cwnd_min", o.cwnd_min);
+  o.cwnd_max = cfg.get_double("lustre.cwnd_max", o.cwnd_max);
+  o.cwnd_step = cfg.get_double("lustre.cwnd_step", o.cwnd_step);
+  o.default_rate_limit =
+      cfg.get_double("lustre.default_rate_limit", o.default_rate_limit);
+  o.rate_limit_min = cfg.get_double("lustre.rate_limit_min", o.rate_limit_min);
+  o.rate_limit_max = cfg.get_double("lustre.rate_limit_max", o.rate_limit_max);
+  o.rate_limit_step = cfg.get_double("lustre.rate_limit_step", o.rate_limit_step);
+  o.max_dirty_bytes = static_cast<std::uint64_t>(cfg.get_int(
+      "lustre.max_dirty_bytes", static_cast<std::int64_t>(o.max_dirty_bytes)));
+  o.rpc_timeout = cfg.get_int("lustre.rpc_timeout_us", o.rpc_timeout);
+  o.fragmentation = cfg.get_double("lustre.fragmentation", o.fragmentation);
+  o.disk_fullness = cfg.get_double("lustre.disk_fullness", o.disk_fullness);
+  o.seed = static_cast<std::uint64_t>(
+      cfg.get_int("lustre.seed", static_cast<std::int64_t>(o.seed)));
+
+  o.disk.seq_read_mbs = cfg.get_double("disk.seq_read_mbs", o.disk.seq_read_mbs);
+  o.disk.seq_write_mbs = cfg.get_double("disk.seq_write_mbs", o.disk.seq_write_mbs);
+  o.disk.read_positioning_us =
+      cfg.get_int("disk.read_positioning_us", o.disk.read_positioning_us);
+  o.disk.write_positioning_us =
+      cfg.get_int("disk.write_positioning_us", o.disk.write_positioning_us);
+  o.disk.write_queue_gain =
+      cfg.get_double("disk.write_queue_gain", o.disk.write_queue_gain);
+  o.disk.write_queue_scale =
+      cfg.get_double("disk.write_queue_scale", o.disk.write_queue_scale);
+  o.disk.read_queue_gain =
+      cfg.get_double("disk.read_queue_gain", o.disk.read_queue_gain);
+  o.disk.read_queue_scale =
+      cfg.get_double("disk.read_queue_scale", o.disk.read_queue_scale);
+  o.disk.service_noise = cfg.get_double("disk.service_noise", o.disk.service_noise);
+
+  o.network.link_bandwidth_mbs =
+      cfg.get_double("network.link_bandwidth_mbs", o.network.link_bandwidth_mbs);
+  o.network.fabric_bandwidth_mbs = cfg.get_double("network.fabric_bandwidth_mbs",
+                                                  o.network.fabric_bandwidth_mbs);
+  o.network.base_latency =
+      cfg.get_int("network.base_latency_us", o.network.base_latency);
+  o.network.jitter_fraction =
+      cfg.get_double("network.jitter_fraction", o.network.jitter_fraction);
+  return o;
+}
+
+util::Config config_from_options(const CapesOptions& capes,
+                                 const lustre::ClusterOptions& cluster) {
+  util::Config cfg;
+  cfg.set_double("capes.sampling_tick_s", capes.sampling_tick_s);
+  cfg.set_double("capes.reward_scale_mbs", capes.reward_scale_mbs);
+  cfg.set("capes.replay_db_dir", capes.replay_db_dir);
+  cfg.set_int("drl.minibatch_size",
+              static_cast<std::int64_t>(capes.engine.minibatch_size));
+  cfg.set_int("drl.train_steps_per_tick",
+              static_cast<std::int64_t>(capes.engine.train_steps_per_tick));
+  cfg.set_double("drl.eval_epsilon", capes.engine.eval_epsilon);
+  cfg.set_double("drl.gamma", capes.engine.dqn.gamma);
+  cfg.set_double("drl.learning_rate", capes.engine.dqn.learning_rate);
+  cfg.set_double("drl.target_update_alpha", capes.engine.dqn.target_update_alpha);
+  cfg.set_int("drl.num_hidden_layers",
+              static_cast<std::int64_t>(capes.engine.dqn.num_hidden_layers));
+  cfg.set_int("drl.hidden_size",
+              static_cast<std::int64_t>(capes.engine.dqn.hidden_size));
+  cfg.set_bool("drl.use_target_network", capes.engine.dqn.use_target_network);
+  cfg.set_double("drl.epsilon_initial", capes.engine.epsilon.initial);
+  cfg.set_double("drl.epsilon_final", capes.engine.epsilon.final_value);
+  cfg.set_int("drl.epsilon_anneal_ticks", capes.engine.epsilon.anneal_ticks);
+  cfg.set_int("replay.ticks_per_observation",
+              static_cast<std::int64_t>(capes.replay.ticks_per_observation));
+  cfg.set_double("replay.missing_tolerance", capes.replay.missing_tolerance);
+
+  cfg.set_int("lustre.num_clients", static_cast<std::int64_t>(cluster.num_clients));
+  cfg.set_int("lustre.num_servers", static_cast<std::int64_t>(cluster.num_servers));
+  cfg.set_double("lustre.default_cwnd", cluster.default_cwnd);
+  cfg.set_double("lustre.cwnd_max", cluster.cwnd_max);
+  cfg.set_double("lustre.default_rate_limit", cluster.default_rate_limit);
+  cfg.set_double("disk.seq_read_mbs", cluster.disk.seq_read_mbs);
+  cfg.set_double("disk.seq_write_mbs", cluster.disk.seq_write_mbs);
+  cfg.set_double("network.fabric_bandwidth_mbs",
+                 cluster.network.fabric_bandwidth_mbs);
+  return cfg;
+}
+
+}  // namespace capes::core

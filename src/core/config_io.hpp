@@ -1,0 +1,25 @@
+#pragma once
+// Bridge between util::Config (the conf.py analogue) and the typed option
+// structs. Every key is optional; absent keys keep the struct's defaults,
+// so a config file only needs to list overrides.
+
+#include "core/capes_system.hpp"
+#include "lustre/types.hpp"
+#include "util/config.hpp"
+
+namespace capes::core {
+
+/// Read "capes.*", "drl.*", "replay.*" keys into CapesOptions.
+CapesOptions capes_options_from_config(const util::Config& cfg,
+                                       CapesOptions base = {});
+
+/// Read "lustre.*", "disk.*", "network.*" keys into ClusterOptions.
+lustre::ClusterOptions cluster_options_from_config(
+    const util::Config& cfg, lustre::ClusterOptions base = {});
+
+/// Serialize the effective options back to a Config (for dumping the
+/// configuration a run actually used).
+util::Config config_from_options(const CapesOptions& capes,
+                                 const lustre::ClusterOptions& cluster);
+
+}  // namespace capes::core

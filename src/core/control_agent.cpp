@@ -1,0 +1,10 @@
+#include "core/control_agent.hpp"
+
+namespace capes::core {
+
+void ControlAgent::on_action_message(const std::vector<double>& values) {
+  adapter_.set_parameters(values);
+  ++applied_;
+}
+
+}  // namespace capes::core

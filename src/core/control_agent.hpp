@@ -1,0 +1,31 @@
+#pragma once
+// Control Agent (§3.7): listens for Action Messages broadcast by the
+// Interface Daemon and applies the new parameter values to its node
+// through the adapter's controller function. In the evaluation all
+// clients share the same values, so applications are idempotent.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/adapter.hpp"
+
+namespace capes::core {
+
+class ControlAgent {
+ public:
+  ControlAgent(std::size_t node, TargetSystemAdapter& adapter)
+      : node_(node), adapter_(adapter) {}
+
+  /// Apply a full parameter-value vector to the target system.
+  void on_action_message(const std::vector<double>& values);
+
+  std::size_t node() const { return node_; }
+  std::uint64_t actions_applied() const { return applied_; }
+
+ private:
+  std::size_t node_;
+  TargetSystemAdapter& adapter_;
+  std::uint64_t applied_ = 0;
+};
+
+}  // namespace capes::core

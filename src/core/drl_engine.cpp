@@ -1,0 +1,48 @@
+#include "core/drl_engine.hpp"
+
+namespace capes::core {
+
+DrlEngine::DrlEngine(DrlEngineOptions opts, rl::ReplayDb& replay)
+    : opts_(opts), replay_(replay), epsilon_(opts.epsilon), rng_(opts.seed) {
+  opts_.dqn.observation_size = replay_.observation_size();
+  dqn_ = std::make_unique<rl::Dqn>(opts_.dqn);
+  obs_buffer_.resize(replay_.observation_size());
+}
+
+double DrlEngine::current_epsilon(std::int64_t t, bool training) const {
+  return training ? epsilon_.value(t) : opts_.eval_epsilon;
+}
+
+std::size_t DrlEngine::compute_action(std::int64_t t, bool training,
+                                      util::ThreadPool* pool) {
+  const double eps = current_epsilon(training ? training_ticks_ : t, training);
+  if (training) ++training_ticks_;
+  // Without a complete observation we can still explore randomly (early
+  // training); otherwise fall back to the NULL action.
+  if (!replay_.build_observation(t, obs_buffer_.data())) {
+    if (training && rng_.chance(eps)) {
+      return rng_.pick_index(opts_.dqn.num_actions);
+    }
+    return 0;
+  }
+  return dqn_->select_action(obs_buffer_, eps, rng_, pool);
+}
+
+std::size_t DrlEngine::train_tick(util::ThreadPool* pool) {
+  std::size_t ran = 0;
+  for (std::size_t i = 0; i < opts_.train_steps_per_tick; ++i) {
+    auto batch = replay_.construct_minibatch(opts_.minibatch_size, rng_);
+    if (!batch) break;
+    const rl::TrainStepResult r = dqn_->train_step(*batch, pool);
+    prediction_errors_.emplace_back(dqn_->train_steps(), r.prediction_error);
+    losses_.emplace_back(dqn_->train_steps(), r.loss);
+    ++ran;
+  }
+  return ran;
+}
+
+void DrlEngine::notify_workload_change() {
+  epsilon_.notify_workload_change(training_ticks_);
+}
+
+}  // namespace capes::core

@@ -1,0 +1,82 @@
+#pragma once
+// DRL Engine (§3.4): owns the deep Q-network and runs training steps
+// against random minibatches from the Replay DB, concurrently with (in
+// simulation: interleaved with) action computation. Also keeps the
+// prediction-error history that Figure 5 plots.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "rl/dqn.hpp"
+#include "rl/epsilon.hpp"
+#include "rl/replay_db.hpp"
+#include "util/rng.hpp"
+
+namespace capes::util {
+class ThreadPool;
+}
+
+namespace capes::core {
+
+struct DrlEngineOptions {
+  rl::DqnOptions dqn;
+  rl::EpsilonSchedule::Options epsilon;
+  std::size_t minibatch_size = 32;      // Table 1
+  std::size_t train_steps_per_tick = 1;
+  double eval_epsilon = 0.05;           ///< exploration when frozen/tuning
+  std::uint64_t seed = 97;
+};
+
+class DrlEngine {
+ public:
+  explicit DrlEngine(DrlEngineOptions opts, rl::ReplayDb& replay);
+
+  /// Pick the action for tick `t` from the observation ending at `t`.
+  /// Uses the annealing epsilon while training, `eval_epsilon` otherwise.
+  /// Returns the NULL action when the observation is incomplete.
+  /// The epsilon anneal advances one step per *training-mode* call, so
+  /// baseline/tuned measurement phases never consume exploration budget.
+  std::size_t compute_action(std::int64_t t, bool training,
+                             util::ThreadPool* pool = nullptr);
+
+  /// Training-mode ticks seen so far (the epsilon schedule's clock).
+  std::int64_t training_ticks() const { return training_ticks_; }
+
+  /// Run up to `train_steps_per_tick` training steps (skipped while the
+  /// replay DB cannot fill a minibatch). Returns steps actually run.
+  std::size_t train_tick(util::ThreadPool* pool = nullptr);
+
+  /// §3.6: the Interface Daemon calls this when a new workload starts.
+  /// The bump applies from the current training tick.
+  void notify_workload_change();
+
+  rl::Dqn& dqn() { return *dqn_; }
+  const rl::Dqn& dqn() const { return *dqn_; }
+  const rl::EpsilonSchedule& epsilon() const { return epsilon_; }
+  double current_epsilon(std::int64_t t, bool training) const;
+
+  /// (train_step index, |prediction error|) samples, one per step.
+  const std::vector<std::pair<std::size_t, float>>& prediction_error_log() const {
+    return prediction_errors_;
+  }
+  const std::vector<std::pair<std::size_t, float>>& loss_log() const {
+    return losses_;
+  }
+  std::size_t total_train_steps() const { return dqn_->train_steps(); }
+
+  const DrlEngineOptions& options() const { return opts_; }
+
+ private:
+  DrlEngineOptions opts_;
+  rl::ReplayDb& replay_;
+  std::unique_ptr<rl::Dqn> dqn_;
+  rl::EpsilonSchedule epsilon_;
+  std::int64_t training_ticks_ = 0;
+  util::Rng rng_;
+  std::vector<float> obs_buffer_;
+  std::vector<std::pair<std::size_t, float>> prediction_errors_;
+  std::vector<std::pair<std::size_t, float>> losses_;
+};
+
+}  // namespace capes::core

@@ -1,0 +1,64 @@
+#include "core/interface_daemon.hpp"
+
+#include "util/logging.hpp"
+#include "util/varint.hpp"
+
+namespace capes::core {
+
+InterfaceDaemon::InterfaceDaemon(rl::ReplayDb& replay,
+                                 const rl::ActionSpace& space,
+                                 std::size_t num_nodes,
+                                 std::size_t pis_per_node)
+    : replay_(replay), space_(space) {
+  checker_ = std::make_unique<ActionChecker>(space_);
+  decoders_.reserve(num_nodes);
+  for (std::size_t i = 0; i < num_nodes; ++i) {
+    decoders_.emplace_back(pis_per_node);
+  }
+}
+
+void InterfaceDaemon::on_status_message(const std::vector<std::uint8_t>& msg) {
+  ++status_messages_;
+  // Peek the node id (first varint) to pick the right stateful decoder.
+  util::VarintReader peek(msg);
+  auto node = peek.read_varint();
+  if (!node || *node >= decoders_.size()) {
+    ++decode_errors_;
+    return;
+  }
+  auto decoded = decoders_[*node].decode(msg);
+  if (!decoded) {
+    ++decode_errors_;
+    CAPES_LOG_WARN("intfd") << "malformed PI message from node " << *node;
+    return;
+  }
+  replay_.record_status(decoded->tick, decoded->node, decoded->pis);
+}
+
+void InterfaceDaemon::on_reward(std::int64_t t, double reward) {
+  replay_.record_reward(t, reward);
+}
+
+std::size_t InterfaceDaemon::on_suggested_action(
+    std::int64_t t, std::size_t action_index,
+    std::vector<double>& parameter_values) {
+  const rl::DecodedAction decoded = space_.decode(action_index);
+  std::size_t recorded = action_index;
+  if (!checker_->check(decoded, parameter_values)) {
+    recorded = 0;  // vetoed -> NULL action
+  } else if (!decoded.null_action) {
+    space_.apply(decoded, parameter_values);
+    for (ControlAgent* agent : control_agents_) {
+      agent->on_action_message(parameter_values);
+    }
+    ++actions_broadcast_;
+  }
+  replay_.record_action(t, recorded);
+  return recorded;
+}
+
+void InterfaceDaemon::register_control_agent(ControlAgent* agent) {
+  control_agents_.push_back(agent);
+}
+
+}  // namespace capes::core

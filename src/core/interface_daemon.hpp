@@ -1,0 +1,58 @@
+#pragma once
+// Interface Daemon (§3.3): the hub between Monitoring Agents, the Replay
+// DB, the DRL Engine and the Control Agents. It is the only component
+// that writes to the Replay DB; it decodes incoming PI messages, stores
+// them, relays rewards, and broadcasts checked actions.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/action_checker.hpp"
+#include "core/control_agent.hpp"
+#include "core/pi_codec.hpp"
+#include "rl/action_space.hpp"
+#include "rl/replay_db.hpp"
+
+namespace capes::core {
+
+class InterfaceDaemon {
+ public:
+  InterfaceDaemon(rl::ReplayDb& replay, const rl::ActionSpace& space,
+                  std::size_t num_nodes, std::size_t pis_per_node);
+
+  /// Incoming PI message from a Monitoring Agent; decoded and written to
+  /// the replay DB.
+  void on_status_message(const std::vector<std::uint8_t>& msg);
+
+  /// Record the objective-function output for tick t.
+  void on_reward(std::int64_t t, double reward);
+
+  /// An action suggested by the DRL Engine for tick t. Runs the action
+  /// checker; if it passes, records the action and broadcasts the
+  /// resulting parameter values to all Control Agents. Returns the action
+  /// actually recorded (vetoed actions degrade to the NULL action, which
+  /// is what reaches the replay DB — the system did nothing that tick).
+  std::size_t on_suggested_action(std::int64_t t, std::size_t action_index,
+                                  std::vector<double>& parameter_values);
+
+  void register_control_agent(ControlAgent* agent);
+  ActionChecker& action_checker() { return *checker_; }
+
+  std::uint64_t status_messages() const { return status_messages_; }
+  std::uint64_t decode_errors() const { return decode_errors_; }
+  std::uint64_t actions_broadcast() const { return actions_broadcast_; }
+
+ private:
+  rl::ReplayDb& replay_;
+  const rl::ActionSpace& space_;
+  std::unique_ptr<ActionChecker> checker_;
+  std::vector<PiDecoder> decoders_;  // one per node
+  std::vector<ControlAgent*> control_agents_;
+
+  std::uint64_t status_messages_ = 0;
+  std::uint64_t decode_errors_ = 0;
+  std::uint64_t actions_broadcast_ = 0;
+};
+
+}  // namespace capes::core

@@ -1,0 +1,17 @@
+#include "core/monitoring_agent.hpp"
+
+namespace capes::core {
+
+MonitoringAgent::MonitoringAgent(std::size_t node, TargetSystemAdapter& adapter,
+                                 Deliver deliver)
+    : adapter_(adapter),
+      encoder_(node, adapter.pis_per_node()),
+      deliver_(std::move(deliver)) {}
+
+void MonitoringAgent::sample(std::int64_t t) {
+  const std::vector<float> pis = adapter_.collect_observation(encoder_.node());
+  const std::vector<std::uint8_t> msg = encoder_.encode(t, pis);
+  if (deliver_) deliver_(msg);
+}
+
+}  // namespace capes::core

@@ -1,0 +1,37 @@
+#pragma once
+// Monitoring Agent (§3.3): one per monitored node. At every sampling tick
+// it collects the node's performance indicators through the adapter's
+// collector function, encodes them with the differential protocol, and
+// ships the message to the Interface Daemon.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/adapter.hpp"
+#include "core/pi_codec.hpp"
+
+namespace capes::core {
+
+class MonitoringAgent {
+ public:
+  /// `deliver` carries an encoded message to the Interface Daemon (the
+  /// control-network hop).
+  using Deliver = std::function<void(const std::vector<std::uint8_t>&)>;
+
+  MonitoringAgent(std::size_t node, TargetSystemAdapter& adapter, Deliver deliver);
+
+  /// Collect + encode + send the PIs for sampling tick `t`.
+  void sample(std::int64_t t);
+
+  std::size_t node() const { return encoder_.node(); }
+  std::uint64_t bytes_sent() const { return encoder_.total_bytes(); }
+  std::uint64_t messages_sent() const { return encoder_.messages(); }
+
+ private:
+  TargetSystemAdapter& adapter_;
+  PiEncoder encoder_;
+  Deliver deliver_;
+};
+
+}  // namespace capes::core

@@ -1,0 +1,39 @@
+#pragma once
+// Objective functions (§3.2): the reward is the output of an objective
+// function over the target system's performance, which makes single- and
+// multi-objective tuning uniform. Values are normalized by `scale` so the
+// Q-network trains on O(1) rewards.
+
+#include <functional>
+
+#include "core/adapter.hpp"
+
+namespace capes::core {
+
+using ObjectiveFunction = std::function<double(const PerfSample&)>;
+
+/// Single objective: aggregate throughput / scale_mbs.
+inline ObjectiveFunction throughput_objective(double scale_mbs = 100.0) {
+  return [scale_mbs](const PerfSample& s) {
+    return s.throughput_mbs() / scale_mbs;
+  };
+}
+
+/// Multi-objective: throughput reward minus a latency penalty, the
+/// "tuning for throughput and latency at the same time" combination the
+/// paper describes (§2, §6).
+inline ObjectiveFunction throughput_latency_objective(
+    double scale_mbs = 100.0, double latency_weight = 0.1,
+    double latency_scale_ms = 10.0) {
+  return [=](const PerfSample& s) {
+    return s.throughput_mbs() / scale_mbs -
+           latency_weight * (s.avg_latency_ms / latency_scale_ms);
+  };
+}
+
+/// Write-throughput-only objective (useful for write-dominated tuning).
+inline ObjectiveFunction write_throughput_objective(double scale_mbs = 100.0) {
+  return [scale_mbs](const PerfSample& s) { return s.write_mbs / scale_mbs; };
+}
+
+}  // namespace capes::core

@@ -1,0 +1,85 @@
+#include "core/pi_codec.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/varint.hpp"
+
+namespace capes::core {
+
+namespace {
+
+std::int64_t quantize(float v) {
+  return static_cast<std::int64_t>(
+      std::llround(static_cast<double>(v) * kPiQuantScale));
+}
+
+float dequantize(std::int64_t q) {
+  return static_cast<float>(static_cast<double>(q) / kPiQuantScale);
+}
+
+}  // namespace
+
+PiEncoder::PiEncoder(std::size_t node, std::size_t num_pis)
+    : node_(node), prev_quantized_(num_pis, 0) {}
+
+std::vector<std::uint8_t> PiEncoder::encode(std::int64_t t,
+                                            const std::vector<float>& pis) {
+  assert(pis.size() == prev_quantized_.size());
+  std::vector<std::uint8_t> changed_payload;
+  std::size_t count = 0;
+  std::size_t last_index = 0;
+  for (std::size_t i = 0; i < pis.size(); ++i) {
+    const std::int64_t q = quantize(pis[i]);
+    if (!first_ && q == prev_quantized_[i]) continue;
+    util::put_varint(changed_payload, i - last_index);
+    util::put_svarint(changed_payload, q - (first_ ? 0 : prev_quantized_[i]));
+    prev_quantized_[i] = q;
+    last_index = i;
+    ++count;
+  }
+  first_ = false;
+
+  std::vector<std::uint8_t> msg;
+  util::put_varint(msg, node_);
+  util::put_varint(msg, static_cast<std::uint64_t>(t));
+  util::put_varint(msg, count);
+  msg.insert(msg.end(), changed_payload.begin(), changed_payload.end());
+  total_bytes_ += msg.size();
+  ++messages_;
+  return msg;
+}
+
+PiDecoder::PiDecoder(std::size_t num_pis) : quantized_(num_pis, 0) {}
+
+std::optional<PiMessage> PiDecoder::decode(const std::vector<std::uint8_t>& msg) {
+  util::VarintReader r(msg);
+  auto node = r.read_varint();
+  auto tick = r.read_varint();
+  auto count = r.read_varint();
+  if (!node || !tick || !count || *count > quantized_.size()) return std::nullopt;
+
+  std::size_t index = 0;
+  bool first_entry = true;
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    auto gap = r.read_varint();
+    auto delta = r.read_svarint();
+    if (!gap || !delta) return std::nullopt;
+    index = first_entry ? static_cast<std::size_t>(*gap)
+                        : index + static_cast<std::size_t>(*gap);
+    first_entry = false;
+    if (index >= quantized_.size()) return std::nullopt;
+    quantized_[index] += *delta;
+  }
+
+  PiMessage out;
+  out.node = static_cast<std::size_t>(*node);
+  out.tick = static_cast<std::int64_t>(*tick);
+  out.pis.resize(quantized_.size());
+  for (std::size_t i = 0; i < quantized_.size(); ++i) {
+    out.pis[i] = dequantize(quantized_[i]);
+  }
+  return out;
+}
+
+}  // namespace capes::core

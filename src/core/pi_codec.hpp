@@ -1,0 +1,61 @@
+#pragma once
+// The differential PI wire protocol (§3.3): a Monitoring Agent only sends
+// a performance indicator when its value changed since the previous
+// sampling tick, and the message is compressed. Here "compression" is
+// delta + quantized zigzag-varint coding: values are fixed-point-quantized
+// (4 decimal digits — PIs are pre-normalized O(1) floats), and each entry
+// stores an index gap + value delta, both as small varints. Table 2
+// measures the resulting bytes/client/second.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace capes::core {
+
+/// Stateful encoder, one per (Monitoring Agent) node.
+class PiEncoder {
+ public:
+  explicit PiEncoder(std::size_t node, std::size_t num_pis);
+
+  /// Encode the PI vector for tick `t`. Emits only entries that changed
+  /// (after quantization) since the previous call. Message layout:
+  /// varint(node) varint(t) varint(count) { varint(index_gap)
+  /// svarint(value_delta_quantized) }*.
+  std::vector<std::uint8_t> encode(std::int64_t t, const std::vector<float>& pis);
+
+  std::size_t node() const { return node_; }
+  std::uint64_t total_bytes() const { return total_bytes_; }
+  std::uint64_t messages() const { return messages_; }
+
+ private:
+  std::size_t node_;
+  std::vector<std::int64_t> prev_quantized_;
+  bool first_ = true;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t messages_ = 0;
+};
+
+/// Decoded message.
+struct PiMessage {
+  std::size_t node = 0;
+  std::int64_t tick = 0;
+  std::vector<float> pis;  ///< full reconstructed vector
+};
+
+/// Stateful decoder (one per sender) living in the Interface Daemon.
+class PiDecoder {
+ public:
+  explicit PiDecoder(std::size_t num_pis);
+
+  /// Decode one message; nullopt on malformed input.
+  std::optional<PiMessage> decode(const std::vector<std::uint8_t>& msg);
+
+ private:
+  std::vector<std::int64_t> quantized_;
+};
+
+/// Quantization scale: 1e4 (4 decimal digits of the normalized PIs).
+constexpr double kPiQuantScale = 1e4;
+
+}  // namespace capes::core

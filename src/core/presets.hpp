@@ -1,0 +1,36 @@
+#pragma once
+// Evaluation presets.
+//
+//  * paper_preset(): every hyperparameter from Table 1 verbatim, plus the
+//    §4.2 testbed configuration. Training durations are the paper's 12/24
+//    hour sessions at 1 Hz. Running this on one CPU core takes days — it
+//    exists for fidelity and for scaled-down derivation.
+//  * fast_preset(): the same system proportionally scaled so the full
+//    evaluation suite completes on a laptop core: shorter exploration,
+//    fewer ticks per observation, smaller fileserver files. EXPERIMENTS.md
+//    records results from this preset.
+
+#include <cstdint>
+
+#include "core/capes_system.hpp"
+#include "lustre/types.hpp"
+
+namespace capes::core {
+
+struct EvaluationPreset {
+  CapesOptions capes;
+  lustre::ClusterOptions cluster;
+  /// Simulated sampling ticks standing in for the paper's 12 h / 24 h
+  /// training sessions and the measurement windows.
+  std::int64_t train_ticks_short = 0;   ///< "12 hours"
+  std::int64_t train_ticks_long = 0;    ///< "24 hours"
+  std::int64_t eval_ticks = 0;          ///< per measurement phase
+};
+
+/// Table 1 / §4.2 values, verbatim.
+EvaluationPreset paper_preset();
+
+/// Laptop-scale evaluation preset (see header comment).
+EvaluationPreset fast_preset(std::uint64_t seed = 42);
+
+}  // namespace capes::core

@@ -1,0 +1,220 @@
+#include "lustre/client.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace capes::lustre {
+
+namespace {
+
+constexpr std::uint64_t kMdsIdBit = 1ull << 63;
+constexpr std::size_t kMdsServer = 0;
+
+/// Resume throttling below this fraction of the dirty limit.
+constexpr double kDirtyLowWatermark = 0.75;
+
+std::size_t server_of_rpc_id(std::uint64_t id) {
+  return static_cast<std::size_t>((id >> 32) & 0xffff);
+}
+
+}  // namespace
+
+Client::Client(sim::Simulator& sim, std::size_t index, const ClusterOptions& opts)
+    : sim_(sim),
+      index_(index),
+      opts_(opts),
+      cwnd_(opts.default_cwnd),
+      rate_limit_(opts.default_rate_limit),
+      max_dirty_bytes_(opts.max_dirty_bytes),
+      tokens_(std::max(8.0, opts.default_rate_limit * 0.02)) {
+  oscs_.reserve(opts_.num_servers);
+  for (std::size_t s = 0; s < opts_.num_servers; ++s) {
+    auto osc = std::make_unique<Osc>(sim_, index_, s, opts_);
+    osc->set_try_acquire_token([this] { return try_acquire_token(); });
+    osc->set_write_completed([this](std::uint64_t bytes, sim::TimeUs latency) {
+      on_write_completed(bytes, latency);
+    });
+    osc->set_read_completed([this](std::uint64_t bytes, sim::TimeUs latency) {
+      on_read_completed(bytes, latency);
+    });
+    oscs_.push_back(std::move(osc));
+  }
+}
+
+void Client::set_send_request(SendRequest fn) {
+  send_request_ = std::move(fn);
+  for (std::size_t s = 0; s < oscs_.size(); ++s) {
+    oscs_[s]->set_send_request(
+        [this, s](const RpcRequest& req, std::uint64_t wire_bytes) {
+          send_request_(s, req, wire_bytes);
+        });
+  }
+}
+
+void Client::write(std::uint64_t file_id, std::uint64_t offset,
+                   std::uint64_t len, Done done) {
+  dirty_bytes_ += len;
+  map_stripes(opts_, file_id, offset, len, [this](const StripeChunk& c) {
+    oscs_[c.server]->enqueue_write(c.object_id, c.object_offset, c.bytes);
+  });
+  if (dirty_bytes_ <= max_dirty_bytes_) {
+    if (done) sim_.schedule_in(0, std::move(done));
+  } else {
+    // Cache full: throttle the writer until the flushers drain.
+    write_waiters_.push_back(std::move(done));
+  }
+}
+
+void Client::read(std::uint64_t file_id, std::uint64_t offset,
+                  std::uint64_t len, Done done) {
+  // Fan the read out across stripes; complete when every chunk arrives.
+  auto remaining = std::make_shared<std::size_t>(0);
+  auto all_issued = std::make_shared<bool>(false);
+  auto finish = std::make_shared<Done>(std::move(done));
+  map_stripes(opts_, file_id, offset, len, [&](const StripeChunk& c) {
+    ++*remaining;
+    oscs_[c.server]->enqueue_read(
+        c.object_id, c.object_offset, c.bytes,
+        [remaining, all_issued, finish] {
+          --*remaining;
+          if (*all_issued && *remaining == 0 && *finish) (*finish)();
+        });
+  });
+  *all_issued = true;
+  if (*remaining == 0 && *finish) sim_.schedule_in(0, [finish] { (*finish)(); });
+}
+
+void Client::metadata_op(Done done) {
+  const std::uint64_t id =
+      kMdsIdBit | (static_cast<std::uint64_t>(index_) << 32) | next_mds_seq_++;
+  mds_pending_[id] = std::move(done);
+  RpcRequest req;
+  req.id = id;
+  req.type = RpcType::kMetadata;
+  req.client = index_;
+  req.bytes = 0;
+  if (send_request_) send_request_(kMdsServer, req, opts_.request_header);
+}
+
+void Client::on_reply(const RpcReply& reply) {
+  if (reply.id & kMdsIdBit) {
+    auto it = mds_pending_.find(reply.id);
+    if (it == mds_pending_.end()) return;
+    Done done = std::move(it->second);
+    mds_pending_.erase(it);
+    if (done) done();
+    return;
+  }
+  const std::size_t server = server_of_rpc_id(reply.id);
+  assert(server < oscs_.size());
+  oscs_[server]->on_reply(reply);
+}
+
+void Client::set_cwnd(double cwnd) {
+  cwnd_ = cwnd;
+  for (auto& osc : oscs_) {
+    osc->set_cwnd(cwnd);
+    osc->maybe_send();
+  }
+}
+
+void Client::set_rate_limit(double requests_per_second) {
+  refill_tokens();
+  rate_limit_ = std::max(1.0, requests_per_second);
+  for (auto& osc : oscs_) osc->maybe_send();
+}
+
+void Client::set_max_dirty_bytes(std::uint64_t bytes) {
+  max_dirty_bytes_ = std::max<std::uint64_t>(1 << 20, bytes);
+  // Shrinking the cache takes effect as it drains; growing it can unblock
+  // throttled writers immediately.
+  resume_throttled_writers();
+}
+
+void Client::refill_tokens() {
+  const sim::TimeUs now = sim_.now();
+  const double elapsed_s =
+      static_cast<double>(now - last_refill_) / static_cast<double>(sim::kUsPerSec);
+  const double burst = std::max(8.0, rate_limit_ * 0.02);
+  tokens_ = std::min(burst, tokens_ + elapsed_s * rate_limit_);
+  last_refill_ = now;
+}
+
+bool Client::try_acquire_token() {
+  refill_tokens();
+  if (tokens_ >= 1.0) {
+    tokens_ -= 1.0;
+    return true;
+  }
+  schedule_token_wakeup();
+  return false;
+}
+
+void Client::schedule_token_wakeup() {
+  if (wakeup_scheduled_) return;
+  wakeup_scheduled_ = true;
+  const double needed = 1.0 - tokens_;
+  const double wait_s = needed / rate_limit_;
+  sim_.schedule_in(
+      std::max<sim::TimeUs>(1, static_cast<sim::TimeUs>(wait_s * 1e6)), [this] {
+        wakeup_scheduled_ = false;
+        for (auto& osc : oscs_) osc->maybe_send();
+      });
+}
+
+void Client::on_write_completed(std::uint64_t bytes, sim::TimeUs latency) {
+  assert(dirty_bytes_ >= bytes);
+  dirty_bytes_ -= bytes;
+  total_write_bytes_ += bytes;
+  latency_sum_ms_ += static_cast<double>(latency) / 1000.0;
+  ++latency_count_;
+  resume_throttled_writers();
+}
+
+void Client::on_read_completed(std::uint64_t bytes, sim::TimeUs latency) {
+  total_read_bytes_ += bytes;
+  latency_sum_ms_ += static_cast<double>(latency) / 1000.0;
+  ++latency_count_;
+}
+
+void Client::resume_throttled_writers() {
+  const auto low = static_cast<std::uint64_t>(
+      kDirtyLowWatermark * static_cast<double>(max_dirty_bytes_));
+  while (!write_waiters_.empty() && dirty_bytes_ <= low) {
+    Done done = std::move(write_waiters_.front());
+    write_waiters_.pop_front();
+    if (done) sim_.schedule_in(0, std::move(done));
+  }
+}
+
+double Client::avg_ack_ewma_us() const {
+  double sum = 0.0;
+  for (const auto& osc : oscs_) sum += osc->ack_ewma_us();
+  return sum / static_cast<double>(oscs_.size());
+}
+
+double Client::avg_send_ewma_us() const {
+  double sum = 0.0;
+  for (const auto& osc : oscs_) sum += osc->send_ewma_us();
+  return sum / static_cast<double>(oscs_.size());
+}
+
+double Client::avg_pt_ratio() const {
+  double sum = 0.0;
+  for (const auto& osc : oscs_) sum += osc->pt_ratio();
+  return sum / static_cast<double>(oscs_.size());
+}
+
+std::uint64_t Client::total_retransmits() const {
+  std::uint64_t sum = 0;
+  for (const auto& osc : oscs_) sum += osc->retransmits();
+  return sum;
+}
+
+std::uint64_t Client::total_rpcs_sent() const {
+  std::uint64_t sum = 0;
+  for (const auto& osc : oscs_) sum += osc->rpcs_sent();
+  return sum;
+}
+
+}  // namespace capes::lustre

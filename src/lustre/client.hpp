@@ -1,0 +1,115 @@
+#pragma once
+// Lustre client node: the file-level API the workload generators call.
+// Writes land in a bounded dirty cache (write-back at the client, as in
+// Lustre; the *server* is write-through per §4.2) and are flushed by the
+// per-server OSCs subject to the congestion window and the client-wide
+// I/O rate limit (token bucket). Reads and metadata ops are synchronous.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "lustre/osc.hpp"
+#include "lustre/types.hpp"
+#include "sim/simulator.hpp"
+
+namespace capes::lustre {
+
+class Client {
+ public:
+  using Done = std::function<void()>;
+  /// (server_index, request, wire_bytes) -> deliver to that server.
+  using SendRequest =
+      std::function<void(std::size_t, const RpcRequest&, std::uint64_t)>;
+
+  Client(sim::Simulator& sim, std::size_t index, const ClusterOptions& opts);
+
+  void set_send_request(SendRequest fn);
+
+  /// Asynchronous buffered write: `done` fires once the data is accepted
+  /// into the dirty cache (immediately unless the cache is full, in which
+  /// case the writer is throttled until enough dirty data drains).
+  void write(std::uint64_t file_id, std::uint64_t offset, std::uint64_t len,
+             Done done);
+
+  /// Synchronous read: `done` fires when all data has arrived.
+  void read(std::uint64_t file_id, std::uint64_t offset, std::uint64_t len,
+            Done done);
+
+  /// Metadata operation (create/delete/stat — modelled identically): a
+  /// round trip to the MDS (colocated with server 0).
+  void metadata_op(Done done);
+
+  /// Route a reply delivered to this client node.
+  void on_reply(const RpcReply& reply);
+
+  // ---- tuned parameters -------------------------------------------------
+  void set_cwnd(double cwnd);
+  void set_rate_limit(double requests_per_second);
+  /// §6 extension: the dirty-cache bound can be tuned at run time.
+  void set_max_dirty_bytes(std::uint64_t bytes);
+  double cwnd() const { return cwnd_; }
+  double rate_limit() const { return rate_limit_; }
+
+  // ---- raw state for PI collection (normalization in the adapter) -------
+  std::uint64_t dirty_bytes() const { return dirty_bytes_; }
+  std::uint64_t max_dirty_bytes() const { return max_dirty_bytes_; }
+  std::uint64_t total_read_bytes() const { return total_read_bytes_; }
+  std::uint64_t total_write_bytes() const { return total_write_bytes_; }
+  /// Cumulative RPC latency stats (read + write), for latency deltas.
+  double latency_sum_ms() const { return latency_sum_ms_; }
+  std::uint64_t latency_count() const { return latency_count_; }
+  double avg_ack_ewma_us() const;
+  double avg_send_ewma_us() const;
+  double avg_pt_ratio() const;
+  std::uint64_t total_retransmits() const;
+  std::uint64_t total_rpcs_sent() const;
+  std::size_t throttled_writers() const { return write_waiters_.size(); }
+
+  std::size_t index() const { return index_; }
+  std::size_t num_oscs() const { return oscs_.size(); }
+  const Osc& osc(std::size_t server) const { return *oscs_[server]; }
+
+ private:
+  bool try_acquire_token();
+  void schedule_token_wakeup();
+  void refill_tokens();
+  void on_write_completed(std::uint64_t bytes, sim::TimeUs latency);
+  void on_read_completed(std::uint64_t bytes, sim::TimeUs latency);
+  void resume_throttled_writers();
+
+  sim::Simulator& sim_;
+  std::size_t index_;
+  const ClusterOptions& opts_;
+  SendRequest send_request_;
+  std::vector<std::unique_ptr<Osc>> oscs_;
+
+  // Tuned parameters.
+  double cwnd_;
+  double rate_limit_;
+  std::uint64_t max_dirty_bytes_;
+
+  // Token bucket (lazy refill).
+  double tokens_;
+  sim::TimeUs last_refill_ = 0;
+  bool wakeup_scheduled_ = false;
+
+  // Dirty write cache.
+  std::uint64_t dirty_bytes_ = 0;
+  std::deque<Done> write_waiters_;
+
+  // Metadata round trips in flight.
+  std::unordered_map<std::uint64_t, Done> mds_pending_;
+  std::uint64_t next_mds_seq_ = 0;
+
+  // Cumulative counters.
+  std::uint64_t total_read_bytes_ = 0;
+  std::uint64_t total_write_bytes_ = 0;
+  double latency_sum_ms_ = 0.0;
+  std::uint64_t latency_count_ = 0;
+};
+
+}  // namespace capes::lustre

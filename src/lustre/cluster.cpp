@@ -1,0 +1,246 @@
+#include "lustre/cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cassert>
+
+namespace capes::lustre {
+
+namespace {
+// PI normalization: values with a bounded natural range are scaled
+// linearly; heavy-tailed congestion indicators (latency, EWMA gaps, the
+// PT ratio) are log-compressed so that backlogged states stay inside the
+// tanh layers' sensitive range instead of saturating them. All PIs land
+// in roughly [0, 1.2].
+constexpr double kRateNorm = 4000.0;
+constexpr double kThroughputNormMbs = 200.0;
+
+double log_compress(double v, double scale) {
+  return std::log2(1.0 + std::max(0.0, v)) / scale;
+}
+}  // namespace
+
+Cluster::Cluster(sim::Simulator& sim, ClusterOptions opts)
+    : sim_(sim), opts_(std::move(opts)), rng_(opts_.seed) {
+  const std::size_t c = opts_.num_clients;
+  const std::size_t s = opts_.num_servers;
+  net_ = std::make_unique<sim::Network>(sim_, c + s, opts_.network, rng_.split());
+
+  servers_.reserve(s);
+  for (std::size_t j = 0; j < s; ++j) {
+    servers_.push_back(
+        std::make_unique<Ost>(sim_, *net_, c + j, opts_, rng_.split()));
+  }
+  clients_.reserve(c);
+  for (std::size_t i = 0; i < c; ++i) {
+    clients_.push_back(std::make_unique<Client>(sim_, i, opts_));
+  }
+
+  // Request path: client i -> server node (c + server_index).
+  for (std::size_t i = 0; i < c; ++i) {
+    Client* cl = clients_[i].get();
+    cl->set_send_request([this, i](std::size_t server_index,
+                                   const RpcRequest& req,
+                                   std::uint64_t wire_bytes) {
+      Ost* ost = servers_[server_index].get();
+      net_->send(i, num_clients() + server_index, wire_bytes,
+                 [ost, req] { ost->on_request(req); });
+    });
+  }
+  // Reply path: server -> client node, then route into the client.
+  for (auto& srv : servers_) {
+    srv->set_reply_delivery([this](std::size_t client_node, const RpcReply& r) {
+      clients_[client_node]->on_reply(r);
+    });
+  }
+
+  pi_snapshots_.assign(c, NodeSnapshot{});
+  server_snapshots_.assign(s, ServerSnapshot{});
+}
+
+std::vector<float> Cluster::collect_server_observation(std::size_t server_index) {
+  Ost& srv = *servers_[server_index];
+  const sim::Disk& disk = srv.disk();
+  ServerSnapshot& snap = server_snapshots_[server_index];
+  const sim::TimeUs now = sim_.now();
+  const double elapsed_s = std::max(
+      1e-6, static_cast<double>(now - snap.time) / static_cast<double>(sim::kUsPerSec));
+  const double read_mbs =
+      static_cast<double>(disk.bytes_read() - snap.disk_read_bytes) / 1e6 / elapsed_s;
+  const double write_mbs =
+      static_cast<double>(disk.bytes_written() - snap.disk_write_bytes) / 1e6 /
+      elapsed_s;
+  const double busy_frac =
+      static_cast<double>(disk.busy_time() - snap.busy_us) / (elapsed_s * 1e6);
+  const double meta_rate =
+      static_cast<double>(srv.metadata_served() - snap.metadata_served) / elapsed_s;
+  snap.disk_read_bytes = disk.bytes_read();
+  snap.disk_write_bytes = disk.bytes_written();
+  snap.busy_us = disk.busy_time();
+  snap.metadata_served = srv.metadata_served();
+  snap.time = now;
+
+  std::vector<float> pis(kPisPerNode);
+  pis[0] = static_cast<float>(log_compress(static_cast<double>(disk.queue_depth()), 12.0));
+  pis[1] = static_cast<float>(log_compress(static_cast<double>(disk.queued_writes()), 12.0));
+  pis[2] = static_cast<float>(log_compress(static_cast<double>(disk.queued_reads()), 12.0));
+  pis[3] = static_cast<float>(std::clamp(busy_frac, 0.0, 1.5));
+  pis[4] = static_cast<float>(read_mbs / kThroughputNormMbs);
+  pis[5] = static_cast<float>(write_mbs / kThroughputNormMbs);
+  pis[6] = static_cast<float>(
+      log_compress(static_cast<double>(disk.last_process_time()) / 1000.0, 20.0));
+  pis[7] = static_cast<float>(
+      log_compress(static_cast<double>(disk.min_process_time()) / 1000.0, 20.0));
+  pis[8] = static_cast<float>(log_compress(meta_rate, 12.0));
+  return pis;
+}
+
+std::vector<float> Cluster::collect_observation(std::size_t node) {
+  assert(node < num_nodes());
+  if (node >= clients_.size()) {
+    return collect_server_observation(node - clients_.size());
+  }
+  Client& cl = *clients_[node];
+  NodeSnapshot& snap = pi_snapshots_[node];
+  const sim::TimeUs now = sim_.now();
+  const double elapsed_s = std::max(
+      1e-6, static_cast<double>(now - snap.time) / static_cast<double>(sim::kUsPerSec));
+  const double read_mbs =
+      static_cast<double>(cl.total_read_bytes() - snap.read_bytes) / 1e6 / elapsed_s;
+  const double write_mbs =
+      static_cast<double>(cl.total_write_bytes() - snap.write_bytes) / 1e6 /
+      elapsed_s;
+  snap.read_bytes = cl.total_read_bytes();
+  snap.write_bytes = cl.total_write_bytes();
+  snap.time = now;
+
+  double ping_ms = 0.0;
+  for (std::size_t j = 0; j < servers_.size(); ++j) {
+    ping_ms += static_cast<double>(net_->estimate_latency(node, num_clients() + j)) /
+               1000.0;
+  }
+  ping_ms /= static_cast<double>(servers_.size());
+
+  std::vector<float> pis(kPisPerNode);
+  pis[0] = static_cast<float>(log_compress(cl.cwnd(), 8.0));       // 256 -> 1.0
+  pis[1] = static_cast<float>(cl.rate_limit() / kRateNorm);
+  pis[2] = static_cast<float>(read_mbs / kThroughputNormMbs);
+  pis[3] = static_cast<float>(write_mbs / kThroughputNormMbs);
+  pis[4] = static_cast<float>(static_cast<double>(cl.dirty_bytes()) /
+                              static_cast<double>(cl.max_dirty_bytes()));
+  pis[5] = static_cast<float>(log_compress(ping_ms, 10.0));        // 1 s -> 1.0
+  pis[6] = static_cast<float>(log_compress(cl.avg_ack_ewma_us() / 1000.0, 10.0));
+  pis[7] = static_cast<float>(log_compress(cl.avg_send_ewma_us() / 1000.0, 10.0));
+  pis[8] = static_cast<float>(log_compress(cl.avg_pt_ratio(), 12.0));
+  return pis;
+}
+
+std::vector<rl::TunableParameter> Cluster::tunable_parameters() const {
+  rl::TunableParameter cwnd;
+  cwnd.name = "max_rpcs_in_flight";
+  cwnd.min_value = opts_.cwnd_min;
+  cwnd.max_value = opts_.cwnd_max;
+  cwnd.step = opts_.cwnd_step;
+  cwnd.initial_value = opts_.default_cwnd;
+
+  rl::TunableParameter rate;
+  rate.name = "io_rate_limit";
+  rate.min_value = opts_.rate_limit_min;
+  rate.max_value = opts_.rate_limit_max;
+  rate.step = opts_.rate_limit_step;
+  rate.initial_value = opts_.default_rate_limit;
+
+  std::vector<rl::TunableParameter> params{cwnd, rate};
+  if (opts_.tune_write_cache) {
+    rl::TunableParameter cache;
+    cache.name = "max_dirty_mb";
+    cache.min_value = opts_.write_cache_min_mb;
+    cache.max_value = opts_.write_cache_max_mb;
+    cache.step = opts_.write_cache_step_mb;
+    cache.initial_value =
+        static_cast<double>(opts_.max_dirty_bytes) / (1 << 20);
+    params.push_back(cache);
+  }
+  return params;
+}
+
+void Cluster::set_parameters(const std::vector<double>& values) {
+  assert(values.size() == (opts_.tune_write_cache ? 3u : 2u));
+  for (auto& cl : clients_) {
+    cl->set_cwnd(values[0]);
+    cl->set_rate_limit(values[1]);
+    if (opts_.tune_write_cache) {
+      cl->set_max_dirty_bytes(
+          static_cast<std::uint64_t>(values[2] * (1 << 20)));
+    }
+  }
+}
+
+std::vector<double> Cluster::current_parameters() const {
+  std::vector<double> values{clients_[0]->cwnd(), clients_[0]->rate_limit()};
+  if (opts_.tune_write_cache) {
+    values.push_back(
+        static_cast<double>(clients_[0]->max_dirty_bytes()) / (1 << 20));
+  }
+  return values;
+}
+
+core::PerfSample Cluster::sample_performance() {
+  const sim::TimeUs now = sim_.now();
+  const double elapsed_s =
+      std::max(1e-6, static_cast<double>(now - perf_snapshot_.time) /
+                         static_cast<double>(sim::kUsPerSec));
+  const std::uint64_t reads = total_read_bytes();
+  const std::uint64_t writes = total_write_bytes();
+
+  double latency_sum = 0.0;
+  std::uint64_t latency_count = 0;
+  for (const auto& cl : clients_) {
+    latency_sum += cl->latency_sum_ms();
+    latency_count += cl->latency_count();
+  }
+
+  core::PerfSample sample;
+  sample.read_mbs =
+      static_cast<double>(reads - perf_snapshot_.read_bytes) / 1e6 / elapsed_s;
+  sample.write_mbs =
+      static_cast<double>(writes - perf_snapshot_.write_bytes) / 1e6 / elapsed_s;
+  const std::uint64_t dcount = latency_count - perf_latency_count_snapshot_;
+  sample.avg_latency_ms =
+      dcount == 0 ? 0.0 : (latency_sum - perf_latency_sum_snapshot_) /
+                              static_cast<double>(dcount);
+
+  perf_snapshot_.read_bytes = reads;
+  perf_snapshot_.write_bytes = writes;
+  perf_snapshot_.time = now;
+  perf_latency_sum_snapshot_ = latency_sum;
+  perf_latency_count_snapshot_ = latency_count;
+  return sample;
+}
+
+std::uint64_t Cluster::total_read_bytes() const {
+  std::uint64_t sum = 0;
+  for (const auto& cl : clients_) sum += cl->total_read_bytes();
+  return sum;
+}
+
+std::uint64_t Cluster::total_write_bytes() const {
+  std::uint64_t sum = 0;
+  for (const auto& cl : clients_) sum += cl->total_write_bytes();
+  return sum;
+}
+
+std::uint64_t Cluster::total_retransmits() const {
+  std::uint64_t sum = 0;
+  for (const auto& cl : clients_) sum += cl->total_retransmits();
+  return sum;
+}
+
+double Cluster::cumulative_throughput_mbs() const {
+  const double elapsed_s = std::max(
+      1e-6, static_cast<double>(sim_.now()) / static_cast<double>(sim::kUsPerSec));
+  return static_cast<double>(total_read_bytes() + total_write_bytes()) / 1e6 /
+         elapsed_s;
+}
+
+}  // namespace capes::lustre

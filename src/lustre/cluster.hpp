@@ -1,0 +1,100 @@
+#pragma once
+// The simulated Lustre cluster, assembled from clients, OSTs, and the
+// network model — and the bundled core::TargetSystemAdapter
+// implementation (the "Lustre adapter" of Appendix A). Nodes 0..C-1 are
+// clients, C..C+S-1 are servers.
+
+#include <memory>
+#include <vector>
+
+#include "core/adapter.hpp"
+#include "lustre/client.hpp"
+#include "lustre/ost.hpp"
+#include "lustre/types.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace capes::lustre {
+
+class Cluster : public core::TargetSystemAdapter {
+ public:
+  /// Number of performance indicators collected per client node; see
+  /// collect_observation() for the layout.
+  static constexpr std::size_t kPisPerNode = 9;
+
+  Cluster(sim::Simulator& sim, ClusterOptions opts);
+
+  // ---- TargetSystemAdapter ----------------------------------------------
+  /// Clients always; servers too when options().monitor_servers (§6).
+  std::size_t num_nodes() const override {
+    return clients_.size() + (opts_.monitor_servers ? servers_.size() : 0);
+  }
+  std::size_t pis_per_node() const override { return kPisPerNode; }
+  /// Client-node PI vector (normalized):
+  ///   0 congestion window   1 I/O rate limit      2 read MB/s
+  ///   3 write MB/s          4 dirty-cache fill    5 mean ping latency
+  ///   6 Ack EWMA            7 Send EWMA           8 PT ratio
+  /// Server-node PI vector (§6 extension, nodes >= num_clients):
+  ///   0 disk queue depth    1 queued writes       2 queued reads
+  ///   3 disk busy fraction  4 disk read MB/s      5 disk write MB/s
+  ///   6 last process time   7 min process time    8 metadata ops/s
+  std::vector<float> collect_observation(std::size_t node) override;
+  std::vector<rl::TunableParameter> tunable_parameters() const override;
+  /// values[0] = max_rpcs_in_flight, values[1] = I/O rate limit
+  /// (requests/s), and when options().tune_write_cache, values[2] = write
+  /// cache limit in MB. Applied to every client (§4.1: all clients use
+  /// the same values).
+  void set_parameters(const std::vector<double>& values) override;
+  std::vector<double> current_parameters() const override;
+  core::PerfSample sample_performance() override;
+
+  // ---- direct access (workload generators, benches, tests) --------------
+  sim::Simulator& simulator() { return sim_; }
+  sim::Network& network() { return *net_; }
+  Client& client(std::size_t i) { return *clients_[i]; }
+  Ost& server(std::size_t i) { return *servers_[i]; }
+  std::size_t num_clients() const { return clients_.size(); }
+  std::size_t num_servers() const { return servers_.size(); }
+  const ClusterOptions& options() const { return opts_; }
+
+  /// Cluster-wide cumulative counters.
+  std::uint64_t total_read_bytes() const;
+  std::uint64_t total_write_bytes() const;
+  std::uint64_t total_retransmits() const;
+
+  /// Aggregate throughput (MB/s) over a caller-managed window: captures
+  /// current totals; see ThroughputProbe in bench code for usage.
+  double cumulative_throughput_mbs() const;
+
+ private:
+  struct NodeSnapshot {
+    std::uint64_t read_bytes = 0;
+    std::uint64_t write_bytes = 0;
+    sim::TimeUs time = 0;
+  };
+  struct ServerSnapshot {
+    std::uint64_t disk_read_bytes = 0;
+    std::uint64_t disk_write_bytes = 0;
+    sim::TimeUs busy_us = 0;
+    std::uint64_t metadata_served = 0;
+    sim::TimeUs time = 0;
+  };
+
+  std::vector<float> collect_server_observation(std::size_t server_index);
+
+  sim::Simulator& sim_;
+  ClusterOptions opts_;
+  util::Rng rng_;
+  std::unique_ptr<sim::Network> net_;
+  std::vector<std::unique_ptr<Client>> clients_;
+  std::vector<std::unique_ptr<Ost>> servers_;
+
+  std::vector<NodeSnapshot> pi_snapshots_;
+  std::vector<ServerSnapshot> server_snapshots_;
+  NodeSnapshot perf_snapshot_;
+  double perf_latency_sum_snapshot_ = 0.0;
+  std::uint64_t perf_latency_count_snapshot_ = 0;
+};
+
+}  // namespace capes::lustre

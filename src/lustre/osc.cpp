@@ -1,0 +1,172 @@
+#include "lustre/osc.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace capes::lustre {
+
+namespace {
+
+/// RPC ids are unique per OSC: [client 16b | server 16b | seq 32b].
+std::uint64_t make_id(std::size_t client, std::size_t server, std::uint64_t seq) {
+  return (static_cast<std::uint64_t>(client) << 48) |
+         (static_cast<std::uint64_t>(server) << 32) | (seq & 0xffffffffu);
+}
+
+}  // namespace
+
+Osc::Osc(sim::Simulator& sim, std::size_t client_index,
+         std::size_t server_index, const ClusterOptions& opts)
+    : sim_(sim),
+      client_index_(client_index),
+      server_index_(server_index),
+      opts_(opts),
+      cwnd_(opts.default_cwnd) {}
+
+std::size_t Osc::effective_cwnd() const {
+  return static_cast<std::size_t>(std::max(1.0, cwnd_));
+}
+
+void Osc::enqueue_write(std::uint64_t object_id, std::uint64_t offset,
+                        std::uint64_t bytes) {
+  // Coalesce with the queue tail when contiguous (client-side aggregation
+  // of streaming writes into large bulk RPCs).
+  if (!write_queue_.empty()) {
+    WriteChunk& tail = write_queue_.back();
+    if (tail.object_id == object_id && tail.offset + tail.bytes == offset &&
+        tail.bytes + bytes <= opts_.rpc_max_bytes) {
+      tail.bytes += bytes;
+      pending_write_bytes_ += bytes;
+      maybe_send();
+      return;
+    }
+  }
+  write_queue_.push_back(WriteChunk{object_id, offset, bytes});
+  pending_write_bytes_ += bytes;
+  maybe_send();
+}
+
+void Osc::enqueue_read(std::uint64_t object_id, std::uint64_t offset,
+                       std::uint64_t bytes, std::function<void()> done) {
+  read_queue_.push_back(ReadOp{object_id, offset, bytes, std::move(done)});
+  maybe_send();
+}
+
+void Osc::maybe_send() {
+  while (in_flight_.size() < effective_cwnd() &&
+         (!write_queue_.empty() || !read_queue_.empty())) {
+    // Fairness between queued reads and writes: alternate when both wait.
+    const bool pick_read =
+        !read_queue_.empty() && (write_queue_.empty() || read_turn_);
+    read_turn_ = !read_turn_;
+
+    if (try_token_ && !try_token_()) return;  // rate limited; client re-arms
+
+    InFlight rpc;
+    if (pick_read) {
+      ReadOp op = std::move(read_queue_.front());
+      read_queue_.pop_front();
+      rpc.type = RpcType::kRead;
+      rpc.object_id = op.object_id;
+      rpc.offset = op.offset;
+      rpc.bytes = op.bytes;
+      rpc.wire_bytes = opts_.request_header;
+      rpc.read_done = std::move(op.done);
+    } else {
+      // Pop the head chunk and merge following contiguous chunks up to
+      // the bulk RPC size limit.
+      WriteChunk head = write_queue_.front();
+      write_queue_.pop_front();
+      while (!write_queue_.empty()) {
+        const WriteChunk& next = write_queue_.front();
+        if (next.object_id != head.object_id ||
+            head.offset + head.bytes != next.offset ||
+            head.bytes + next.bytes > opts_.rpc_max_bytes) {
+          break;
+        }
+        head.bytes += next.bytes;
+        write_queue_.pop_front();
+      }
+      rpc.type = RpcType::kWrite;
+      rpc.object_id = head.object_id;
+      rpc.offset = head.offset;
+      rpc.bytes = head.bytes;
+      rpc.wire_bytes = opts_.request_header + head.bytes;
+      assert(pending_write_bytes_ >= head.bytes);
+      pending_write_bytes_ -= head.bytes;
+    }
+    rpc.first_send = sim_.now();
+
+    const std::uint64_t id = make_id(client_index_, server_index_, next_seq_++);
+    transmit(id, rpc);
+    auto [it, inserted] = in_flight_.emplace(id, std::move(rpc));
+    assert(inserted);
+    arm_timeout(id, it->second.timeout_generation, opts_.rpc_timeout);
+  }
+}
+
+void Osc::transmit(std::uint64_t id, const InFlight& rpc) {
+  ++rpcs_sent_;
+  RpcRequest req;
+  req.id = id;
+  req.type = rpc.type;
+  req.object_id = rpc.object_id;
+  req.offset = rpc.offset;
+  req.bytes = rpc.bytes;
+  req.client = client_index_;
+  if (send_request_) send_request_(req, rpc.wire_bytes);
+}
+
+void Osc::arm_timeout(std::uint64_t id, std::uint32_t generation,
+                      sim::TimeUs delay) {
+  sim_.schedule_in(delay, [this, id, generation, delay] {
+    auto it = in_flight_.find(id);
+    if (it == in_flight_.end() || it->second.timeout_generation != generation) {
+      return;  // completed or already retransmitted with a newer timer
+    }
+    // Reply overdue: resend. The server will do the work again — the
+    // wasted duplicate service is what makes extreme congestion collapse.
+    ++retransmits_;
+    ++it->second.timeout_generation;
+    transmit(id, it->second);
+    const auto next_delay = static_cast<sim::TimeUs>(
+        static_cast<double>(delay) * opts_.rpc_timeout_backoff);
+    arm_timeout(id, it->second.timeout_generation, next_delay);
+  });
+}
+
+void Osc::on_reply(const RpcReply& reply) {
+  auto it = in_flight_.find(reply.id);
+  if (it == in_flight_.end()) return;  // duplicate reply after retransmit
+  InFlight rpc = std::move(it->second);
+  in_flight_.erase(it);
+
+  const sim::TimeUs now = sim_.now();
+  if (last_reply_time_ >= 0) {
+    ack_ewma_.add(static_cast<double>(now - last_reply_time_));
+  }
+  last_reply_time_ = now;
+  if (last_replied_send_ >= 0) {
+    send_ewma_.add(static_cast<double>(rpc.first_send - last_replied_send_));
+  }
+  last_replied_send_ = rpc.first_send;
+
+  last_pt_ = reply.process_time;
+  if (min_pt_ == 0 || reply.process_time < min_pt_) min_pt_ = reply.process_time;
+
+  const sim::TimeUs latency = now - rpc.first_send;
+  if (rpc.type == RpcType::kWrite) {
+    if (write_completed_) write_completed_(rpc.bytes, latency);
+  } else if (rpc.type == RpcType::kRead) {
+    if (read_completed_) read_completed_(rpc.bytes, latency);
+    if (rpc.read_done) rpc.read_done();
+  }
+  maybe_send();
+}
+
+double Osc::pt_ratio() const {
+  if (min_pt_ == 0 || last_pt_ == 0) return 1.0;
+  return static_cast<double>(last_pt_) / static_cast<double>(min_pt_);
+}
+
+}  // namespace capes::lustre

@@ -1,0 +1,127 @@
+#pragma once
+// Object Storage Client: the per-(client, server) connection state. Each
+// Lustre client maintains one OSC per server it talks to (§4.1). The OSC
+// owns the two tuned parameters' enforcement point: the congestion window
+// (max_rpcs_in_flight) bounds unique outstanding RPCs, and sends consume
+// tokens from the client's shared I/O rate limiter. It also tracks the
+// secondary congestion indicators the paper patched into the Lustre
+// client: Ack EWMA, Send EWMA, and the Process Time ratio (§4.1).
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+
+#include "lustre/types.hpp"
+#include "sim/simulator.hpp"
+#include "stats/descriptive.hpp"
+
+namespace capes::lustre {
+
+class Osc {
+ public:
+  /// Sends a request toward this OSC's server; `wire_bytes` is the
+  /// on-the-wire size (header + bulk payload for writes).
+  using SendRequest = std::function<void(const RpcRequest&, std::uint64_t wire_bytes)>;
+  /// Try to take one send token from the client's shared rate limiter.
+  using TryAcquireToken = std::function<bool()>;
+  /// A write RPC completed durably: `bytes` left the dirty cache.
+  using WriteCompleted = std::function<void(std::uint64_t bytes, sim::TimeUs rpc_latency)>;
+  /// A read RPC completed; `done` of the originating read op may fire.
+  using ReadCompleted = std::function<void(std::uint64_t bytes, sim::TimeUs rpc_latency)>;
+
+  Osc(sim::Simulator& sim, std::size_t client_index, std::size_t server_index,
+      const ClusterOptions& opts);
+
+  void set_send_request(SendRequest fn) { send_request_ = std::move(fn); }
+  void set_try_acquire_token(TryAcquireToken fn) { try_token_ = std::move(fn); }
+  void set_write_completed(WriteCompleted fn) { write_completed_ = std::move(fn); }
+  void set_read_completed(ReadCompleted fn) { read_completed_ = std::move(fn); }
+
+  /// Queue one dirty-cache chunk for write-out (object coordinates).
+  void enqueue_write(std::uint64_t object_id, std::uint64_t offset,
+                     std::uint64_t bytes);
+
+  /// Queue a read of one chunk; `done` fires when the data arrives.
+  void enqueue_read(std::uint64_t object_id, std::uint64_t offset,
+                    std::uint64_t bytes, std::function<void()> done);
+
+  /// Reply arrived at the client node for RPC `reply.id`.
+  void on_reply(const RpcReply& reply);
+
+  /// Issue as many RPCs as the congestion window and rate limiter allow.
+  /// Contiguous queued write chunks are coalesced up to rpc_max_bytes.
+  void maybe_send();
+
+  void set_cwnd(double cwnd) { cwnd_ = cwnd; }
+  double cwnd() const { return cwnd_; }
+  std::size_t in_flight() const { return in_flight_.size(); }
+  std::uint64_t pending_write_bytes() const { return pending_write_bytes_; }
+  std::size_t pending_reads() const { return read_queue_.size(); }
+
+  // Secondary performance indicators (§4.1).
+  double ack_ewma_us() const { return ack_ewma_.value(); }
+  double send_ewma_us() const { return send_ewma_.value(); }
+  /// current process time / shortest process time seen (1.0 before data).
+  double pt_ratio() const;
+
+  std::uint64_t rpcs_sent() const { return rpcs_sent_; }
+  std::uint64_t retransmits() const { return retransmits_; }
+
+ private:
+  struct WriteChunk {
+    std::uint64_t object_id;
+    std::uint64_t offset;
+    std::uint64_t bytes;
+  };
+  struct ReadOp {
+    std::uint64_t object_id;
+    std::uint64_t offset;
+    std::uint64_t bytes;
+    std::function<void()> done;
+  };
+  struct InFlight {
+    RpcType type;
+    std::uint64_t object_id;
+    std::uint64_t offset;
+    std::uint64_t bytes;
+    std::uint64_t wire_bytes;
+    sim::TimeUs first_send;
+    std::function<void()> read_done;
+    std::uint32_t timeout_generation = 0;
+  };
+
+  std::size_t effective_cwnd() const;
+  void transmit(std::uint64_t id, const InFlight& rpc);
+  void arm_timeout(std::uint64_t id, std::uint32_t generation, sim::TimeUs delay);
+
+  sim::Simulator& sim_;
+  std::size_t client_index_;
+  std::size_t server_index_;
+  const ClusterOptions& opts_;
+
+  SendRequest send_request_;
+  TryAcquireToken try_token_;
+  WriteCompleted write_completed_;
+  ReadCompleted read_completed_;
+
+  double cwnd_;
+  std::deque<WriteChunk> write_queue_;
+  std::uint64_t pending_write_bytes_ = 0;
+  std::deque<ReadOp> read_queue_;
+  std::unordered_map<std::uint64_t, InFlight> in_flight_;
+  std::uint64_t next_seq_ = 0;
+  bool read_turn_ = false;  ///< alternate read/write issue for fairness
+
+  stats::Ewma ack_ewma_{0.1};
+  stats::Ewma send_ewma_{0.1};
+  sim::TimeUs last_reply_time_ = -1;
+  sim::TimeUs last_replied_send_ = -1;
+  sim::TimeUs min_pt_ = 0;
+  sim::TimeUs last_pt_ = 0;
+
+  std::uint64_t rpcs_sent_ = 0;
+  std::uint64_t retransmits_ = 0;
+};
+
+}  // namespace capes::lustre

@@ -1,0 +1,43 @@
+#include "nn/adam.hpp"
+
+#include <cmath>
+
+namespace capes::nn {
+
+Adam::Adam(std::vector<Parameter*> params)
+    : Adam(std::move(params), Options{}) {}
+
+Adam::Adam(std::vector<Parameter*> params, Options opts)
+    : params_(std::move(params)), opts_(opts) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto* p : params_) {
+    m_.emplace_back(p->value.size(), 0.0f);
+    v_.emplace_back(p->value.size(), 0.0f);
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float b1 = opts_.beta1;
+  const float b2 = opts_.beta2;
+  const float bias1 = 1.0f - std::pow(b1, static_cast<float>(t_));
+  const float bias2 = 1.0f - std::pow(b2, static_cast<float>(t_));
+  const float lr = opts_.learning_rate;
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto& value = params_[i]->value;
+    const auto& grad = params_[i]->grad;
+    auto& m = m_[i];
+    auto& v = v_[i];
+    for (std::size_t j = 0; j < value.size(); ++j) {
+      const float g = grad[j];
+      m[j] = b1 * m[j] + (1.0f - b1) * g;
+      v[j] = b2 * v[j] + (1.0f - b2) * g * g;
+      const float mhat = m[j] / bias1;
+      const float vhat = v[j] / bias2;
+      value[j] -= lr * mhat / (std::sqrt(vhat) + opts_.epsilon);
+    }
+  }
+}
+
+}  // namespace capes::nn

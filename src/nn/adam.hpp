@@ -1,0 +1,45 @@
+#pragma once
+// Adam optimizer (Kingma & Ba) — the optimizer the paper uses for the
+// Q-network, with the Table 1 learning rate of 1e-4 as the default.
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/layers.hpp"
+
+namespace capes::nn {
+
+/// Adam over a fixed set of Parameter tensors. The parameter set is
+/// captured at construction; per-tensor first/second moment buffers are
+/// kept internally.
+class Adam {
+ public:
+  struct Options {
+    float learning_rate = 1e-4f;  // Table 1: "Adam learning rate"
+    float beta1 = 0.9f;
+    float beta2 = 0.999f;
+    float epsilon = 1e-8f;
+  };
+
+  explicit Adam(std::vector<Parameter*> params);
+  Adam(std::vector<Parameter*> params, Options opts);
+
+  /// Apply one update using each parameter's accumulated gradient.
+  /// Does not zero gradients (caller's responsibility).
+  void step();
+
+  /// Number of step() calls so far (Adam's bias-correction t).
+  std::size_t steps() const { return t_; }
+
+  const Options& options() const { return opts_; }
+  void set_learning_rate(float lr) { opts_.learning_rate = lr; }
+
+ private:
+  std::vector<Parameter*> params_;
+  Options opts_;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+  std::size_t t_ = 0;
+};
+
+}  // namespace capes::nn

@@ -1,0 +1,61 @@
+#include "nn/loss.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace capes::nn {
+
+float mse_loss(const Matrix& pred, const Matrix& target, Matrix& grad) {
+  assert(pred.rows() == target.rows() && pred.cols() == target.cols());
+  grad.resize(pred.rows(), pred.cols());
+  const float n = static_cast<float>(pred.size());
+  float loss = 0.0f;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const float diff = pred.data()[i] - target.data()[i];
+    loss += diff * diff;
+    grad.data()[i] = 2.0f * diff / n;
+  }
+  return loss / n;
+}
+
+float masked_mse_loss(const Matrix& pred, const std::vector<std::size_t>& action,
+                      const std::vector<float>& target, Matrix& grad) {
+  assert(action.size() == pred.rows());
+  assert(target.size() == pred.rows());
+  grad.resize(pred.rows(), pred.cols());
+  grad.fill(0.0f);
+  const float n = static_cast<float>(pred.rows());
+  float loss = 0.0f;
+  for (std::size_t i = 0; i < pred.rows(); ++i) {
+    assert(action[i] < pred.cols());
+    const float diff = pred.at(i, action[i]) - target[i];
+    loss += diff * diff;
+    grad.at(i, action[i]) = 2.0f * diff / n;
+  }
+  return loss / n;
+}
+
+float masked_huber_loss(const Matrix& pred, const std::vector<std::size_t>& action,
+                        const std::vector<float>& target, Matrix& grad,
+                        float delta) {
+  assert(action.size() == pred.rows());
+  assert(target.size() == pred.rows());
+  grad.resize(pred.rows(), pred.cols());
+  grad.fill(0.0f);
+  const float n = static_cast<float>(pred.rows());
+  float loss = 0.0f;
+  for (std::size_t i = 0; i < pred.rows(); ++i) {
+    const float diff = pred.at(i, action[i]) - target[i];
+    const float abs_diff = std::fabs(diff);
+    if (abs_diff <= delta) {
+      loss += 0.5f * diff * diff;
+      grad.at(i, action[i]) = diff / n;
+    } else {
+      loss += delta * (abs_diff - 0.5f * delta);
+      grad.at(i, action[i]) = (diff > 0.0f ? delta : -delta) / n;
+    }
+  }
+  return loss / n;
+}
+
+}  // namespace capes::nn

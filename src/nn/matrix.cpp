@@ -1,0 +1,95 @@
+#include "nn/matrix.hpp"
+
+#include "util/thread_pool.hpp"
+
+namespace capes::nn {
+
+namespace {
+
+/// Run fn(row) over [0, n), via the pool when given.
+void for_rows(std::size_t n, util::ThreadPool* pool,
+              const std::function<void(std::size_t)>& fn) {
+  if (pool != nullptr && n >= 16) {
+    pool->parallel_for(n, fn);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+  }
+}
+
+}  // namespace
+
+void matmul_nn(const Matrix& a, const Matrix& b, Matrix& c,
+               util::ThreadPool* pool) {
+  assert(a.cols() == b.rows());
+  const std::size_t n = a.rows();
+  const std::size_t k = a.cols();
+  const std::size_t m = b.cols();
+  c.resize(n, m);
+  for_rows(n, pool, [&](std::size_t i) {
+    float* crow = c.row(i);
+    const float* arow = a.row(i);
+    for (std::size_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b.row(p);
+      for (std::size_t j = 0; j < m; ++j) crow[j] += av * brow[j];
+    }
+  });
+}
+
+void matmul_nt(const Matrix& a, const Matrix& b, Matrix& c,
+               util::ThreadPool* pool) {
+  assert(a.cols() == b.cols());
+  const std::size_t n = a.rows();
+  const std::size_t k = a.cols();
+  const std::size_t m = b.rows();
+  c.resize(n, m);
+  for_rows(n, pool, [&](std::size_t i) {
+    const float* arow = a.row(i);
+    float* crow = c.row(i);
+    for (std::size_t j = 0; j < m; ++j) {
+      const float* brow = b.row(j);
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] = acc;
+    }
+  });
+}
+
+void matmul_tn(const Matrix& a, const Matrix& b, Matrix& c,
+               util::ThreadPool* pool) {
+  assert(a.rows() == b.rows());
+  const std::size_t k = a.rows();
+  const std::size_t n = a.cols();
+  const std::size_t m = b.cols();
+  c.resize(n, m);
+  // Accumulate outer products row by row of A/B; parallelize over output
+  // rows to avoid write conflicts.
+  for_rows(n, pool, [&](std::size_t i) {
+    float* crow = c.row(i);
+    for (std::size_t p = 0; p < k; ++p) {
+      const float av = a.at(p, i);
+      if (av == 0.0f) continue;
+      const float* brow = b.row(p);
+      for (std::size_t j = 0; j < m; ++j) crow[j] += av * brow[j];
+    }
+  });
+}
+
+void add_row_vector(Matrix& c, const std::vector<float>& bias) {
+  assert(bias.size() == c.cols());
+  for (std::size_t i = 0; i < c.rows(); ++i) {
+    float* crow = c.row(i);
+    for (std::size_t j = 0; j < c.cols(); ++j) crow[j] += bias[j];
+  }
+}
+
+void column_sums(const Matrix& m, std::vector<float>& out) {
+  out.assign(m.cols(), 0.0f);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const float* row = m.row(i);
+    for (std::size_t j = 0; j < m.cols(); ++j) out[j] += row[j];
+  }
+}
+
+}  // namespace capes::nn

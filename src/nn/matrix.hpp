@@ -1,0 +1,77 @@
+#pragma once
+// Dense row-major float matrices and the small set of GEMM kernels needed
+// by a multi-layer perceptron. Written for clarity first and reasonable
+// single-core performance second (ikj loop order, contiguous accumulation,
+// optional thread-pool row partitioning).
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace capes::util {
+class ThreadPool;
+}
+
+namespace capes::nn {
+
+/// Row-major float matrix.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  float* row(std::size_t r) { return data_.data() + r * cols_; }
+  const float* row(std::size_t r) const { return data_.data() + r * cols_; }
+
+  float& at(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  float at(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  void fill(float v) { data_.assign(data_.size(), v); }
+  void resize(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, 0.0f);
+  }
+
+  std::vector<float>& storage() { return data_; }
+  const std::vector<float>& storage() const { return data_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// C = A[n,k] * B[k,m]. C is resized. `pool` may be null (single-threaded).
+void matmul_nn(const Matrix& a, const Matrix& b, Matrix& c,
+               util::ThreadPool* pool = nullptr);
+
+/// C = A[n,k] * B[m,k]^T -> [n,m].
+void matmul_nt(const Matrix& a, const Matrix& b, Matrix& c,
+               util::ThreadPool* pool = nullptr);
+
+/// C = A[k,n]^T * B[k,m] -> [n,m].
+void matmul_tn(const Matrix& a, const Matrix& b, Matrix& c,
+               util::ThreadPool* pool = nullptr);
+
+/// Add row vector `bias` (length = c.cols()) to each row of `c`.
+void add_row_vector(Matrix& c, const std::vector<float>& bias);
+
+/// Column-wise sums of `m` into `out` (resized to m.cols()).
+void column_sums(const Matrix& m, std::vector<float>& out);
+
+}  // namespace capes::nn

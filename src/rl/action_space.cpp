@@ -1,0 +1,54 @@
+#include "rl/action_space.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace capes::rl {
+
+ActionSpace::ActionSpace(std::vector<TunableParameter> params)
+    : params_(std::move(params)) {
+  for (const auto& p : params_) {
+    assert(p.min_value <= p.max_value);
+    assert(p.step > 0.0);
+    (void)p;
+  }
+}
+
+DecodedAction ActionSpace::decode(std::size_t action_index) const {
+  assert(action_index < num_actions());
+  DecodedAction a;
+  if (action_index == 0) return a;  // NULL action
+  a.null_action = false;
+  a.parameter = (action_index - 1) / 2;
+  const bool increase = (action_index % 2) == 1;
+  a.delta = increase ? params_[a.parameter].step : -params_[a.parameter].step;
+  return a;
+}
+
+bool ActionSpace::apply(const DecodedAction& action,
+                        std::vector<double>& values) const {
+  assert(values.size() == params_.size());
+  if (action.null_action) return false;
+  const auto& p = params_[action.parameter];
+  const double before = values[action.parameter];
+  const double after =
+      std::clamp(before + action.delta, p.min_value, p.max_value);
+  values[action.parameter] = after;
+  return after != before;
+}
+
+std::vector<double> ActionSpace::initial_values() const {
+  std::vector<double> values;
+  values.reserve(params_.size());
+  for (const auto& p : params_) values.push_back(p.initial_value);
+  return values;
+}
+
+void ActionSpace::clamp(std::vector<double>& values) const {
+  assert(values.size() == params_.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = std::clamp(values[i], params_[i].min_value, params_[i].max_value);
+  }
+}
+
+}  // namespace capes::rl

@@ -1,0 +1,61 @@
+#pragma once
+// The discrete action space of §3.7: at every action tick CAPES either
+// increases or decreases exactly one tunable parameter by that parameter's
+// step size, or performs the NULL action. Total actions =
+// 2 * number_of_tunable_parameters + 1.
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace capes::rl {
+
+/// One tunable parameter of the target system with its valid range and
+/// tuning step (all customizable per target system, §3.7).
+struct TunableParameter {
+  std::string name;
+  double min_value = 0.0;
+  double max_value = 1.0;
+  double step = 1.0;
+  double initial_value = 0.0;
+};
+
+/// A decoded action: which parameter to move and in which direction.
+/// `null_action` true means "do nothing this tick".
+struct DecodedAction {
+  bool null_action = true;
+  std::size_t parameter = 0;
+  double delta = 0.0;  ///< +step or -step
+};
+
+/// Maps action indices [0, 2P] to parameter adjustments. Index 0 is the
+/// NULL action; odd indices increase parameter (i-1)/2; even nonzero
+/// indices decrease parameter (i-2)/2.
+class ActionSpace {
+ public:
+  explicit ActionSpace(std::vector<TunableParameter> params);
+
+  std::size_t num_actions() const { return 2 * params_.size() + 1; }
+  std::size_t num_parameters() const { return params_.size(); }
+  const TunableParameter& parameter(std::size_t i) const { return params_[i]; }
+  const std::vector<TunableParameter>& parameters() const { return params_; }
+
+  /// Decode an action index. Precondition: index < num_actions().
+  DecodedAction decode(std::size_t action_index) const;
+
+  /// Apply `action` to `values` (one entry per parameter), clamping to the
+  /// parameter's [min, max]. Returns true if any value actually changed.
+  bool apply(const DecodedAction& action, std::vector<double>& values) const;
+
+  /// Initial values of all parameters.
+  std::vector<double> initial_values() const;
+
+  /// Clamp a full value vector into every parameter's valid range.
+  void clamp(std::vector<double>& values) const;
+
+ private:
+  std::vector<TunableParameter> params_;
+};
+
+}  // namespace capes::rl

@@ -1,0 +1,140 @@
+#include "rl/dqn.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "nn/loss.hpp"
+
+namespace capes::rl {
+
+namespace {
+
+std::vector<std::size_t> network_sizes(const DqnOptions& opts) {
+  const std::size_t hidden =
+      opts.hidden_size == 0 ? opts.observation_size : opts.hidden_size;
+  std::vector<std::size_t> sizes{opts.observation_size};
+  for (std::size_t i = 0; i < opts.num_hidden_layers; ++i) sizes.push_back(hidden);
+  sizes.push_back(opts.num_actions);
+  return sizes;
+}
+
+}  // namespace
+
+Dqn::Dqn(DqnOptions opts) : opts_(opts), rng_(opts.seed) {
+  assert(opts_.observation_size > 0);
+  assert(opts_.num_actions > 0);
+  online_ = std::make_unique<nn::Mlp>(network_sizes(opts_), rng_, opts_.activation);
+  util::Rng target_rng(opts_.seed);
+  target_ = std::make_unique<nn::Mlp>(network_sizes(opts_), target_rng,
+                                      opts_.activation);
+  target_->copy_weights_from(*online_);
+  nn::Adam::Options adam_opts;
+  adam_opts.learning_rate = opts_.learning_rate;
+  adam_ = std::make_unique<nn::Adam>(online_->parameters(), adam_opts);
+}
+
+std::size_t Dqn::hidden_size() const {
+  return opts_.hidden_size == 0 ? opts_.observation_size : opts_.hidden_size;
+}
+
+std::vector<float> Dqn::q_values(const std::vector<float>& observation,
+                                 util::ThreadPool* pool) {
+  assert(observation.size() == opts_.observation_size);
+  nn::Matrix x(1, opts_.observation_size);
+  std::copy(observation.begin(), observation.end(), x.data());
+  const nn::Matrix& out = online_->forward(x, pool);
+  return {out.row(0), out.row(0) + out.cols()};
+}
+
+std::size_t Dqn::greedy_action(const std::vector<float>& observation,
+                               util::ThreadPool* pool) {
+  const auto q = q_values(observation, pool);
+  return static_cast<std::size_t>(
+      std::max_element(q.begin(), q.end()) - q.begin());
+}
+
+std::size_t Dqn::select_action(const std::vector<float>& observation,
+                               double epsilon, util::Rng& rng,
+                               util::ThreadPool* pool) {
+  if (rng.chance(epsilon)) return rng.pick_index(opts_.num_actions);
+  return greedy_action(observation, pool);
+}
+
+TrainStepResult Dqn::train_step(const Minibatch& batch,
+                                util::ThreadPool* pool) {
+  const std::size_t n = batch.size();
+  assert(n > 0);
+  assert(batch.states.cols() == opts_.observation_size);
+
+  // Bellman target: r + gamma * max_a' Q_target(s', a'). The target
+  // network (theta-) stabilizes training; the ablation switch falls back
+  // to the online network. With Double DQN the action is chosen by the
+  // online network and only *evaluated* by the target network.
+  nn::Mlp& bootstrap = opts_.use_target_network ? *target_ : *online_;
+  const nn::Matrix next_q = bootstrap.forward(batch.next_states, pool);
+  std::vector<float> targets(n);
+  if (opts_.use_double_dqn && opts_.use_target_network) {
+    const nn::Matrix online_next = online_->forward(batch.next_states, pool);
+    for (std::size_t i = 0; i < n; ++i) {
+      const float* sel = online_next.row(i);
+      const auto best = static_cast<std::size_t>(
+          std::max_element(sel, sel + online_next.cols()) - sel);
+      targets[i] = batch.rewards[i] + opts_.gamma * next_q.at(i, best);
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      const float* row = next_q.row(i);
+      const float max_next = *std::max_element(row, row + next_q.cols());
+      targets[i] = batch.rewards[i] + opts_.gamma * max_next;
+    }
+  }
+
+  online_->zero_grad();
+  const nn::Matrix& pred = online_->forward(batch.states, pool);
+
+  TrainStepResult result;
+  float abs_err = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    abs_err += std::fabs(pred.at(i, batch.actions[i]) - targets[i]);
+  }
+  result.prediction_error = abs_err / static_cast<float>(n);
+
+  nn::Matrix grad;
+  if (opts_.loss == LossKind::kMse) {
+    result.loss = nn::masked_mse_loss(pred, batch.actions, targets, grad);
+  } else {
+    result.loss = nn::masked_huber_loss(pred, batch.actions, targets, grad);
+  }
+  online_->backward(grad, pool);
+  adam_->step();
+
+  if (opts_.use_target_network) {
+    target_->soft_update_from(*online_, opts_.target_update_alpha);
+  }
+  ++train_steps_;
+  return result;
+}
+
+bool Dqn::save_checkpoint(const std::string& path) const {
+  return online_->save_checkpoint(path);
+}
+
+bool Dqn::load_checkpoint(const std::string& path) {
+  auto loaded = nn::Mlp::load_checkpoint(path);
+  if (!loaded) return false;
+  if (loaded->layer_sizes() != online_->layer_sizes()) return false;
+  online_->copy_weights_from(*loaded);
+  target_->copy_weights_from(*loaded);
+  return true;
+}
+
+std::size_t Dqn::memory_bytes() const {
+  // Online + target networks (values + grads) + Adam moments (2x values).
+  std::size_t params = 0;
+  for (const auto* p : online_->parameters()) params += p->value.size();
+  return online_->memory_bytes() + target_->memory_bytes() +
+         2 * params * sizeof(float);
+}
+
+}  // namespace capes::rl

@@ -1,0 +1,31 @@
+#include "rl/epsilon.hpp"
+
+#include <algorithm>
+
+namespace capes::rl {
+
+double EpsilonSchedule::base_value(std::int64_t t) const {
+  if (t <= 0) return opts_.initial;
+  if (t >= opts_.anneal_ticks) return opts_.final_value;
+  const double frac =
+      static_cast<double>(t) / static_cast<double>(opts_.anneal_ticks);
+  return opts_.initial + frac * (opts_.final_value - opts_.initial);
+}
+
+double EpsilonSchedule::value(std::int64_t t) const {
+  const double base = base_value(t);
+  if (bump_start_ < 0 || t < bump_start_) return base;
+  const std::int64_t since = t - bump_start_;
+  if (since >= opts_.bump_ticks) return base;
+  // Linear decay of the bump back toward the base schedule.
+  const double frac =
+      static_cast<double>(since) / static_cast<double>(opts_.bump_ticks);
+  const double bumped = opts_.bump_value * (1.0 - frac) + base * frac;
+  return std::max(base, bumped);
+}
+
+void EpsilonSchedule::notify_workload_change(std::int64_t t) {
+  bump_start_ = t;
+}
+
+}  // namespace capes::rl

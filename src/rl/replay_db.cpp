@@ -1,0 +1,222 @@
+#include "rl/replay_db.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/serialize.hpp"
+
+namespace capes::rl {
+
+ReplayDb::ReplayDb(ReplayDbOptions opts, waldb::Database* db)
+    : opts_(opts), db_(db) {
+  assert(opts_.num_nodes > 0);
+  assert(opts_.pis_per_node > 0);
+  assert(opts_.ticks_per_observation > 0);
+}
+
+ReplayDb::TickData& ReplayDb::tick(std::int64_t t) {
+  auto [it, inserted] = ticks_.try_emplace(t);
+  if (inserted) {
+    it->second.pis.assign(opts_.num_nodes * opts_.pis_per_node, 0.0f);
+    it->second.node_present.assign(opts_.num_nodes, false);
+    if (ticks_.size() == 1) {
+      min_tick_ = max_tick_ = t;
+    } else {
+      min_tick_ = std::min(min_tick_, t);
+      max_tick_ = std::max(max_tick_, t);
+    }
+  }
+  return it->second;
+}
+
+const ReplayDb::TickData* ReplayDb::find_tick(std::int64_t t) const {
+  auto it = ticks_.find(t);
+  return it == ticks_.end() ? nullptr : &it->second;
+}
+
+void ReplayDb::record_status(std::int64_t t, std::size_t node,
+                             const std::vector<float>& pis) {
+  assert(node < opts_.num_nodes);
+  assert(pis.size() == opts_.pis_per_node);
+  TickData& td = tick(t);
+  std::copy(pis.begin(), pis.end(),
+            td.pis.begin() + static_cast<std::ptrdiff_t>(node * opts_.pis_per_node));
+  td.node_present[node] = true;
+  persist_status(t, node, pis);
+  trim_retention();
+}
+
+void ReplayDb::persist_status(std::int64_t t, std::size_t node,
+                              const std::vector<float>& pis) {
+  if (db_ == nullptr) return;
+  util::BinaryWriter w;
+  w.put_f32_vector(pis);
+  db_->put("status", t * static_cast<std::int64_t>(opts_.num_nodes) +
+                         static_cast<std::int64_t>(node),
+           w.take());
+}
+
+void ReplayDb::record_action(std::int64_t t, std::size_t action) {
+  TickData& td = tick(t);
+  td.has_action = true;
+  td.action = action;
+  if (db_ != nullptr) {
+    util::BinaryWriter w;
+    w.put_u64(action);
+    db_->put("action", t, w.take());
+  }
+}
+
+void ReplayDb::record_reward(std::int64_t t, double reward) {
+  TickData& td = tick(t);
+  td.has_reward = true;
+  td.reward = reward;
+  if (db_ != nullptr) {
+    util::BinaryWriter w;
+    w.put_f64(reward);
+    db_->put("reward", t, w.take());
+  }
+}
+
+std::optional<std::size_t> ReplayDb::action_at(std::int64_t t) const {
+  const TickData* td = find_tick(t);
+  if (td == nullptr || !td->has_action) return std::nullopt;
+  return td->action;
+}
+
+std::optional<double> ReplayDb::reward_at(std::int64_t t) const {
+  const TickData* td = find_tick(t);
+  if (td == nullptr || !td->has_reward) return std::nullopt;
+  return td->reward;
+}
+
+std::optional<std::vector<float>> ReplayDb::status_at(std::int64_t t,
+                                                      std::size_t node) const {
+  const TickData* td = find_tick(t);
+  if (td == nullptr || node >= opts_.num_nodes || !td->node_present[node]) {
+    return std::nullopt;
+  }
+  const auto begin =
+      td->pis.begin() + static_cast<std::ptrdiff_t>(node * opts_.pis_per_node);
+  return std::vector<float>(begin, begin + static_cast<std::ptrdiff_t>(opts_.pis_per_node));
+}
+
+bool ReplayDb::has_observation(std::int64_t t) const {
+  const auto s = static_cast<std::int64_t>(opts_.ticks_per_observation);
+  if (t - s + 1 < min_tick_ || t > max_tick_) return false;
+  std::size_t missing = 0;
+  const std::size_t total = opts_.ticks_per_observation * opts_.num_nodes;
+  for (std::int64_t i = t - s + 1; i <= t; ++i) {
+    const TickData* td = find_tick(i);
+    if (td == nullptr) {
+      missing += opts_.num_nodes;
+      continue;
+    }
+    for (std::size_t node = 0; node < opts_.num_nodes; ++node) {
+      if (!td->node_present[node]) ++missing;
+    }
+  }
+  return static_cast<double>(missing) <=
+         opts_.missing_tolerance * static_cast<double>(total);
+}
+
+bool ReplayDb::build_observation(std::int64_t t, float* out) const {
+  if (!has_observation(t)) return false;
+  const auto s = static_cast<std::int64_t>(opts_.ticks_per_observation);
+  const std::size_t row = opts_.num_nodes * opts_.pis_per_node;
+  // last_known[node * P + p]: most recent value for fill-in of missing
+  // entries (zero before any data).
+  std::vector<float> last_known(row, 0.0f);
+  std::size_t out_idx = 0;
+  for (std::int64_t i = t - s + 1; i <= t; ++i) {
+    const TickData* td = find_tick(i);
+    for (std::size_t node = 0; node < opts_.num_nodes; ++node) {
+      const bool present = td != nullptr && td->node_present[node];
+      for (std::size_t p = 0; p < opts_.pis_per_node; ++p) {
+        const std::size_t flat = node * opts_.pis_per_node + p;
+        const float v = present ? td->pis[flat] : last_known[flat];
+        if (present) last_known[flat] = v;
+        out[out_idx++] = v;
+      }
+    }
+  }
+  return true;
+}
+
+bool ReplayDb::transition_available(std::int64_t t) const {
+  const TickData* td = find_tick(t);
+  if (td == nullptr || !td->has_action) return false;
+  const TickData* next = find_tick(t + 1);
+  if (next == nullptr || !next->has_reward) return false;
+  return has_observation(t) && has_observation(t + 1);
+}
+
+std::optional<Minibatch> ReplayDb::construct_minibatch(
+    std::size_t n, util::Rng& rng, std::size_t max_rounds) const {
+  const auto s = static_cast<std::int64_t>(opts_.ticks_per_observation);
+  const std::int64_t lo = min_tick_ + s - 1;
+  const std::int64_t hi = max_tick_ - 1;  // need t+1 to exist
+  if (ticks_.empty() || hi < lo) return std::nullopt;
+
+  Minibatch batch;
+  const std::size_t obs = observation_size();
+  batch.states.resize(n, obs);
+  batch.next_states.resize(n, obs);
+  batch.actions.reserve(n);
+  batch.rewards.reserve(n);
+
+  // Algorithm 1: keep sampling uniform timestamps, keeping only those with
+  // complete data, until n samples are gathered (bounded rounds so a
+  // sparse DB fails cleanly instead of spinning).
+  std::size_t filled = 0;
+  for (std::size_t round = 0; round < max_rounds && filled < n; ++round) {
+    const std::size_t needed = n - filled;
+    for (std::size_t i = 0; i < needed; ++i) {
+      const std::int64_t t = lo + static_cast<std::int64_t>(rng.uniform_u64(
+                                      static_cast<std::uint64_t>(hi - lo + 1)));
+      if (!transition_available(t)) continue;
+      build_observation(t, batch.states.row(filled));
+      build_observation(t + 1, batch.next_states.row(filled));
+      batch.actions.push_back(*action_at(t));
+      batch.rewards.push_back(static_cast<float>(*reward_at(t + 1)));
+      ++filled;
+      if (filled == n) break;
+    }
+  }
+  if (filled < n) return std::nullopt;
+  return batch;
+}
+
+std::size_t ReplayDb::usable_transitions() const {
+  std::size_t count = 0;
+  for (std::int64_t t = min_tick_; t < max_tick_; ++t) {
+    if (transition_available(t)) ++count;
+  }
+  return count;
+}
+
+std::size_t ReplayDb::memory_bytes() const {
+  const std::size_t per_tick =
+      sizeof(TickData) + opts_.num_nodes * opts_.pis_per_node * sizeof(float) +
+      opts_.num_nodes / 8 + 64;  // hash node overhead estimate
+  return ticks_.size() * per_tick;
+}
+
+void ReplayDb::trim_retention() {
+  if (opts_.max_ticks_retained == 0) return;
+  while (ticks_.size() > opts_.max_ticks_retained) {
+    ticks_.erase(min_tick_);
+    ++min_tick_;
+    // Gaps are possible; advance to the next existing tick.
+    while (ticks_.find(min_tick_) == ticks_.end() && min_tick_ < max_tick_) {
+      ++min_tick_;
+    }
+    if (ticks_.empty()) {
+      min_tick_ = 0;
+      max_tick_ = -1;
+      break;
+    }
+  }
+}
+
+}  // namespace capes::rl

@@ -1,0 +1,117 @@
+#pragma once
+// Replay database (§3.5): per-tick performance-indicator snapshots,
+// actions, and rewards, indexed by the sampling tick t. Backed by the
+// waldb store for durability; a flat in-memory cache (the paper kept the
+// whole DB in NumPy arrays) serves observation construction and the
+// Algorithm 1 minibatch sampler.
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "nn/matrix.hpp"
+#include "util/rng.hpp"
+#include "waldb/database.hpp"
+
+namespace capes::rl {
+
+/// One training sample w_t = (s_t, s_{t+1}, a_t, r_t) packed as matrices.
+struct Minibatch {
+  nn::Matrix states;        ///< [n, observation_size]
+  nn::Matrix next_states;   ///< [n, observation_size]
+  std::vector<std::size_t> actions;
+  std::vector<float> rewards;
+  std::size_t size() const { return actions.size(); }
+};
+
+/// Replay DB configuration; mirrors the Table 1 hyperparameters that shape
+/// observations.
+struct ReplayDbOptions {
+  std::size_t num_nodes = 5;
+  std::size_t pis_per_node = 9;
+  std::size_t ticks_per_observation = 10;  // Table 1: sampling ticks per observation
+  double missing_tolerance = 0.2;          // Table 1: missing entry tolerance
+  std::size_t max_ticks_retained = 0;      // 0 = unlimited
+};
+
+class ReplayDb {
+ public:
+  /// `db` may be null for a memory-only replay DB (no durability).
+  explicit ReplayDb(ReplayDbOptions opts, waldb::Database* db = nullptr);
+
+  const ReplayDbOptions& options() const { return opts_; }
+  std::size_t observation_size() const {
+    return opts_.num_nodes * opts_.pis_per_node * opts_.ticks_per_observation;
+  }
+
+  /// Record one node's PI vector for tick t (must have pis_per_node
+  /// entries). Recording twice for the same (t, node) overwrites.
+  void record_status(std::int64_t t, std::size_t node,
+                     const std::vector<float>& pis);
+
+  /// Record the action chosen at tick t.
+  void record_action(std::int64_t t, std::size_t action);
+
+  /// Record the objective-function output (reward input) at tick t.
+  void record_reward(std::int64_t t, double reward);
+
+  std::optional<std::size_t> action_at(std::int64_t t) const;
+  std::optional<double> reward_at(std::int64_t t) const;
+  /// PI vector of `node` at tick `t`, if recorded.
+  std::optional<std::vector<float>> status_at(std::int64_t t, std::size_t node) const;
+
+  std::int64_t min_tick() const { return min_tick_; }
+  std::int64_t max_tick() const { return max_tick_; }
+  std::size_t tick_count() const { return ticks_.size(); }
+
+  /// True when an observation ending at tick t can be constructed: all
+  /// ticks (t - S + 1 .. t) exist with at most `missing_tolerance` of
+  /// node-tick entries missing (missing entries are filled with the last
+  /// known value for that node, or zero if none).
+  bool has_observation(std::int64_t t) const;
+
+  /// Build the flattened observation ending at t (row-major: tick-major,
+  /// then node, then PI — the §3.4 matrix). Returns false if
+  /// has_observation(t) is false.
+  bool build_observation(std::int64_t t, float* out) const;
+
+  /// Algorithm 1: construct a minibatch of n transitions by uniform
+  /// timestamp sampling. Returns nullopt when the DB cannot possibly
+  /// provide n transitions (too few complete ticks) after
+  /// `max_rounds` sampling rounds.
+  std::optional<Minibatch> construct_minibatch(std::size_t n, util::Rng& rng,
+                                               std::size_t max_rounds = 64) const;
+
+  /// Number of ticks t for which a full transition (obs(t), obs(t+1),
+  /// action(t), reward(t+1)) is available. O(ticks); used by tests/benches.
+  std::size_t usable_transitions() const;
+
+  /// Approximate resident bytes of the in-memory cache.
+  std::size_t memory_bytes() const;
+
+ private:
+  struct TickData {
+    std::vector<float> pis;        // num_nodes * pis_per_node
+    std::vector<bool> node_present;  // per node
+    bool has_action = false;
+    std::size_t action = 0;
+    bool has_reward = false;
+    double reward = 0.0;
+  };
+
+  TickData& tick(std::int64_t t);
+  const TickData* find_tick(std::int64_t t) const;
+  bool transition_available(std::int64_t t) const;
+  void persist_status(std::int64_t t, std::size_t node,
+                      const std::vector<float>& pis);
+  void trim_retention();
+
+  ReplayDbOptions opts_;
+  waldb::Database* db_;
+  std::unordered_map<std::int64_t, TickData> ticks_;
+  std::int64_t min_tick_ = 0;
+  std::int64_t max_tick_ = -1;
+};
+
+}  // namespace capes::rl

@@ -1,0 +1,77 @@
+#pragma once
+// Discrete-event simulation engine. Time is an int64 count of microseconds
+// since simulation start. Events fire in (time, insertion order); handlers
+// may schedule further events. This engine hosts the simulated Lustre
+// cluster that substitutes for the paper's physical testbed.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+namespace capes::sim {
+
+using TimeUs = std::int64_t;
+
+constexpr TimeUs kUsPerMs = 1000;
+constexpr TimeUs kUsPerSec = 1000 * 1000;
+
+/// Convert seconds (double) to simulation microseconds.
+inline TimeUs seconds(double s) {
+  return static_cast<TimeUs>(s * static_cast<double>(kUsPerSec));
+}
+
+/// Event-queue simulator.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  TimeUs now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `t` (>= now, else it fires "now").
+  void schedule_at(TimeUs t, std::function<void()> fn);
+
+  /// Schedule `fn` after `delay` microseconds.
+  void schedule_in(TimeUs delay, std::function<void()> fn);
+
+  /// Run until the queue is empty or simulated time would pass `t_end`.
+  /// Events exactly at t_end are executed. Returns the number of events run.
+  std::size_t run_until(TimeUs t_end);
+
+  /// Run a single event; returns false when the queue is empty.
+  bool step();
+
+  std::size_t pending_events() const { return queue_.size(); }
+  std::size_t executed_events() const { return executed_; }
+
+  /// Register a callback invoked every `period` starting at `start`
+  /// (inclusive) until the simulation stops being run. Useful for sampling
+  /// ticks. The callback receives the tick index (0-based).
+  void every(TimeUs start, TimeUs period, std::function<void(std::int64_t)> fn);
+
+ private:
+  struct Event {
+    TimeUs time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void schedule_periodic(TimeUs t, TimeUs period, std::int64_t index,
+                         std::shared_ptr<std::function<void(std::int64_t)>> fn);
+
+  TimeUs now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace capes::sim

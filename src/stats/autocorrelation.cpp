@@ -1,0 +1,31 @@
+#include "stats/autocorrelation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+
+namespace capes::stats {
+
+double autocorrelation(const std::vector<double>& xs, std::size_t lag) {
+  const std::size_t n = xs.size();
+  if (n <= lag + 1) return 0.0;
+  const double m = mean(xs);
+  double denom = 0.0;
+  double abs_scale = 0.0;
+  for (double x : xs) {
+    denom += (x - m) * (x - m);
+    abs_scale = std::max(abs_scale, std::fabs(x));
+  }
+  // Guard against an effectively constant series (rounding noise only).
+  if (denom <= 1e-20 * (1.0 + abs_scale * abs_scale) * static_cast<double>(n)) {
+    return 0.0;
+  }
+  double num = 0.0;
+  for (std::size_t i = 0; i + lag < n; ++i) {
+    num += (xs[i] - m) * (xs[i + lag] - m);
+  }
+  return num / denom;
+}
+
+}  // namespace capes::stats

@@ -1,0 +1,15 @@
+#pragma once
+// Sample autocorrelation. The Pilot methodology (Appendix B) requires
+// samples to be i.i.d. before a Student-t CI is valid; lag-1
+// autocorrelation above 0.1 in absolute value triggers subsession merging.
+
+#include <cstddef>
+#include <vector>
+
+namespace capes::stats {
+
+/// Lag-k sample autocorrelation coefficient in [-1, 1].
+/// Returns 0 when the series is too short (n <= k + 1) or has zero variance.
+double autocorrelation(const std::vector<double>& xs, std::size_t lag = 1);
+
+}  // namespace capes::stats

@@ -1,0 +1,149 @@
+#include "stats/changepoint.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "stats/descriptive.hpp"
+
+namespace capes::stats {
+
+namespace {
+
+/// Segment cost for [i, j): negative log-likelihood of a constant-mean
+/// normal model up to constants, computed from prefix sums.
+class SegmentCost {
+ public:
+  explicit SegmentCost(const std::vector<double>& xs)
+      : prefix_(xs.size() + 1, 0.0), prefix_sq_(xs.size() + 1, 0.0) {
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      prefix_[i + 1] = prefix_[i] + xs[i];
+      prefix_sq_[i + 1] = prefix_sq_[i] + xs[i] * xs[i];
+    }
+  }
+
+  double operator()(std::size_t i, std::size_t j) const {
+    const double n = static_cast<double>(j - i);
+    if (n == 0.0) return 0.0;
+    const double s = prefix_[j] - prefix_[i];
+    const double sq = prefix_sq_[j] - prefix_sq_[i];
+    return sq - s * s / n;  // sum of squared deviations from segment mean
+  }
+
+ private:
+  std::vector<double> prefix_;
+  std::vector<double> prefix_sq_;
+};
+
+}  // namespace
+
+std::vector<std::size_t> pelt_mean_shift(const std::vector<double>& xs,
+                                         double beta) {
+  const std::size_t n = xs.size();
+  if (n < 4) return {};
+  if (beta <= 0.0) {
+    const double var = variance(xs);
+    beta = 2.0 * std::max(var, 1e-12) * std::log(static_cast<double>(n));
+  }
+  const SegmentCost cost(xs);
+
+  std::vector<double> f(n + 1, std::numeric_limits<double>::infinity());
+  std::vector<std::size_t> last_cp(n + 1, 0);
+  f[0] = -beta;
+  std::vector<std::size_t> candidates{0};
+
+  for (std::size_t t = 1; t <= n; ++t) {
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t best_s = 0;
+    for (std::size_t s : candidates) {
+      const double v = f[s] + cost(s, t) + beta;
+      if (v < best) {
+        best = v;
+        best_s = s;
+      }
+    }
+    f[t] = best;
+    last_cp[t] = best_s;
+    // PELT pruning: drop candidates that can never be optimal again.
+    std::vector<std::size_t> kept;
+    kept.reserve(candidates.size() + 1);
+    for (std::size_t s : candidates) {
+      if (f[s] + cost(s, t) <= f[t]) kept.push_back(s);
+    }
+    kept.push_back(t);
+    candidates = std::move(kept);
+  }
+
+  std::vector<std::size_t> cps;
+  std::size_t t = n;
+  while (t > 0) {
+    const std::size_t s = last_cp[t];
+    if (s > 0) cps.push_back(s);
+    t = s;
+  }
+  std::reverse(cps.begin(), cps.end());
+  return cps;
+}
+
+TrimResult trim_warmup_cooldown(const std::vector<double>& xs,
+                                std::size_t min_segment,
+                                double tolerance_sigmas) {
+  TrimResult r;
+  r.begin = 0;
+  r.end = xs.size();
+  if (xs.size() < 4 * min_segment) return r;
+
+  std::vector<std::size_t> cps = pelt_mean_shift(xs);
+  if (cps.empty()) return r;
+
+  // Build segment boundaries [b0, b1, ..., bk] with b0=0, bk=n.
+  std::vector<std::size_t> bounds{0};
+  bounds.insert(bounds.end(), cps.begin(), cps.end());
+  bounds.push_back(xs.size());
+
+  // Find the longest segment; it defines the "stable" mean.
+  std::size_t longest = 0;
+  for (std::size_t i = 0; i + 1 < bounds.size(); ++i) {
+    if (bounds[i + 1] - bounds[i] > bounds[longest + 1] - bounds[longest]) {
+      longest = i;
+    }
+  }
+  RunningStats stable;
+  for (std::size_t i = bounds[longest]; i < bounds[longest + 1]; ++i) {
+    stable.add(xs[i]);
+  }
+  const double se = stable.stddev() /
+                    std::sqrt(std::max<double>(1.0, static_cast<double>(stable.count())));
+  const double tol = tolerance_sigmas * std::max(se, 1e-12) *
+                     std::sqrt(static_cast<double>(std::max<std::size_t>(stable.count(), 1)));
+
+  auto segment_mean = [&](std::size_t i) {
+    RunningStats s;
+    for (std::size_t j = bounds[i]; j < bounds[i + 1]; ++j) s.add(xs[j]);
+    return s.mean();
+  };
+  auto deviant = [&](std::size_t i) {
+    const std::size_t len = bounds[i + 1] - bounds[i];
+    return len < min_segment ||
+           std::fabs(segment_mean(i) - stable.mean()) > tol;
+  };
+
+  const std::size_t max_trim = xs.size() / 4;
+  std::size_t begin = 0;
+  for (std::size_t i = 0; i + 1 < bounds.size() && i < longest; ++i) {
+    if (!deviant(i)) break;
+    if (bounds[i + 1] > max_trim) break;
+    begin = bounds[i + 1];
+  }
+  std::size_t end = xs.size();
+  for (std::size_t i = bounds.size() - 2; i > longest; --i) {
+    if (!deviant(i)) break;
+    if (xs.size() - bounds[i] > max_trim) break;
+    end = bounds[i];
+  }
+  r.begin = begin;
+  r.end = end;
+  return r;
+}
+
+}  // namespace capes::stats

@@ -1,0 +1,32 @@
+#pragma once
+// Changepoint detection for trimming warm-up and cool-down phases from a
+// throughput time series (paper Appendix B.2). We implement PELT with a
+// normal mean-shift cost, plus a convenience trimmer that keeps the
+// longest stable segment.
+
+#include <cstddef>
+#include <vector>
+
+namespace capes::stats {
+
+/// PELT (Killick et al.) changepoint locations for a mean-shift model with
+/// penalty `beta` (e.g. 2 * variance * log(n) for BIC-like behaviour; pass
+/// <= 0 to use that default). Returned indices are the first index of each
+/// new segment, strictly increasing, excluding 0 and n.
+std::vector<std::size_t> pelt_mean_shift(const std::vector<double>& xs,
+                                         double beta = -1.0);
+
+struct TrimResult {
+  std::size_t begin = 0;  ///< first kept index
+  std::size_t end = 0;    ///< one past the last kept index
+};
+
+/// Identify the dominant stable region by running PELT and dropping leading
+/// and trailing segments shorter than `min_segment` whose means differ from
+/// the longest segment's mean by more than `tolerance_sigmas` standard
+/// errors. Never trims more than 25% from either side.
+TrimResult trim_warmup_cooldown(const std::vector<double>& xs,
+                                std::size_t min_segment = 8,
+                                double tolerance_sigmas = 3.0);
+
+}  // namespace capes::stats

@@ -1,0 +1,58 @@
+#pragma once
+// Descriptive statistics primitives used throughout the Pilot-style
+// measurement pipeline (paper Appendix B): single-pass Welford moments and
+// exponentially weighted moving averages (the Ack/Send EWMA performance
+// indicators of §4.1 use the latter).
+
+#include <cstddef>
+#include <vector>
+
+namespace capes::stats {
+
+/// Single-pass running mean/variance (Welford). Numerically stable.
+class RunningStats {
+ public:
+  void add(double x);
+  void clear();
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ == 0 ? 0.0 : mean_; }
+  /// Unbiased sample variance (n-1 denominator); 0 when n < 2.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exponentially weighted moving average: v <- (1-a)*v + a*x.
+class Ewma {
+ public:
+  /// `alpha` in (0, 1]: weight of the newest sample.
+  explicit Ewma(double alpha) : alpha_(alpha) {}
+
+  void add(double x);
+  double value() const { return value_; }
+  bool initialized() const { return initialized_; }
+  void reset();
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+/// Mean of a sample vector (0 for empty input).
+double mean(const std::vector<double>& xs);
+
+/// Unbiased sample variance (0 when fewer than two samples).
+double variance(const std::vector<double>& xs);
+
+}  // namespace capes::stats

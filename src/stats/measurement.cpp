@@ -1,0 +1,60 @@
+#include "stats/measurement.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "stats/changepoint.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/student_t.hpp"
+#include "stats/subsession.hpp"
+
+namespace capes::stats {
+
+bool MeasurementResult::significantly_above(const MeasurementResult& other) const {
+  return mean - ci_half_width > other.mean + other.ci_half_width;
+}
+
+std::string MeasurementResult::to_string(int precision) const {
+  std::ostringstream ss;
+  ss.setf(std::ios::fixed);
+  ss.precision(precision);
+  ss << mean << " ± " << ci_half_width;
+  return ss.str();
+}
+
+void MeasurementSession::add_all(const std::vector<double>& samples) {
+  samples_.insert(samples_.end(), samples.begin(), samples.end());
+}
+
+MeasurementResult MeasurementSession::analyze() const {
+  MeasurementResult r;
+  r.confidence_level = opts_.confidence_level;
+  r.raw_samples = samples_.size();
+  if (samples_.empty()) return r;
+
+  std::vector<double> xs = samples_;
+  if (opts_.trim_edges && xs.size() >= 32) {
+    const TrimResult trim = trim_warmup_cooldown(xs);
+    r.trimmed_head = trim.begin;
+    r.trimmed_tail = xs.size() - trim.end;
+    xs.assign(samples_.begin() + static_cast<std::ptrdiff_t>(trim.begin),
+              samples_.begin() + static_cast<std::ptrdiff_t>(trim.end));
+  }
+
+  const SubsessionResult sub =
+      subsession_merge(xs, opts_.autocorr_threshold, opts_.min_merged_samples);
+  r.used_samples = sub.samples.size();
+  r.merge_factor = sub.merge_factor;
+  r.autocorr = sub.autocorr;
+  r.iid_validated = sub.converged;
+
+  RunningStats stats;
+  for (double x : sub.samples) stats.add(x);
+  r.mean = stats.mean();
+  r.ci_half_width = ci_half_width(stats.stddev(),
+                                  static_cast<double>(stats.count()),
+                                  opts_.confidence_level);
+  return r;
+}
+
+}  // namespace capes::stats

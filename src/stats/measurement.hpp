@@ -1,0 +1,60 @@
+#pragma once
+// MeasurementSession: the end-to-end Pilot pipeline (Appendix B). Feed it
+// one sample per sampling tick; ask for a validated mean with a 95% CI.
+// The pipeline: trim warm-up/cool-down via changepoint detection ->
+// subsession-merge until samples are approximately i.i.d. -> Student-t CI.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace capes::stats {
+
+struct MeasurementResult {
+  double mean = 0.0;
+  double ci_half_width = 0.0;   ///< at the configured confidence level
+  double confidence_level = 0.95;
+  std::size_t raw_samples = 0;
+  std::size_t used_samples = 0;  ///< after trimming and merging
+  std::size_t merge_factor = 1;
+  double autocorr = 0.0;         ///< lag-1 autocorrelation of used samples
+  bool iid_validated = false;    ///< subsession merging converged
+  std::size_t trimmed_head = 0;
+  std::size_t trimmed_tail = 0;
+
+  /// True when the two results' CIs do not overlap (a statistically
+  /// meaningful difference at the configured level).
+  bool significantly_above(const MeasurementResult& other) const;
+
+  /// "123.4 ± 5.6" formatting helper.
+  std::string to_string(int precision = 1) const;
+};
+
+/// Accumulates per-tick samples and applies the Pilot pipeline on demand.
+class MeasurementSession {
+ public:
+  struct Options {
+    double confidence_level = 0.95;
+    double autocorr_threshold = 0.1;
+    bool trim_edges = true;
+    std::size_t min_merged_samples = 8;
+  };
+
+  MeasurementSession() = default;
+  explicit MeasurementSession(Options opts) : opts_(opts) {}
+
+  void add(double sample) { samples_.push_back(sample); }
+  void add_all(const std::vector<double>& samples);
+  std::size_t count() const { return samples_.size(); }
+  const std::vector<double>& samples() const { return samples_; }
+  void clear() { samples_.clear(); }
+
+  /// Run the full pipeline over everything collected so far.
+  MeasurementResult analyze() const;
+
+ private:
+  Options opts_;
+  std::vector<double> samples_;
+};
+
+}  // namespace capes::stats

@@ -1,0 +1,96 @@
+#include "stats/student_t.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace capes::stats {
+
+namespace {
+
+/// Continued-fraction core of the incomplete beta (Numerical Recipes
+/// style modified Lentz algorithm).
+double betacf(double a, double b, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 3.0e-14;
+  constexpr double kFpMin = 1.0e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double incomplete_beta(double a, double b, double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_bt = std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b) +
+                       a * std::log(x) + b * std::log(1.0 - x);
+  const double bt = std::exp(ln_bt);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return bt * betacf(a, b, x) / a;
+  }
+  return 1.0 - bt * betacf(b, a, 1.0 - x) / b;
+}
+
+double student_t_cdf(double t, double df) {
+  if (df <= 0.0) return std::numeric_limits<double>::quiet_NaN();
+  const double x = df / (df + t * t);
+  const double p = 0.5 * incomplete_beta(df / 2.0, 0.5, x);
+  return t >= 0.0 ? 1.0 - p : p;
+}
+
+double student_t_ppf(double p, double df) {
+  if (p <= 0.0 || p >= 1.0 || df < 1.0) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  if (p == 0.5) return 0.0;
+  // Bisection on a bracket that always contains the quantile; the CDF is
+  // strictly increasing so this converges unconditionally.
+  double lo = -1e6;
+  double hi = 1e6;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (student_t_cdf(mid, df) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < 1e-10 * (1.0 + std::fabs(mid))) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+double ci_half_width(double stddev, double n, double level) {
+  if (n < 2.0) return 0.0;
+  const double alpha = 1.0 - level;
+  const double tq = student_t_ppf(1.0 - alpha / 2.0, n - 1.0);
+  return tq * stddev / std::sqrt(n);
+}
+
+}  // namespace capes::stats

@@ -1,0 +1,23 @@
+#pragma once
+// Student's t distribution, implemented from scratch via the regularized
+// incomplete beta function. Used to compute the 95% confidence intervals
+// the paper reports on every measurement (Appendix B).
+
+namespace capes::stats {
+
+/// Regularized incomplete beta function I_x(a, b), a,b > 0, x in [0,1].
+/// Evaluated with the Lentz continued fraction.
+double incomplete_beta(double a, double b, double x);
+
+/// CDF of Student's t with `df` degrees of freedom at `t`.
+double student_t_cdf(double t, double df);
+
+/// Quantile (inverse CDF) of Student's t: returns t such that CDF(t) = p.
+/// p must be in (0, 1); df must be >= 1.
+double student_t_ppf(double p, double df);
+
+/// Half-width of the two-sided confidence interval for a sample mean:
+/// t_{1-(1-level)/2, n-1} * stddev / sqrt(n). Returns 0 when n < 2.
+double ci_half_width(double stddev, double n, double level = 0.95);
+
+}  // namespace capes::stats

@@ -1,0 +1,42 @@
+#include "stats/subsession.hpp"
+
+#include <cmath>
+
+#include "stats/autocorrelation.hpp"
+
+namespace capes::stats {
+
+namespace {
+
+std::vector<double> merge_pairs(const std::vector<double>& xs) {
+  std::vector<double> out;
+  out.reserve(xs.size() / 2);
+  for (std::size_t i = 0; i + 1 < xs.size(); i += 2) {
+    out.push_back(0.5 * (xs[i] + xs[i + 1]));
+  }
+  return out;
+}
+
+}  // namespace
+
+SubsessionResult subsession_merge(const std::vector<double>& xs,
+                                  double threshold, std::size_t min_samples) {
+  SubsessionResult result;
+  result.samples = xs;
+  result.merge_factor = 1;
+  result.autocorr = autocorrelation(xs, 1);
+  while (std::fabs(result.autocorr) >= threshold) {
+    std::vector<double> merged = merge_pairs(result.samples);
+    if (merged.size() < min_samples) {
+      result.converged = false;
+      return result;
+    }
+    result.samples = std::move(merged);
+    result.merge_factor *= 2;
+    result.autocorr = autocorrelation(result.samples, 1);
+  }
+  result.converged = true;
+  return result;
+}
+
+}  // namespace capes::stats

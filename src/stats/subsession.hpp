@@ -1,0 +1,27 @@
+#pragma once
+// Subsession analysis (paper Appendix B.2): when per-second samples are
+// autocorrelated, adjacent samples are merged by taking means, repeatedly,
+// until the lag-1 autocorrelation drops below a threshold. The merged
+// series is then valid input for a Student-t confidence interval.
+
+#include <cstddef>
+#include <vector>
+
+namespace capes::stats {
+
+struct SubsessionResult {
+  std::vector<double> samples;  ///< merged series actually used for the CI
+  std::size_t merge_factor = 1; ///< how many original samples per merged one
+  double autocorr = 0.0;        ///< lag-1 autocorrelation of `samples`
+  bool converged = true;        ///< false if merging ran out of samples
+};
+
+/// Merge adjacent samples (factor doubling each round) until
+/// |lag-1 autocorrelation| < `threshold` or fewer than `min_samples`
+/// merged samples remain (then converged=false and the last valid merge
+/// level is returned).
+SubsessionResult subsession_merge(const std::vector<double>& xs,
+                                  double threshold = 0.1,
+                                  std::size_t min_samples = 8);
+
+}  // namespace capes::stats

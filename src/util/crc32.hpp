@@ -1,0 +1,16 @@
+#pragma once
+// CRC-32 (IEEE 802.3 polynomial, reflected) used by the WAL store to
+// detect torn or corrupted records during recovery.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace capes::util {
+
+/// One-shot CRC-32 of a buffer (initial value 0).
+std::uint32_t crc32(const void* data, std::size_t size);
+
+/// Incremental form: feed the previous return value back as `seed`.
+std::uint32_t crc32_update(std::uint32_t seed, const void* data, std::size_t size);
+
+}  // namespace capes::util

@@ -1,0 +1,31 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+
+namespace capes::util {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_level(LogLevel level) {
+  std::lock_guard<std::mutex> lock(mu_);
+  level_ = level;
+}
+
+LogLevel Logger::level() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return level_;
+}
+
+void Logger::log(LogLevel level, const std::string& component,
+                 const std::string& msg) {
+  static const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+  std::lock_guard<std::mutex> lock(mu_);
+  if (level < level_ || level == LogLevel::kOff) return;
+  std::fprintf(stderr, "[%s] %s: %s\n",
+               kNames[static_cast<int>(level)], component.c_str(), msg.c_str());
+}
+
+}  // namespace capes::util

@@ -1,0 +1,61 @@
+#pragma once
+// Minimal leveled, thread-safe logger used by all CAPES daemons.
+//
+// The Python prototype routed debug output through conf.py-controlled log
+// files; here a process-wide singleton with a runtime level serves the same
+// purpose without pulling in a dependency.
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace capes::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide logger. Thread-safe; writes to stderr by default.
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level);
+  LogLevel level() const;
+
+  /// Emit one log line if `level` passes the filter.
+  void log(LogLevel level, const std::string& component, const std::string& msg);
+
+ private:
+  Logger() = default;
+  mutable std::mutex mu_;
+  LogLevel level_ = LogLevel::kWarn;
+};
+
+/// Convenience helpers: CAPES_LOG_INFO("drl") << "loss=" << loss;
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  ~LogStream() { Logger::instance().log(level_, component_, ss_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    ss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream ss_;
+};
+
+}  // namespace capes::util
+
+#define CAPES_LOG_DEBUG(component) \
+  ::capes::util::LogStream(::capes::util::LogLevel::kDebug, component)
+#define CAPES_LOG_INFO(component) \
+  ::capes::util::LogStream(::capes::util::LogLevel::kInfo, component)
+#define CAPES_LOG_WARN(component) \
+  ::capes::util::LogStream(::capes::util::LogLevel::kWarn, component)
+#define CAPES_LOG_ERROR(component) \
+  ::capes::util::LogStream(::capes::util::LogLevel::kError, component)

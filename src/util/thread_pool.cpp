@@ -1,0 +1,58 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace capes::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t nthreads = workers_.size() + 1;  // workers + caller
+  const std::size_t chunk = (n + nthreads - 1) / nthreads;
+  std::vector<std::future<void>> futs;
+  std::size_t begin = chunk;  // caller handles [0, chunk)
+  while (begin < n) {
+    const std::size_t end = std::min(n, begin + chunk);
+    futs.push_back(submit([begin, end, &fn] {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    }));
+    begin = end;
+  }
+  for (std::size_t i = 0; i < std::min(chunk, n); ++i) fn(i);
+  for (auto& f : futs) f.get();
+}
+
+}  // namespace capes::util

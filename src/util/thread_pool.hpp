@@ -1,0 +1,60 @@
+#pragma once
+// Fixed-size worker pool used to parallelize GEMM panels and minibatch
+// assembly. Follows the usual HPC pattern: create once, submit many small
+// tasks, never detach threads (C++ Core Guidelines CP.23/CP.26).
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace capes::util {
+
+/// A minimal thread pool. Tasks are std::function<void()>; submit() returns
+/// a future for completion/result propagation. Destruction joins all
+/// workers after draining the queue.
+class ThreadPool {
+ public:
+  /// Create `threads` workers; 0 means use hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task; returns a future of its result. Exceptions thrown by
+  /// the task propagate through the future.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      tasks_.emplace([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Run fn(i) for i in [0, n) split into roughly even contiguous chunks
+  /// across the pool (including the calling thread). Blocks until done.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace capes::util

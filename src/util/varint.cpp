@@ -1,0 +1,54 @@
+#include "util/varint.hpp"
+
+#include <cstring>
+
+namespace capes::util {
+
+std::uint64_t zigzag_encode(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t zigzag_decode(std::uint64_t v) {
+  return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_svarint(std::vector<std::uint8_t>& out, std::int64_t v) {
+  put_varint(out, zigzag_encode(v));
+}
+
+std::optional<std::uint64_t> VarintReader::read_varint() {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (pos_ < size_) {
+    const std::uint8_t b = data_[pos_++];
+    if (shift >= 64 || (shift == 63 && (b & 0x7e))) return std::nullopt;
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::int64_t> VarintReader::read_svarint() {
+  auto v = read_varint();
+  if (!v) return std::nullopt;
+  return zigzag_decode(*v);
+}
+
+bool VarintReader::read_bytes(std::uint8_t* dst, std::size_t n) {
+  if (size_ - pos_ < n) return false;
+  std::memcpy(dst, data_ + pos_, n);
+  pos_ += n;
+  return true;
+}
+
+}  // namespace capes::util

@@ -1,0 +1,52 @@
+#pragma once
+// Variable-length integer coding (LEB128) and zigzag mapping.
+//
+// The Monitoring Agents use a differential protocol: each sampling tick
+// only the performance indicators whose values changed are transmitted,
+// delta-coded and varint-compressed (paper §3.3, Table 2 measures the
+// resulting ~186 B/client/s). These are the primitive codecs.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace capes::util {
+
+/// Map a signed value onto unsigned so small magnitudes stay small.
+std::uint64_t zigzag_encode(std::int64_t v);
+std::int64_t zigzag_decode(std::uint64_t v);
+
+/// Append an unsigned LEB128 varint to `out`.
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v);
+
+/// Append a zigzag-coded signed varint to `out`.
+void put_svarint(std::vector<std::uint8_t>& out, std::int64_t v);
+
+/// Cursor-based reader over an encoded buffer.
+class VarintReader {
+ public:
+  VarintReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit VarintReader(const std::vector<std::uint8_t>& buf)
+      : VarintReader(buf.data(), buf.size()) {}
+
+  /// Read one unsigned varint; nullopt on truncation/overflow.
+  std::optional<std::uint64_t> read_varint();
+
+  /// Read one zigzag-coded signed varint.
+  std::optional<std::int64_t> read_svarint();
+
+  /// Read `n` raw bytes into `dst`; returns false on truncation.
+  bool read_bytes(std::uint8_t* dst, std::size_t n);
+
+  bool at_end() const { return pos_ == size_; }
+  std::size_t position() const { return pos_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace capes::util

@@ -1,0 +1,229 @@
+#include "waldb/database.hpp"
+
+#include <filesystem>
+
+#include "util/crc32.hpp"
+#include "util/logging.hpp"
+#include "util/serialize.hpp"
+
+namespace capes::waldb {
+
+namespace {
+constexpr std::uint32_t kSnapshotMagic = 0x53504e43u;  // "CNPS"
+constexpr std::uint32_t kSnapshotVersion = 1;
+// WAL records with this table_id register a table name: key = the real
+// table id, payload = the UTF-8 name. This keeps name->id mapping durable
+// without a separate catalog file.
+constexpr std::uint32_t kTableRegistryId = 0xffffffffu;
+
+std::string snapshot_path(const std::string& dir) { return dir + "/snapshot.db"; }
+std::string wal_path(const std::string& dir) { return dir + "/wal.log"; }
+}  // namespace
+
+Database Database::in_memory() { return Database(); }
+
+bool Database::open(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return false;
+  dir_ = dir;
+
+  tables_.clear();
+  if (std::filesystem::exists(snapshot_path(dir))) {
+    if (!load_snapshot_locked(snapshot_path(dir))) {
+      CAPES_LOG_WARN("waldb") << "snapshot corrupt, starting empty: "
+                              << snapshot_path(dir);
+      tables_.clear();
+    }
+  }
+  const auto replayed = WriteAheadLog::replay(
+      wal_path(dir), [this](const WalRecord& rec) {
+        if (rec.table_id == kTableRegistryId) {
+          // Table registration: ensure the table exists with its name.
+          Table* t = table_by_id_locked(static_cast<std::uint32_t>(rec.key));
+          if (t != nullptr) {
+            const std::string name(rec.payload.begin(), rec.payload.end());
+            rename_table_locked(t, name);
+          }
+          return;
+        }
+        Table* t = table_by_id_locked(rec.table_id);
+        if (t != nullptr) t->put(rec.key, rec.payload);
+      });
+  if (!replayed) return false;
+  if (!wal_.open(wal_path(dir))) return false;
+  durable_ = true;
+  return true;
+}
+
+Table* Database::table(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return table_locked(name);
+}
+
+Table* Database::table_locked(const std::string& name) {
+  for (auto& t : tables_) {
+    if (t->name() == name) return t.get();
+  }
+  const auto id = static_cast<std::uint32_t>(tables_.size());
+  tables_.push_back(std::make_unique<Table>(id, name));
+  Table* t = tables_.back().get();
+  if (durable_) {
+    WalRecord reg;
+    reg.table_id = kTableRegistryId;
+    reg.key = id;
+    reg.payload.assign(name.begin(), name.end());
+    wal_.append(reg);
+  }
+  return t;
+}
+
+void Database::rename_table_locked(Table* table, const std::string& name) {
+  if (table->name() == name) return;
+  // Tables are immutable value objects keyed by (id, name); rebuild with
+  // the registered name, preserving rows.
+  auto rebuilt = std::make_unique<Table>(table->id(), name);
+  for (const auto& [k, v] : table->rows()) rebuilt->put(k, v);
+  tables_[table->id()] = std::move(rebuilt);
+}
+
+Table* Database::table_by_id_locked(std::uint32_t id) {
+  // WAL records may reference tables created after the snapshot; create
+  // placeholders so replay never drops data.
+  while (tables_.size() <= id) {
+    const auto next = static_cast<std::uint32_t>(tables_.size());
+    tables_.push_back(
+        std::make_unique<Table>(next, "table" + std::to_string(next)));
+  }
+  return tables_[id].get();
+}
+
+const Table* Database::find_table(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& t : tables_) {
+    if (t->name() == name) return t.get();
+  }
+  return nullptr;
+}
+
+bool Database::put(const std::string& table_name, std::int64_t key,
+                   std::vector<std::uint8_t> value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Table* t = table_locked(table_name);
+  if (durable_) {
+    WalRecord rec;
+    rec.table_id = t->id();
+    rec.key = key;
+    rec.payload = value;
+    if (!wal_.append(rec)) return false;
+  }
+  t->put(key, std::move(value));
+  return true;
+}
+
+std::optional<std::vector<std::uint8_t>> Database::get(
+    const std::string& table_name, std::int64_t key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& t : tables_) {
+    if (t->name() == table_name) return t->get(key);
+  }
+  return std::nullopt;
+}
+
+bool Database::write_snapshot_locked(const std::string& path) const {
+  util::BinaryWriter w;
+  w.put_u32(kSnapshotMagic);
+  w.put_u32(kSnapshotVersion);
+  w.put_u32(static_cast<std::uint32_t>(tables_.size()));
+  for (const auto& t : tables_) {
+    w.put_string(t->name());
+    w.put_u64(t->count());
+    for (const auto& [key, value] : t->rows()) {
+      w.put_i64(key);
+      w.put_u32(static_cast<std::uint32_t>(value.size()));
+      w.put_raw(value.data(), value.size());
+    }
+  }
+  // Trailing CRC over the whole snapshot body.
+  const auto& body = w.buffer();
+  const std::uint32_t crc = util::crc32(body.data(), body.size());
+  util::BinaryWriter w2;
+  w2.put_raw(body.data(), body.size());
+  w2.put_u32(crc);
+  return util::write_file(path, w2.buffer());
+}
+
+bool Database::load_snapshot_locked(const std::string& path) {
+  auto data = util::read_file(path);
+  if (!data || data->size() < 4) return false;
+  const std::size_t body_size = data->size() - 4;
+  util::BinaryReader crc_reader(data->data() + body_size, 4);
+  const auto stored_crc = crc_reader.get_u32();
+  if (!stored_crc || util::crc32(data->data(), body_size) != *stored_crc) {
+    return false;
+  }
+  util::BinaryReader r(data->data(), body_size);
+  auto magic = r.get_u32();
+  auto version = r.get_u32();
+  auto ntables = r.get_u32();
+  if (!magic || *magic != kSnapshotMagic || !version ||
+      *version != kSnapshotVersion || !ntables) {
+    return false;
+  }
+  for (std::uint32_t i = 0; i < *ntables; ++i) {
+    auto name = r.get_string();
+    auto nrows = r.get_u64();
+    if (!name || !nrows) return false;
+    Table* t = table_locked(*name);
+    for (std::uint64_t j = 0; j < *nrows; ++j) {
+      auto key = r.get_i64();
+      auto len = r.get_u32();
+      if (!key || !len) return false;
+      std::vector<std::uint8_t> value(*len);
+      if (!r.get_raw(value.data(), value.size())) return false;
+      t->put(*key, std::move(value));
+    }
+  }
+  return true;
+}
+
+bool Database::checkpoint() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!durable_) return false;
+  const std::string tmp = snapshot_path(dir_) + ".tmp";
+  if (!write_snapshot_locked(tmp)) return false;
+  std::error_code ec;
+  std::filesystem::rename(tmp, snapshot_path(dir_), ec);
+  if (ec) return false;
+  return wal_.reset();
+}
+
+bool Database::flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !durable_ || wal_.flush();
+}
+
+std::uint64_t Database::disk_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!durable_) return 0;
+  std::uint64_t total = wal_.size_bytes();
+  std::error_code ec;
+  const auto snap = std::filesystem::file_size(snapshot_path(dir_), ec);
+  if (!ec) total += snap;
+  return total;
+}
+
+std::size_t Database::memory_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t total = 0;
+  for (const auto& t : tables_) total += t->memory_bytes();
+  return total;
+}
+
+std::size_t Database::table_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tables_.size();
+}
+
+}  // namespace capes::waldb

@@ -1,0 +1,59 @@
+#include "waldb/table.hpp"
+
+namespace capes::waldb {
+
+void Table::put(std::int64_t key, std::vector<std::uint8_t> value) {
+  auto it = rows_.find(key);
+  if (it != rows_.end()) {
+    payload_bytes_ -= it->second.size();
+    payload_bytes_ += value.size();
+    it->second = std::move(value);
+  } else {
+    payload_bytes_ += value.size();
+    rows_.emplace(key, std::move(value));
+  }
+}
+
+std::optional<std::vector<std::uint8_t>> Table::get(std::int64_t key) const {
+  auto it = rows_.find(key);
+  if (it == rows_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Table::contains(std::int64_t key) const { return rows_.count(key) > 0; }
+
+bool Table::erase(std::int64_t key) {
+  auto it = rows_.find(key);
+  if (it == rows_.end()) return false;
+  payload_bytes_ -= it->second.size();
+  rows_.erase(it);
+  return true;
+}
+
+std::int64_t Table::min_key() const {
+  return rows_.empty() ? 0 : rows_.begin()->first;
+}
+
+std::int64_t Table::max_key() const {
+  return rows_.empty() ? 0 : rows_.rbegin()->first;
+}
+
+std::size_t Table::trim_below(std::int64_t cutoff) {
+  std::size_t removed = 0;
+  auto it = rows_.begin();
+  while (it != rows_.end() && it->first < cutoff) {
+    payload_bytes_ -= it->second.size();
+    it = rows_.erase(it);
+    ++removed;
+  }
+  return removed;
+}
+
+std::size_t Table::memory_bytes() const {
+  // Payloads + per-node red-black tree overhead estimate.
+  constexpr std::size_t kNodeOverhead =
+      sizeof(std::int64_t) + sizeof(std::vector<std::uint8_t>) + 4 * sizeof(void*);
+  return payload_bytes_ + rows_.size() * kNodeOverhead;
+}
+
+}  // namespace capes::waldb

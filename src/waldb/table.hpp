@@ -1,0 +1,59 @@
+#pragma once
+// In-memory ordered table: int64 key -> byte payload. The replay database
+// stores system statuses and actions "in two tables that are indexed by t"
+// (paper §3.5); this is that table abstraction.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace capes::waldb {
+
+/// Ordered key/value table. Keys are timestamps (sampling ticks); values
+/// are opaque serialized rows. Insert overwrites.
+class Table {
+ public:
+  Table(std::uint32_t id, std::string name) : id_(id), name_(std::move(name)) {}
+
+  std::uint32_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  void put(std::int64_t key, std::vector<std::uint8_t> value);
+  std::optional<std::vector<std::uint8_t>> get(std::int64_t key) const;
+  bool contains(std::int64_t key) const;
+  bool erase(std::int64_t key);
+
+  std::size_t count() const { return rows_.size(); }
+  std::int64_t min_key() const;  ///< 0 when empty
+  std::int64_t max_key() const;  ///< 0 when empty
+
+  /// Iterate rows with key in [lo, hi] in key order.
+  template <typename Fn>
+  void for_range(std::int64_t lo, std::int64_t hi, Fn&& fn) const {
+    for (auto it = rows_.lower_bound(lo); it != rows_.end() && it->first <= hi;
+         ++it) {
+      fn(it->first, it->second);
+    }
+  }
+
+  /// Drop all rows with key < cutoff (retention trimming). Returns the
+  /// number of rows removed.
+  std::size_t trim_below(std::int64_t cutoff);
+
+  /// Approximate resident bytes (keys + payloads + node overhead).
+  std::size_t memory_bytes() const;
+
+  const std::map<std::int64_t, std::vector<std::uint8_t>>& rows() const {
+    return rows_;
+  }
+
+ private:
+  std::uint32_t id_;
+  std::string name_;
+  std::map<std::int64_t, std::vector<std::uint8_t>> rows_;
+  std::size_t payload_bytes_ = 0;
+};
+
+}  // namespace capes::waldb

@@ -1,0 +1,100 @@
+#include "waldb/wal.hpp"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "util/crc32.hpp"
+#include "util/serialize.hpp"
+
+namespace capes::waldb {
+
+namespace {
+
+std::uint32_t record_crc(const WalRecord& r) {
+  std::uint32_t crc = util::crc32(&r.table_id, sizeof(r.table_id));
+  crc = util::crc32_update(crc, &r.key, sizeof(r.key));
+  if (!r.payload.empty()) {
+    crc = util::crc32_update(crc, r.payload.data(), r.payload.size());
+  }
+  return crc;
+}
+
+}  // namespace
+
+WriteAheadLog::~WriteAheadLog() { close(); }
+
+bool WriteAheadLog::open(const std::string& path) {
+  close();
+  file_ = std::fopen(path.c_str(), "ab");
+  if (file_ == nullptr) return false;
+  path_ = path;
+  std::error_code ec;
+  const auto sz = std::filesystem::file_size(path, ec);
+  written_ = ec ? 0 : sz;
+  return true;
+}
+
+void WriteAheadLog::close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+bool WriteAheadLog::append(const WalRecord& record) {
+  if (file_ == nullptr) return false;
+  util::BinaryWriter w;
+  w.put_u32(static_cast<std::uint32_t>(record.payload.size()));
+  w.put_u32(record_crc(record));
+  w.put_u32(record.table_id);
+  w.put_i64(record.key);
+  w.put_raw(record.payload.data(), record.payload.size());
+  const auto& buf = w.buffer();
+  if (std::fwrite(buf.data(), 1, buf.size(), file_) != buf.size()) return false;
+  written_ += buf.size();
+  return true;
+}
+
+bool WriteAheadLog::flush() {
+  return file_ != nullptr && std::fflush(file_) == 0;
+}
+
+std::uint64_t WriteAheadLog::size_bytes() const { return written_; }
+
+bool WriteAheadLog::reset() {
+  if (file_ == nullptr) return false;
+  std::fclose(file_);
+  file_ = std::fopen(path_.c_str(), "wb");
+  written_ = 0;
+  if (file_ == nullptr) return false;
+  std::fclose(file_);
+  file_ = std::fopen(path_.c_str(), "ab");
+  return file_ != nullptr;
+}
+
+std::optional<std::size_t> WriteAheadLog::replay(
+    const std::string& path, const std::function<void(const WalRecord&)>& fn) {
+  if (!std::filesystem::exists(path)) return 0;
+  auto data = util::read_file(path);
+  if (!data) return std::nullopt;
+  util::BinaryReader r(*data);
+  std::size_t count = 0;
+  while (!r.at_end()) {
+    auto len = r.get_u32();
+    auto crc = r.get_u32();
+    auto table_id = r.get_u32();
+    auto key = r.get_i64();
+    if (!len || !crc || !table_id.has_value() || !key) break;
+    WalRecord rec;
+    rec.table_id = *table_id;
+    rec.key = *key;
+    rec.payload.resize(*len);
+    if (!r.get_raw(rec.payload.data(), rec.payload.size())) break;
+    if (record_crc(rec) != *crc) break;  // torn/corrupt tail: stop here
+    fn(rec);
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace capes::waldb

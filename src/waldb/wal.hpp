@@ -1,0 +1,67 @@
+#pragma once
+// Write-ahead log for the replay database. The paper's prototype used
+// SQLite in WAL mode; this is our embedded equivalent: an append-only log
+// of CRC-protected records that survives crashes (a torn tail record is
+// detected by its CRC and dropped during replay).
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace capes::waldb {
+
+/// One logical write: (table, key, payload).
+struct WalRecord {
+  std::uint32_t table_id = 0;
+  std::int64_t key = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Append-only CRC-checked log file.
+///
+/// On-disk record framing: [u32 payload_len][u32 crc][u32 table_id]
+/// [i64 key][payload bytes], all little-endian; crc covers table_id, key
+/// and payload.
+class WriteAheadLog {
+ public:
+  WriteAheadLog() = default;
+  ~WriteAheadLog();
+
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  /// Open (creating if necessary) the log at `path` for appending.
+  bool open(const std::string& path);
+  void close();
+  bool is_open() const { return file_ != nullptr; }
+
+  /// Append one record; returns false on I/O error.
+  bool append(const WalRecord& record);
+
+  /// Flush buffered writes to the OS.
+  bool flush();
+
+  /// Bytes currently in the log file.
+  std::uint64_t size_bytes() const;
+
+  /// Truncate the log to empty (after a successful checkpoint).
+  bool reset();
+
+  const std::string& path() const { return path_; }
+
+  /// Replay a log file from disk, invoking `fn` per valid record. Stops at
+  /// the first corrupt/torn record (normal after a crash). Returns the
+  /// number of records replayed, or nullopt if the file cannot be read at
+  /// all (a missing file replays as zero records).
+  static std::optional<std::size_t> replay(
+      const std::string& path, const std::function<void(const WalRecord&)>& fn);
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::uint64_t written_ = 0;
+};
+
+}  // namespace capes::waldb

@@ -1,0 +1,46 @@
+#include "workload/random_rw.hpp"
+
+#include <sstream>
+
+namespace capes::workload {
+
+RandomRw::RandomRw(lustre::Cluster& cluster, RandomRwOptions opts)
+    : cluster_(cluster), opts_(opts), rng_(opts.seed) {}
+
+std::string RandomRw::name() const {
+  std::ostringstream ss;
+  ss << "random_rw(r=" << opts_.read_fraction << ")";
+  return ss.str();
+}
+
+void RandomRw::start() {
+  for (std::size_t c = 0; c < cluster_.num_clients(); ++c) {
+    for (std::size_t t = 0; t < opts_.threads_per_client; ++t) {
+      thread_loop(c, make_file_id(c, t), rng_.split());
+    }
+  }
+}
+
+void RandomRw::thread_loop(std::size_t client, std::uint64_t file_id,
+                           util::Rng rng) {
+  if (!running_) return;
+  auto& sim = cluster_.simulator();
+  // Uniform random offset, aligned to the I/O size.
+  const std::uint64_t slots = opts_.file_size / opts_.io_size;
+  const std::uint64_t offset = rng.uniform_u64(slots) * opts_.io_size;
+  const bool is_read = rng.chance(opts_.read_fraction);
+
+  auto next = [this, client, file_id, rng]() mutable {
+    ++ops_;
+    cluster_.simulator().schedule_in(
+        opts_.op_overhead_us,
+        [this, client, file_id, rng] { thread_loop(client, file_id, rng); });
+  };
+  if (is_read) {
+    cluster_.client(client).read(file_id, offset, opts_.io_size, next);
+  } else {
+    cluster_.client(client).write(file_id, offset, opts_.io_size, next);
+  }
+}
+
+}  // namespace capes::workload

@@ -1,0 +1,30 @@
+#include "workload/seq_write.hpp"
+
+namespace capes::workload {
+
+SeqWrite::SeqWrite(lustre::Cluster& cluster, SeqWriteOptions opts)
+    : cluster_(cluster), opts_(opts) {}
+
+void SeqWrite::start() {
+  for (std::size_t c = 0; c < cluster_.num_clients(); ++c) {
+    for (std::size_t s = 0; s < opts_.streams_per_client; ++s) {
+      stream_loop(c, make_file_id(c, 0x100000 + s), 0);
+    }
+  }
+}
+
+void SeqWrite::stream_loop(std::size_t client, std::uint64_t file_id,
+                           std::uint64_t offset) {
+  if (!running_) return;
+  cluster_.client(client).write(
+      file_id, offset, opts_.write_size,
+      [this, client, file_id, offset] {
+        ++ops_;
+        cluster_.simulator().schedule_in(
+            opts_.op_overhead_us, [this, client, file_id, offset] {
+              stream_loop(client, file_id, offset + opts_.write_size);
+            });
+      });
+}
+
+}  // namespace capes::workload

@@ -1,0 +1,42 @@
+#pragma once
+// Concurrent sequential-write workload (§4.3): N streams per client, each
+// appending with a fixed write size — "simulates both HPC checkpoint and
+// video surveillance workloads". The paper ran five 1 MB-write streams per
+// client.
+
+#include <cstdint>
+#include <string>
+
+#include "lustre/cluster.hpp"
+#include "util/rng.hpp"
+#include "workload/workload.hpp"
+
+namespace capes::workload {
+
+struct SeqWriteOptions {
+  std::size_t streams_per_client = 5;
+  std::uint64_t write_size = 1 << 20;
+  std::int64_t op_overhead_us = 100;
+  std::uint64_t seed = 13;
+};
+
+class SeqWrite : public Workload {
+ public:
+  SeqWrite(lustre::Cluster& cluster, SeqWriteOptions opts);
+
+  void start() override;
+  void request_stop() override { running_ = false; }
+  std::string name() const override { return "seq_write"; }
+  std::uint64_t ops_completed() const override { return ops_; }
+
+ private:
+  void stream_loop(std::size_t client, std::uint64_t file_id,
+                   std::uint64_t offset);
+
+  lustre::Cluster& cluster_;
+  SeqWriteOptions opts_;
+  bool running_ = true;
+  std::uint64_t ops_ = 0;
+};
+
+}  // namespace capes::workload

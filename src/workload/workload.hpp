@@ -1,0 +1,35 @@
+#pragma once
+// Workload generators: closed-loop synthetic I/O drivers equivalent to
+// the Filebench personalities used in the evaluation (§4.3). Every
+// generator runs a fixed number of "instances" (threads) per client; each
+// instance issues its next operation as soon as the previous one
+// completes, which saturates the cluster the way the paper's workloads do.
+
+#include <cstdint>
+#include <string>
+
+namespace capes::workload {
+
+/// Common interface so benches can swap workloads uniformly.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  /// Begin issuing I/O (schedules the first operation of every instance).
+  virtual void start() = 0;
+
+  /// Stop issuing new operations (in-flight ones drain naturally).
+  virtual void request_stop() = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Operations completed since start (for sanity checks).
+  virtual std::uint64_t ops_completed() const = 0;
+};
+
+/// Globally unique file id: clients own disjoint id ranges.
+inline std::uint64_t make_file_id(std::size_t client, std::uint64_t local_id) {
+  return (static_cast<std::uint64_t>(client) << 24) | local_id;
+}
+
+}  // namespace capes::workload

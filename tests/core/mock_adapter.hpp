@@ -1,0 +1,71 @@
+#pragma once
+// A scriptable TargetSystemAdapter for core-layer tests: performance is a
+// deterministic function of the current parameter value, so tests can
+// verify the full control loop without the Lustre simulator.
+
+#include <cmath>
+#include <vector>
+
+#include "core/adapter.hpp"
+
+namespace capes::core::testing {
+
+class MockAdapter : public TargetSystemAdapter {
+ public:
+  MockAdapter(std::size_t nodes, std::size_t pis)
+      : nodes_(nodes), pis_(pis), values_{50.0} {}
+
+  std::size_t num_nodes() const override { return nodes_; }
+  std::size_t pis_per_node() const override { return pis_; }
+
+  std::vector<float> collect_observation(std::size_t node) override {
+    ++collect_calls;
+    std::vector<float> out(pis_, 0.0f);
+    out[0] = static_cast<float>(values_[0] / 100.0);
+    if (pis_ > 1) out[1] = static_cast<float>(node) / 10.0f;
+    if (pis_ > 2) out[2] = static_cast<float>(throughput() / 100.0);
+    return out;
+  }
+
+  std::vector<rl::TunableParameter> tunable_parameters() const override {
+    rl::TunableParameter p;
+    p.name = "knob";
+    p.min_value = 0.0;
+    p.max_value = 100.0;
+    p.step = 5.0;
+    p.initial_value = 50.0;
+    return {p};
+  }
+
+  void set_parameters(const std::vector<double>& values) override {
+    values_ = values;
+    ++set_calls;
+  }
+
+  std::vector<double> current_parameters() const override { return values_; }
+
+  PerfSample sample_performance() override {
+    PerfSample s;
+    s.write_mbs = throughput();
+    s.read_mbs = 0.0;
+    s.avg_latency_ms = 1.0 + std::fabs(values_[0] - optimum) / 20.0;
+    return s;
+  }
+
+  /// Inverted-V response: peak `peak_mbs` at `optimum`.
+  double throughput() const {
+    return peak_mbs - std::fabs(values_[0] - optimum);
+  }
+
+  double optimum = 80.0;
+  double peak_mbs = 100.0;
+  int collect_calls = 0;
+  int set_calls = 0;
+
+ private:
+  std::size_t nodes_;
+  std::size_t pis_;
+  std::vector<double> values_;
+};
+
+}  // namespace capes::core::testing

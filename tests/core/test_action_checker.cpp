@@ -1,0 +1,74 @@
+#include "core/action_checker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace capes::core {
+namespace {
+
+rl::ActionSpace make_space() {
+  rl::TunableParameter cwnd{"cwnd", 1.0, 256.0, 8.0, 8.0};
+  rl::TunableParameter rate{"rate", 100.0, 4000.0, 100.0, 4000.0};
+  return rl::ActionSpace({cwnd, rate});
+}
+
+TEST(ActionChecker, NullActionAlwaysPasses) {
+  auto space = make_space();
+  ActionChecker checker(space);
+  checker.add_rule("deny all", [](const std::vector<double>&) { return false; });
+  std::vector<double> values{8.0, 4000.0};
+  EXPECT_TRUE(checker.check(space.decode(0), values));
+  EXPECT_EQ(checker.vetoed_actions(), 0u);
+}
+
+TEST(ActionChecker, NoRulesPassesEverything) {
+  auto space = make_space();
+  ActionChecker checker(space);
+  std::vector<double> values{8.0, 4000.0};
+  for (std::size_t a = 0; a < space.num_actions(); ++a) {
+    EXPECT_TRUE(checker.check(space.decode(a), values));
+  }
+}
+
+TEST(ActionChecker, RuleSeesPostActionValues) {
+  auto space = make_space();
+  ActionChecker checker(space);
+  std::vector<double> observed;
+  checker.add_rule("capture", [&](const std::vector<double>& v) {
+    observed = v;
+    return true;
+  });
+  std::vector<double> values{8.0, 4000.0};
+  checker.check(space.decode(1), values);  // +cwnd
+  ASSERT_EQ(observed.size(), 2u);
+  EXPECT_DOUBLE_EQ(observed[0], 16.0);
+  // check() must not mutate the caller's values.
+  EXPECT_DOUBLE_EQ(values[0], 8.0);
+}
+
+TEST(ActionChecker, VetoCountsAndBlocks) {
+  auto space = make_space();
+  ActionChecker checker(space);
+  // The paper's example: the congestion window should never go below 8.
+  checker.add_rule("cwnd >= 8", [](const std::vector<double>& v) {
+    return v[0] >= 8.0;
+  });
+  std::vector<double> values{8.0, 4000.0};
+  EXPECT_FALSE(checker.check(space.decode(2), values));  // -cwnd -> 1 (clamped)
+  EXPECT_EQ(checker.vetoed_actions(), 1u);
+  EXPECT_TRUE(checker.check(space.decode(1), values));   // +cwnd -> 16
+}
+
+TEST(ActionChecker, MultipleRulesAllMustPass) {
+  auto space = make_space();
+  ActionChecker checker(space);
+  checker.add_rule("r1", [](const std::vector<double>& v) { return v[0] <= 200; });
+  checker.add_rule("r2", [](const std::vector<double>& v) { return v[1] >= 200; });
+  EXPECT_EQ(checker.num_rules(), 2u);
+  std::vector<double> values{8.0, 250.0};
+  EXPECT_TRUE(checker.check(space.decode(1), values));
+  // -rate would land at 150 < 200 -> vetoed by r2.
+  EXPECT_FALSE(checker.check(space.decode(4), values));
+}
+
+}  // namespace
+}  // namespace capes::core

@@ -1,0 +1,142 @@
+// Tests for MonitoringAgent, ControlAgent and InterfaceDaemon working over
+// a mock target system.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/control_agent.hpp"
+#include "util/varint.hpp"
+#include "core/interface_daemon.hpp"
+#include "core/monitoring_agent.hpp"
+#include "mock_adapter.hpp"
+
+namespace capes::core {
+namespace {
+
+using testing::MockAdapter;
+
+struct DaemonFixture : public ::testing::Test {
+  DaemonFixture()
+      : adapter(3, 4),
+        space(adapter.tunable_parameters()),
+        replay(make_replay_options(), nullptr),
+        daemon(replay, space, 3, 4) {}
+
+  static rl::ReplayDbOptions make_replay_options() {
+    rl::ReplayDbOptions o;
+    o.num_nodes = 3;
+    o.pis_per_node = 4;
+    o.ticks_per_observation = 2;
+    return o;
+  }
+
+  MockAdapter adapter;
+  rl::ActionSpace space;
+  rl::ReplayDb replay;
+  InterfaceDaemon daemon;
+};
+
+TEST_F(DaemonFixture, MonitoringAgentDeliversToReplayDb) {
+  MonitoringAgent agent(1, adapter, [this](const std::vector<std::uint8_t>& m) {
+    daemon.on_status_message(m);
+  });
+  agent.sample(0);
+  agent.sample(1);
+  EXPECT_EQ(daemon.status_messages(), 2u);
+  EXPECT_EQ(daemon.decode_errors(), 0u);
+  auto pis = replay.status_at(1, 1);
+  ASSERT_TRUE(pis.has_value());
+  EXPECT_NEAR((*pis)[0], 0.5f, 1e-3f);  // value 50 / 100
+  EXPECT_NEAR((*pis)[1], 0.1f, 1e-3f);  // node 1 / 10
+}
+
+TEST_F(DaemonFixture, AgentTracksBytesAndMessages) {
+  MonitoringAgent agent(0, adapter, nullptr);
+  agent.sample(0);
+  agent.sample(1);
+  EXPECT_EQ(agent.messages_sent(), 2u);
+  EXPECT_GT(agent.bytes_sent(), 0u);
+}
+
+TEST_F(DaemonFixture, AllAgentsShareOneDaemon) {
+  std::vector<std::unique_ptr<MonitoringAgent>> agents;
+  for (std::size_t n = 0; n < 3; ++n) {
+    agents.push_back(std::make_unique<MonitoringAgent>(
+        n, adapter, [this](const std::vector<std::uint8_t>& m) {
+          daemon.on_status_message(m);
+        }));
+  }
+  for (auto& a : agents) a->sample(0);
+  for (std::size_t n = 0; n < 3; ++n) {
+    EXPECT_TRUE(replay.status_at(0, n).has_value()) << n;
+  }
+}
+
+TEST_F(DaemonFixture, MalformedMessageCounted) {
+  daemon.on_status_message({0xFF, 0xFF, 0xFF, 0xFF, 0xFF});
+  EXPECT_EQ(daemon.decode_errors(), 1u);
+}
+
+TEST_F(DaemonFixture, UnknownNodeRejected) {
+  std::vector<std::uint8_t> msg;
+  util::put_varint(msg, 99);  // node 99 of 3
+  util::put_varint(msg, 0);
+  util::put_varint(msg, 0);
+  daemon.on_status_message(msg);
+  EXPECT_EQ(daemon.decode_errors(), 1u);
+}
+
+TEST_F(DaemonFixture, RewardRecorded) {
+  daemon.on_reward(7, 0.42);
+  EXPECT_DOUBLE_EQ(*replay.reward_at(7), 0.42);
+}
+
+TEST_F(DaemonFixture, SuggestedActionAppliesAndBroadcasts) {
+  ControlAgent ca0(0, adapter), ca1(1, adapter);
+  daemon.register_control_agent(&ca0);
+  daemon.register_control_agent(&ca1);
+  std::vector<double> values{50.0};
+  const std::size_t recorded = daemon.on_suggested_action(3, 1, values);
+  EXPECT_EQ(recorded, 1u);
+  EXPECT_DOUBLE_EQ(values[0], 55.0);
+  EXPECT_DOUBLE_EQ(adapter.current_parameters()[0], 55.0);
+  EXPECT_EQ(ca0.actions_applied(), 1u);
+  EXPECT_EQ(ca1.actions_applied(), 1u);
+  EXPECT_EQ(*replay.action_at(3), 1u);
+  EXPECT_EQ(daemon.actions_broadcast(), 1u);
+}
+
+TEST_F(DaemonFixture, NullActionRecordedNotBroadcast) {
+  ControlAgent ca(0, adapter);
+  daemon.register_control_agent(&ca);
+  std::vector<double> values{50.0};
+  daemon.on_suggested_action(4, 0, values);
+  EXPECT_EQ(*replay.action_at(4), 0u);
+  EXPECT_EQ(ca.actions_applied(), 0u);
+  EXPECT_EQ(daemon.actions_broadcast(), 0u);
+}
+
+TEST_F(DaemonFixture, VetoedActionDegradesToNull) {
+  daemon.action_checker().add_rule(
+      "knob <= 52", [](const std::vector<double>& v) { return v[0] <= 52.0; });
+  ControlAgent ca(0, adapter);
+  daemon.register_control_agent(&ca);
+  std::vector<double> values{50.0};
+  const std::size_t recorded = daemon.on_suggested_action(5, 1, values);
+  EXPECT_EQ(recorded, 0u);                   // vetoed -> NULL
+  EXPECT_DOUBLE_EQ(values[0], 50.0);         // unchanged
+  EXPECT_EQ(ca.actions_applied(), 0u);
+  EXPECT_EQ(*replay.action_at(5), 0u);
+  EXPECT_EQ(daemon.action_checker().vetoed_actions(), 1u);
+}
+
+TEST_F(DaemonFixture, ControlAgentAppliesDirectly) {
+  ControlAgent ca(2, adapter);
+  EXPECT_EQ(ca.node(), 2u);
+  ca.on_action_message({33.0});
+  EXPECT_DOUBLE_EQ(adapter.current_parameters()[0], 33.0);
+}
+
+}  // namespace
+}  // namespace capes::core

@@ -1,0 +1,98 @@
+#include "core/config_io.hpp"
+
+#include <gtest/gtest.h>
+
+namespace capes::core {
+namespace {
+
+TEST(ConfigIo, EmptyConfigKeepsDefaults) {
+  util::Config cfg;
+  const CapesOptions o = capes_options_from_config(cfg);
+  const CapesOptions d;
+  EXPECT_DOUBLE_EQ(o.sampling_tick_s, d.sampling_tick_s);
+  EXPECT_EQ(o.engine.minibatch_size, d.engine.minibatch_size);
+  EXPECT_FLOAT_EQ(o.engine.dqn.gamma, d.engine.dqn.gamma);
+}
+
+TEST(ConfigIo, CapesKeysApplied) {
+  util::Config cfg;
+  ASSERT_TRUE(cfg.parse_string(R"(
+capes.sampling_tick_s = 0.5
+capes.reward_scale_mbs = 150
+drl.minibatch_size = 64
+drl.gamma = 0.9
+drl.learning_rate = 0.001
+drl.epsilon_anneal_ticks = 1234
+drl.use_target_network = false
+replay.ticks_per_observation = 7
+replay.missing_tolerance = 0.3
+)"));
+  const CapesOptions o = capes_options_from_config(cfg);
+  EXPECT_DOUBLE_EQ(o.sampling_tick_s, 0.5);
+  EXPECT_DOUBLE_EQ(o.reward_scale_mbs, 150.0);
+  EXPECT_EQ(o.engine.minibatch_size, 64u);
+  EXPECT_FLOAT_EQ(o.engine.dqn.gamma, 0.9f);
+  EXPECT_FLOAT_EQ(o.engine.dqn.learning_rate, 1e-3f);
+  EXPECT_EQ(o.engine.epsilon.anneal_ticks, 1234);
+  EXPECT_FALSE(o.engine.dqn.use_target_network);
+  EXPECT_EQ(o.replay.ticks_per_observation, 7u);
+  EXPECT_DOUBLE_EQ(o.replay.missing_tolerance, 0.3);
+}
+
+TEST(ConfigIo, ClusterKeysApplied) {
+  util::Config cfg;
+  ASSERT_TRUE(cfg.parse_string(R"(
+lustre.num_clients = 3
+lustre.num_servers = 2
+lustre.default_cwnd = 16
+lustre.fragmentation = 0.25
+disk.seq_write_mbs = 90
+disk.write_queue_gain = 1.5
+network.fabric_bandwidth_mbs = 250
+network.base_latency_us = 500
+)"));
+  const auto o = cluster_options_from_config(cfg);
+  EXPECT_EQ(o.num_clients, 3u);
+  EXPECT_EQ(o.num_servers, 2u);
+  EXPECT_DOUBLE_EQ(o.default_cwnd, 16.0);
+  EXPECT_DOUBLE_EQ(o.fragmentation, 0.25);
+  EXPECT_DOUBLE_EQ(o.disk.seq_write_mbs, 90.0);
+  EXPECT_DOUBLE_EQ(o.disk.write_queue_gain, 1.5);
+  EXPECT_DOUBLE_EQ(o.network.fabric_bandwidth_mbs, 250.0);
+  EXPECT_EQ(o.network.base_latency, 500);
+}
+
+TEST(ConfigIo, BaseOverridesPreserved) {
+  CapesOptions base;
+  base.reward_scale_mbs = 123.0;
+  util::Config cfg;
+  const CapesOptions o = capes_options_from_config(cfg, base);
+  EXPECT_DOUBLE_EQ(o.reward_scale_mbs, 123.0);
+}
+
+TEST(ConfigIo, RoundTripThroughConfig) {
+  CapesOptions capes;
+  capes.engine.minibatch_size = 48;
+  capes.engine.dqn.gamma = 0.93f;
+  lustre::ClusterOptions cluster;
+  cluster.num_clients = 7;
+  cluster.default_cwnd = 24.0;
+
+  const util::Config cfg = config_from_options(capes, cluster);
+  const CapesOptions c2 = capes_options_from_config(cfg);
+  const auto cl2 = cluster_options_from_config(cfg);
+  EXPECT_EQ(c2.engine.minibatch_size, 48u);
+  EXPECT_NEAR(c2.engine.dqn.gamma, 0.93f, 1e-6f);
+  EXPECT_EQ(cl2.num_clients, 7u);
+  EXPECT_DOUBLE_EQ(cl2.default_cwnd, 24.0);
+}
+
+TEST(ConfigIo, ConfigFromOptionsDumpsParsable) {
+  const auto cfg = config_from_options(CapesOptions{}, lustre::ClusterOptions{});
+  util::Config reparsed;
+  EXPECT_TRUE(reparsed.parse_string(cfg.dump()));
+  EXPECT_GT(reparsed.size(), 10u);
+}
+
+}  // namespace
+}  // namespace capes::core

@@ -1,0 +1,145 @@
+#include "core/drl_engine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace capes::core {
+namespace {
+
+rl::ReplayDbOptions replay_options() {
+  rl::ReplayDbOptions o;
+  o.num_nodes = 2;
+  o.pis_per_node = 3;
+  o.ticks_per_observation = 3;
+  return o;
+}
+
+DrlEngineOptions engine_options() {
+  DrlEngineOptions o;
+  o.dqn.num_actions = 3;
+  o.dqn.hidden_size = 8;
+  o.dqn.learning_rate = 1e-3f;
+  o.minibatch_size = 4;
+  o.train_steps_per_tick = 2;
+  o.epsilon.anneal_ticks = 100;
+  return o;
+}
+
+void fill_replay(rl::ReplayDb& db, std::int64_t ticks) {
+  for (std::int64_t t = 0; t < ticks; ++t) {
+    for (std::size_t n = 0; n < 2; ++n) {
+      db.record_status(t, n, {0.1f * static_cast<float>(t), 0.2f, 0.3f});
+    }
+    db.record_action(t, static_cast<std::size_t>(t) % 3);
+    db.record_reward(t, 0.5);
+  }
+}
+
+TEST(DrlEngine, ObservationSizeInferredFromReplay) {
+  rl::ReplayDb replay(replay_options());
+  DrlEngine engine(engine_options(), replay);
+  EXPECT_EQ(engine.dqn().options().observation_size, 2u * 3u * 3u);
+}
+
+TEST(DrlEngine, TrainSkipsWhenReplayEmpty) {
+  rl::ReplayDb replay(replay_options());
+  DrlEngine engine(engine_options(), replay);
+  EXPECT_EQ(engine.train_tick(), 0u);
+  EXPECT_EQ(engine.total_train_steps(), 0u);
+}
+
+TEST(DrlEngine, TrainRunsConfiguredSteps) {
+  rl::ReplayDb replay(replay_options());
+  fill_replay(replay, 30);
+  DrlEngine engine(engine_options(), replay);
+  EXPECT_EQ(engine.train_tick(), 2u);
+  EXPECT_EQ(engine.total_train_steps(), 2u);
+  EXPECT_EQ(engine.prediction_error_log().size(), 2u);
+  EXPECT_EQ(engine.loss_log().size(), 2u);
+}
+
+TEST(DrlEngine, EpsilonAnnealing) {
+  rl::ReplayDb replay(replay_options());
+  DrlEngine engine(engine_options(), replay);
+  EXPECT_DOUBLE_EQ(engine.current_epsilon(0, true), 1.0);
+  EXPECT_NEAR(engine.current_epsilon(100, true), 0.05, 1e-9);
+  EXPECT_DOUBLE_EQ(engine.current_epsilon(100, false), 0.05);  // eval epsilon
+}
+
+TEST(DrlEngine, WorkloadChangeBumpsEpsilon) {
+  rl::ReplayDb replay(replay_options());
+  DrlEngine engine(engine_options(), replay);
+  // Advance past the anneal (100 ticks) so the base epsilon is 0.05.
+  for (int i = 0; i < 200; ++i) engine.compute_action(i, true);
+  EXPECT_EQ(engine.training_ticks(), 200);
+  engine.notify_workload_change();
+  EXPECT_NEAR(engine.current_epsilon(engine.training_ticks(), true), 0.2, 1e-9);
+}
+
+TEST(DrlEngine, EpsilonClockOnlyAdvancesInTraining) {
+  rl::ReplayDb replay(replay_options());
+  DrlEngine engine(engine_options(), replay);
+  // Measurement-mode calls must not consume exploration budget.
+  for (int i = 0; i < 500; ++i) engine.compute_action(i, false);
+  EXPECT_EQ(engine.training_ticks(), 0);
+  EXPECT_DOUBLE_EQ(engine.current_epsilon(engine.training_ticks(), true), 1.0);
+  engine.compute_action(500, true);
+  EXPECT_EQ(engine.training_ticks(), 1);
+}
+
+TEST(DrlEngine, ActionInRangeWithObservation) {
+  rl::ReplayDb replay(replay_options());
+  fill_replay(replay, 10);
+  DrlEngine engine(engine_options(), replay);
+  for (int i = 0; i < 10; ++i) {
+    const std::size_t a = engine.compute_action(9, false);
+    EXPECT_LT(a, 3u);
+  }
+}
+
+TEST(DrlEngine, NoObservationEvalReturnsNull) {
+  rl::ReplayDb replay(replay_options());
+  DrlEngine engine(engine_options(), replay);
+  EXPECT_EQ(engine.compute_action(5, false), 0u);
+}
+
+TEST(DrlEngine, NoObservationTrainingStillExplores) {
+  rl::ReplayDb replay(replay_options());
+  DrlEngineOptions o = engine_options();
+  o.epsilon.initial = 1.0;
+  DrlEngine engine(o, replay);
+  // With epsilon 1.0 the engine should produce random (not always NULL)
+  // actions even before observations exist.
+  int non_null = 0;
+  for (int i = 0; i < 50; ++i) {
+    non_null += engine.compute_action(0, true) != 0;
+  }
+  EXPECT_GT(non_null, 10);
+}
+
+TEST(DrlEngine, GreedyEvalIsDeterministic) {
+  rl::ReplayDb replay(replay_options());
+  fill_replay(replay, 10);
+  DrlEngineOptions o = engine_options();
+  o.eval_epsilon = 0.0;
+  DrlEngine engine(o, replay);
+  const std::size_t first = engine.compute_action(9, false);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(engine.compute_action(9, false), first);
+  }
+}
+
+TEST(DrlEngine, PredictionErrorLogGrowsMonotonically) {
+  rl::ReplayDb replay(replay_options());
+  fill_replay(replay, 30);
+  DrlEngine engine(engine_options(), replay);
+  engine.train_tick();
+  engine.train_tick();
+  const auto& log = engine.prediction_error_log();
+  ASSERT_EQ(log.size(), 4u);
+  for (std::size_t i = 1; i < log.size(); ++i) {
+    EXPECT_GT(log[i].first, log[i - 1].first);
+  }
+}
+
+}  // namespace
+}  // namespace capes::core

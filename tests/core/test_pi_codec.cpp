@@ -1,0 +1,153 @@
+#include "core/pi_codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+#include "util/varint.hpp"
+
+namespace capes::core {
+namespace {
+
+void expect_decoded(const PiMessage& msg, std::size_t node, std::int64_t tick,
+                    const std::vector<float>& pis, float tol = 1e-4f) {
+  EXPECT_EQ(msg.node, node);
+  EXPECT_EQ(msg.tick, tick);
+  ASSERT_EQ(msg.pis.size(), pis.size());
+  for (std::size_t i = 0; i < pis.size(); ++i) {
+    EXPECT_NEAR(msg.pis[i], pis[i], tol) << "pi " << i;
+  }
+}
+
+TEST(PiCodec, FirstMessageCarriesEverything) {
+  PiEncoder enc(3, 4);
+  PiDecoder dec(4);
+  const std::vector<float> pis{0.5f, -0.25f, 1.0f, 0.0f};
+  const auto msg = enc.encode(0, pis);
+  auto out = dec.decode(msg);
+  ASSERT_TRUE(out.has_value());
+  expect_decoded(*out, 3, 0, pis);
+}
+
+TEST(PiCodec, UnchangedValuesNotRetransmitted) {
+  PiEncoder enc(0, 8);
+  const std::vector<float> pis(8, 0.75f);
+  const auto first = enc.encode(0, pis);
+  const auto second = enc.encode(1, pis);
+  // Second message is just the header (node, tick, count=0).
+  EXPECT_LT(second.size(), first.size());
+  EXPECT_LE(second.size(), 3u);
+}
+
+TEST(PiCodec, OnlyChangedEntriesSent) {
+  PiEncoder enc(0, 16);
+  PiDecoder dec(16);
+  std::vector<float> pis(16, 0.1f);
+  dec.decode(enc.encode(0, pis));
+  pis[7] = 0.9f;
+  const auto msg = enc.encode(1, pis);
+  // Header (~3 bytes) + one entry (gap + delta), far less than 16 entries.
+  EXPECT_LE(msg.size(), 8u);
+  auto out = dec.decode(msg);
+  ASSERT_TRUE(out.has_value());
+  expect_decoded(*out, 0, 1, pis);
+}
+
+TEST(PiCodec, StreamReconstructionOverManyTicks) {
+  PiEncoder enc(2, 9);
+  PiDecoder dec(9);
+  util::Rng rng(1);
+  std::vector<float> pis(9, 0.0f);
+  for (std::int64_t t = 0; t < 200; ++t) {
+    // Random walk on a random subset of PIs.
+    for (std::size_t i = 0; i < pis.size(); ++i) {
+      if (rng.chance(0.4)) {
+        pis[i] += static_cast<float>(rng.uniform(-0.05, 0.05));
+      }
+    }
+    auto out = dec.decode(enc.encode(t, pis));
+    ASSERT_TRUE(out.has_value()) << t;
+    expect_decoded(*out, 2, t, pis, 2e-4f);
+  }
+}
+
+TEST(PiCodec, QuantizationErrorBounded) {
+  PiEncoder enc(0, 1);
+  PiDecoder dec(1);
+  for (float v : {0.123456f, -0.999999f, 3.14159f}) {
+    PiEncoder e(0, 1);
+    PiDecoder d(1);
+    auto out = d.decode(e.encode(0, {v}));
+    ASSERT_TRUE(out.has_value());
+    EXPECT_NEAR(out->pis[0], v, 0.5f / static_cast<float>(kPiQuantScale) + 1e-6f);
+  }
+}
+
+TEST(PiCodec, SubQuantumChangesSuppressed) {
+  PiEncoder enc(0, 2);
+  std::vector<float> pis{0.5f, 0.5f};
+  enc.encode(0, pis);
+  pis[0] += 1e-6f;  // below the quantization step
+  const auto msg = enc.encode(1, pis);
+  EXPECT_LE(msg.size(), 3u);
+}
+
+TEST(PiCodec, BytesAccounting) {
+  PiEncoder enc(0, 4);
+  EXPECT_EQ(enc.total_bytes(), 0u);
+  EXPECT_EQ(enc.messages(), 0u);
+  const auto m1 = enc.encode(0, {1, 2, 3, 4});
+  const auto m2 = enc.encode(1, {1, 2, 3, 4});
+  EXPECT_EQ(enc.total_bytes(), m1.size() + m2.size());
+  EXPECT_EQ(enc.messages(), 2u);
+}
+
+TEST(PiCodec, DecodeRejectsGarbage) {
+  PiDecoder dec(4);
+  EXPECT_FALSE(dec.decode({0x80, 0x80, 0x80}).has_value());  // truncated varint
+}
+
+TEST(PiCodec, DecodeRejectsOutOfRangeIndex) {
+  // Hand-build a message claiming an entry at index 100 of a 4-wide vector.
+  std::vector<std::uint8_t> msg;
+  util::put_varint(msg, 0);    // node
+  util::put_varint(msg, 0);    // tick
+  util::put_varint(msg, 1);    // count
+  util::put_varint(msg, 100);  // index gap
+  util::put_svarint(msg, 5);
+  PiDecoder dec(4);
+  EXPECT_FALSE(dec.decode(msg).has_value());
+}
+
+TEST(PiCodec, DecodeRejectsExcessCount) {
+  std::vector<std::uint8_t> msg;
+  util::put_varint(msg, 0);
+  util::put_varint(msg, 0);
+  util::put_varint(msg, 50);  // count exceeds vector width
+  PiDecoder dec(4);
+  EXPECT_FALSE(dec.decode(msg).has_value());
+}
+
+TEST(PiCodec, SteadyStateMessageSmall) {
+  // Table 2: ~186 B/s for 44 PIs. With slowly-drifting normalized PIs the
+  // per-tick message must stay well under 4.2 B/PI.
+  PiEncoder enc(0, 44);
+  PiDecoder dec(44);
+  util::Rng rng(7);
+  std::vector<float> pis(44);
+  for (auto& v : pis) v = static_cast<float>(rng.uniform(0, 1));
+  enc.encode(0, pis);
+  std::uint64_t bytes = 0;
+  const int ticks = 100;
+  for (int t = 1; t <= ticks; ++t) {
+    for (auto& v : pis) v += static_cast<float>(rng.uniform(-0.01, 0.01));
+    bytes += enc.encode(t, pis).size();
+  }
+  const double per_tick = static_cast<double>(bytes) / ticks;
+  EXPECT_LT(per_tick, 200.0);
+  EXPECT_GT(per_tick, 40.0);  // sanity: actually carrying data
+}
+
+}  // namespace
+}  // namespace capes::core

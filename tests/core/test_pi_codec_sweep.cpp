@@ -1,0 +1,73 @@
+// Property sweep for the differential PI codec: for any vector width and
+// change density, an encoder/decoder pair must reconstruct the stream
+// within quantization error, and the wire cost must scale with the number
+// of *changed* entries, not the vector width.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/pi_codec.hpp"
+#include "util/rng.hpp"
+
+namespace capes::core {
+namespace {
+
+class PiCodecSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, double>> {};
+
+TEST_P(PiCodecSweep, LosslessUpToQuantization) {
+  const auto [width, change_prob] = GetParam();
+  PiEncoder enc(1, width);
+  PiDecoder dec(width);
+  util::Rng rng(width * 131 + static_cast<std::uint64_t>(change_prob * 97));
+
+  std::vector<float> pis(width, 0.0f);
+  std::uint64_t total_bytes = 0;
+  constexpr int kTicks = 120;
+  for (int t = 0; t < kTicks; ++t) {
+    for (auto& v : pis) {
+      if (rng.chance(change_prob)) {
+        v += static_cast<float>(rng.uniform(-0.2, 0.2));
+      }
+    }
+    const auto msg = enc.encode(t, pis);
+    total_bytes += msg.size();
+    auto out = dec.decode(msg);
+    ASSERT_TRUE(out.has_value()) << "tick " << t;
+    ASSERT_EQ(out->pis.size(), width);
+    for (std::size_t i = 0; i < width; ++i) {
+      ASSERT_NEAR(out->pis[i], pis[i], 2e-4f) << "tick " << t << " pi " << i;
+    }
+  }
+  // Wire cost: header ~3B plus ~<=4B per changed entry on average.
+  const double expected_upper =
+      (4.0 + 4.5 * change_prob * static_cast<double>(width)) * kTicks +
+      4.0 * static_cast<double>(width);  // first full message
+  EXPECT_LT(static_cast<double>(total_bytes), expected_upper);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WidthAndDensity, PiCodecSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 4, 9, 44, 128),
+                       ::testing::Values(0.05, 0.3, 1.0)));
+
+class PiCodecValueRange : public ::testing::TestWithParam<float> {};
+
+TEST_P(PiCodecValueRange, ExtremeValuesRoundTrip) {
+  const float v = GetParam();
+  PiEncoder enc(0, 2);
+  PiDecoder dec(2);
+  auto out = dec.decode(enc.encode(0, {v, -v}));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_NEAR(out->pis[0], v, std::fabs(v) * 1e-6f + 1e-4f);
+  EXPECT_NEAR(out->pis[1], -v, std::fabs(v) * 1e-6f + 1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, PiCodecValueRange,
+                         ::testing::Values(0.0f, 1e-5f, 0.5f, 1.0f, 100.0f,
+                                           15000.0f));
+
+}  // namespace
+}  // namespace capes::core

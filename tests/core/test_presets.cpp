@@ -1,0 +1,92 @@
+// Table 1 fidelity test: the paper preset must encode every hyperparameter
+// row verbatim (this is the reproduction of Table 1).
+
+#include "core/presets.hpp"
+
+#include <gtest/gtest.h>
+
+namespace capes::core {
+namespace {
+
+TEST(PaperPreset, Table1Hyperparameters) {
+  const auto p = paper_preset();
+  // action tick length: 1 (one action per second)
+  EXPECT_EQ(p.capes.action_ticks_per_sample, 1u);
+  // sampling tick length: 1 s
+  EXPECT_DOUBLE_EQ(p.capes.sampling_tick_s, 1.0);
+  // epsilon initial value: 1
+  EXPECT_DOUBLE_EQ(p.capes.engine.epsilon.initial, 1.0);
+  // epsilon final value: 0.05
+  EXPECT_DOUBLE_EQ(p.capes.engine.epsilon.final_value, 0.05);
+  // discount rate gamma: 0.99
+  EXPECT_FLOAT_EQ(p.capes.engine.dqn.gamma, 0.99f);
+  // initial exploration period: 2 h
+  EXPECT_EQ(p.capes.engine.epsilon.anneal_ticks, 7200);
+  // minibatch size: 32
+  EXPECT_EQ(p.capes.engine.minibatch_size, 32u);
+  // missing entry tolerance: 20%
+  EXPECT_DOUBLE_EQ(p.capes.replay.missing_tolerance, 0.2);
+  // number of hidden layers: 2, sized like the input
+  EXPECT_EQ(p.capes.engine.dqn.num_hidden_layers, 2u);
+  EXPECT_EQ(p.capes.engine.dqn.hidden_size, 0u);  // 0 = same as input
+  // Adam learning rate: 0.0001
+  EXPECT_FLOAT_EQ(p.capes.engine.dqn.learning_rate, 1e-4f);
+  // sampling ticks per observation: 10
+  EXPECT_EQ(p.capes.replay.ticks_per_observation, 10u);
+  // target network update rate alpha: 0.01
+  EXPECT_FLOAT_EQ(p.capes.engine.dqn.target_update_alpha, 0.01f);
+}
+
+TEST(PaperPreset, TestbedTopology) {
+  const auto p = paper_preset();
+  // §4.2: 4 servers, 5 clients, stripe count 4, 1 MB stripe size.
+  EXPECT_EQ(p.cluster.num_clients, 5u);
+  EXPECT_EQ(p.cluster.num_servers, 4u);
+  EXPECT_EQ(p.cluster.stripe_size, 1u << 20);
+  // ~500 MB/s measured aggregate network.
+  EXPECT_DOUBLE_EQ(p.cluster.network.fabric_bandwidth_mbs, 500.0);
+  // 113 / 106 MB/s disk.
+  EXPECT_DOUBLE_EQ(p.cluster.disk.seq_read_mbs, 113.0);
+  EXPECT_DOUBLE_EQ(p.cluster.disk.seq_write_mbs, 106.0);
+}
+
+TEST(PaperPreset, TrainingDurations) {
+  const auto p = paper_preset();
+  EXPECT_EQ(p.train_ticks_short, 12 * 3600);  // 12 h at 1 Hz
+  EXPECT_EQ(p.train_ticks_long, 24 * 3600);   // 24 h
+  EXPECT_EQ(p.eval_ticks, 2 * 3600);          // 2 h measurement phases
+}
+
+TEST(FastPreset, PreservesStructure) {
+  const auto p = fast_preset();
+  const auto paper = paper_preset();
+  // Structure-preserving scaling: same epsilon endpoints, same minibatch,
+  // same architecture depth, same tick semantics.
+  EXPECT_DOUBLE_EQ(p.capes.engine.epsilon.initial,
+                   paper.capes.engine.epsilon.initial);
+  EXPECT_DOUBLE_EQ(p.capes.engine.epsilon.final_value,
+                   paper.capes.engine.epsilon.final_value);
+  EXPECT_EQ(p.capes.engine.minibatch_size, paper.capes.engine.minibatch_size);
+  EXPECT_EQ(p.capes.engine.dqn.num_hidden_layers, 2u);
+  EXPECT_DOUBLE_EQ(p.capes.sampling_tick_s, 1.0);
+  EXPECT_EQ(p.cluster.num_clients, 5u);
+  EXPECT_EQ(p.cluster.num_servers, 4u);
+}
+
+TEST(FastPreset, TimeAxisScaled) {
+  const auto p = fast_preset();
+  // "24 h" is twice "12 h"; exploration fits inside the short session.
+  EXPECT_EQ(p.train_ticks_long, 2 * p.train_ticks_short);
+  EXPECT_LT(p.capes.engine.epsilon.anneal_ticks, p.train_ticks_short);
+  EXPECT_GT(p.eval_ticks, 100);
+}
+
+TEST(FastPreset, SeedChangesClusterSeed) {
+  const auto a = fast_preset(1);
+  const auto b = fast_preset(2);
+  EXPECT_NE(a.cluster.seed, b.cluster.seed);
+  EXPECT_NE(a.capes.engine.dqn.seed, b.capes.engine.dqn.seed);
+}
+
+}  // namespace
+}  // namespace capes::core

@@ -1,0 +1,157 @@
+// End-to-end integration on the simulated Lustre cluster: short versions
+// of the paper's evaluation workflow (Appendix A.4). These are the
+// slowest tests in the suite; they use reduced tick counts and assert
+// directional properties, leaving the full-scale numbers to bench/.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/capes_system.hpp"
+#include "core/presets.hpp"
+#include "lustre/cluster.hpp"
+#include "workload/random_rw.hpp"
+#include "workload/seq_write.hpp"
+
+namespace capes {
+namespace {
+
+core::EvaluationPreset tiny_preset() {
+  auto p = core::fast_preset(7);
+  p.capes.engine.epsilon.anneal_ticks = 60;
+  return p;
+}
+
+TEST(EndToEnd, FullLoopRunsOnLustreCluster) {
+  auto preset = tiny_preset();
+  sim::Simulator sim;
+  lustre::Cluster cluster(sim, preset.cluster);
+  workload::RandomRwOptions wopts;
+  wopts.read_fraction = 0.1;
+  workload::RandomRw wl(cluster, wopts);
+  wl.start();
+  core::CapesSystem capes(sim, cluster, preset.capes);
+  sim.run_until(sim::seconds(3));
+
+  const auto result = capes.run_training(80);
+  EXPECT_EQ(result.throughput.count(), 80u);
+  EXPECT_GT(result.train_steps, 0u);
+  // Throughput samples are plausible MB/s numbers.
+  const auto r = result.analyze();
+  EXPECT_GT(r.mean, 5.0);
+  EXPECT_LT(r.mean, 600.0);
+  // The replay DB filled up.
+  EXPECT_GE(capes.replay().tick_count(), 80u);
+  // Observations complete once the stack filled.
+  EXPECT_TRUE(capes.replay().has_observation(70));
+}
+
+TEST(EndToEnd, PredictionErrorDeclines) {
+  auto preset = tiny_preset();
+  sim::Simulator sim;
+  lustre::Cluster cluster(sim, preset.cluster);
+  workload::RandomRwOptions wopts;
+  wopts.read_fraction = 0.1;
+  workload::RandomRw wl(cluster, wopts);
+  wl.start();
+  core::CapesSystem capes(sim, cluster, preset.capes);
+  sim.run_until(sim::seconds(3));
+  capes.run_training(400);
+
+  const auto& log = capes.engine().prediction_error_log();
+  ASSERT_GT(log.size(), 100u);
+  double early = 0.0, late = 0.0;
+  const std::size_t k = log.size() / 5;
+  for (std::size_t i = 0; i < k; ++i) {
+    early += log[i].second;
+    late += log[log.size() - 1 - i].second;
+  }
+  EXPECT_LT(late, early);  // Figure 5's declining trend
+}
+
+TEST(EndToEnd, BaselineIsReproducibleAcrossSystems) {
+  auto preset = tiny_preset();
+  auto measure = [&] {
+    sim::Simulator sim;
+    lustre::Cluster cluster(sim, preset.cluster);
+    workload::RandomRwOptions wopts;
+    wopts.read_fraction = 0.5;
+    workload::RandomRw wl(cluster, wopts);
+    wl.start();
+    core::CapesSystem capes(sim, cluster, preset.capes);
+    sim.run_until(sim::seconds(3));
+    return capes.run_baseline(60).analyze().mean;
+  };
+  const double a = measure();
+  const double b = measure();
+  EXPECT_DOUBLE_EQ(a, b);  // full determinism from seeds
+}
+
+TEST(EndToEnd, CheckpointTransfersPolicyAcrossSessions) {
+  auto preset = tiny_preset();
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "capes_e2e_model.bin").string();
+  // Session 1: train briefly and checkpoint (§A.4 workflow).
+  {
+    sim::Simulator sim;
+    lustre::Cluster cluster(sim, preset.cluster);
+    workload::RandomRwOptions wopts;
+    wopts.read_fraction = 0.1;
+    workload::RandomRw wl(cluster, wopts);
+    wl.start();
+    core::CapesSystem capes(sim, cluster, preset.capes);
+    sim.run_until(sim::seconds(3));
+    capes.run_training(150);
+    ASSERT_TRUE(capes.save_model(path));
+  }
+  // Session 2: load into a fresh system; tuned run must work.
+  {
+    sim::Simulator sim;
+    lustre::Cluster cluster(sim, preset.cluster);
+    workload::RandomRwOptions wopts;
+    wopts.read_fraction = 0.1;
+    workload::RandomRw wl(cluster, wopts);
+    wl.start();
+    core::CapesSystem capes(sim, cluster, preset.capes);
+    ASSERT_TRUE(capes.load_model(path));
+    sim.run_until(sim::seconds(3));
+    const auto tuned = capes.run_tuned(40);
+    EXPECT_EQ(tuned.throughput.count(), 40u);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(EndToEnd, TunedRunMovesParametersFromDefaults) {
+  auto preset = tiny_preset();
+  sim::Simulator sim;
+  lustre::Cluster cluster(sim, preset.cluster);
+  workload::RandomRwOptions wopts;
+  wopts.read_fraction = 0.1;
+  workload::RandomRw wl(cluster, wopts);
+  wl.start();
+  core::CapesSystem capes(sim, cluster, preset.capes);
+  sim.run_until(sim::seconds(3));
+  capes.run_training(300);
+  capes.run_baseline(20);  // resets parameters to defaults
+  EXPECT_DOUBLE_EQ(capes.parameter_values()[0], 8.0);
+  capes.run_tuned(60);
+  // With a write-heavy workload the policy should have raised the window.
+  EXPECT_NE(capes.parameter_values()[0], 8.0);
+}
+
+TEST(EndToEnd, SeqWriteWorkloadRunsUnderCapes) {
+  auto preset = tiny_preset();
+  sim::Simulator sim;
+  lustre::Cluster cluster(sim, preset.cluster);
+  workload::SeqWriteOptions wopts;
+  workload::SeqWrite wl(cluster, wopts);
+  wl.start();
+  core::CapesSystem capes(sim, cluster, preset.capes);
+  sim.run_until(sim::seconds(3));
+  const auto result = capes.run_training(60);
+  // Sequential writes should be far faster than random (>100 MB/s).
+  EXPECT_GT(result.analyze().mean, 100.0);
+}
+
+}  // namespace
+}  // namespace capes

@@ -1,0 +1,196 @@
+#include "lustre/client.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace capes::lustre {
+namespace {
+
+/// Harness around a Client with a scripted server side.
+class ClientHarness {
+ public:
+  explicit ClientHarness(ClusterOptions opts = ClusterOptions{})
+      : opts_(std::move(opts)), client_(sim_, 0, opts_) {
+    client_.set_send_request([this](std::size_t server, const RpcRequest& req,
+                                    std::uint64_t wire) {
+      sent_.push_back({server, req, wire});
+    });
+  }
+
+  void reply_to(std::size_t index, sim::TimeUs pt = 1000) {
+    const auto& [server, req, wire] = sent_[index];
+    RpcReply r;
+    r.id = req.id;
+    r.type = req.type;
+    r.bytes = req.type == RpcType::kRead ? req.bytes : 0;
+    r.process_time = pt;
+    client_.on_reply(r);
+  }
+
+  /// Reply to every outstanding request in order (then any new ones).
+  void reply_all() {
+    std::size_t i = replied_;
+    for (; i < sent_.size(); ++i) reply_to(i);
+    replied_ = i;
+  }
+
+  sim::Simulator sim_;
+  ClusterOptions opts_;
+  Client client_;
+  std::vector<std::tuple<std::size_t, RpcRequest, std::uint64_t>> sent_;
+  std::size_t replied_ = 0;
+};
+
+TEST(Client, WriteCompletesImmediatelyWhenCacheHasRoom) {
+  ClientHarness h;
+  bool done = false;
+  h.client_.write(1, 0, 4096, [&] { done = true; });
+  EXPECT_FALSE(done);  // completion is async (next event)
+  h.sim_.run_until(10);
+  EXPECT_TRUE(done);
+  EXPECT_EQ(h.client_.dirty_bytes(), 4096u);
+}
+
+TEST(Client, WriteStripedAcrossServers) {
+  ClientHarness h;
+  h.client_.write(1, 0, 4ull << 20, nullptr);
+  // 4 MB = 4 stripe units -> one RPC per server.
+  ASSERT_EQ(h.sent_.size(), 4u);
+  std::set<std::size_t> servers;
+  for (const auto& [server, req, wire] : h.sent_) servers.insert(server);
+  EXPECT_EQ(servers.size(), 4u);
+}
+
+TEST(Client, DirtyCacheThrottlesWriters) {
+  ClusterOptions opts;
+  opts.max_dirty_bytes = 1 << 20;
+  ClientHarness h(opts);
+  bool first_done = false, second_done = false;
+  h.client_.write(1, 0, 1 << 20, [&] { first_done = true; });
+  h.client_.write(1, 1 << 20, 1 << 20, [&] { second_done = true; });
+  h.sim_.run_until(100);
+  EXPECT_TRUE(first_done);
+  EXPECT_FALSE(second_done);  // cache over limit: writer throttled
+  EXPECT_EQ(h.client_.throttled_writers(), 1u);
+  // Draining the cache resumes the writer.
+  h.reply_all();
+  h.sim_.run_until(200);
+  EXPECT_TRUE(second_done);
+  EXPECT_EQ(h.client_.throttled_writers(), 0u);
+}
+
+TEST(Client, WriteCompletionShrinksDirty) {
+  ClientHarness h;
+  h.client_.write(1, 0, 65536, nullptr);
+  EXPECT_EQ(h.client_.dirty_bytes(), 65536u);
+  h.reply_all();
+  EXPECT_EQ(h.client_.dirty_bytes(), 0u);
+  EXPECT_EQ(h.client_.total_write_bytes(), 65536u);
+}
+
+TEST(Client, ReadCompletesAfterAllChunks) {
+  ClientHarness h;
+  bool done = false;
+  h.client_.read(1, 0, 2ull << 20, [&] { done = true; });
+  ASSERT_EQ(h.sent_.size(), 2u);
+  h.reply_to(0);
+  h.sim_.run_until(10);
+  EXPECT_FALSE(done);
+  h.reply_to(1);
+  h.sim_.run_until(20);
+  EXPECT_TRUE(done);
+  EXPECT_EQ(h.client_.total_read_bytes(), 2ull << 20);
+}
+
+TEST(Client, SmallReadSingleRpc) {
+  ClientHarness h;
+  bool done = false;
+  h.client_.read(1, 12345, 4096, [&] { done = true; });
+  ASSERT_EQ(h.sent_.size(), 1u);
+  EXPECT_EQ(std::get<1>(h.sent_[0]).type, RpcType::kRead);
+  h.reply_all();
+  h.sim_.run_until(10);
+  EXPECT_TRUE(done);
+}
+
+TEST(Client, MetadataGoesToMds) {
+  ClientHarness h;
+  bool done = false;
+  h.client_.metadata_op([&] { done = true; });
+  ASSERT_EQ(h.sent_.size(), 1u);
+  EXPECT_EQ(std::get<0>(h.sent_[0]), 0u);  // MDS = server 0
+  EXPECT_EQ(std::get<1>(h.sent_[0]).type, RpcType::kMetadata);
+  h.reply_all();
+  EXPECT_TRUE(done);
+}
+
+TEST(Client, MetadataDoesNotConsumeCwnd) {
+  ClusterOptions opts;
+  opts.default_cwnd = 1.0;
+  ClientHarness h(opts);
+  h.client_.write(1, 0, 4096, nullptr);  // occupies server 0's window
+  bool done = false;
+  h.client_.metadata_op([&] { done = true; });
+  // Metadata op was still sent (2 requests total).
+  ASSERT_EQ(h.sent_.size(), 2u);
+  h.reply_to(1);
+  EXPECT_TRUE(done);
+}
+
+TEST(Client, RateLimitDelaysSends) {
+  ClusterOptions opts;
+  opts.default_rate_limit = 10.0;  // 10 requests/second
+  opts.default_cwnd = 64.0;        // make the rate limiter the binding cap
+  ClientHarness h(opts);
+  // Burst capacity is max(8, 0.2) = 8: the 9th+ write must wait.
+  for (int i = 0; i < 12; ++i) {
+    h.client_.write(1, static_cast<std::uint64_t>(i) << 26, 4096, nullptr);
+  }
+  const std::size_t sent_now = h.sent_.size();
+  EXPECT_LE(sent_now, 9u);
+  EXPECT_GE(sent_now, 7u);
+  // After a second, ~10 more tokens accrue.
+  h.sim_.run_until(sim::seconds(1.0));
+  EXPECT_GT(h.sent_.size(), sent_now);
+}
+
+TEST(Client, SetParametersPropagatesToOscs) {
+  ClientHarness h;
+  h.client_.set_cwnd(32.0);
+  h.client_.set_rate_limit(500.0);
+  EXPECT_DOUBLE_EQ(h.client_.cwnd(), 32.0);
+  EXPECT_DOUBLE_EQ(h.client_.rate_limit(), 500.0);
+  for (std::size_t s = 0; s < h.client_.num_oscs(); ++s) {
+    EXPECT_DOUBLE_EQ(h.client_.osc(s).cwnd(), 32.0);
+  }
+}
+
+TEST(Client, LatencyAccounting) {
+  ClientHarness h;
+  h.client_.write(1, 0, 4096, nullptr);
+  h.sim_.run_until(5000);  // 5 ms passes before the reply
+  h.reply_all();
+  EXPECT_EQ(h.client_.latency_count(), 1u);
+  EXPECT_NEAR(h.client_.latency_sum_ms(), 5.0, 0.1);
+}
+
+TEST(Client, PtRatioAveragedOverOscs) {
+  ClientHarness h;
+  h.client_.write(1, 0, 4096, nullptr);
+  h.reply_to(0, 2000);
+  EXPECT_DOUBLE_EQ(h.client_.avg_pt_ratio(), 1.0);  // single sample per OSC
+}
+
+TEST(Client, RpcAndRetransmitCountsAggregate) {
+  ClusterOptions opts;
+  opts.rpc_timeout = sim::seconds(1);
+  ClientHarness h(opts);
+  h.client_.write(1, 0, 4096, nullptr);
+  EXPECT_EQ(h.client_.total_rpcs_sent(), 1u);
+  h.sim_.run_until(sim::seconds(1.5));
+  EXPECT_EQ(h.client_.total_retransmits(), 1u);
+}
+
+}  // namespace
+}  // namespace capes::lustre

@@ -1,0 +1,137 @@
+// Tests for the §6 future-work extensions: server-side monitoring and the
+// tunable write-cache limit.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lustre/cluster.hpp"
+
+namespace capes::lustre {
+namespace {
+
+ClusterOptions base_opts() {
+  ClusterOptions o;
+  o.disk.service_noise = 0.0;
+  return o;
+}
+
+TEST(ServerMonitoring, AddsServerNodes) {
+  ClusterOptions o = base_opts();
+  o.monitor_servers = true;
+  sim::Simulator sim;
+  Cluster cluster(sim, o);
+  EXPECT_EQ(cluster.num_nodes(), 9u);  // 5 clients + 4 servers
+  EXPECT_EQ(cluster.num_clients(), 5u);
+}
+
+TEST(ServerMonitoring, OffByDefault) {
+  sim::Simulator sim;
+  Cluster cluster(sim, base_opts());
+  EXPECT_EQ(cluster.num_nodes(), 5u);
+}
+
+TEST(ServerMonitoring, ServerObservationShape) {
+  ClusterOptions o = base_opts();
+  o.monitor_servers = true;
+  sim::Simulator sim;
+  Cluster cluster(sim, o);
+  cluster.client(0).write(1, 0, 8 << 20, nullptr);
+  sim.run_until(sim::seconds(1));
+  for (std::size_t node = 5; node < 9; ++node) {
+    const auto pis = cluster.collect_observation(node);
+    ASSERT_EQ(pis.size(), Cluster::kPisPerNode) << node;
+    for (float v : pis) {
+      EXPECT_TRUE(std::isfinite(v));
+      EXPECT_GE(v, -0.01f);
+      EXPECT_LE(v, 5.0f);
+    }
+  }
+}
+
+TEST(ServerMonitoring, ServerPisReflectDiskActivity) {
+  ClusterOptions o = base_opts();
+  o.monitor_servers = true;
+  sim::Simulator sim;
+  Cluster cluster(sim, o);
+  (void)cluster.collect_observation(5);  // reset window for server 0
+  // Stripe 0 lands on server 0: its write-rate PI should move.
+  cluster.client(0).write(1, 0, 1 << 20, nullptr);
+  sim.run_until(sim::seconds(1));
+  const auto pis = cluster.collect_observation(5);
+  EXPECT_GT(pis[5], 0.001f);  // disk write MB/s
+  EXPECT_GT(pis[3], 0.0f);    // busy fraction
+}
+
+TEST(ServerMonitoring, IdleServerReportsZeroRates) {
+  ClusterOptions o = base_opts();
+  o.monitor_servers = true;
+  sim::Simulator sim;
+  Cluster cluster(sim, o);
+  (void)cluster.collect_observation(8);
+  sim.run_until(sim::seconds(1));
+  const auto pis = cluster.collect_observation(8);
+  EXPECT_FLOAT_EQ(pis[4], 0.0f);
+  EXPECT_FLOAT_EQ(pis[5], 0.0f);
+}
+
+TEST(WriteCacheTuning, ThirdParameterAppears) {
+  ClusterOptions o = base_opts();
+  o.tune_write_cache = true;
+  sim::Simulator sim;
+  Cluster cluster(sim, o);
+  const auto params = cluster.tunable_parameters();
+  ASSERT_EQ(params.size(), 3u);
+  EXPECT_EQ(params[2].name, "max_dirty_mb");
+  EXPECT_DOUBLE_EQ(params[2].initial_value, 32.0);  // 32 MB default
+  // 2 * 3 + 1 = 7 actions for the DQN.
+  rl::ActionSpace space(params);
+  EXPECT_EQ(space.num_actions(), 7u);
+}
+
+TEST(WriteCacheTuning, SetParametersAppliesCache) {
+  ClusterOptions o = base_opts();
+  o.tune_write_cache = true;
+  sim::Simulator sim;
+  Cluster cluster(sim, o);
+  cluster.set_parameters({16.0, 2000.0, 64.0});
+  const auto current = cluster.current_parameters();
+  ASSERT_EQ(current.size(), 3u);
+  EXPECT_DOUBLE_EQ(current[2], 64.0);
+  for (std::size_t i = 0; i < cluster.num_clients(); ++i) {
+    EXPECT_EQ(cluster.client(i).max_dirty_bytes(), 64ull << 20);
+  }
+}
+
+TEST(WriteCacheTuning, GrowingCacheUnblocksWriters) {
+  ClusterOptions o = base_opts();
+  o.max_dirty_bytes = 1 << 20;
+  sim::Simulator sim;
+  Cluster cluster(sim, o);
+  Client& cl = cluster.client(0);
+  bool second_done = false;
+  cl.write(1, 0, 1 << 20, nullptr);
+  cl.write(1, 1 << 20, 1 << 20, [&] { second_done = true; });
+  sim.run_until(1000);
+  EXPECT_FALSE(second_done);  // throttled at the 1 MB cache
+  cl.set_max_dirty_bytes(64ull << 20);
+  sim.run_until(2000);
+  EXPECT_TRUE(second_done);
+}
+
+TEST(WriteCacheTuning, FloorAtOneMb) {
+  sim::Simulator sim;
+  Cluster cluster(sim, base_opts());
+  cluster.client(0).set_max_dirty_bytes(0);
+  EXPECT_GE(cluster.client(0).max_dirty_bytes(), 1u << 20);
+}
+
+TEST(WriteCacheTuning, TwoParamAdapterUnchangedByDefault) {
+  sim::Simulator sim;
+  Cluster cluster(sim, base_opts());
+  EXPECT_EQ(cluster.tunable_parameters().size(), 2u);
+  EXPECT_EQ(cluster.current_parameters().size(), 2u);
+}
+
+}  // namespace
+}  // namespace capes::lustre

@@ -1,0 +1,237 @@
+#include "lustre/osc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace capes::lustre {
+namespace {
+
+/// Harness that wires an Osc to a scripted "server": requests are captured
+/// and replies are injected manually.
+class OscHarness {
+ public:
+  explicit OscHarness(double cwnd = 8.0, sim::TimeUs timeout = seconds(3)) {
+    opts_.default_cwnd = cwnd;
+    opts_.rpc_timeout = timeout;
+    osc_ = std::make_unique<Osc>(sim_, 0, 0, opts_);
+    osc_->set_send_request([this](const RpcRequest& req, std::uint64_t wire) {
+      sent_.push_back({req, wire});
+    });
+    osc_->set_write_completed([this](std::uint64_t bytes, sim::TimeUs) {
+      write_completed_bytes_ += bytes;
+    });
+    osc_->set_read_completed([this](std::uint64_t bytes, sim::TimeUs) {
+      read_completed_bytes_ += bytes;
+    });
+  }
+
+  void reply_to(std::size_t index, sim::TimeUs process_time = 1000) {
+    RpcReply r;
+    r.id = sent_[index].first.id;
+    r.type = sent_[index].first.type;
+    r.bytes = sent_[index].first.type == RpcType::kRead
+                  ? sent_[index].first.bytes
+                  : 0;
+    r.process_time = process_time;
+    osc_->on_reply(r);
+  }
+
+  sim::Simulator sim_;
+  ClusterOptions opts_;
+  std::unique_ptr<Osc> osc_;
+  std::vector<std::pair<RpcRequest, std::uint64_t>> sent_;
+  std::uint64_t write_completed_bytes_ = 0;
+  std::uint64_t read_completed_bytes_ = 0;
+
+ private:
+  static sim::TimeUs seconds(double s) { return sim::seconds(s); }
+};
+
+TEST(Osc, WriteSendsImmediatelyUnderCwnd) {
+  OscHarness h(4);
+  h.osc_->enqueue_write(1, 0, 4096);
+  EXPECT_EQ(h.sent_.size(), 1u);
+  EXPECT_EQ(h.osc_->in_flight(), 1u);
+  EXPECT_EQ(h.sent_[0].first.type, RpcType::kWrite);
+  EXPECT_EQ(h.sent_[0].first.bytes, 4096u);
+  // Wire bytes include the request header.
+  EXPECT_EQ(h.sent_[0].second, h.opts_.request_header + 4096);
+}
+
+TEST(Osc, CwndBoundsInFlight) {
+  OscHarness h(2);
+  for (int i = 0; i < 5; ++i) {
+    h.osc_->enqueue_write(1, static_cast<std::uint64_t>(i) << 30, 4096);
+  }
+  EXPECT_EQ(h.osc_->in_flight(), 2u);
+  EXPECT_EQ(h.sent_.size(), 2u);
+  h.reply_to(0);
+  EXPECT_EQ(h.osc_->in_flight(), 2u);  // backlog refills the window
+  EXPECT_EQ(h.sent_.size(), 3u);
+}
+
+TEST(Osc, ContiguousWritesCoalesceIntoOneRpc) {
+  OscHarness h(1);
+  // First write occupies the window; the rest queue up contiguously.
+  h.osc_->enqueue_write(1, 0, 4096);
+  h.osc_->enqueue_write(1, 4096, 4096);
+  h.osc_->enqueue_write(1, 8192, 4096);
+  EXPECT_EQ(h.sent_.size(), 1u);
+  h.reply_to(0);
+  ASSERT_EQ(h.sent_.size(), 2u);
+  EXPECT_EQ(h.sent_[1].first.bytes, 8192u);  // merged two chunks
+  EXPECT_EQ(h.sent_[1].first.offset, 4096u);
+}
+
+TEST(Osc, CoalescingRespectsRpcMax) {
+  OscHarness h(1);
+  h.opts_.rpc_max_bytes = 8192;
+  h.osc_->enqueue_write(1, 0, 4096);
+  for (int i = 1; i <= 4; ++i) {
+    h.osc_->enqueue_write(1, static_cast<std::uint64_t>(i) * 4096, 4096);
+  }
+  h.reply_to(0);
+  ASSERT_GE(h.sent_.size(), 2u);
+  EXPECT_LE(h.sent_[1].first.bytes, 8192u);
+}
+
+TEST(Osc, NonContiguousChunksNotMerged) {
+  OscHarness h(1);
+  h.osc_->enqueue_write(1, 0, 4096);
+  h.osc_->enqueue_write(1, 1 << 20, 4096);
+  h.osc_->enqueue_write(2, 4096, 4096);  // different object
+  h.reply_to(0);
+  ASSERT_EQ(h.sent_.size(), 2u);
+  EXPECT_EQ(h.sent_[1].first.bytes, 4096u);
+}
+
+TEST(Osc, ReadCompletionInvokesCallback) {
+  OscHarness h(4);
+  bool done = false;
+  h.osc_->enqueue_read(1, 0, 65536, [&] { done = true; });
+  ASSERT_EQ(h.sent_.size(), 1u);
+  EXPECT_EQ(h.sent_[0].first.type, RpcType::kRead);
+  h.reply_to(0);
+  EXPECT_TRUE(done);
+  EXPECT_EQ(h.read_completed_bytes_, 65536u);
+}
+
+TEST(Osc, WriteCompletionReportsBytes) {
+  OscHarness h(4);
+  h.osc_->enqueue_write(1, 0, 10000);
+  h.reply_to(0);
+  EXPECT_EQ(h.write_completed_bytes_, 10000u);
+  EXPECT_EQ(h.osc_->in_flight(), 0u);
+}
+
+TEST(Osc, ReadsAndWritesAlternate) {
+  OscHarness h(2);
+  // Occupy the window, then queue 2 reads and 2 writes.
+  h.osc_->enqueue_write(9, 0, 128);
+  h.osc_->enqueue_write(9, 1 << 22, 128);
+  h.osc_->enqueue_write(1, 1 << 20, 4096);
+  h.osc_->enqueue_write(1, 1 << 21, 4096);
+  h.osc_->enqueue_read(1, 0, 4096, nullptr);
+  h.osc_->enqueue_read(1, 8192, 4096, nullptr);
+  h.reply_to(0);
+  h.reply_to(1);
+  ASSERT_EQ(h.sent_.size(), 4u);
+  // Both types got serviced (no starvation of either queue).
+  int reads = 0, writes = 0;
+  for (std::size_t i = 2; i < 4; ++i) {
+    reads += h.sent_[i].first.type == RpcType::kRead;
+    writes += h.sent_[i].first.type == RpcType::kWrite;
+  }
+  EXPECT_EQ(reads, 1);
+  EXPECT_EQ(writes, 1);
+}
+
+TEST(Osc, TimeoutTriggersRetransmit) {
+  OscHarness h(4, sim::seconds(1));
+  h.osc_->enqueue_write(1, 0, 4096);
+  EXPECT_EQ(h.sent_.size(), 1u);
+  h.sim_.run_until(sim::seconds(1.5));
+  EXPECT_EQ(h.sent_.size(), 2u);  // retransmitted once
+  EXPECT_EQ(h.osc_->retransmits(), 1u);
+  EXPECT_EQ(h.sent_[1].first.id, h.sent_[0].first.id);
+  // Backoff: the next retransmit happens ~2 s later, not 1 s.
+  h.sim_.run_until(sim::seconds(2.8));
+  EXPECT_EQ(h.sent_.size(), 2u);
+  h.sim_.run_until(sim::seconds(3.8));
+  EXPECT_EQ(h.sent_.size(), 3u);
+}
+
+TEST(Osc, ReplyCancelsTimeout) {
+  OscHarness h(4, sim::seconds(1));
+  h.osc_->enqueue_write(1, 0, 4096);
+  h.reply_to(0);
+  h.sim_.run_until(sim::seconds(5));
+  EXPECT_EQ(h.osc_->retransmits(), 0u);
+  EXPECT_EQ(h.sent_.size(), 1u);
+}
+
+TEST(Osc, DuplicateReplyIgnored) {
+  OscHarness h(4);
+  h.osc_->enqueue_write(1, 0, 4096);
+  h.reply_to(0);
+  h.reply_to(0);  // duplicate
+  EXPECT_EQ(h.write_completed_bytes_, 4096u);
+}
+
+TEST(Osc, RateLimiterBlocksSends) {
+  OscHarness h(8);
+  bool allow = false;
+  h.osc_->set_try_acquire_token([&] { return allow; });
+  h.osc_->enqueue_write(1, 0, 4096);
+  EXPECT_EQ(h.sent_.size(), 0u);  // token denied
+  allow = true;
+  h.osc_->maybe_send();
+  EXPECT_EQ(h.sent_.size(), 1u);
+}
+
+TEST(Osc, AckEwmaTracksReplyGaps) {
+  OscHarness h(8);
+  h.osc_->enqueue_write(1, 0, 4096);
+  h.osc_->enqueue_write(1, 1 << 20, 4096);
+  h.osc_->enqueue_write(1, 1 << 21, 4096);
+  h.sim_.run_until(1000);
+  h.reply_to(0);
+  h.sim_.schedule_in(5000, [] {});
+  h.sim_.run_until(6000);
+  h.reply_to(1);
+  EXPECT_GT(h.osc_->ack_ewma_us(), 0.0);
+}
+
+TEST(Osc, PtRatioFromReplies) {
+  OscHarness h(8);
+  EXPECT_DOUBLE_EQ(h.osc_->pt_ratio(), 1.0);  // no data yet
+  h.osc_->enqueue_write(1, 0, 4096);
+  h.osc_->enqueue_write(1, 1 << 20, 4096);
+  h.reply_to(0, 1000);
+  h.reply_to(1, 5000);
+  EXPECT_DOUBLE_EQ(h.osc_->pt_ratio(), 5.0);  // 5000 / min(1000)
+}
+
+TEST(Osc, PendingWriteBytesTracksQueue) {
+  OscHarness h(1);
+  h.osc_->enqueue_write(1, 0, 4096);          // sent immediately
+  h.osc_->enqueue_write(1, 1 << 20, 8192);    // queued
+  EXPECT_EQ(h.osc_->pending_write_bytes(), 8192u);
+  h.reply_to(0);
+  EXPECT_EQ(h.osc_->pending_write_bytes(), 0u);
+}
+
+TEST(Osc, CwndChangeTriggersSendOnNextPoke) {
+  OscHarness h(1);
+  for (int i = 0; i < 4; ++i) {
+    h.osc_->enqueue_write(1, static_cast<std::uint64_t>(i) << 25, 4096);
+  }
+  EXPECT_EQ(h.sent_.size(), 1u);
+  h.osc_->set_cwnd(4);
+  h.osc_->maybe_send();
+  EXPECT_EQ(h.sent_.size(), 4u);
+}
+
+}  // namespace
+}  // namespace capes::lustre

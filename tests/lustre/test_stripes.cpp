@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "lustre/types.hpp"
+
+namespace capes::lustre {
+namespace {
+
+ClusterOptions four_server_opts() {
+  ClusterOptions o;
+  o.num_servers = 4;
+  o.stripe_size = 1 << 20;
+  return o;
+}
+
+std::vector<StripeChunk> chunks_of(const ClusterOptions& o, std::uint64_t file,
+                                   std::uint64_t off, std::uint64_t len) {
+  std::vector<StripeChunk> out;
+  map_stripes(o, file, off, len, [&](const StripeChunk& c) { out.push_back(c); });
+  return out;
+}
+
+TEST(Stripes, SmallWriteSingleChunk) {
+  const auto cs = chunks_of(four_server_opts(), 1, 0, 4096);
+  ASSERT_EQ(cs.size(), 1u);
+  EXPECT_EQ(cs[0].server, 0u);
+  EXPECT_EQ(cs[0].object_offset, 0u);
+  EXPECT_EQ(cs[0].bytes, 4096u);
+  EXPECT_EQ(cs[0].object_id, 1u);
+}
+
+TEST(Stripes, SecondStripeUnitGoesToNextServer) {
+  const auto cs = chunks_of(four_server_opts(), 1, 1 << 20, 4096);
+  ASSERT_EQ(cs.size(), 1u);
+  EXPECT_EQ(cs[0].server, 1u);
+  EXPECT_EQ(cs[0].object_offset, 0u);
+}
+
+TEST(Stripes, WrapsAroundServers) {
+  const auto cs = chunks_of(four_server_opts(), 1, 4ull << 20, 4096);
+  ASSERT_EQ(cs.size(), 1u);
+  EXPECT_EQ(cs[0].server, 0u);
+  // Second pass over server 0: object offset advances by one stripe.
+  EXPECT_EQ(cs[0].object_offset, 1u << 20);
+}
+
+TEST(Stripes, CrossingStripeBoundarySplits) {
+  const auto cs =
+      chunks_of(four_server_opts(), 1, (1 << 20) - 1000, 3000);
+  ASSERT_EQ(cs.size(), 2u);
+  EXPECT_EQ(cs[0].server, 0u);
+  EXPECT_EQ(cs[0].bytes, 1000u);
+  EXPECT_EQ(cs[1].server, 1u);
+  EXPECT_EQ(cs[1].bytes, 2000u);
+  EXPECT_EQ(cs[1].object_offset, 0u);
+}
+
+TEST(Stripes, LargeWriteCoversAllServers) {
+  const auto cs = chunks_of(four_server_opts(), 1, 0, 4ull << 20);
+  ASSERT_EQ(cs.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(cs[i].server, i);
+    EXPECT_EQ(cs[i].bytes, 1u << 20);
+    EXPECT_EQ(cs[i].object_offset, 0u);
+  }
+}
+
+TEST(Stripes, TotalBytesPreserved) {
+  const ClusterOptions o = four_server_opts();
+  for (std::uint64_t off : {0ull, 12345ull, (1ull << 20) - 1, 5ull << 20}) {
+    for (std::uint64_t len : {1ull, 4096ull, 3ull << 20, 10ull << 20}) {
+      std::uint64_t total = 0;
+      map_stripes(o, 9, off, len, [&](const StripeChunk& c) { total += c.bytes; });
+      EXPECT_EQ(total, len) << off << "+" << len;
+    }
+  }
+}
+
+TEST(Stripes, SequentialOffsetsAreContiguousPerServer) {
+  // Writing a long sequential range produces per-server object offsets
+  // that are themselves sequential (this is what lets the disk model
+  // detect streaming writes).
+  const ClusterOptions o = four_server_opts();
+  std::vector<std::uint64_t> last_end(4, 0);
+  bool first[4] = {true, true, true, true};
+  map_stripes(o, 3, 0, 32ull << 20, [&](const StripeChunk& c) {
+    if (!first[c.server]) {
+      EXPECT_EQ(c.object_offset, last_end[c.server]);
+    }
+    first[c.server] = false;
+    last_end[c.server] = c.object_offset + c.bytes;
+  });
+}
+
+TEST(Stripes, DifferentStripeCounts) {
+  ClusterOptions o = four_server_opts();
+  o.num_servers = 3;
+  const auto cs = chunks_of(o, 1, 0, 3ull << 20);
+  ASSERT_EQ(cs.size(), 3u);
+  EXPECT_EQ(cs[2].server, 2u);
+}
+
+TEST(Stripes, ZeroLengthProducesNothing) {
+  EXPECT_TRUE(chunks_of(four_server_opts(), 1, 100, 0).empty());
+}
+
+}  // namespace
+}  // namespace capes::lustre

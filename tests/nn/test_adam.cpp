@@ -1,0 +1,149 @@
+#include "nn/adam.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/mlp.hpp"
+#include "util/rng.hpp"
+
+namespace capes::nn {
+namespace {
+
+TEST(Adam, FirstStepMovesByLearningRate) {
+  // With a constant gradient g, the first Adam step is ~ -lr * sign(g).
+  Parameter p;
+  p.name = "p";
+  p.value = {1.0f};
+  p.grad = {0.5f};
+  Adam::Options opts;
+  opts.learning_rate = 0.1f;
+  Adam adam({&p}, opts);
+  adam.step();
+  EXPECT_NEAR(p.value[0], 1.0f - 0.1f, 1e-5f);
+}
+
+TEST(Adam, NegativeGradientMovesUp) {
+  Parameter p;
+  p.value = {0.0f};
+  p.grad = {-2.0f};
+  Adam::Options opts;
+  opts.learning_rate = 0.01f;
+  Adam adam({&p}, opts);
+  adam.step();
+  EXPECT_NEAR(p.value[0], 0.01f, 1e-6f);
+}
+
+TEST(Adam, ZeroGradientNoMove) {
+  Parameter p;
+  p.value = {3.0f};
+  p.grad = {0.0f};
+  Adam adam({&p});
+  adam.step();
+  EXPECT_FLOAT_EQ(p.value[0], 3.0f);
+}
+
+TEST(Adam, StepCounterIncrements) {
+  Parameter p;
+  p.value = {0.0f};
+  p.grad = {1.0f};
+  Adam adam({&p});
+  EXPECT_EQ(adam.steps(), 0u);
+  adam.step();
+  adam.step();
+  EXPECT_EQ(adam.steps(), 2u);
+}
+
+TEST(Adam, MinimizesQuadratic) {
+  // f(x) = (x - 3)^2, df/dx = 2 (x - 3).
+  Parameter p;
+  p.value = {-5.0f};
+  p.grad = {0.0f};
+  Adam::Options opts;
+  opts.learning_rate = 0.05f;
+  Adam adam({&p}, opts);
+  for (int i = 0; i < 2000; ++i) {
+    p.grad[0] = 2.0f * (p.value[0] - 3.0f);
+    adam.step();
+  }
+  EXPECT_NEAR(p.value[0], 3.0f, 0.05f);
+}
+
+TEST(Adam, MinimizesRosenbrockish2d) {
+  // f(x,y) = (1-x)^2 + 10 (y - x^2)^2 — a mildly hard valley.
+  Parameter p;
+  p.value = {-1.0f, 1.0f};
+  p.grad = {0.0f, 0.0f};
+  Adam::Options opts;
+  opts.learning_rate = 0.02f;
+  Adam adam({&p}, opts);
+  for (int i = 0; i < 20000; ++i) {
+    const float x = p.value[0], y = p.value[1];
+    p.grad[0] = -2.0f * (1.0f - x) - 40.0f * x * (y - x * x);
+    p.grad[1] = 20.0f * (y - x * x);
+    adam.step();
+  }
+  EXPECT_NEAR(p.value[0], 1.0f, 0.1f);
+  EXPECT_NEAR(p.value[1], 1.0f, 0.15f);
+}
+
+TEST(Adam, MultipleParametersUpdatedIndependently) {
+  Parameter a, b;
+  a.value = {0.0f};
+  a.grad = {1.0f};
+  b.value = {0.0f};
+  b.grad = {-1.0f};
+  Adam::Options opts;
+  opts.learning_rate = 0.1f;
+  Adam adam({&a, &b}, opts);
+  adam.step();
+  EXPECT_LT(a.value[0], 0.0f);
+  EXPECT_GT(b.value[0], 0.0f);
+}
+
+TEST(Adam, TrainsMlpOnXor) {
+  // The paper notes an MLP "can represent boolean functions such as ...
+  // XOR" — verify our stack actually learns XOR.
+  util::Rng rng(21);
+  Mlp mlp({2, 8, 1}, rng);
+  Adam::Options opts;
+  opts.learning_rate = 0.01f;
+  Adam adam(mlp.parameters(), opts);
+
+  const float inputs[4][2] = {{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+  const float targets[4] = {0, 1, 1, 0};
+  Matrix x(4, 2);
+  for (int i = 0; i < 4; ++i) {
+    x.at(i, 0) = inputs[i][0];
+    x.at(i, 1) = inputs[i][1];
+  }
+
+  for (int epoch = 0; epoch < 4000; ++epoch) {
+    mlp.zero_grad();
+    const Matrix& y = mlp.forward(x);
+    Matrix grad(4, 1);
+    for (int i = 0; i < 4; ++i) {
+      grad.at(i, 0) = 2.0f * (y.at(i, 0) - targets[i]) / 4.0f;
+    }
+    mlp.backward(grad);
+    adam.step();
+  }
+  const Matrix& y = mlp.forward(x);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(y.at(i, 0), targets[i], 0.2f) << "case " << i;
+  }
+}
+
+TEST(Adam, LearningRateSetter) {
+  Parameter p;
+  p.value = {0.0f};
+  p.grad = {1.0f};
+  Adam adam({&p});
+  adam.set_learning_rate(0.5f);
+  EXPECT_FLOAT_EQ(adam.options().learning_rate, 0.5f);
+  adam.step();
+  EXPECT_NEAR(p.value[0], -0.5f, 1e-4f);
+}
+
+}  // namespace
+}  // namespace capes::nn

@@ -1,0 +1,198 @@
+#include "nn/layers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace capes::nn {
+namespace {
+
+Matrix random_matrix(std::size_t r, std::size_t c, util::Rng& rng) {
+  Matrix m(r, c);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  return m;
+}
+
+TEST(Dense, OutputShape) {
+  util::Rng rng(1);
+  Dense d(4, 3, "d");
+  d.init_xavier(rng);
+  Matrix x = random_matrix(5, 4, rng);
+  const Matrix& y = d.forward(x);
+  EXPECT_EQ(y.rows(), 5u);
+  EXPECT_EQ(y.cols(), 3u);
+}
+
+TEST(Dense, ZeroWeightsGiveBias) {
+  Dense d(3, 2, "d");
+  d.bias().value = {1.5f, -0.5f};
+  util::Rng rng(2);
+  Matrix x = random_matrix(4, 3, rng);
+  const Matrix& y = d.forward(x);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_FLOAT_EQ(y.at(i, 0), 1.5f);
+    EXPECT_FLOAT_EQ(y.at(i, 1), -0.5f);
+  }
+}
+
+TEST(Dense, KnownLinearMap) {
+  Dense d(2, 1, "d");
+  d.weights().value = {2.0f, -3.0f};  // W is [1, 2]
+  d.bias().value = {0.5f};
+  Matrix x(1, 2);
+  x.at(0, 0) = 1.0f;
+  x.at(0, 1) = 2.0f;
+  const Matrix& y = d.forward(x);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 2.0f - 6.0f + 0.5f);
+}
+
+TEST(Dense, XavierInitRange) {
+  util::Rng rng(3);
+  Dense d(100, 50, "d");
+  d.init_xavier(rng);
+  const double limit = std::sqrt(6.0 / 150.0);
+  for (float w : d.weights().value) {
+    EXPECT_LE(std::fabs(w), limit + 1e-6);
+  }
+  for (float b : d.bias().value) EXPECT_EQ(b, 0.0f);
+  // Not all identical.
+  EXPECT_NE(d.weights().value[0], d.weights().value[1]);
+}
+
+TEST(Dense, ZeroGradClears) {
+  util::Rng rng(4);
+  Dense d(3, 3, "d");
+  d.init_xavier(rng);
+  Matrix x = random_matrix(2, 3, rng);
+  d.forward(x);
+  Matrix g = random_matrix(2, 3, rng);
+  d.backward(g);
+  bool any_nonzero = false;
+  for (float v : d.weights().grad) any_nonzero |= v != 0.0f;
+  EXPECT_TRUE(any_nonzero);
+  d.zero_grad();
+  for (float v : d.weights().grad) EXPECT_EQ(v, 0.0f);
+  for (float v : d.bias().grad) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Dense, GradientsAccumulateAcrossBackwardCalls) {
+  util::Rng rng(5);
+  Dense d(2, 2, "d");
+  d.init_xavier(rng);
+  Matrix x = random_matrix(3, 2, rng);
+  Matrix g = random_matrix(3, 2, rng);
+  d.forward(x);
+  d.backward(g);
+  const auto once = d.weights().grad;
+  d.forward(x);
+  d.backward(g);
+  for (std::size_t i = 0; i < once.size(); ++i) {
+    EXPECT_NEAR(d.weights().grad[i], 2.0f * once[i], 1e-5f);
+  }
+}
+
+/// Numerical gradient check of a Dense layer through a scalar loss
+/// L = sum(forward(x)).
+TEST(Dense, NumericalGradientCheck) {
+  util::Rng rng(6);
+  Dense d(4, 3, "d");
+  d.init_xavier(rng);
+  Matrix x = random_matrix(2, 4, rng);
+
+  // Analytic gradients: dL/dY = 1.
+  d.zero_grad();
+  d.forward(x);
+  Matrix ones(2, 3, 1.0f);
+  const Matrix& dx = d.backward(ones);
+
+  const float eps = 1e-3f;
+  // Check dL/dW for a few entries.
+  for (std::size_t idx : {0u, 5u, 11u}) {
+    auto& w = d.weights().value;
+    const float orig = w[idx];
+    w[idx] = orig + eps;
+    float lp = 0.0f;
+    {
+      const Matrix& y = d.forward(x);
+      for (std::size_t i = 0; i < y.size(); ++i) lp += y.data()[i];
+    }
+    w[idx] = orig - eps;
+    float lm = 0.0f;
+    {
+      const Matrix& y = d.forward(x);
+      for (std::size_t i = 0; i < y.size(); ++i) lm += y.data()[i];
+    }
+    w[idx] = orig;
+    const float numeric = (lp - lm) / (2 * eps);
+    EXPECT_NEAR(d.weights().grad[idx], numeric, 5e-2f) << "w index " << idx;
+  }
+  // Check dL/dX entry 0: equals sum over outputs of W[:, 0].
+  float expected_dx = 0.0f;
+  for (std::size_t o = 0; o < 3; ++o) expected_dx += d.weights().value[o * 4];
+  EXPECT_NEAR(dx.at(0, 0), expected_dx, 1e-4f);
+}
+
+TEST(Tanh, ForwardValues) {
+  Tanh t;
+  Matrix x(1, 3);
+  x.at(0, 0) = 0.0f;
+  x.at(0, 1) = 100.0f;
+  x.at(0, 2) = -100.0f;
+  const Matrix& y = t.forward(x);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 0.0f);
+  EXPECT_NEAR(y.at(0, 1), 1.0f, 1e-6f);
+  EXPECT_NEAR(y.at(0, 2), -1.0f, 1e-6f);
+}
+
+TEST(Tanh, BackwardDerivative) {
+  Tanh t;
+  Matrix x(1, 2);
+  x.at(0, 0) = 0.5f;
+  x.at(0, 1) = -1.2f;
+  t.forward(x);
+  Matrix g(1, 2, 1.0f);
+  const Matrix& dx = t.backward(g);
+  for (std::size_t j = 0; j < 2; ++j) {
+    const float y = std::tanh(x.at(0, j));
+    EXPECT_NEAR(dx.at(0, j), 1.0f - y * y, 1e-6f);
+  }
+}
+
+TEST(Tanh, SaturatedGradientVanishes) {
+  Tanh t;
+  Matrix x(1, 1, 50.0f);
+  t.forward(x);
+  Matrix g(1, 1, 1.0f);
+  EXPECT_NEAR(t.backward(g).at(0, 0), 0.0f, 1e-6f);
+}
+
+TEST(Relu, ForwardClampsNegative) {
+  Relu r;
+  Matrix x(1, 3);
+  x.at(0, 0) = -2.0f;
+  x.at(0, 1) = 0.0f;
+  x.at(0, 2) = 3.0f;
+  const Matrix& y = r.forward(x);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 0.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 2), 3.0f);
+}
+
+TEST(Relu, BackwardMasksNegative) {
+  Relu r;
+  Matrix x(1, 2);
+  x.at(0, 0) = -1.0f;
+  x.at(0, 1) = 2.0f;
+  r.forward(x);
+  Matrix g(1, 2, 5.0f);
+  const Matrix& dx = r.backward(g);
+  EXPECT_FLOAT_EQ(dx.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(dx.at(0, 1), 5.0f);
+}
+
+}  // namespace
+}  // namespace capes::nn

@@ -1,0 +1,105 @@
+#include "nn/loss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace capes::nn {
+namespace {
+
+TEST(MseLoss, ZeroWhenEqual) {
+  Matrix pred(2, 2, 1.0f);
+  Matrix target(2, 2, 1.0f);
+  Matrix grad;
+  EXPECT_FLOAT_EQ(mse_loss(pred, target, grad), 0.0f);
+  for (std::size_t i = 0; i < grad.size(); ++i) EXPECT_EQ(grad.data()[i], 0.0f);
+}
+
+TEST(MseLoss, KnownValueAndGradient) {
+  Matrix pred(1, 2);
+  pred.at(0, 0) = 3.0f;
+  pred.at(0, 1) = 1.0f;
+  Matrix target(1, 2);
+  target.at(0, 0) = 1.0f;
+  target.at(0, 1) = 1.0f;
+  Matrix grad;
+  // MSE = (4 + 0) / 2 = 2; grad = 2 diff / n.
+  EXPECT_FLOAT_EQ(mse_loss(pred, target, grad), 2.0f);
+  EXPECT_FLOAT_EQ(grad.at(0, 0), 2.0f * 2.0f / 2.0f);
+  EXPECT_FLOAT_EQ(grad.at(0, 1), 0.0f);
+}
+
+TEST(MaskedMse, OnlySelectedColumnContributes) {
+  Matrix pred(2, 3, 5.0f);
+  std::vector<std::size_t> actions{1, 2};
+  std::vector<float> targets{5.0f, 3.0f};
+  Matrix grad;
+  // Row 0: pred 5 target 5 -> 0. Row 1: pred 5 target 3 -> 4. Mean = 2.
+  EXPECT_FLOAT_EQ(masked_mse_loss(pred, actions, targets, grad), 2.0f);
+  EXPECT_FLOAT_EQ(grad.at(0, 1), 0.0f);
+  EXPECT_FLOAT_EQ(grad.at(1, 2), 2.0f * 2.0f / 2.0f);
+  // All unselected entries have zero gradient.
+  EXPECT_FLOAT_EQ(grad.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(grad.at(0, 2), 0.0f);
+  EXPECT_FLOAT_EQ(grad.at(1, 0), 0.0f);
+  EXPECT_FLOAT_EQ(grad.at(1, 1), 0.0f);
+}
+
+TEST(MaskedMse, GradientSignPointsTowardTarget) {
+  Matrix pred(1, 2);
+  pred.at(0, 0) = 1.0f;
+  Matrix grad;
+  masked_mse_loss(pred, {0}, {2.0f}, grad);
+  EXPECT_LT(grad.at(0, 0), 0.0f);  // pred < target: gradient negative
+  masked_mse_loss(pred, {0}, {0.0f}, grad);
+  EXPECT_GT(grad.at(0, 0), 0.0f);
+}
+
+TEST(MaskedHuber, QuadraticRegionMatchesMseHalf) {
+  Matrix pred(1, 1);
+  pred.at(0, 0) = 0.5f;
+  Matrix grad;
+  // |diff| = 0.5 <= delta=1: loss = 0.5 * 0.25.
+  const float l = masked_huber_loss(pred, {0}, {0.0f}, grad, 1.0f);
+  EXPECT_FLOAT_EQ(l, 0.125f);
+  EXPECT_FLOAT_EQ(grad.at(0, 0), 0.5f);
+}
+
+TEST(MaskedHuber, LinearRegionClampsGradient) {
+  Matrix pred(1, 1);
+  pred.at(0, 0) = 10.0f;
+  Matrix grad;
+  const float l = masked_huber_loss(pred, {0}, {0.0f}, grad, 1.0f);
+  // delta*(|diff| - delta/2) = 1*(10 - 0.5) = 9.5.
+  EXPECT_FLOAT_EQ(l, 9.5f);
+  EXPECT_FLOAT_EQ(grad.at(0, 0), 1.0f);
+  pred.at(0, 0) = -10.0f;
+  masked_huber_loss(pred, {0}, {0.0f}, grad, 1.0f);
+  EXPECT_FLOAT_EQ(grad.at(0, 0), -1.0f);
+}
+
+TEST(MaskedHuber, ContinuousAtDelta) {
+  Matrix grad;
+  Matrix pred(1, 1);
+  pred.at(0, 0) = 0.999f;
+  const float below = masked_huber_loss(pred, {0}, {0.0f}, grad, 1.0f);
+  pred.at(0, 0) = 1.001f;
+  const float above = masked_huber_loss(pred, {0}, {0.0f}, grad, 1.0f);
+  EXPECT_NEAR(below, above, 1e-2f);
+}
+
+TEST(Losses, BatchAveraging) {
+  // Loss and gradient scale as 1/batch.
+  Matrix pred1(1, 1);
+  pred1.at(0, 0) = 2.0f;
+  Matrix pred4(4, 1, 2.0f);
+  Matrix g1, g4;
+  const float l1 = masked_mse_loss(pred1, {0}, {0.0f}, g1);
+  const float l4 =
+      masked_mse_loss(pred4, {0, 0, 0, 0}, {0.0f, 0.0f, 0.0f, 0.0f}, g4);
+  EXPECT_FLOAT_EQ(l1, l4);  // mean is the same
+  EXPECT_FLOAT_EQ(g4.at(0, 0), g1.at(0, 0) / 4.0f);
+}
+
+}  // namespace
+}  // namespace capes::nn

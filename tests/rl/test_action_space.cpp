@@ -1,0 +1,115 @@
+#include "rl/action_space.hpp"
+
+#include <gtest/gtest.h>
+
+namespace capes::rl {
+namespace {
+
+ActionSpace two_param_space() {
+  TunableParameter cwnd{"cwnd", 1.0, 256.0, 8.0, 8.0};
+  TunableParameter rate{"rate", 100.0, 4000.0, 100.0, 4000.0};
+  return ActionSpace({cwnd, rate});
+}
+
+TEST(ActionSpace, CountFormula) {
+  // 2 * number_of_tunable_parameters + 1 (paper §3.7).
+  EXPECT_EQ(two_param_space().num_actions(), 5u);
+  TunableParameter p{"x", 0.0, 1.0, 0.1, 0.5};
+  EXPECT_EQ(ActionSpace({p}).num_actions(), 3u);
+  EXPECT_EQ(ActionSpace({p, p, p}).num_actions(), 7u);
+}
+
+TEST(ActionSpace, NullActionIsIndexZero) {
+  const auto space = two_param_space();
+  const auto a = space.decode(0);
+  EXPECT_TRUE(a.null_action);
+}
+
+TEST(ActionSpace, DecodeMapping) {
+  const auto space = two_param_space();
+  // 1: +param0, 2: -param0, 3: +param1, 4: -param1.
+  auto a1 = space.decode(1);
+  EXPECT_FALSE(a1.null_action);
+  EXPECT_EQ(a1.parameter, 0u);
+  EXPECT_DOUBLE_EQ(a1.delta, 8.0);
+  auto a2 = space.decode(2);
+  EXPECT_EQ(a2.parameter, 0u);
+  EXPECT_DOUBLE_EQ(a2.delta, -8.0);
+  auto a3 = space.decode(3);
+  EXPECT_EQ(a3.parameter, 1u);
+  EXPECT_DOUBLE_EQ(a3.delta, 100.0);
+  auto a4 = space.decode(4);
+  EXPECT_EQ(a4.parameter, 1u);
+  EXPECT_DOUBLE_EQ(a4.delta, -100.0);
+}
+
+TEST(ActionSpace, ApplyMovesValue) {
+  const auto space = two_param_space();
+  auto values = space.initial_values();
+  EXPECT_TRUE(space.apply(space.decode(1), values));
+  EXPECT_DOUBLE_EQ(values[0], 16.0);
+  EXPECT_TRUE(space.apply(space.decode(2), values));
+  EXPECT_DOUBLE_EQ(values[0], 8.0);
+}
+
+TEST(ActionSpace, ApplyClampsAtBounds) {
+  const auto space = two_param_space();
+  std::vector<double> values{256.0, 100.0};
+  EXPECT_FALSE(space.apply(space.decode(1), values));  // already at max
+  EXPECT_DOUBLE_EQ(values[0], 256.0);
+  EXPECT_FALSE(space.apply(space.decode(4), values));  // already at min
+  EXPECT_DOUBLE_EQ(values[1], 100.0);
+}
+
+TEST(ActionSpace, ApplyPartialStepAtBoundary) {
+  const auto space = two_param_space();
+  std::vector<double> values{250.0, 4000.0};
+  EXPECT_TRUE(space.apply(space.decode(1), values));
+  EXPECT_DOUBLE_EQ(values[0], 256.0);  // clamped, but changed
+}
+
+TEST(ActionSpace, NullApplyChangesNothing) {
+  const auto space = two_param_space();
+  auto values = space.initial_values();
+  EXPECT_FALSE(space.apply(space.decode(0), values));
+  EXPECT_EQ(values, space.initial_values());
+}
+
+TEST(ActionSpace, InitialValues) {
+  const auto space = two_param_space();
+  const auto v = space.initial_values();
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_DOUBLE_EQ(v[0], 8.0);
+  EXPECT_DOUBLE_EQ(v[1], 4000.0);
+}
+
+TEST(ActionSpace, ClampVector) {
+  const auto space = two_param_space();
+  std::vector<double> v{1000.0, -5.0};
+  space.clamp(v);
+  EXPECT_DOUBLE_EQ(v[0], 256.0);
+  EXPECT_DOUBLE_EQ(v[1], 100.0);
+}
+
+TEST(ActionSpace, ParameterAccess) {
+  const auto space = two_param_space();
+  EXPECT_EQ(space.num_parameters(), 2u);
+  EXPECT_EQ(space.parameter(0).name, "cwnd");
+  EXPECT_EQ(space.parameter(1).name, "rate");
+}
+
+TEST(ActionSpace, EveryNonNullActionRoundTrips) {
+  const auto space = two_param_space();
+  for (std::size_t i = 1; i < space.num_actions(); ++i) {
+    const auto a = space.decode(i);
+    EXPECT_FALSE(a.null_action) << i;
+    EXPECT_LT(a.parameter, space.num_parameters()) << i;
+    EXPECT_NE(a.delta, 0.0) << i;
+    // Reconstruct the index from the decoded action.
+    const std::size_t rebuilt = 1 + 2 * a.parameter + (a.delta > 0 ? 0 : 1);
+    EXPECT_EQ(rebuilt, i);
+  }
+}
+
+}  // namespace
+}  // namespace capes::rl

@@ -1,0 +1,237 @@
+#include "rl/dqn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include "util/rng.hpp"
+
+namespace capes::rl {
+namespace {
+
+DqnOptions small_options() {
+  DqnOptions o;
+  o.observation_size = 4;
+  o.num_actions = 3;
+  o.num_hidden_layers = 2;
+  o.hidden_size = 16;
+  o.gamma = 0.9f;
+  o.learning_rate = 1e-3f;
+  o.seed = 7;
+  return o;
+}
+
+Minibatch make_batch(std::size_t n, std::size_t obs, std::size_t actions,
+                     util::Rng& rng) {
+  Minibatch b;
+  b.states.resize(n, obs);
+  b.next_states.resize(n, obs);
+  for (std::size_t i = 0; i < b.states.size(); ++i) {
+    b.states.data()[i] = static_cast<float>(rng.uniform(-1, 1));
+    b.next_states.data()[i] = static_cast<float>(rng.uniform(-1, 1));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    b.actions.push_back(rng.pick_index(actions));
+    b.rewards.push_back(static_cast<float>(rng.uniform(0, 1)));
+  }
+  return b;
+}
+
+TEST(Dqn, NetworkShapeFromTable1Defaults) {
+  DqnOptions o;
+  o.observation_size = 100;
+  o.num_actions = 5;
+  // hidden_size 0 -> "the size of the hidden layers is the same as the
+  // input" (Table 1).
+  Dqn dqn(o);
+  EXPECT_EQ(dqn.hidden_size(), 100u);
+  const auto& sizes = dqn.online_network().layer_sizes();
+  ASSERT_EQ(sizes.size(), 4u);  // input, 2 hidden, output
+  EXPECT_EQ(sizes[0], 100u);
+  EXPECT_EQ(sizes[1], 100u);
+  EXPECT_EQ(sizes[2], 100u);
+  EXPECT_EQ(sizes[3], 5u);
+}
+
+TEST(Dqn, QValuesSizeMatchesActions) {
+  Dqn dqn(small_options());
+  const auto q = dqn.q_values({0.1f, 0.2f, 0.3f, 0.4f});
+  EXPECT_EQ(q.size(), 3u);
+}
+
+TEST(Dqn, TargetStartsAsCopyOfOnline) {
+  Dqn dqn(small_options());
+  const auto on = dqn.online_network().parameters();
+  const auto tg = dqn.target_network().parameters();
+  for (std::size_t i = 0; i < on.size(); ++i) {
+    EXPECT_EQ(on[i]->value, tg[i]->value);
+  }
+}
+
+TEST(Dqn, GreedyMatchesArgmax) {
+  Dqn dqn(small_options());
+  const std::vector<float> obs{0.5f, -0.5f, 0.25f, 0.0f};
+  const auto q = dqn.q_values(obs);
+  const auto greedy = dqn.greedy_action(obs);
+  EXPECT_EQ(greedy, static_cast<std::size_t>(
+                        std::max_element(q.begin(), q.end()) - q.begin()));
+}
+
+TEST(Dqn, EpsilonZeroAlwaysGreedy) {
+  Dqn dqn(small_options());
+  util::Rng rng(1);
+  const std::vector<float> obs{0.1f, 0.1f, 0.1f, 0.1f};
+  const auto greedy = dqn.greedy_action(obs);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(dqn.select_action(obs, 0.0, rng), greedy);
+  }
+}
+
+TEST(Dqn, EpsilonOneIsUniformRandom) {
+  Dqn dqn(small_options());
+  util::Rng rng(2);
+  const std::vector<float> obs{0.1f, 0.1f, 0.1f, 0.1f};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 3000; ++i) {
+    ++counts[dqn.select_action(obs, 1.0, rng)];
+  }
+  for (int c : counts) EXPECT_NEAR(c, 1000, 150);
+}
+
+TEST(Dqn, TrainStepReducesLossOnFixedBatch) {
+  Dqn dqn(small_options());
+  util::Rng rng(3);
+  const Minibatch batch = make_batch(16, 4, 3, rng);
+  const float first = dqn.train_step(batch).loss;
+  float last = first;
+  for (int i = 0; i < 200; ++i) last = dqn.train_step(batch).loss;
+  EXPECT_LT(last, first);
+}
+
+TEST(Dqn, TrainStepCountsSteps) {
+  Dqn dqn(small_options());
+  util::Rng rng(4);
+  const Minibatch batch = make_batch(8, 4, 3, rng);
+  EXPECT_EQ(dqn.train_steps(), 0u);
+  dqn.train_step(batch);
+  dqn.train_step(batch);
+  EXPECT_EQ(dqn.train_steps(), 2u);
+}
+
+TEST(Dqn, SoftUpdateMovesTargetSlowly) {
+  DqnOptions o = small_options();
+  o.target_update_alpha = 0.01f;
+  Dqn dqn(o);
+  util::Rng rng(5);
+  const Minibatch batch = make_batch(8, 4, 3, rng);
+  dqn.train_step(batch);
+  // After one step the target differs from online but only slightly.
+  const auto on = dqn.online_network().parameters();
+  const auto tg = dqn.target_network().parameters();
+  double online_target_gap = 0.0;
+  for (std::size_t p = 0; p < on.size(); ++p) {
+    for (std::size_t i = 0; i < on[p]->value.size(); ++i) {
+      online_target_gap +=
+          std::abs(on[p]->value[i] - tg[p]->value[i]);
+    }
+  }
+  EXPECT_GT(online_target_gap, 0.0);
+}
+
+TEST(Dqn, NoTargetNetworkModeBootstrapsFromOnline) {
+  DqnOptions o = small_options();
+  o.use_target_network = false;
+  Dqn dqn(o);
+  util::Rng rng(6);
+  const Minibatch batch = make_batch(8, 4, 3, rng);
+  dqn.train_step(batch);
+  // Target network stays frozen at its initial copy in this mode.
+  Dqn fresh(o);
+  const auto tg = dqn.target_network().parameters();
+  const auto fresh_tg = fresh.target_network().parameters();
+  for (std::size_t p = 0; p < tg.size(); ++p) {
+    EXPECT_EQ(tg[p]->value, fresh_tg[p]->value);
+  }
+}
+
+TEST(Dqn, PredictionErrorReported) {
+  Dqn dqn(small_options());
+  util::Rng rng(7);
+  const Minibatch batch = make_batch(8, 4, 3, rng);
+  const auto r = dqn.train_step(batch);
+  EXPECT_GE(r.prediction_error, 0.0f);
+  EXPECT_GE(r.loss, 0.0f);
+}
+
+TEST(Dqn, CheckpointRoundTrip) {
+  Dqn dqn(small_options());
+  util::Rng rng(8);
+  const Minibatch batch = make_batch(8, 4, 3, rng);
+  for (int i = 0; i < 20; ++i) dqn.train_step(batch);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "capes_dqn_ckpt.bin").string();
+  ASSERT_TRUE(dqn.save_checkpoint(path));
+
+  Dqn restored(small_options());
+  ASSERT_TRUE(restored.load_checkpoint(path));
+  const std::vector<float> obs{0.3f, -0.2f, 0.9f, 0.0f};
+  const auto q1 = dqn.q_values(obs);
+  const auto q2 = restored.q_values(obs);
+  for (std::size_t i = 0; i < q1.size(); ++i) EXPECT_EQ(q1[i], q2[i]);
+  std::remove(path.c_str());
+}
+
+TEST(Dqn, LoadRejectsWrongShape) {
+  Dqn dqn(small_options());
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "capes_dqn_shape.bin").string();
+  ASSERT_TRUE(dqn.save_checkpoint(path));
+  DqnOptions other = small_options();
+  other.observation_size = 5;
+  Dqn incompatible(other);
+  EXPECT_FALSE(incompatible.load_checkpoint(path));
+  std::remove(path.c_str());
+}
+
+TEST(Dqn, MemoryBytesPositive) {
+  Dqn dqn(small_options());
+  EXPECT_GT(dqn.memory_bytes(), 0u);
+}
+
+/// End-to-end sanity: a contextual bandit where action 1 is always best.
+/// After training on random transitions, the greedy policy should pick it.
+TEST(Dqn, LearnsContextualBandit) {
+  DqnOptions o = small_options();
+  o.gamma = 0.0f;  // bandit: no bootstrapping
+  o.learning_rate = 3e-3f;
+  Dqn dqn(o);
+  util::Rng rng(9);
+  for (int step = 0; step < 400; ++step) {
+    Minibatch b;
+    const std::size_t n = 16;
+    b.states.resize(n, 4);
+    b.next_states.resize(n, 4);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < 4; ++j) {
+        b.states.at(i, j) = static_cast<float>(rng.uniform(-1, 1));
+        b.next_states.at(i, j) = static_cast<float>(rng.uniform(-1, 1));
+      }
+      const std::size_t a = rng.pick_index(3);
+      b.actions.push_back(a);
+      b.rewards.push_back(a == 1 ? 1.0f : 0.0f);
+    }
+    dqn.train_step(b);
+  }
+  int picked_best = 0;
+  for (int i = 0; i < 50; ++i) {
+    std::vector<float> obs(4);
+    for (auto& v : obs) v = static_cast<float>(rng.uniform(-1, 1));
+    picked_best += dqn.greedy_action(obs) == 1;
+  }
+  EXPECT_GE(picked_best, 45);
+}
+
+}  // namespace
+}  // namespace capes::rl

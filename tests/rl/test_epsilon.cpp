@@ -1,0 +1,90 @@
+#include "rl/epsilon.hpp"
+
+#include <gtest/gtest.h>
+
+namespace capes::rl {
+namespace {
+
+EpsilonSchedule::Options table1_options() {
+  EpsilonSchedule::Options o;
+  o.initial = 1.0;
+  o.final_value = 0.05;
+  o.anneal_ticks = 7200;
+  o.bump_value = 0.2;
+  o.bump_ticks = 600;
+  return o;
+}
+
+TEST(Epsilon, StartsAtInitial) {
+  EpsilonSchedule e(table1_options());
+  EXPECT_DOUBLE_EQ(e.value(0), 1.0);
+  EXPECT_DOUBLE_EQ(e.value(-5), 1.0);
+}
+
+TEST(Epsilon, EndsAtFinal) {
+  EpsilonSchedule e(table1_options());
+  EXPECT_DOUBLE_EQ(e.value(7200), 0.05);
+  EXPECT_DOUBLE_EQ(e.value(100000), 0.05);
+}
+
+TEST(Epsilon, LinearMidpoint) {
+  EpsilonSchedule e(table1_options());
+  EXPECT_NEAR(e.value(3600), (1.0 + 0.05) / 2.0, 1e-9);
+}
+
+TEST(Epsilon, MonotoneNonIncreasing) {
+  EpsilonSchedule e(table1_options());
+  double prev = 2.0;
+  for (std::int64_t t = 0; t <= 8000; t += 100) {
+    const double v = e.value(t);
+    EXPECT_LE(v, prev + 1e-12);
+    prev = v;
+  }
+}
+
+TEST(Epsilon, WorkloadBumpRaisesEpsilon) {
+  EpsilonSchedule e(table1_options());
+  // Far past annealing: base is 0.05.
+  e.notify_workload_change(10000);
+  EXPECT_NEAR(e.value(10000), 0.2, 1e-9);
+  EXPECT_GT(e.value(10300), 0.05);
+  // After bump_ticks the bump has decayed back.
+  EXPECT_NEAR(e.value(10600), 0.05, 1e-9);
+}
+
+TEST(Epsilon, BumpDecaysLinearly) {
+  EpsilonSchedule e(table1_options());
+  e.notify_workload_change(20000);
+  const double mid = e.value(20300);
+  EXPECT_NEAR(mid, (0.2 + 0.05) / 2.0, 1e-9);
+}
+
+TEST(Epsilon, BumpNeverLowersEpsilon) {
+  // During early annealing the base epsilon exceeds the bump value; the
+  // bump must not reduce exploration.
+  EpsilonSchedule e(table1_options());
+  e.notify_workload_change(100);
+  EXPECT_DOUBLE_EQ(e.value(100), e.value(100));
+  EXPECT_GE(e.value(150), 0.9);  // still near the annealing line
+}
+
+TEST(Epsilon, BumpBeforeItsTickHasNoEffect) {
+  EpsilonSchedule e(table1_options());
+  e.notify_workload_change(5000);
+  EXPECT_NEAR(e.value(4000), 1.0 - 4000.0 / 7200.0 * 0.95, 1e-9);
+}
+
+TEST(Epsilon, RepeatedBumpsRestart) {
+  EpsilonSchedule e(table1_options());
+  e.notify_workload_change(10000);
+  e.notify_workload_change(10500);
+  EXPECT_NEAR(e.value(10500), 0.2, 1e-9);
+}
+
+TEST(Epsilon, DefaultConstructible) {
+  EpsilonSchedule e;
+  EXPECT_DOUBLE_EQ(e.value(0), 1.0);
+}
+
+}  // namespace
+}  // namespace capes::rl

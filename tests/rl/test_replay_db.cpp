@@ -1,0 +1,243 @@
+#include "rl/replay_db.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "util/rng.hpp"
+
+namespace capes::rl {
+namespace {
+
+ReplayDbOptions small_options() {
+  ReplayDbOptions o;
+  o.num_nodes = 2;
+  o.pis_per_node = 3;
+  o.ticks_per_observation = 4;
+  o.missing_tolerance = 0.2;
+  return o;
+}
+
+std::vector<float> pis(float base) { return {base, base + 0.1f, base + 0.2f}; }
+
+/// Fill ticks [0, n) completely with per-node data, actions and rewards.
+void fill(ReplayDb& db, std::int64_t n) {
+  for (std::int64_t t = 0; t < n; ++t) {
+    for (std::size_t node = 0; node < db.options().num_nodes; ++node) {
+      db.record_status(t, node, pis(static_cast<float>(t + node * 100)));
+    }
+    db.record_action(t, static_cast<std::size_t>(t % 3));
+    db.record_reward(t, static_cast<double>(t) * 0.1);
+  }
+}
+
+TEST(ReplayDb, ObservationSize) {
+  ReplayDb db(small_options());
+  EXPECT_EQ(db.observation_size(), 2u * 3u * 4u);
+}
+
+TEST(ReplayDb, RecordAndFetch) {
+  ReplayDb db(small_options());
+  db.record_status(5, 1, pis(2.0f));
+  auto v = db.status_at(5, 1);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_FLOAT_EQ((*v)[0], 2.0f);
+  EXPECT_FALSE(db.status_at(5, 0).has_value());
+  EXPECT_FALSE(db.status_at(6, 1).has_value());
+}
+
+TEST(ReplayDb, ActionsAndRewards) {
+  ReplayDb db(small_options());
+  db.record_action(3, 2);
+  db.record_reward(4, 0.7);
+  EXPECT_EQ(db.action_at(3), 2u);
+  EXPECT_FALSE(db.action_at(4).has_value());
+  EXPECT_DOUBLE_EQ(*db.reward_at(4), 0.7);
+  EXPECT_FALSE(db.reward_at(3).has_value());
+}
+
+TEST(ReplayDb, TickBounds) {
+  ReplayDb db(small_options());
+  EXPECT_EQ(db.tick_count(), 0u);
+  db.record_reward(10, 1.0);
+  db.record_reward(3, 1.0);
+  db.record_reward(7, 1.0);
+  EXPECT_EQ(db.min_tick(), 3);
+  EXPECT_EQ(db.max_tick(), 10);
+  EXPECT_EQ(db.tick_count(), 3u);
+}
+
+TEST(ReplayDb, HasObservationRequiresFullWindow) {
+  ReplayDb db(small_options());
+  fill(db, 10);
+  EXPECT_TRUE(db.has_observation(3));   // ticks 0..3
+  EXPECT_TRUE(db.has_observation(9));
+  EXPECT_FALSE(db.has_observation(2));  // window would start at -1
+  EXPECT_FALSE(db.has_observation(10)); // tick 10 absent
+}
+
+TEST(ReplayDb, ObservationLayoutTickMajor) {
+  ReplayDb db(small_options());
+  fill(db, 6);
+  std::vector<float> obs(db.observation_size());
+  ASSERT_TRUE(db.build_observation(5, obs.data()));
+  // First row is tick 2 (= t - S + 1): node0 then node1.
+  EXPECT_FLOAT_EQ(obs[0], 2.0f);          // tick2 node0 pi0
+  EXPECT_FLOAT_EQ(obs[3], 102.0f);        // tick2 node1 pi0
+  // Last row is tick 5.
+  EXPECT_FLOAT_EQ(obs[3 * 6 + 0], 5.0f);  // tick5 node0 pi0
+  EXPECT_FLOAT_EQ(obs[3 * 6 + 5], 105.2f);
+}
+
+TEST(ReplayDb, MissingToleranceAccepted) {
+  ReplayDb db(small_options());
+  fill(db, 8);
+  // Drop one node-tick out of 8 (12.5% < 20%): still acceptable. Rebuild
+  // a fresh DB without node 1 at tick 6.
+  ReplayDb db2(small_options());
+  for (std::int64_t t = 4; t < 8; ++t) {
+    db2.record_status(t, 0, pis(static_cast<float>(t)));
+    if (t != 6) db2.record_status(t, 1, pis(static_cast<float>(t + 100)));
+  }
+  EXPECT_TRUE(db2.has_observation(7));
+  std::vector<float> obs(db2.observation_size());
+  ASSERT_TRUE(db2.build_observation(7, obs.data()));
+  // Missing (tick6, node1) filled with last known value (tick5 node1).
+  const std::size_t row = 2 * 3;
+  const std::size_t tick6_node1 = 2 * row + 3;
+  EXPECT_FLOAT_EQ(obs[tick6_node1], 105.0f);
+}
+
+TEST(ReplayDb, TooMuchMissingRejected) {
+  ReplayDb db(small_options());
+  // Only node 0 reports: 50% missing > 20%.
+  for (std::int64_t t = 0; t < 8; ++t) {
+    db.record_status(t, 0, pis(static_cast<float>(t)));
+  }
+  EXPECT_FALSE(db.has_observation(7));
+  std::vector<float> obs(db.observation_size());
+  EXPECT_FALSE(db.build_observation(7, obs.data()));
+}
+
+TEST(ReplayDb, MissingFilledWithZeroWhenNoHistory) {
+  ReplayDbOptions o = small_options();
+  o.missing_tolerance = 0.5;
+  ReplayDb db(o);
+  // node1 missing at the FIRST tick of the window: no last-known value.
+  for (std::int64_t t = 0; t < 4; ++t) {
+    db.record_status(t, 0, pis(static_cast<float>(t)));
+    if (t > 0) db.record_status(t, 1, pis(static_cast<float>(t + 100)));
+  }
+  std::vector<float> obs(db.observation_size());
+  ASSERT_TRUE(db.build_observation(3, obs.data()));
+  EXPECT_FLOAT_EQ(obs[3], 0.0f);  // tick0 node1 pi0 -> zero fill
+}
+
+TEST(ReplayDb, MinibatchShapeAndContents) {
+  ReplayDb db(small_options());
+  fill(db, 50);
+  util::Rng rng(1);
+  auto batch = db.construct_minibatch(8, rng);
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(batch->size(), 8u);
+  EXPECT_EQ(batch->states.rows(), 8u);
+  EXPECT_EQ(batch->states.cols(), db.observation_size());
+  EXPECT_EQ(batch->next_states.cols(), db.observation_size());
+  EXPECT_EQ(batch->actions.size(), 8u);
+  EXPECT_EQ(batch->rewards.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    // next_state's first PI of the last tick row equals state's + 1.
+    const float s_last = batch->states.at(i, 3 * 6);
+    const float ns_last = batch->next_states.at(i, 3 * 6);
+    EXPECT_FLOAT_EQ(ns_last, s_last + 1.0f);
+    // Reward recorded at t+1 is 0.1 * (t + 1).
+    EXPECT_NEAR(batch->rewards[i], 0.1f * (s_last + 1.0f), 1e-4f);
+    // Action recorded at t is t % 3.
+    EXPECT_EQ(batch->actions[i],
+              static_cast<std::size_t>(static_cast<std::int64_t>(s_last)) % 3);
+  }
+}
+
+TEST(ReplayDb, MinibatchFailsOnEmptyDb) {
+  ReplayDb db(small_options());
+  util::Rng rng(2);
+  EXPECT_FALSE(db.construct_minibatch(4, rng).has_value());
+}
+
+TEST(ReplayDb, MinibatchFailsWhenTooSparse) {
+  ReplayDb db(small_options());
+  fill(db, 4);  // only ticks 0..3: need obs at t and t+1 -> t=3 lacks t+1
+  util::Rng rng(3);
+  EXPECT_FALSE(db.construct_minibatch(4, rng).has_value());
+}
+
+TEST(ReplayDb, MinibatchSkipsGaps) {
+  ReplayDb db(small_options());
+  fill(db, 30);
+  // Punch a hole: no action at tick 15 in a fresh DB.
+  ReplayDb db2(small_options());
+  for (std::int64_t t = 0; t < 30; ++t) {
+    for (std::size_t node = 0; node < 2; ++node) {
+      db2.record_status(t, node, pis(static_cast<float>(t)));
+    }
+    if (t != 15) db2.record_action(t, 0);
+    db2.record_reward(t, 1.0);
+  }
+  util::Rng rng(4);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto batch = db2.construct_minibatch(16, rng);
+    ASSERT_TRUE(batch.has_value());
+    for (std::size_t i = 0; i < batch->size(); ++i) {
+      const float t_last = batch->states.at(i, 3 * 6);
+      EXPECT_NE(static_cast<std::int64_t>(t_last), 15);
+    }
+  }
+}
+
+TEST(ReplayDb, UsableTransitionsCount) {
+  ReplayDb db(small_options());
+  fill(db, 20);
+  // t in [3, 18]: needs obs at t (t>=3) and t+1 (t+1<=19) -> 16.
+  EXPECT_EQ(db.usable_transitions(), 16u);
+}
+
+TEST(ReplayDb, RetentionTrimsOldTicks) {
+  ReplayDbOptions o = small_options();
+  o.max_ticks_retained = 10;
+  ReplayDb db(o);
+  fill(db, 50);
+  EXPECT_LE(db.tick_count(), 10u);
+  EXPECT_EQ(db.max_tick(), 49);
+  EXPECT_GE(db.min_tick(), 40);
+}
+
+TEST(ReplayDb, PersistsToWaldb) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "capes_replay_persist").string();
+  std::filesystem::remove_all(dir);
+  {
+    waldb::Database db;
+    ASSERT_TRUE(db.open(dir));
+    ReplayDb replay(small_options(), &db);
+    fill(replay, 10);
+    db.flush();
+  }
+  waldb::Database db2;
+  ASSERT_TRUE(db2.open(dir));
+  EXPECT_NE(db2.find_table("status"), nullptr);
+  EXPECT_NE(db2.find_table("action"), nullptr);
+  EXPECT_NE(db2.find_table("reward"), nullptr);
+  EXPECT_EQ(db2.find_table("status")->count(), 20u);  // 10 ticks x 2 nodes
+  EXPECT_EQ(db2.find_table("action")->count(), 10u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ReplayDb, MemoryBytesScaleWithTicks) {
+  ReplayDb db(small_options());
+  const auto m0 = db.memory_bytes();
+  fill(db, 100);
+  EXPECT_GT(db.memory_bytes(), m0);
+}
+
+}  // namespace
+}  // namespace capes::rl

@@ -1,0 +1,212 @@
+#include "sim/disk.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace capes::sim {
+namespace {
+
+DiskOptions quiet_opts() {
+  DiskOptions o;
+  o.service_noise = 0.0;
+  return o;
+}
+
+DiskRequest request(bool write, std::uint64_t obj, std::uint64_t off,
+                    std::uint64_t bytes,
+                    std::function<void(TimeUs)> done = nullptr) {
+  DiskRequest r;
+  r.is_write = write;
+  r.object_id = obj;
+  r.offset = off;
+  r.bytes = bytes;
+  r.done = std::move(done);
+  return r;
+}
+
+TEST(Disk, SequentialWriteAtFullBandwidth) {
+  Simulator sim;
+  Disk disk(sim, quiet_opts(), util::Rng(1));
+  TimeUs t1 = 0, t2 = 0;
+  disk.enqueue(request(true, 1, 0, 1 << 20, [&](TimeUs) { t1 = sim.now(); }));
+  disk.enqueue(
+      request(true, 1, 1 << 20, 1 << 20, [&](TimeUs) { t2 = sim.now(); }));
+  sim.run_until(seconds(10));
+  // First request pays positioning; the second is sequential: only
+  // transfer time (1 MB / 106 MB/s ~ 9.9 ms).
+  const TimeUs second_service = t2 - t1;
+  EXPECT_NEAR(static_cast<double>(second_service), 1e6 * (1 << 20) / 106e6,
+              500.0);
+}
+
+TEST(Disk, RandomAccessPaysPositioning) {
+  Simulator sim;
+  Disk disk(sim, quiet_opts(), util::Rng(2));
+  TimeUs t1 = 0, t2 = 0;
+  disk.enqueue(request(true, 1, 0, 4096, [&](TimeUs) { t1 = sim.now(); }));
+  disk.enqueue(
+      request(true, 1, 1 << 30, 4096, [&](TimeUs) { t2 = sim.now(); }));
+  sim.run_until(seconds(10));
+  // Non-contiguous: second also pays positioning (write queue of 1-2:
+  // factor close to 1). Should be on the order of 10+ ms.
+  EXPECT_GT(t2 - t1, 5000);
+}
+
+TEST(Disk, BackwardOffsetIsNotSequential) {
+  Simulator sim;
+  Disk disk(sim, quiet_opts(), util::Rng(3));
+  TimeUs t1 = 0, t2 = 0;
+  disk.enqueue(request(false, 1, 1 << 24, 4096, [&](TimeUs) { t1 = sim.now(); }));
+  disk.enqueue(request(false, 1, 0, 4096, [&](TimeUs) { t2 = sim.now(); }));
+  sim.run_until(seconds(10));
+  EXPECT_GT(t2 - t1, 5000);
+}
+
+TEST(Disk, DeepWriteQueueServicesFaster) {
+  // The core mechanism behind Figure 2: random writes are serviced faster
+  // per request when many are queued (merging/elevator).
+  auto run = [](std::size_t queue_depth) {
+    Simulator sim;
+    Disk disk(sim, quiet_opts(), util::Rng(4));
+    util::Rng rng(5);
+    std::vector<TimeUs> services;
+    // Keep the queue at the given depth for 200 completions.
+    std::function<void()> refill = [&] {
+      while (disk.queue_depth() < queue_depth) {
+        disk.enqueue(request(true, 1, rng.next_u64() % (1ull << 36), 65536,
+                             [&](TimeUs) { refill(); }));
+      }
+    };
+    refill();
+    sim.run_until(seconds(20));
+    return disk.bytes_written();
+  };
+  const auto shallow = run(4);
+  const auto deep = run(200);
+  EXPECT_GT(static_cast<double>(deep), 1.5 * static_cast<double>(shallow));
+}
+
+TEST(Disk, ReadQueueDepthBarelyMatters) {
+  auto run = [](std::size_t queue_depth) {
+    Simulator sim;
+    Disk disk(sim, quiet_opts(), util::Rng(6));
+    util::Rng rng(7);
+    std::function<void()> refill = [&] {
+      while (disk.queue_depth() < queue_depth) {
+        disk.enqueue(request(false, 1, rng.next_u64() % (1ull << 36), 65536,
+                             [&](TimeUs) { refill(); }));
+      }
+    };
+    refill();
+    sim.run_until(seconds(20));
+    return disk.bytes_read();
+  };
+  const auto shallow = run(4);
+  const auto deep = run(200);
+  // Reads gain a little from the elevator but stay seek-bound: < 40%.
+  EXPECT_LT(static_cast<double>(deep), 1.4 * static_cast<double>(shallow));
+  EXPECT_GE(static_cast<double>(deep), 0.95 * static_cast<double>(shallow));
+}
+
+TEST(Disk, ReadsPreemptQueuedWrites) {
+  Simulator sim;
+  Disk disk(sim, quiet_opts(), util::Rng(8));
+  util::Rng rng(9);
+  // Stuff a deep write queue, then submit one read.
+  for (int i = 0; i < 100; ++i) {
+    disk.enqueue(request(true, 1, rng.next_u64() % (1ull << 36), 65536));
+  }
+  TimeUs read_done = -1;
+  disk.enqueue(request(false, 2, 0, 4096, [&](TimeUs) { read_done = sim.now(); }));
+  sim.run_until(seconds(30));
+  // The read should complete after ~2 service times (current write +
+  // read), not after draining 100 writes.
+  EXPECT_GT(read_done, 0);
+  EXPECT_LT(read_done, 100000);
+}
+
+TEST(Disk, WritesNotStarvedByReads) {
+  Simulator sim;
+  DiskOptions opts = quiet_opts();
+  opts.max_consecutive_reads = 4;
+  Disk disk(sim, opts, util::Rng(10));
+  util::Rng rng(11);
+  // Sustain a read flood and one queued write.
+  std::function<void()> read_flood = [&] {
+    while (disk.queued_reads() < 20) {
+      disk.enqueue(request(false, 1, rng.next_u64() % (1ull << 36), 4096,
+                           [&](TimeUs) { read_flood(); }));
+    }
+  };
+  read_flood();
+  TimeUs write_done = -1;
+  disk.enqueue(request(true, 2, 0, 4096, [&](TimeUs) { write_done = sim.now(); }));
+  sim.run_until(seconds(10));
+  EXPECT_GT(write_done, 0);
+  EXPECT_LT(write_done, seconds(1));
+}
+
+TEST(Disk, StatsAccumulate) {
+  Simulator sim;
+  Disk disk(sim, quiet_opts(), util::Rng(12));
+  disk.enqueue(request(true, 1, 0, 1000));
+  disk.enqueue(request(false, 1, 1 << 20, 2000));
+  sim.run_until(seconds(5));
+  EXPECT_EQ(disk.bytes_written(), 1000u);
+  EXPECT_EQ(disk.bytes_read(), 2000u);
+  EXPECT_EQ(disk.completed_ops(), 2u);
+  EXPECT_GT(disk.busy_time(), 0);
+}
+
+TEST(Disk, ProcessTimeIncludesQueueWait) {
+  Simulator sim;
+  Disk disk(sim, quiet_opts(), util::Rng(13));
+  std::vector<TimeUs> pts;
+  for (int i = 0; i < 5; ++i) {
+    disk.enqueue(request(true, 1, i * (1ull << 30), 4096,
+                         [&](TimeUs pt) { pts.push_back(pt); }));
+  }
+  sim.run_until(seconds(10));
+  ASSERT_EQ(pts.size(), 5u);
+  // Later requests waited behind earlier ones.
+  EXPECT_GT(pts[4], pts[0]);
+  EXPECT_EQ(disk.min_process_time(), pts[0]);
+  EXPECT_EQ(disk.last_process_time(), pts[4]);
+}
+
+TEST(Disk, NoiseChangesServiceTimes) {
+  DiskOptions opts;
+  opts.service_noise = 0.2;
+  Simulator sim;
+  Disk disk(sim, opts, util::Rng(14));
+  std::vector<TimeUs> completions;
+  for (int i = 0; i < 10; ++i) {
+    disk.enqueue(request(true, 1, i * (1ull << 30), 4096,
+                         [&](TimeUs) { completions.push_back(sim.now()); }));
+  }
+  sim.run_until(seconds(10));
+  std::set<TimeUs> gaps;
+  for (std::size_t i = 1; i < completions.size(); ++i) {
+    gaps.insert(completions[i] - completions[i - 1]);
+  }
+  EXPECT_GT(gaps.size(), 5u);
+}
+
+TEST(Disk, QueueDepthCounts) {
+  Simulator sim;
+  Disk disk(sim, quiet_opts(), util::Rng(15));
+  disk.enqueue(request(true, 1, 0, 4096));
+  disk.enqueue(request(true, 1, 1 << 25, 4096));
+  disk.enqueue(request(false, 1, 1 << 26, 4096));
+  // One dispatched (busy), two queued.
+  EXPECT_EQ(disk.queue_depth(), 3u);
+  EXPECT_EQ(disk.queued_writes() + disk.queued_reads(), 2u);
+  sim.run_until(seconds(5));
+  EXPECT_EQ(disk.queue_depth(), 0u);
+}
+
+}  // namespace
+}  // namespace capes::sim

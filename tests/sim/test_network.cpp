@@ -1,0 +1,140 @@
+#include "sim/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace capes::sim {
+namespace {
+
+NetworkOptions default_opts() {
+  NetworkOptions o;
+  o.link_bandwidth_mbs = 100.0;  // 10 us per KB
+  o.fabric_bandwidth_mbs = 400.0;
+  o.base_latency = 200;
+  o.jitter_fraction = 0.0;
+  return o;
+}
+
+TEST(Network, SmallMessageLatencyDominated) {
+  Simulator sim;
+  Network net(sim, 2, default_opts(), util::Rng(1));
+  TimeUs delivered = -1;
+  net.send(0, 1, 100, [&] { delivered = sim.now(); });
+  sim.run_until(seconds(1));
+  // ~1us uplink + ~1us fabric + ~1us downlink + 200us latency.
+  EXPECT_GE(delivered, 200);
+  EXPECT_LE(delivered, 220);
+}
+
+TEST(Network, TransferTimeScalesWithSize) {
+  Simulator sim;
+  Network net(sim, 2, default_opts(), util::Rng(2));
+  TimeUs t_small = 0, t_large = 0;
+  net.send(0, 1, 1000, [&] { t_small = sim.now(); });
+  sim.run_until(seconds(1));
+  Simulator sim2;
+  Network net2(sim2, 2, default_opts(), util::Rng(2));
+  net2.send(0, 1, 10'000'000, [&] { t_large = sim2.now(); });
+  sim2.run_until(seconds(10));
+  // 10 MB at 100 MB/s uplink+downlink = 2 * 0.1 s plus fabric 25 ms.
+  EXPECT_GT(t_large, t_small + 100000);
+}
+
+TEST(Network, BandwidthApproximatelyCorrect) {
+  Simulator sim;
+  Network net(sim, 2, default_opts(), util::Rng(3));
+  TimeUs done = 0;
+  const std::uint64_t bytes = 10'000'000;  // 10 MB
+  net.send(0, 1, bytes, [&] { done = sim.now(); });
+  sim.run_until(seconds(10));
+  // Serial path: 100ms uplink + 25ms fabric + 100ms downlink + latency.
+  EXPECT_NEAR(static_cast<double>(done), 225200.0, 5000.0);
+}
+
+TEST(Network, UplinkSerializesSameSender) {
+  Simulator sim;
+  Network net(sim, 3, default_opts(), util::Rng(4));
+  TimeUs first = 0, second = 0;
+  net.send(0, 1, 1'000'000, [&] { first = sim.now(); });
+  net.send(0, 2, 1'000'000, [&] { second = sim.now(); });
+  sim.run_until(seconds(5));
+  // The second transfer waits for the first on the shared uplink.
+  EXPECT_GT(second, first + 5000);
+}
+
+TEST(Network, DistinctSendersShareOnlyFabric) {
+  Simulator sim;
+  NetworkOptions opts = default_opts();
+  opts.fabric_bandwidth_mbs = 1e9;  // effectively infinite fabric
+  Network net(sim, 4, opts, util::Rng(5));
+  TimeUs a = 0, b = 0;
+  net.send(0, 2, 1'000'000, [&] { a = sim.now(); });
+  net.send(1, 3, 1'000'000, [&] { b = sim.now(); });
+  sim.run_until(seconds(5));
+  // Disjoint paths: both complete at nearly the same time.
+  EXPECT_NEAR(static_cast<double>(a), static_cast<double>(b), 2000.0);
+}
+
+TEST(Network, FabricCapsAggregate) {
+  Simulator sim;
+  NetworkOptions opts = default_opts();
+  opts.link_bandwidth_mbs = 1e9;     // infinite links
+  opts.fabric_bandwidth_mbs = 100.0; // 100 MB/s shared
+  Network net(sim, 6, opts, util::Rng(6));
+  int done = 0;
+  // 3 disjoint pairs send 10 MB each = 30 MB total.
+  net.send(0, 3, 10'000'000, [&] { ++done; });
+  net.send(1, 4, 10'000'000, [&] { ++done; });
+  net.send(2, 5, 10'000'000, [&] { ++done; });
+  sim.run_until(seconds(0.25));
+  EXPECT_LT(done, 3);  // 30 MB at 100 MB/s needs 0.3 s
+  sim.run_until(seconds(0.5));
+  EXPECT_EQ(done, 3);
+}
+
+TEST(Network, EstimateLatencyIdle) {
+  Simulator sim;
+  Network net(sim, 2, default_opts(), util::Rng(7));
+  EXPECT_EQ(net.estimate_latency(0, 1), 200);
+}
+
+TEST(Network, EstimateLatencyGrowsWithBacklog) {
+  Simulator sim;
+  Network net(sim, 2, default_opts(), util::Rng(8));
+  net.send(0, 1, 50'000'000, [] {});
+  // Estimate includes the receiver downlink backlog.
+  EXPECT_GT(net.estimate_latency(0, 1), 200);
+}
+
+TEST(Network, TotalBytesAccumulate) {
+  Simulator sim;
+  Network net(sim, 2, default_opts(), util::Rng(9));
+  net.send(0, 1, 1000, [] {});
+  net.send(1, 0, 500, [] {});
+  EXPECT_EQ(net.total_bytes_sent(), 1500u);
+}
+
+TEST(Network, JitterVariesLatency) {
+  Simulator sim;
+  NetworkOptions opts = default_opts();
+  opts.jitter_fraction = 0.5;
+  Network net(sim, 2, opts, util::Rng(10));
+  std::vector<TimeUs> arrivals;
+  TimeUs prev_end = 0;
+  for (int i = 0; i < 20; ++i) {
+    net.send(0, 1, 10, [&, i] { arrivals.push_back(sim.now()); });
+  }
+  (void)prev_end;
+  sim.run_until(seconds(1));
+  ASSERT_EQ(arrivals.size(), 20u);
+  // Gaps between consecutive arrivals should not all be identical.
+  std::set<TimeUs> gaps;
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    gaps.insert(arrivals[i] - arrivals[i - 1]);
+  }
+  EXPECT_GT(gaps.size(), 3u);
+}
+
+}  // namespace
+}  // namespace capes::sim

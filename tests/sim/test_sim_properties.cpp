@@ -1,0 +1,127 @@
+// Property/stress tests on the simulation substrate: conservation laws
+// and monotonicity that must hold for any parameterization.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/disk.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace capes::sim {
+namespace {
+
+class DiskQueueDepthSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DiskQueueDepthSweep, WriteThroughputMonotoneInDepth) {
+  // Random-write service rate must be non-decreasing in queue depth
+  // (merging/elevator can only help) — the Figure 2 mechanism.
+  auto bytes_at_depth = [](std::size_t depth) {
+    Simulator sim;
+    DiskOptions opts;
+    opts.service_noise = 0.0;
+    Disk disk(sim, opts, util::Rng(1));
+    util::Rng rng(2);
+    std::function<void()> refill = [&] {
+      while (disk.queue_depth() < depth) {
+        DiskRequest r;
+        r.is_write = true;
+        r.object_id = 1;
+        r.offset = rng.next_u64() % (1ull << 36);
+        r.bytes = 65536;
+        r.done = [&](TimeUs) { refill(); };
+        disk.enqueue(std::move(r));
+      }
+    };
+    refill();
+    sim.run_until(seconds(10));
+    return disk.bytes_written();
+  };
+  const std::size_t depth = GetParam();
+  EXPECT_GE(bytes_at_depth(depth * 2) + (1 << 20), bytes_at_depth(depth));
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, DiskQueueDepthSweep,
+                         ::testing::Values(1, 4, 16, 64, 256));
+
+TEST(DiskConservation, EveryEnqueuedRequestCompletesOnce) {
+  Simulator sim;
+  DiskOptions opts;
+  Disk disk(sim, opts, util::Rng(3));
+  util::Rng rng(4);
+  int completions = 0;
+  constexpr int kRequests = 500;
+  for (int i = 0; i < kRequests; ++i) {
+    DiskRequest r;
+    r.is_write = rng.chance(0.5);
+    r.object_id = rng.uniform_u64(4);
+    r.offset = rng.next_u64() % (1ull << 32);
+    r.bytes = 4096 + rng.uniform_u64(1 << 16);
+    r.done = [&](TimeUs) { ++completions; };
+    disk.enqueue(std::move(r));
+  }
+  sim.run_until(seconds(600));
+  EXPECT_EQ(completions, kRequests);
+  EXPECT_EQ(disk.completed_ops(), static_cast<std::uint64_t>(kRequests));
+  EXPECT_EQ(disk.queue_depth(), 0u);
+}
+
+TEST(NetworkConservation, EveryMessageDeliveredExactlyOnce) {
+  Simulator sim;
+  NetworkOptions opts;
+  Network net(sim, 6, opts, util::Rng(5));
+  util::Rng rng(6);
+  int delivered = 0;
+  constexpr int kMessages = 1000;
+  std::uint64_t sent_bytes = 0;
+  for (int i = 0; i < kMessages; ++i) {
+    const NodeId src = rng.pick_index(6);
+    NodeId dst = rng.pick_index(6);
+    if (dst == src) dst = (dst + 1) % 6;
+    const std::uint64_t bytes = 64 + rng.uniform_u64(1 << 20);
+    sent_bytes += bytes;
+    net.send(src, dst, bytes, [&] { ++delivered; });
+  }
+  sim.run_until(seconds(600));
+  EXPECT_EQ(delivered, kMessages);
+  EXPECT_EQ(net.total_bytes_sent(), sent_bytes);
+}
+
+TEST(NetworkCausality, DeliveryNeverBeforeMinimumLatency) {
+  Simulator sim;
+  NetworkOptions opts;
+  opts.base_latency = 500;
+  opts.jitter_fraction = 0.0;
+  Network net(sim, 2, opts, util::Rng(7));
+  std::vector<TimeUs> deliveries;
+  for (int i = 0; i < 50; ++i) {
+    net.send(0, 1, 1000, [&] { deliveries.push_back(sim.now()); });
+  }
+  sim.run_until(seconds(10));
+  ASSERT_EQ(deliveries.size(), 50u);
+  for (std::size_t i = 0; i < deliveries.size(); ++i) {
+    EXPECT_GE(deliveries[i], 500);
+    if (i > 0) EXPECT_GE(deliveries[i], deliveries[i - 1]);  // FIFO per link
+  }
+}
+
+TEST(SimulatorStress, ManyInterleavedTimersStayOrdered) {
+  Simulator sim;
+  util::Rng rng(8);
+  TimeUs last_seen = -1;
+  bool ordered = true;
+  for (int i = 0; i < 20000; ++i) {
+    sim.schedule_at(static_cast<TimeUs>(rng.uniform_u64(1000000)), [&] {
+      if (sim.now() < last_seen) ordered = false;
+      last_seen = sim.now();
+    });
+  }
+  sim.run_until(1000000);
+  EXPECT_TRUE(ordered);
+  EXPECT_EQ(sim.executed_events(), 20000u);
+}
+
+}  // namespace
+}  // namespace capes::sim

@@ -1,0 +1,142 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace capes::sim {
+namespace {
+
+TEST(Simulator, TimeStartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+}
+
+TEST(Simulator, SecondsHelper) {
+  EXPECT_EQ(seconds(1.0), 1000000);
+  EXPECT_EQ(seconds(0.5), 500000);
+  EXPECT_EQ(kUsPerSec, 1000000);
+  EXPECT_EQ(kUsPerMs, 1000);
+}
+
+TEST(Simulator, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(300, [&] { order.push_back(3); });
+  sim.schedule_at(100, [&] { order.push_back(1); });
+  sim.schedule_at(200, [&] { order.push_back(2); });
+  sim.run_until(1000);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, TiesBreakByInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(100, [&] { order.push_back(1); });
+  sim.schedule_at(100, [&] { order.push_back(2); });
+  sim.schedule_at(100, [&] { order.push_back(3); });
+  sim.run_until(100);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, NowAdvancesToEventTime) {
+  Simulator sim;
+  TimeUs seen = -1;
+  sim.schedule_at(5000, [&] { seen = sim.now(); });
+  sim.run_until(10000);
+  EXPECT_EQ(seen, 5000);
+  EXPECT_EQ(sim.now(), 10000);  // clock advances to the horizon
+}
+
+TEST(Simulator, RunUntilDoesNotRunLaterEvents) {
+  Simulator sim;
+  bool late_fired = false;
+  sim.schedule_at(2000, [&] { late_fired = true; });
+  sim.run_until(1000);
+  EXPECT_FALSE(late_fired);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run_until(2000);  // boundary inclusive
+  EXPECT_TRUE(late_fired);
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  Simulator sim;
+  TimeUs fired_at = 0;
+  sim.schedule_at(100, [&] {
+    sim.schedule_in(50, [&] { fired_at = sim.now(); });
+  });
+  sim.run_until(1000);
+  EXPECT_EQ(fired_at, 150);
+}
+
+TEST(Simulator, PastScheduleClampsToNow) {
+  Simulator sim;
+  sim.run_until(500);
+  TimeUs fired_at = -1;
+  sim.schedule_at(100, [&] { fired_at = sim.now(); });
+  sim.run_until(600);
+  EXPECT_EQ(fired_at, 500);
+}
+
+TEST(Simulator, NegativeDelayClamps) {
+  Simulator sim;
+  TimeUs fired_at = -1;
+  sim.schedule_in(-100, [&] { fired_at = sim.now(); });
+  sim.run_until(10);
+  EXPECT_EQ(fired_at, 0);
+}
+
+TEST(Simulator, HandlersCanChainEvents) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 10) sim.schedule_in(10, chain);
+  };
+  sim.schedule_at(0, chain);
+  sim.run_until(1000);
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Simulator, StepRunsExactlyOne) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1, [&] { ++fired; });
+  sim.schedule_at(2, [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, ExecutedEventCount) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) sim.schedule_at(i, [] {});
+  sim.run_until(10);
+  EXPECT_EQ(sim.executed_events(), 5u);
+}
+
+TEST(Simulator, EveryFiresPeriodically) {
+  Simulator sim;
+  std::vector<std::int64_t> indices;
+  std::vector<TimeUs> times;
+  sim.every(100, 50, [&](std::int64_t i) {
+    indices.push_back(i);
+    times.push_back(sim.now());
+  });
+  sim.run_until(300);
+  ASSERT_EQ(indices.size(), 5u);  // 100,150,200,250,300
+  EXPECT_EQ(indices, (std::vector<std::int64_t>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(times[0], 100);
+  EXPECT_EQ(times[4], 300);
+}
+
+TEST(Simulator, RunUntilReturnsEventCount) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_at(i * 10, [] {});
+  EXPECT_EQ(sim.run_until(30), 4u);  // t=0,10,20,30
+  EXPECT_EQ(sim.run_until(100), 3u);
+}
+
+}  // namespace
+}  // namespace capes::sim

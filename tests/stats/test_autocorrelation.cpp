@@ -1,0 +1,67 @@
+#include "stats/autocorrelation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace capes::stats {
+namespace {
+
+TEST(Autocorrelation, TooShortReturnsZero) {
+  EXPECT_DOUBLE_EQ(autocorrelation({}, 1), 0.0);
+  EXPECT_DOUBLE_EQ(autocorrelation({1.0}, 1), 0.0);
+  EXPECT_DOUBLE_EQ(autocorrelation({1.0, 2.0}, 1), 0.0);
+}
+
+TEST(Autocorrelation, ConstantSeriesIsZero) {
+  std::vector<double> xs(100, 3.14);
+  EXPECT_DOUBLE_EQ(autocorrelation(xs, 1), 0.0);
+}
+
+TEST(Autocorrelation, WhiteNoiseNearZero) {
+  util::Rng rng(3);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.normal());
+  EXPECT_NEAR(autocorrelation(xs, 1), 0.0, 0.02);
+  EXPECT_NEAR(autocorrelation(xs, 5), 0.0, 0.02);
+}
+
+TEST(Autocorrelation, Ar1ProcessMatchesPhi) {
+  // AR(1): x_t = phi x_{t-1} + e_t has lag-1 autocorrelation phi.
+  util::Rng rng(17);
+  const double phi = 0.7;
+  std::vector<double> xs{0.0};
+  for (int i = 1; i < 50000; ++i) {
+    xs.push_back(phi * xs.back() + rng.normal());
+  }
+  EXPECT_NEAR(autocorrelation(xs, 1), phi, 0.02);
+  EXPECT_NEAR(autocorrelation(xs, 2), phi * phi, 0.03);
+}
+
+TEST(Autocorrelation, AlternatingSeriesIsNegative) {
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) xs.push_back(i % 2 == 0 ? 1.0 : -1.0);
+  EXPECT_NEAR(autocorrelation(xs, 1), -1.0, 0.01);
+}
+
+TEST(Autocorrelation, LinearTrendIsHighlyCorrelated) {
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(i);
+  EXPECT_GT(autocorrelation(xs, 1), 0.95);
+}
+
+TEST(Autocorrelation, BoundedByOne) {
+  util::Rng rng(23);
+  std::vector<double> xs;
+  for (int i = 0; i < 300; ++i) xs.push_back(rng.uniform());
+  for (std::size_t lag = 1; lag < 10; ++lag) {
+    const double r = autocorrelation(xs, lag);
+    EXPECT_LE(std::fabs(r), 1.0 + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace capes::stats

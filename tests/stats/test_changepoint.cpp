@@ -1,0 +1,121 @@
+#include "stats/changepoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace capes::stats {
+namespace {
+
+std::vector<double> steps(const std::vector<std::pair<double, std::size_t>>& segs,
+                          double noise, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> xs;
+  for (const auto& [level, len] : segs) {
+    for (std::size_t i = 0; i < len; ++i) {
+      xs.push_back(level + noise * rng.normal());
+    }
+  }
+  return xs;
+}
+
+TEST(Pelt, NoChangeOnConstantSeries) {
+  const auto xs = steps({{5.0, 200}}, 0.1, 1);
+  EXPECT_TRUE(pelt_mean_shift(xs).empty());
+}
+
+TEST(Pelt, TooShortReturnsEmpty) {
+  EXPECT_TRUE(pelt_mean_shift({1.0, 2.0}).empty());
+}
+
+TEST(Pelt, DetectsSingleShift) {
+  const auto xs = steps({{0.0, 100}, {10.0, 100}}, 0.5, 2);
+  const auto cps = pelt_mean_shift(xs);
+  ASSERT_EQ(cps.size(), 1u);
+  EXPECT_NEAR(static_cast<double>(cps[0]), 100.0, 3.0);
+}
+
+TEST(Pelt, DetectsMultipleShifts) {
+  const auto xs = steps({{0.0, 150}, {8.0, 150}, {-4.0, 150}}, 0.5, 3);
+  const auto cps = pelt_mean_shift(xs);
+  ASSERT_EQ(cps.size(), 2u);
+  EXPECT_NEAR(static_cast<double>(cps[0]), 150.0, 4.0);
+  EXPECT_NEAR(static_cast<double>(cps[1]), 300.0, 4.0);
+}
+
+TEST(Pelt, ChangepointsStrictlyIncreasing) {
+  const auto xs = steps({{0.0, 80}, {5.0, 80}, {0.0, 80}, {5.0, 80}}, 0.4, 4);
+  const auto cps = pelt_mean_shift(xs);
+  for (std::size_t i = 1; i < cps.size(); ++i) {
+    EXPECT_LT(cps[i - 1], cps[i]);
+  }
+  for (std::size_t cp : cps) {
+    EXPECT_GT(cp, 0u);
+    EXPECT_LT(cp, xs.size());
+  }
+}
+
+TEST(Pelt, HighPenaltySuppressesDetection) {
+  const auto xs = steps({{0.0, 100}, {1.0, 100}}, 0.5, 5);
+  const auto cps = pelt_mean_shift(xs, 1e9);
+  EXPECT_TRUE(cps.empty());
+}
+
+TEST(Pelt, IgnoresPureNoise) {
+  util::Rng rng(6);
+  std::vector<double> xs;
+  for (int i = 0; i < 400; ++i) xs.push_back(rng.normal());
+  // BIC-like default penalty should not hallucinate many changepoints.
+  EXPECT_LE(pelt_mean_shift(xs).size(), 2u);
+}
+
+TEST(Trim, KeepsEverythingWhenStable) {
+  const auto xs = steps({{50.0, 400}}, 1.0, 7);
+  const auto t = trim_warmup_cooldown(xs);
+  EXPECT_EQ(t.begin, 0u);
+  EXPECT_EQ(t.end, xs.size());
+}
+
+TEST(Trim, RemovesWarmup) {
+  // Short low warm-up ramp then a long stable phase.
+  auto xs = steps({{10.0, 40}, {50.0, 400}}, 1.0, 8);
+  const auto t = trim_warmup_cooldown(xs);
+  EXPECT_GE(t.begin, 30u);
+  EXPECT_LE(t.begin, 50u);
+  EXPECT_EQ(t.end, xs.size());
+}
+
+TEST(Trim, RemovesCooldown) {
+  auto xs = steps({{50.0, 400}, {5.0, 40}}, 1.0, 9);
+  const auto t = trim_warmup_cooldown(xs);
+  EXPECT_EQ(t.begin, 0u);
+  EXPECT_GE(t.end, 390u);
+  EXPECT_LE(t.end, 410u);
+}
+
+TEST(Trim, RemovesBothEnds) {
+  auto xs = steps({{5.0, 50}, {50.0, 500}, {10.0, 50}}, 1.0, 10);
+  const auto t = trim_warmup_cooldown(xs);
+  EXPECT_GT(t.begin, 30u);
+  EXPECT_LT(t.end, xs.size() - 30u);
+  EXPECT_LT(t.begin, t.end);
+}
+
+TEST(Trim, NeverTrimsMoreThanQuarterPerSide) {
+  auto xs = steps({{0.0, 300}, {50.0, 300}}, 1.0, 11);
+  const auto t = trim_warmup_cooldown(xs);
+  EXPECT_LE(t.begin, xs.size() / 4);
+  EXPECT_GE(t.end, xs.size() - xs.size() / 4);
+}
+
+TEST(Trim, ShortSeriesUntouched) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const auto t = trim_warmup_cooldown(xs);
+  EXPECT_EQ(t.begin, 0u);
+  EXPECT_EQ(t.end, xs.size());
+}
+
+}  // namespace
+}  // namespace capes::stats

@@ -1,0 +1,132 @@
+#include "stats/measurement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace capes::stats {
+namespace {
+
+TEST(Measurement, EmptySessionIsZero) {
+  MeasurementSession s;
+  const auto r = s.analyze();
+  EXPECT_EQ(r.raw_samples, 0u);
+  EXPECT_DOUBLE_EQ(r.mean, 0.0);
+}
+
+TEST(Measurement, MeanAndCiOnIidData) {
+  util::Rng rng(1);
+  MeasurementSession s;
+  for (int i = 0; i < 2000; ++i) s.add(rng.normal(100.0, 10.0));
+  const auto r = s.analyze();
+  EXPECT_NEAR(r.mean, 100.0, 1.0);
+  EXPECT_TRUE(r.iid_validated);
+  // Theoretical CI half width: 1.96 * 10 / sqrt(n used).
+  const double expected =
+      1.96 * 10.0 / std::sqrt(static_cast<double>(r.used_samples));
+  EXPECT_NEAR(r.ci_half_width, expected, expected * 0.35);
+}
+
+TEST(Measurement, AutocorrelatedDataWidensCi) {
+  util::Rng rng(2);
+  MeasurementSession::Options opts;
+  opts.trim_edges = false;
+  MeasurementSession iid(opts), corr(opts);
+  double x = 0.0;
+  for (int i = 0; i < 4096; ++i) {
+    iid.add(rng.normal(0.0, 1.0));
+    x = 0.9 * x + rng.normal();
+    corr.add(x);
+  }
+  const auto ri = iid.analyze();
+  const auto rc = corr.analyze();
+  EXPECT_EQ(ri.merge_factor, 1u);
+  EXPECT_GT(rc.merge_factor, 1u);
+  // The correlated series has larger effective variance; its CI must be
+  // wider than a naive i.i.d. CI of the same data would be.
+  EXPECT_GT(rc.ci_half_width, ri.ci_half_width);
+}
+
+TEST(Measurement, TrimsWarmup) {
+  util::Rng rng(3);
+  MeasurementSession s;
+  for (int i = 0; i < 60; ++i) s.add(rng.normal(10.0, 1.0));   // warm-up
+  for (int i = 0; i < 600; ++i) s.add(rng.normal(100.0, 1.0)); // stable
+  const auto r = s.analyze();
+  EXPECT_GT(r.trimmed_head, 30u);
+  EXPECT_NEAR(r.mean, 100.0, 1.0);
+}
+
+TEST(Measurement, NoTrimWhenDisabled) {
+  util::Rng rng(4);
+  MeasurementSession::Options opts;
+  opts.trim_edges = false;
+  MeasurementSession s(opts);
+  for (int i = 0; i < 50; ++i) s.add(rng.normal(10.0, 1.0));
+  for (int i = 0; i < 500; ++i) s.add(rng.normal(100.0, 1.0));
+  const auto r = s.analyze();
+  EXPECT_EQ(r.trimmed_head, 0u);
+  EXPECT_LT(r.mean, 98.0);  // warm-up drags the mean down
+}
+
+TEST(Measurement, SignificantlyAbove) {
+  MeasurementResult a, b;
+  a.mean = 100.0;
+  a.ci_half_width = 2.0;
+  b.mean = 90.0;
+  b.ci_half_width = 2.0;
+  EXPECT_TRUE(a.significantly_above(b));
+  EXPECT_FALSE(b.significantly_above(a));
+  b.mean = 97.0;
+  EXPECT_FALSE(a.significantly_above(b));  // CIs overlap
+}
+
+TEST(Measurement, ToStringFormat) {
+  MeasurementResult r;
+  r.mean = 12.345;
+  r.ci_half_width = 0.678;
+  EXPECT_EQ(r.to_string(1), "12.3 ± 0.7");
+  EXPECT_EQ(r.to_string(2), "12.35 ± 0.68");
+}
+
+TEST(Measurement, AddAllAppends) {
+  MeasurementSession s;
+  s.add_all({1.0, 2.0, 3.0});
+  s.add(4.0);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.samples()[3], 4.0);
+}
+
+TEST(Measurement, ClearEmpties) {
+  MeasurementSession s;
+  s.add(1.0);
+  s.clear();
+  EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(Measurement, ConfidenceLevelPropagates) {
+  MeasurementSession::Options opts;
+  opts.confidence_level = 0.99;
+  util::Rng rng(5);
+  MeasurementSession s(opts);
+  for (int i = 0; i < 500; ++i) s.add(rng.normal());
+  const auto r = s.analyze();
+  EXPECT_DOUBLE_EQ(r.confidence_level, 0.99);
+}
+
+TEST(Measurement, HigherConfidenceWiderInterval) {
+  util::Rng rng(6);
+  std::vector<double> data;
+  for (int i = 0; i < 500; ++i) data.push_back(rng.normal());
+  MeasurementSession::Options o95, o99;
+  o99.confidence_level = 0.99;
+  MeasurementSession s95(o95), s99(o99);
+  s95.add_all(data);
+  s99.add_all(data);
+  EXPECT_GT(s99.analyze().ci_half_width, s95.analyze().ci_half_width);
+}
+
+}  // namespace
+}  // namespace capes::stats

@@ -1,0 +1,116 @@
+#include "stats/student_t.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace capes::stats {
+namespace {
+
+TEST(IncompleteBeta, Boundaries) {
+  EXPECT_DOUBLE_EQ(incomplete_beta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(incomplete_beta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(IncompleteBeta, SymmetricCase) {
+  // I_0.5(a, a) = 0.5 for any a.
+  for (double a : {0.5, 1.0, 2.0, 5.0, 10.0}) {
+    EXPECT_NEAR(incomplete_beta(a, a, 0.5), 0.5, 1e-10) << a;
+  }
+}
+
+TEST(IncompleteBeta, UniformSpecialCase) {
+  // I_x(1, 1) = x.
+  for (double x : {0.1, 0.25, 0.7, 0.99}) {
+    EXPECT_NEAR(incomplete_beta(1.0, 1.0, x), x, 1e-10);
+  }
+}
+
+TEST(IncompleteBeta, KnownValue) {
+  // I_x(2, 2) = x^2 (3 - 2x).
+  const double x = 0.3;
+  EXPECT_NEAR(incomplete_beta(2.0, 2.0, x), x * x * (3 - 2 * x), 1e-10);
+}
+
+TEST(StudentT, CdfAtZeroIsHalf) {
+  for (double df : {1.0, 2.0, 5.0, 30.0, 100.0}) {
+    EXPECT_NEAR(student_t_cdf(0.0, df), 0.5, 1e-12) << df;
+  }
+}
+
+TEST(StudentT, CdfSymmetry) {
+  for (double t : {0.5, 1.0, 2.5}) {
+    EXPECT_NEAR(student_t_cdf(t, 7.0) + student_t_cdf(-t, 7.0), 1.0, 1e-10);
+  }
+}
+
+TEST(StudentT, CdfMonotone) {
+  double prev = 0.0;
+  for (double t = -5.0; t <= 5.0; t += 0.25) {
+    const double c = student_t_cdf(t, 4.0);
+    EXPECT_GT(c, prev);
+    prev = c;
+  }
+}
+
+TEST(StudentT, Df1IsCauchy) {
+  // For df=1 (Cauchy), CDF(1) = 0.75.
+  EXPECT_NEAR(student_t_cdf(1.0, 1.0), 0.75, 1e-8);
+}
+
+TEST(StudentT, KnownQuantiles) {
+  // Classic t-table values (two-sided 95% -> p = 0.975).
+  EXPECT_NEAR(student_t_ppf(0.975, 1.0), 12.706, 1e-2);
+  EXPECT_NEAR(student_t_ppf(0.975, 5.0), 2.571, 1e-3);
+  EXPECT_NEAR(student_t_ppf(0.975, 10.0), 2.228, 1e-3);
+  EXPECT_NEAR(student_t_ppf(0.975, 30.0), 2.042, 1e-3);
+  EXPECT_NEAR(student_t_ppf(0.95, 10.0), 1.812, 1e-3);
+}
+
+TEST(StudentT, LargeDfApproachesNormal) {
+  // z_{0.975} = 1.95996.
+  EXPECT_NEAR(student_t_ppf(0.975, 10000.0), 1.95996, 5e-3);
+}
+
+TEST(StudentT, PpfIsInverseOfCdf) {
+  for (double p : {0.05, 0.2, 0.5, 0.8, 0.99}) {
+    const double t = student_t_ppf(p, 8.0);
+    EXPECT_NEAR(student_t_cdf(t, 8.0), p, 1e-7) << p;
+  }
+}
+
+TEST(StudentT, PpfHalfIsZero) {
+  EXPECT_DOUBLE_EQ(student_t_ppf(0.5, 3.0), 0.0);
+}
+
+TEST(StudentT, PpfInvalidInputsNan) {
+  EXPECT_TRUE(std::isnan(student_t_ppf(0.0, 5.0)));
+  EXPECT_TRUE(std::isnan(student_t_ppf(1.0, 5.0)));
+  EXPECT_TRUE(std::isnan(student_t_ppf(0.5, 0.0)));
+}
+
+TEST(CiHalfWidth, MatchesManualFormula) {
+  // n=16, sd=4 => hw = t_{0.975,15} * 4 / 4 = t = 2.131.
+  EXPECT_NEAR(ci_half_width(4.0, 16.0), 2.131, 1e-2);
+}
+
+TEST(CiHalfWidth, ZeroForTinySamples) {
+  EXPECT_DOUBLE_EQ(ci_half_width(5.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(ci_half_width(5.0, 0.0), 0.0);
+}
+
+TEST(CiHalfWidth, ShrinksWithN) {
+  const double w10 = ci_half_width(2.0, 10.0);
+  const double w100 = ci_half_width(2.0, 100.0);
+  const double w1000 = ci_half_width(2.0, 1000.0);
+  EXPECT_GT(w10, w100);
+  EXPECT_GT(w100, w1000);
+}
+
+TEST(CiHalfWidth, WiderAtHigherConfidence) {
+  EXPECT_GT(ci_half_width(1.0, 20.0, 0.99), ci_half_width(1.0, 20.0, 0.95));
+  EXPECT_GT(ci_half_width(1.0, 20.0, 0.95), ci_half_width(1.0, 20.0, 0.90));
+}
+
+}  // namespace
+}  // namespace capes::stats

@@ -1,0 +1,99 @@
+#include "stats/subsession.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/autocorrelation.hpp"
+#include "util/rng.hpp"
+
+namespace capes::stats {
+namespace {
+
+std::vector<double> ar1(double phi, std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> xs{0.0};
+  for (std::size_t i = 1; i < n; ++i) {
+    xs.push_back(phi * xs.back() + rng.normal());
+  }
+  return xs;
+}
+
+TEST(Subsession, IidDataUnmerged) {
+  util::Rng rng(1);
+  std::vector<double> xs;
+  for (int i = 0; i < 5000; ++i) xs.push_back(rng.normal());
+  const auto r = subsession_merge(xs);
+  EXPECT_EQ(r.merge_factor, 1u);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.samples.size(), xs.size());
+}
+
+TEST(Subsession, CorrelatedDataGetsMerged) {
+  const auto xs = ar1(0.9, 20000, 5);
+  ASSERT_GT(std::fabs(autocorrelation(xs, 1)), 0.1);
+  const auto r = subsession_merge(xs);
+  EXPECT_TRUE(r.converged);
+  EXPECT_GT(r.merge_factor, 1u);
+  EXPECT_LT(std::fabs(r.autocorr), 0.1);
+}
+
+TEST(Subsession, MergePreservesMean) {
+  const auto xs = ar1(0.8, 16384, 7);
+  double m0 = 0.0;
+  for (double x : xs) m0 += x;
+  m0 /= static_cast<double>(xs.size());
+  const auto r = subsession_merge(xs);
+  double m1 = 0.0;
+  for (double x : r.samples) m1 += x;
+  m1 /= static_cast<double>(r.samples.size());
+  EXPECT_NEAR(m1, m0, 0.05);
+}
+
+TEST(Subsession, MergeFactorIsPowerOfTwo) {
+  const auto xs = ar1(0.95, 30000, 9);
+  const auto r = subsession_merge(xs);
+  EXPECT_EQ(r.merge_factor & (r.merge_factor - 1), 0u);
+}
+
+TEST(Subsession, GivesUpOnShortVeryCorrelatedSeries) {
+  // A short, strongly trending series can't be merged enough.
+  std::vector<double> xs;
+  for (int i = 0; i < 64; ++i) xs.push_back(i);
+  const auto r = subsession_merge(xs, 0.1, 8);
+  EXPECT_FALSE(r.converged);
+  EXPECT_GE(r.samples.size(), 8u);
+}
+
+TEST(Subsession, RespectsMinSamples) {
+  const auto xs = ar1(0.99, 512, 11);
+  const auto r = subsession_merge(xs, 0.1, 32);
+  EXPECT_GE(r.samples.size(), 32u);
+}
+
+TEST(Subsession, ThresholdHonored) {
+  const auto xs = ar1(0.6, 40000, 13);
+  const auto strict = subsession_merge(xs, 0.05);
+  const auto loose = subsession_merge(xs, 0.5);
+  EXPECT_GE(strict.merge_factor, loose.merge_factor);
+  if (strict.converged) EXPECT_LT(std::fabs(strict.autocorr), 0.05);
+}
+
+class SubsessionPhiSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SubsessionPhiSweep, AlwaysEndsBelowThresholdWhenConverged) {
+  const auto xs = ar1(GetParam(), 32768, 17);
+  const auto r = subsession_merge(xs);
+  if (r.converged) {
+    EXPECT_LT(std::fabs(r.autocorr), 0.1);
+  }
+  // Merged count * factor never exceeds the input size.
+  EXPECT_LE(r.samples.size() * r.merge_factor, xs.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Phis, SubsessionPhiSweep,
+                         ::testing::Values(0.0, 0.3, 0.5, 0.7, 0.9, 0.97));
+
+}  // namespace
+}  // namespace capes::stats

@@ -1,0 +1,168 @@
+#include "util/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace capes::util {
+namespace {
+
+TEST(Config, ParseBasicKeyValue) {
+  Config c;
+  ASSERT_TRUE(c.parse_string("a = 1\nb = hello\n"));
+  EXPECT_EQ(c.get_int("a", 0), 1);
+  EXPECT_EQ(c.get("b", ""), "hello");
+}
+
+TEST(Config, CommentsAndBlanksIgnored) {
+  Config c;
+  ASSERT_TRUE(c.parse_string("# comment\n\n  # indented comment\nx = 2\n"));
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_EQ(c.get_int("x", 0), 2);
+}
+
+TEST(Config, WhitespaceTrimmed) {
+  Config c;
+  ASSERT_TRUE(c.parse_string("  key.with.dots   =   some value  \n"));
+  EXPECT_EQ(c.get("key.with.dots", ""), "some value");
+}
+
+TEST(Config, MalformedLineFails) {
+  Config c;
+  EXPECT_FALSE(c.parse_string("novalue\n"));
+  EXPECT_FALSE(c.parse_string("= novalue\n"));
+}
+
+TEST(Config, LaterKeysOverride) {
+  Config c;
+  ASSERT_TRUE(c.parse_string("k = 1\nk = 2\n"));
+  EXPECT_EQ(c.get_int("k", 0), 2);
+}
+
+TEST(Config, EmptyValueAllowed) {
+  Config c;
+  ASSERT_TRUE(c.parse_string("k =\n"));
+  EXPECT_TRUE(c.has("k"));
+  EXPECT_EQ(c.get("k", "x"), "");
+}
+
+TEST(Config, TypedGettersFallBackOnMissing) {
+  Config c;
+  EXPECT_EQ(c.get_int("nope", 42), 42);
+  EXPECT_DOUBLE_EQ(c.get_double("nope", 2.5), 2.5);
+  EXPECT_TRUE(c.get_bool("nope", true));
+  EXPECT_EQ(c.get("nope", "d"), "d");
+}
+
+TEST(Config, TypedGettersFallBackOnUnparsable) {
+  Config c;
+  c.set("k", "not_a_number");
+  EXPECT_EQ(c.get_int("k", 9), 9);
+  EXPECT_DOUBLE_EQ(c.get_double("k", 1.5), 1.5);
+}
+
+TEST(Config, IntRejectsTrailingGarbage) {
+  Config c;
+  c.set("k", "12abc");
+  EXPECT_EQ(c.get_int("k", -1), -1);
+}
+
+TEST(Config, DoubleParsesScientific) {
+  Config c;
+  c.set("k", "1e-4");
+  EXPECT_DOUBLE_EQ(c.get_double("k", 0.0), 1e-4);
+}
+
+TEST(Config, NegativeNumbers) {
+  Config c;
+  c.set("k", "-17");
+  EXPECT_EQ(c.get_int("k", 0), -17);
+  EXPECT_DOUBLE_EQ(c.get_double("k", 0.0), -17.0);
+}
+
+TEST(Config, BoolVariants) {
+  Config c;
+  for (const char* t : {"true", "1", "yes", "on", "TRUE", "Yes"}) {
+    c.set("k", t);
+    EXPECT_TRUE(c.get_bool("k", false)) << t;
+  }
+  for (const char* f : {"false", "0", "no", "off", "FALSE"}) {
+    c.set("k", f);
+    EXPECT_FALSE(c.get_bool("k", true)) << f;
+  }
+  c.set("k", "maybe");
+  EXPECT_TRUE(c.get_bool("k", true));
+}
+
+TEST(Config, SettersRoundTrip) {
+  Config c;
+  c.set_int("i", -5);
+  c.set_double("d", 0.125);
+  c.set_bool("b", true);
+  EXPECT_EQ(c.get_int("i", 0), -5);
+  EXPECT_DOUBLE_EQ(c.get_double("d", 0.0), 0.125);
+  EXPECT_TRUE(c.get_bool("b", false));
+}
+
+TEST(Config, StrictGetReturnsNullopt) {
+  Config c;
+  EXPECT_FALSE(c.get("missing").has_value());
+  c.set("k", "v");
+  ASSERT_TRUE(c.get("k").has_value());
+  EXPECT_EQ(*c.get("k"), "v");
+}
+
+TEST(Config, KeysSorted) {
+  Config c;
+  c.set("zebra", "1");
+  c.set("apple", "2");
+  c.set("mango", "3");
+  const auto keys = c.keys();
+  ASSERT_EQ(keys.size(), 3u);
+  EXPECT_EQ(keys[0], "apple");
+  EXPECT_EQ(keys[2], "zebra");
+}
+
+TEST(Config, DumpParsesBack) {
+  Config c;
+  c.set_int("a.b", 7);
+  c.set("s", "text value");
+  Config c2;
+  ASSERT_TRUE(c2.parse_string(c.dump()));
+  EXPECT_EQ(c2.get_int("a.b", 0), 7);
+  EXPECT_EQ(c2.get("s", ""), "text value");
+}
+
+TEST(Config, MergeOtherWins) {
+  Config a, b;
+  a.set("k", "old");
+  a.set("only_a", "1");
+  b.set("k", "new");
+  a.merge(b);
+  EXPECT_EQ(a.get("k", ""), "new");
+  EXPECT_EQ(a.get("only_a", ""), "1");
+}
+
+TEST(Config, ParseFileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "capes_cfg_test.conf").string();
+  {
+    std::ofstream out(path);
+    out << "# test\nlustre.num_clients = 3\ndrl.gamma = 0.9\n";
+  }
+  Config c;
+  ASSERT_TRUE(c.parse_file(path));
+  EXPECT_EQ(c.get_int("lustre.num_clients", 0), 3);
+  EXPECT_DOUBLE_EQ(c.get_double("drl.gamma", 0.0), 0.9);
+  std::remove(path.c_str());
+}
+
+TEST(Config, ParseFileMissingFails) {
+  Config c;
+  EXPECT_FALSE(c.parse_file("/nonexistent/capes.conf"));
+}
+
+}  // namespace
+}  // namespace capes::util

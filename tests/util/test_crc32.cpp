@@ -1,0 +1,47 @@
+#include "util/crc32.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+namespace capes::util {
+namespace {
+
+TEST(Crc32, KnownVector) {
+  // Standard IEEE CRC-32 of "123456789" is 0xCBF43926.
+  const char* s = "123456789";
+  EXPECT_EQ(crc32(s, std::strlen(s)), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyIsZero) { EXPECT_EQ(crc32(nullptr, 0), 0u); }
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const std::uint32_t whole = crc32(data.data(), data.size());
+  std::uint32_t inc = 0;
+  for (std::size_t i = 0; i < data.size(); i += 5) {
+    const std::size_t n = std::min<std::size_t>(5, data.size() - i);
+    inc = crc32_update(inc, data.data() + i, n);
+  }
+  EXPECT_EQ(inc, whole);
+}
+
+TEST(Crc32, SingleBitFlipDetected) {
+  std::string data(64, 'x');
+  const std::uint32_t orig = crc32(data.data(), data.size());
+  for (std::size_t i = 0; i < data.size(); i += 7) {
+    std::string mutated = data;
+    mutated[i] ^= 0x01;
+    EXPECT_NE(crc32(mutated.data(), mutated.size()), orig) << "bit " << i;
+  }
+}
+
+TEST(Crc32, OrderSensitive) {
+  const char a[] = {'a', 'b'};
+  const char b[] = {'b', 'a'};
+  EXPECT_NE(crc32(a, 2), crc32(b, 2));
+}
+
+}  // namespace
+}  // namespace capes::util

@@ -1,0 +1,189 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace capes::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ZeroSeedIsValid) {
+  Rng r(0);
+  std::set<std::uint64_t> values;
+  for (int i = 0; i < 50; ++i) values.insert(r.next_u64());
+  EXPECT_GT(values.size(), 45u);  // not stuck
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng r(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng r(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformU64Bounded) {
+  Rng r(17);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.uniform_u64(7), 7u);
+  }
+}
+
+TEST(Rng, UniformU64CoversAllResidues) {
+  Rng r(19);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.uniform_u64(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng r(23);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = r.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng r(29);
+  const int n = 200000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalScaledMeanStddev) {
+  Rng r(31);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += r.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng r(37);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += r.exponential(0.5);
+  EXPECT_NEAR(sum / n, 2.0, 0.05);
+}
+
+TEST(Rng, ExponentialIsPositive) {
+  Rng r(41);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(r.exponential(3.0), 0.0);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(43);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceFrequency) {
+  Rng r(47);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += r.chance(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(53);
+  Rng child = a.split();
+  // Child should not replay the parent sequence.
+  Rng b(53);
+  b.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child.next_u64() == a.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng r(59);
+  std::vector<std::size_t> v(100);
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = i;
+  std::vector<std::size_t> orig = v;
+  r.shuffle(v);
+  EXPECT_TRUE(std::is_permutation(v.begin(), v.end(), orig.begin()));
+  EXPECT_NE(v, orig);  // overwhelmingly likely
+}
+
+TEST(Rng, PickIndexWithinBounds) {
+  Rng r(61);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.pick_index(13), 13u);
+}
+
+class RngChiSquared : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngChiSquared, BucketsAreRoughlyUniform) {
+  Rng r(GetParam());
+  constexpr int kBuckets = 16;
+  constexpr int kSamples = 160000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[static_cast<int>(r.uniform() * kBuckets)];
+  }
+  const double expected = static_cast<double>(kSamples) / kBuckets;
+  double chi2 = 0.0;
+  for (int c : counts) {
+    chi2 += (c - expected) * (c - expected) / expected;
+  }
+  // df = 15; 0.999 quantile ~ 37.7. Very loose bound.
+  EXPECT_LT(chi2, 45.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngChiSquared,
+                         ::testing::Values(1, 2, 3, 42, 1234, 99999));
+
+}  // namespace
+}  // namespace capes::util

@@ -1,0 +1,121 @@
+#include "util/varint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+namespace capes::util {
+namespace {
+
+TEST(Zigzag, SmallValuesMapSmall) {
+  EXPECT_EQ(zigzag_encode(0), 0u);
+  EXPECT_EQ(zigzag_encode(-1), 1u);
+  EXPECT_EQ(zigzag_encode(1), 2u);
+  EXPECT_EQ(zigzag_encode(-2), 3u);
+  EXPECT_EQ(zigzag_encode(2), 4u);
+}
+
+TEST(Zigzag, RoundTripExtremes) {
+  for (std::int64_t v : {std::numeric_limits<std::int64_t>::min(),
+                         std::numeric_limits<std::int64_t>::max(),
+                         std::int64_t{0}, std::int64_t{-123456789}}) {
+    EXPECT_EQ(zigzag_decode(zigzag_encode(v)), v);
+  }
+}
+
+TEST(Varint, SingleByteValues) {
+  std::vector<std::uint8_t> buf;
+  put_varint(buf, 0);
+  put_varint(buf, 127);
+  EXPECT_EQ(buf.size(), 2u);
+  VarintReader r(buf);
+  EXPECT_EQ(r.read_varint(), 0u);
+  EXPECT_EQ(r.read_varint(), 127u);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Varint, TwoByteBoundary) {
+  std::vector<std::uint8_t> buf;
+  put_varint(buf, 128);
+  EXPECT_EQ(buf.size(), 2u);
+  VarintReader r(buf);
+  EXPECT_EQ(r.read_varint(), 128u);
+}
+
+TEST(Varint, MaxU64RoundTrip) {
+  std::vector<std::uint8_t> buf;
+  put_varint(buf, std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(buf.size(), 10u);
+  VarintReader r(buf);
+  EXPECT_EQ(r.read_varint(), std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Varint, TruncatedReadFails) {
+  std::vector<std::uint8_t> buf;
+  put_varint(buf, 1u << 20);
+  buf.pop_back();
+  VarintReader r(buf);
+  EXPECT_FALSE(r.read_varint().has_value());
+}
+
+TEST(Varint, EmptyBufferFails) {
+  VarintReader r(nullptr, 0);
+  EXPECT_FALSE(r.read_varint().has_value());
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Varint, OverlongEncodingRejected) {
+  // 11 continuation bytes exceed 64 bits of payload.
+  std::vector<std::uint8_t> buf(11, 0x80);
+  buf.push_back(0x01);
+  VarintReader r(buf);
+  EXPECT_FALSE(r.read_varint().has_value());
+}
+
+TEST(Varint, SignedRoundTrip) {
+  std::vector<std::uint8_t> buf;
+  for (std::int64_t v : {0LL, -1LL, 1LL, -300LL, 300LL, -123456789LL}) {
+    put_svarint(buf, v);
+  }
+  VarintReader r(buf);
+  for (std::int64_t v : {0LL, -1LL, 1LL, -300LL, 300LL, -123456789LL}) {
+    auto got = r.read_svarint();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, v);
+  }
+}
+
+TEST(Varint, ReadBytes) {
+  std::vector<std::uint8_t> buf{1, 2, 3, 4, 5};
+  VarintReader r(buf);
+  std::uint8_t out[3];
+  ASSERT_TRUE(r.read_bytes(out, 3));
+  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[2], 3);
+  EXPECT_FALSE(r.read_bytes(out, 3));  // only 2 left
+}
+
+class VarintSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VarintSweep, RoundTripsAndIsCompact) {
+  const std::uint64_t v = GetParam();
+  std::vector<std::uint8_t> buf;
+  put_varint(buf, v);
+  // Expected size: ceil(bits/7).
+  std::size_t bits = 1;
+  for (std::uint64_t x = v; x > 1; x >>= 1) ++bits;
+  const std::size_t expected = (bits + 6) / 7;
+  EXPECT_EQ(buf.size(), expected);
+  VarintReader r(buf);
+  EXPECT_EQ(r.read_varint(), v);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, VarintSweep,
+    ::testing::Values(0ull, 1ull, 127ull, 128ull, 16383ull, 16384ull,
+                      (1ull << 21) - 1, 1ull << 21, 1ull << 32, 1ull << 56,
+                      ~0ull));
+
+}  // namespace
+}  // namespace capes::util

@@ -1,0 +1,176 @@
+#include "waldb/database.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace capes::waldb {
+namespace {
+
+std::vector<std::uint8_t> bytes(std::initializer_list<std::uint8_t> v) {
+  return std::vector<std::uint8_t>(v);
+}
+
+class DatabaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("capes_db_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+               .string();
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string dir_;
+};
+
+TEST_F(DatabaseTest, InMemoryPutGet) {
+  Database db = Database::in_memory();
+  EXPECT_FALSE(db.is_durable());
+  ASSERT_TRUE(db.put("status", 1, bytes({1, 2})));
+  auto v = db.get("status", 1);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, bytes({1, 2}));
+  EXPECT_FALSE(db.get("status", 2).has_value());
+  EXPECT_FALSE(db.get("other", 1).has_value());
+}
+
+TEST_F(DatabaseTest, TablePointersStable) {
+  Database db = Database::in_memory();
+  Table* t1 = db.table("a");
+  db.table("b");
+  db.table("c");
+  EXPECT_EQ(db.table("a"), t1);
+  EXPECT_EQ(db.table_count(), 3u);
+}
+
+TEST_F(DatabaseTest, DurableRecoversFromWal) {
+  {
+    Database db;
+    ASSERT_TRUE(db.open(dir_));
+    EXPECT_TRUE(db.is_durable());
+    ASSERT_TRUE(db.put("status", 1, bytes({1})));
+    ASSERT_TRUE(db.put("action", 1, bytes({2})));
+    ASSERT_TRUE(db.put("status", 2, bytes({3})));
+    ASSERT_TRUE(db.flush());
+  }
+  Database db2;
+  ASSERT_TRUE(db2.open(dir_));
+  EXPECT_EQ(*db2.get("status", 1), bytes({1}));
+  EXPECT_EQ(*db2.get("action", 1), bytes({2}));
+  EXPECT_EQ(*db2.get("status", 2), bytes({3}));
+}
+
+TEST_F(DatabaseTest, CheckpointThenRecover) {
+  {
+    Database db;
+    ASSERT_TRUE(db.open(dir_));
+    ASSERT_TRUE(db.put("t", 1, bytes({1})));
+    ASSERT_TRUE(db.checkpoint());
+    // Post-checkpoint writes land in the fresh WAL.
+    ASSERT_TRUE(db.put("t", 2, bytes({2})));
+    ASSERT_TRUE(db.flush());
+  }
+  Database db2;
+  ASSERT_TRUE(db2.open(dir_));
+  EXPECT_EQ(*db2.get("t", 1), bytes({1}));
+  EXPECT_EQ(*db2.get("t", 2), bytes({2}));
+}
+
+TEST_F(DatabaseTest, CheckpointTruncatesWal) {
+  Database db;
+  ASSERT_TRUE(db.open(dir_));
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(db.put("t", i, std::vector<std::uint8_t>(50, 1)));
+  }
+  db.flush();
+  const auto before = std::filesystem::file_size(dir_ + "/wal.log");
+  EXPECT_GT(before, 5000u);
+  ASSERT_TRUE(db.checkpoint());
+  const auto after = std::filesystem::file_size(dir_ + "/wal.log");
+  EXPECT_EQ(after, 0u);
+  EXPECT_TRUE(std::filesystem::exists(dir_ + "/snapshot.db"));
+}
+
+TEST_F(DatabaseTest, TornWalTailSurvivable) {
+  {
+    Database db;
+    ASSERT_TRUE(db.open(dir_));
+    ASSERT_TRUE(db.put("t", 1, bytes({1})));
+    ASSERT_TRUE(db.put("t", 2, bytes({2})));
+    db.flush();
+  }
+  const std::string wal = dir_ + "/wal.log";
+  std::filesystem::resize_file(wal, std::filesystem::file_size(wal) - 2);
+  Database db2;
+  ASSERT_TRUE(db2.open(dir_));
+  EXPECT_TRUE(db2.get("t", 1).has_value());
+  EXPECT_FALSE(db2.get("t", 2).has_value());  // torn record dropped
+  // The database remains writable after recovery.
+  EXPECT_TRUE(db2.put("t", 3, bytes({3})));
+}
+
+TEST_F(DatabaseTest, CorruptSnapshotFallsBackToEmpty) {
+  {
+    Database db;
+    ASSERT_TRUE(db.open(dir_));
+    ASSERT_TRUE(db.put("t", 1, bytes({1})));
+    ASSERT_TRUE(db.checkpoint());
+  }
+  {
+    std::ofstream f(dir_ + "/snapshot.db",
+                    std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(10);
+    f.put('\xFF');
+  }
+  Database db2;
+  ASSERT_TRUE(db2.open(dir_));  // opens, but the snapshot was rejected
+  EXPECT_FALSE(db2.get("t", 1).has_value());
+}
+
+TEST_F(DatabaseTest, DiskBytesReported) {
+  Database db;
+  ASSERT_TRUE(db.open(dir_));
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(db.put("t", i, std::vector<std::uint8_t>(100, 9)));
+  }
+  db.flush();
+  EXPECT_GE(db.disk_bytes(), 5000u);
+}
+
+TEST_F(DatabaseTest, MemoryBytesGrowWithData) {
+  Database db = Database::in_memory();
+  const auto before = db.memory_bytes();
+  for (int i = 0; i < 100; ++i) {
+    db.put("t", i, std::vector<std::uint8_t>(64, 1));
+  }
+  EXPECT_GE(db.memory_bytes(), before + 100 * 64);
+}
+
+TEST_F(DatabaseTest, ManyTablesRecover) {
+  {
+    Database db;
+    ASSERT_TRUE(db.open(dir_));
+    for (int t = 0; t < 5; ++t) {
+      for (int k = 0; k < 20; ++k) {
+        ASSERT_TRUE(db.put("table" + std::to_string(t), k,
+                           bytes({static_cast<std::uint8_t>(t * 20 + k)})));
+      }
+    }
+    ASSERT_TRUE(db.checkpoint());
+  }
+  Database db2;
+  ASSERT_TRUE(db2.open(dir_));
+  EXPECT_EQ(db2.table_count(), 5u);
+  EXPECT_EQ(*db2.get("table3", 10), bytes({70}));
+}
+
+TEST_F(DatabaseTest, FindTableConst) {
+  Database db = Database::in_memory();
+  EXPECT_EQ(db.find_table("missing"), nullptr);
+  db.table("exists");
+  EXPECT_NE(db.find_table("exists"), nullptr);
+}
+
+}  // namespace
+}  // namespace capes::waldb

@@ -1,0 +1,104 @@
+#include "waldb/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace capes::waldb {
+namespace {
+
+std::vector<std::uint8_t> bytes(std::initializer_list<std::uint8_t> v) {
+  return std::vector<std::uint8_t>(v);
+}
+
+TEST(Table, PutGet) {
+  Table t(0, "status");
+  t.put(10, bytes({1, 2}));
+  auto v = t.get(10);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, bytes({1, 2}));
+  EXPECT_FALSE(t.get(11).has_value());
+}
+
+TEST(Table, IdAndName) {
+  Table t(7, "actions");
+  EXPECT_EQ(t.id(), 7u);
+  EXPECT_EQ(t.name(), "actions");
+}
+
+TEST(Table, OverwriteReplaces) {
+  Table t(0, "t");
+  t.put(1, bytes({1}));
+  t.put(1, bytes({2, 3}));
+  EXPECT_EQ(t.count(), 1u);
+  EXPECT_EQ(*t.get(1), bytes({2, 3}));
+}
+
+TEST(Table, ContainsAndErase) {
+  Table t(0, "t");
+  t.put(5, bytes({1}));
+  EXPECT_TRUE(t.contains(5));
+  EXPECT_TRUE(t.erase(5));
+  EXPECT_FALSE(t.contains(5));
+  EXPECT_FALSE(t.erase(5));
+}
+
+TEST(Table, MinMaxKeys) {
+  Table t(0, "t");
+  EXPECT_EQ(t.min_key(), 0);
+  EXPECT_EQ(t.max_key(), 0);
+  t.put(-5, {});
+  t.put(100, {});
+  t.put(3, {});
+  EXPECT_EQ(t.min_key(), -5);
+  EXPECT_EQ(t.max_key(), 100);
+}
+
+TEST(Table, RangeIterationOrdered) {
+  Table t(0, "t");
+  for (std::int64_t k : {5, 1, 9, 3, 7}) {
+    t.put(k, bytes({static_cast<std::uint8_t>(k)}));
+  }
+  std::vector<std::int64_t> seen;
+  t.for_range(2, 8, [&](std::int64_t k, const std::vector<std::uint8_t>&) {
+    seen.push_back(k);
+  });
+  EXPECT_EQ(seen, (std::vector<std::int64_t>{3, 5, 7}));
+}
+
+TEST(Table, RangeBoundsInclusive) {
+  Table t(0, "t");
+  t.put(1, {});
+  t.put(2, {});
+  t.put(3, {});
+  std::size_t count = 0;
+  t.for_range(1, 3, [&](std::int64_t, const auto&) { ++count; });
+  EXPECT_EQ(count, 3u);
+}
+
+TEST(Table, TrimBelowRemovesOldRows) {
+  Table t(0, "t");
+  for (std::int64_t k = 0; k < 10; ++k) t.put(k, bytes({1}));
+  EXPECT_EQ(t.trim_below(5), 5u);
+  EXPECT_EQ(t.count(), 5u);
+  EXPECT_EQ(t.min_key(), 5);
+}
+
+TEST(Table, TrimBelowNoopWhenAllNewer) {
+  Table t(0, "t");
+  t.put(10, {});
+  EXPECT_EQ(t.trim_below(5), 0u);
+  EXPECT_EQ(t.count(), 1u);
+}
+
+TEST(Table, MemoryBytesTracksPayloads) {
+  Table t(0, "t");
+  const auto base = t.memory_bytes();
+  t.put(1, std::vector<std::uint8_t>(1000, 0));
+  EXPECT_GE(t.memory_bytes(), base + 1000);
+  t.put(1, std::vector<std::uint8_t>(10, 0));  // overwrite smaller
+  EXPECT_LT(t.memory_bytes(), base + 1000);
+  t.erase(1);
+  EXPECT_EQ(t.memory_bytes(), base);
+}
+
+}  // namespace
+}  // namespace capes::waldb

@@ -1,0 +1,201 @@
+// capes_run — command-line driver for the simulated evaluation workflow.
+//
+// The C++ analogue of the prototype's service scripts (§A.3): pick a
+// workload, optionally load a conf file, run the §A.4 evaluation workflow
+// (train -> baseline -> tuned), and optionally dump per-tick CSVs and a
+// model checkpoint.
+//
+// Usage:
+//   capes_run [--workload=random:0.1|fileserver|seqwrite]
+//             [--conf=FILE] [--train-ticks=N] [--eval-ticks=N]
+//             [--csv=PREFIX] [--model=FILE] [--load-model=FILE]
+//             [--seed=N] [--monitor-servers] [--tune-write-cache]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "core/capes_system.hpp"
+#include "core/config_io.hpp"
+#include "core/presets.hpp"
+#include "lustre/cluster.hpp"
+#include "workload/file_server.hpp"
+#include "workload/random_rw.hpp"
+#include "workload/seq_write.hpp"
+
+using namespace capes;
+
+namespace {
+
+struct Args {
+  std::string workload = "random:0.1";
+  std::string conf;
+  std::string csv_prefix;
+  std::string model_out;
+  std::string model_in;
+  std::int64_t train_ticks = -1;
+  std::int64_t eval_ticks = -1;
+  std::uint64_t seed = 42;
+  bool monitor_servers = false;
+  bool tune_write_cache = false;
+};
+
+bool parse_flag(const char* arg, const char* name, std::string* out) {
+  const std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') {
+    *out = arg + n + 1;
+    return true;
+  }
+  return false;
+}
+
+bool parse_args(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (parse_flag(argv[i], "--workload", &value)) {
+      args->workload = value;
+    } else if (parse_flag(argv[i], "--conf", &value)) {
+      args->conf = value;
+    } else if (parse_flag(argv[i], "--csv", &value)) {
+      args->csv_prefix = value;
+    } else if (parse_flag(argv[i], "--model", &value)) {
+      args->model_out = value;
+    } else if (parse_flag(argv[i], "--load-model", &value)) {
+      args->model_in = value;
+    } else if (parse_flag(argv[i], "--train-ticks", &value)) {
+      args->train_ticks = std::atoll(value.c_str());
+    } else if (parse_flag(argv[i], "--eval-ticks", &value)) {
+      args->eval_ticks = std::atoll(value.c_str());
+    } else if (parse_flag(argv[i], "--seed", &value)) {
+      args->seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--monitor-servers") == 0) {
+      args->monitor_servers = true;
+    } else if (std::strcmp(argv[i], "--tune-write-cache") == 0) {
+      args->tune_write_cache = true;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      return false;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return false;
+    }
+  }
+  return true;
+}
+
+std::unique_ptr<workload::Workload> make_workload(const std::string& spec,
+                                                  lustre::Cluster& cluster) {
+  if (spec.rfind("random:", 0) == 0) {
+    workload::RandomRwOptions o;
+    o.read_fraction = std::atof(spec.c_str() + 7);
+    return std::make_unique<workload::RandomRw>(cluster, o);
+  }
+  if (spec == "fileserver") {
+    return std::make_unique<workload::FileServer>(cluster,
+                                                  workload::FileServerOptions{});
+  }
+  if (spec == "seqwrite") {
+    return std::make_unique<workload::SeqWrite>(cluster,
+                                                workload::SeqWriteOptions{});
+  }
+  return nullptr;
+}
+
+void maybe_write_csv(const std::string& prefix, const std::string& phase,
+                     const core::RunResult& result) {
+  if (prefix.empty()) return;
+  const std::string path = prefix + "_" + phase + ".csv";
+  std::ofstream out(path);
+  out << result.to_csv();
+  std::printf("  wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, &args)) {
+    std::printf(
+        "usage: capes_run [--workload=random:<read_frac>|fileserver|seqwrite]\n"
+        "                 [--conf=FILE] [--train-ticks=N] [--eval-ticks=N]\n"
+        "                 [--csv=PREFIX] [--model=FILE] [--load-model=FILE]\n"
+        "                 [--seed=N] [--monitor-servers] [--tune-write-cache]\n");
+    return 2;
+  }
+
+  core::EvaluationPreset preset = core::fast_preset(args.seed);
+  if (!args.conf.empty()) {
+    util::Config cfg;
+    if (!cfg.parse_file(args.conf)) {
+      std::fprintf(stderr, "cannot parse %s\n", args.conf.c_str());
+      return 1;
+    }
+    preset.capes = core::capes_options_from_config(cfg, preset.capes);
+    preset.cluster = core::cluster_options_from_config(cfg, preset.cluster);
+  }
+  preset.cluster.monitor_servers = args.monitor_servers;
+  preset.cluster.tune_write_cache = args.tune_write_cache;
+  const std::int64_t train =
+      args.train_ticks >= 0 ? args.train_ticks : preset.train_ticks_long;
+  const std::int64_t eval =
+      args.eval_ticks >= 0 ? args.eval_ticks : preset.eval_ticks;
+
+  sim::Simulator sim;
+  lustre::Cluster cluster(sim, preset.cluster);
+  auto workload = make_workload(args.workload, cluster);
+  if (!workload) {
+    std::fprintf(stderr, "unknown workload: %s\n", args.workload.c_str());
+    return 1;
+  }
+  workload->start();
+  core::CapesSystem capes(sim, cluster, preset.capes);
+  if (!args.model_in.empty()) {
+    if (!capes.load_model(args.model_in)) {
+      std::fprintf(stderr, "cannot load model %s\n", args.model_in.c_str());
+      return 1;
+    }
+    std::printf("loaded model from %s\n", args.model_in.c_str());
+  }
+  sim.run_until(sim::seconds(5));
+
+  std::printf("workload %s, %lld training ticks, %lld eval ticks, seed %llu\n",
+              workload->name().c_str(), static_cast<long long>(train),
+              static_cast<long long>(eval),
+              static_cast<unsigned long long>(args.seed));
+
+  if (train > 0) {
+    std::printf("training...\n");
+    const auto tr = capes.run_training(train);
+    std::printf("  %zu train steps, session throughput %s MB/s\n",
+                tr.train_steps, tr.analyze().to_string().c_str());
+    maybe_write_csv(args.csv_prefix, "training", tr);
+  }
+
+  const auto baseline = capes.run_baseline(eval);
+  const auto base = baseline.analyze();
+  std::printf("baseline: %s MB/s, latency %s ms\n", base.to_string().c_str(),
+              baseline.analyze_latency().to_string().c_str());
+  maybe_write_csv(args.csv_prefix, "baseline", baseline);
+
+  const auto tuned_run = capes.run_tuned(eval);
+  const auto tuned = tuned_run.analyze();
+  std::printf("tuned:    %s MB/s, latency %s ms  (%+.1f%%)\n",
+              tuned.to_string().c_str(),
+              tuned_run.analyze_latency().to_string().c_str(),
+              base.mean > 0 ? (tuned.mean / base.mean - 1.0) * 100.0 : 0.0);
+  maybe_write_csv(args.csv_prefix, "tuned", tuned_run);
+
+  std::printf("final parameters:");
+  const auto params = capes.action_space().parameters();
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    std::printf(" %s=%.0f", params[i].name.c_str(), capes.parameter_values()[i]);
+  }
+  std::printf("\n");
+
+  if (!args.model_out.empty() && capes.save_model(args.model_out)) {
+    std::printf("model saved to %s\n", args.model_out.c_str());
+  }
+  return 0;
+}
