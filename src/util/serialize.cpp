@@ -3,6 +3,13 @@
 #include <bit>
 #include <cstdio>
 
+// std::bit_cast is the only C++20-and-up dependency in this file; a C++17
+// toolchain otherwise compiles most of the tree and fails here with a
+// confusing "no member bit_cast" error. Fail fast with the real reason.
+#ifndef __cpp_lib_bit_cast
+#error "capes requires C++20 (std::bit_cast in <bit>); build with -std=c++20 or newer"
+#endif
+
 namespace capes::util {
 
 namespace {

@@ -24,7 +24,6 @@ void RandomRw::start() {
 void RandomRw::thread_loop(std::size_t client, std::uint64_t file_id,
                            util::Rng rng) {
   if (!running_) return;
-  auto& sim = cluster_.simulator();
   // Uniform random offset, aligned to the I/O size.
   const std::uint64_t slots = opts_.file_size / opts_.io_size;
   const std::uint64_t offset = rng.uniform_u64(slots) * opts_.io_size;

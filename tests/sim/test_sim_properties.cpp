@@ -103,7 +103,9 @@ TEST(NetworkCausality, DeliveryNeverBeforeMinimumLatency) {
   ASSERT_EQ(deliveries.size(), 50u);
   for (std::size_t i = 0; i < deliveries.size(); ++i) {
     EXPECT_GE(deliveries[i], 500);
-    if (i > 0) EXPECT_GE(deliveries[i], deliveries[i - 1]);  // FIFO per link
+    if (i > 0) {
+      EXPECT_GE(deliveries[i], deliveries[i - 1]);  // FIFO per link
+    }
   }
 }
 

@@ -77,7 +77,9 @@ TEST(Subsession, ThresholdHonored) {
   const auto strict = subsession_merge(xs, 0.05);
   const auto loose = subsession_merge(xs, 0.5);
   EXPECT_GE(strict.merge_factor, loose.merge_factor);
-  if (strict.converged) EXPECT_LT(std::fabs(strict.autocorr), 0.05);
+  if (strict.converged) {
+    EXPECT_LT(std::fabs(strict.autocorr), 0.05);
+  }
 }
 
 class SubsessionPhiSweep : public ::testing::TestWithParam<double> {};
