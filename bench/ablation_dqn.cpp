@@ -10,7 +10,6 @@
 #include <string>
 
 #include "bench_util.hpp"
-#include "workload/random_rw.hpp"
 
 using namespace capes;
 
@@ -31,18 +30,12 @@ void run_variant(const Variant& v, double scale) {
   const auto train = static_cast<std::int64_t>(preset.train_ticks_long * scale);
   const auto eval = static_cast<std::int64_t>(preset.eval_ticks * scale);
 
-  sim::Simulator sim;
-  lustre::Cluster cluster(sim, preset.cluster);
-  workload::RandomRwOptions wopts;
-  wopts.read_fraction = 0.1;
-  workload::RandomRw wl(cluster, wopts);
-  wl.start();
-  core::CapesSystem capes(sim, cluster, preset.capes);
-  sim.run_until(sim::seconds(5));
+  auto experiment = benchutil::build_or_die(
+      core::Experiment::builder().preset(preset).workload("random:0.1"));
 
-  const auto baseline = capes.run_baseline(eval).analyze();
-  capes.run_training(train);
-  const auto tuned = capes.run_tuned(eval).analyze();
+  const auto baseline = experiment->run_baseline(eval).throughput;
+  experiment->run_training(train);
+  const auto tuned = experiment->run_tuned(eval).throughput;
   std::printf("%-36s baseline %7.2f  tuned %7.2f ± %5.2f  gain %+6.1f%%\n",
               v.name.c_str(), baseline.mean, tuned.mean, tuned.ci_half_width,
               benchutil::percent_gain(tuned.mean, baseline.mean));

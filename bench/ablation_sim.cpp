@@ -10,31 +10,39 @@
 #include <vector>
 
 #include "bench_util.hpp"
-#include "workload/file_server.hpp"
-#include "workload/random_rw.hpp"
-#include "workload/seq_write.hpp"
 
 using namespace capes;
 
 namespace {
 
+/// Fixed-parameter measurement point: the Experiment facade assembles the
+/// cluster + workload, then we pin the tunables and sample directly —
+/// CAPES itself stays out of the loop (that's the point of the ablation).
+enum class Knob { kCwnd, kRate };
+
+void measure_point(double read_fraction, double cwnd, double rate,
+                   std::int64_t ticks, Knob printed_knob) {
+  auto experiment = benchutil::build_or_die(
+      core::Experiment::builder().workload(
+          benchutil::random_spec(read_fraction)));
+  lustre::Cluster& cluster = *experiment->cluster();
+  cluster.set_parameters({cwnd, rate});
+  experiment->ensure_warmed_up();
+  auto session =
+      benchutil::measure_fixed(experiment->simulator(), cluster, ticks);
+  auto r = session.analyze();
+  std::printf("  %s=%6.0f  %8.2f ± %5.2f MB/s   retransmits=%llu\n",
+              printed_knob == Knob::kCwnd ? "cwnd" : "rate",
+              printed_knob == Knob::kCwnd ? cwnd : rate, r.mean,
+              r.ci_half_width,
+              static_cast<unsigned long long>(cluster.total_retransmits()));
+}
+
 void sweep_cwnd(const char* label, double read_fraction, std::int64_t ticks) {
   std::printf("\n-- %s: cwnd sweep (rate limit unbounded) --\n", label);
+  const double rate_max = core::fast_preset().cluster.rate_limit_max;
   for (double cwnd : {1.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0}) {
-    core::EvaluationPreset preset = core::fast_preset();
-    sim::Simulator sim;
-    lustre::Cluster cluster(sim, preset.cluster);
-    workload::RandomRwOptions wopts;
-    wopts.read_fraction = read_fraction;
-    workload::RandomRw wl(cluster, wopts);
-    wl.start();
-    cluster.set_parameters({cwnd, preset.cluster.rate_limit_max});
-    sim.run_until(sim::seconds(5));  // warm up
-    auto session = benchutil::measure_fixed(sim, cluster, ticks);
-    auto r = session.analyze();
-    std::printf("  cwnd=%6.0f  %8.2f ± %5.2f MB/s   retransmits=%llu\n", cwnd,
-                r.mean, r.ci_half_width,
-                static_cast<unsigned long long>(cluster.total_retransmits()));
+    measure_point(read_fraction, cwnd, rate_max, ticks, Knob::kCwnd);
   }
 }
 
@@ -42,20 +50,7 @@ void sweep_rate(const char* label, double read_fraction, double cwnd,
                 std::int64_t ticks) {
   std::printf("\n-- %s: rate-limit sweep (cwnd=%.0f) --\n", label, cwnd);
   for (double rate : {100.0, 250.0, 500.0, 1000.0, 2000.0, 4000.0}) {
-    core::EvaluationPreset preset = core::fast_preset();
-    sim::Simulator sim;
-    lustre::Cluster cluster(sim, preset.cluster);
-    workload::RandomRwOptions wopts;
-    wopts.read_fraction = read_fraction;
-    workload::RandomRw wl(cluster, wopts);
-    wl.start();
-    cluster.set_parameters({cwnd, rate});
-    sim.run_until(sim::seconds(5));
-    auto session = benchutil::measure_fixed(sim, cluster, ticks);
-    auto r = session.analyze();
-    std::printf("  rate=%6.0f  %8.2f ± %5.2f MB/s   retransmits=%llu\n", rate,
-                r.mean, r.ci_half_width,
-                static_cast<unsigned long long>(cluster.total_retransmits()));
+    measure_point(read_fraction, cwnd, rate, ticks, Knob::kRate);
   }
 }
 

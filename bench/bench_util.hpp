@@ -5,17 +5,40 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <sstream>
 #include <string>
 
-#include "core/capes_system.hpp"
-#include "core/presets.hpp"
-#include "lustre/cluster.hpp"
-#include "sim/simulator.hpp"
+#include "core/experiment.hpp"
 #include "stats/measurement.hpp"
-#include "workload/workload.hpp"
 
 namespace capes::benchutil {
+
+/// Registry spec for the random R/W workload ("random:<frac>[,seed=N]").
+inline std::string random_spec(double read_fraction) {
+  std::ostringstream ss;
+  ss << "random:" << read_fraction;
+  return ss.str();
+}
+
+inline std::string random_spec(double read_fraction, std::uint64_t seed) {
+  std::ostringstream ss;
+  ss << random_spec(read_fraction) << ",seed=" << seed;
+  return ss.str();
+}
+
+/// Benches treat a mis-built experiment as a fatal setup error.
+inline std::unique_ptr<core::Experiment> build_or_die(
+    core::ExperimentBuilder builder) {
+  std::string error;
+  auto experiment = builder.build(&error);
+  if (!experiment) {
+    std::fprintf(stderr, "experiment setup failed: %s\n", error.c_str());
+    std::exit(1);
+  }
+  return experiment;
+}
 
 /// Run `workload` on `cluster` with the *current* parameter values for
 /// `ticks` sampling ticks and return per-tick throughput samples.

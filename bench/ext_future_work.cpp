@@ -10,9 +10,9 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <utility>
 
 #include "bench_util.hpp"
-#include "workload/random_rw.hpp"
 
 using namespace capes;
 
@@ -29,23 +29,20 @@ Outcome run(const core::EvaluationPreset& preset, double read_fraction,
             double scale, core::ObjectiveFunction objective = nullptr) {
   const auto train = static_cast<std::int64_t>(preset.train_ticks_long * scale);
   const auto eval = static_cast<std::int64_t>(preset.eval_ticks * scale);
-  sim::Simulator sim;
-  lustre::Cluster cluster(sim, preset.cluster);
-  workload::RandomRwOptions wopts;
-  wopts.read_fraction = read_fraction;
-  workload::RandomRw wl(cluster, wopts);
-  wl.start();
-  core::CapesSystem capes(sim, cluster, preset.capes, std::move(objective));
-  sim.run_until(sim::seconds(5));
+  auto builder = core::Experiment::builder()
+                     .preset(preset)
+                     .workload(benchutil::random_spec(read_fraction));
+  if (objective) builder.objective(std::move(objective));
+  auto experiment = benchutil::build_or_die(std::move(builder));
 
   Outcome o;
-  const auto base = capes.run_baseline(eval);
-  o.baseline = base.analyze();
-  o.baseline_latency = base.analyze_latency();
-  capes.run_training(train);
-  const auto tuned = capes.run_tuned(eval);
-  o.tuned = tuned.analyze();
-  o.tuned_latency = tuned.analyze_latency();
+  const auto base = experiment->run_baseline(eval);
+  o.baseline = base.throughput;
+  o.baseline_latency = base.latency;
+  experiment->run_training(train);
+  const auto tuned = experiment->run_tuned(eval);
+  o.tuned = tuned.throughput;
+  o.tuned_latency = tuned.latency;
   return o;
 }
 

@@ -11,7 +11,6 @@
 #include <vector>
 
 #include "bench_util.hpp"
-#include "workload/random_rw.hpp"
 
 using namespace capes;
 
@@ -31,24 +30,19 @@ Row evaluate_ratio(const std::string& label, double read_fraction,
   const auto t_long = static_cast<std::int64_t>(preset.train_ticks_long * scale);
   const auto t_eval = static_cast<std::int64_t>(preset.eval_ticks * scale);
 
-  sim::Simulator sim;
-  lustre::Cluster cluster(sim, preset.cluster);
-  workload::RandomRwOptions wopts;
-  wopts.read_fraction = read_fraction;
-  workload::RandomRw wl(cluster, wopts);
-  wl.start();
-  core::CapesSystem capes(sim, cluster, preset.capes);
-  sim.run_until(sim::seconds(5));  // workload warm-up
+  auto experiment = benchutil::build_or_die(
+      core::Experiment::builder().workload(
+          benchutil::random_spec(read_fraction)));
 
   Row row;
   row.label = label;
   // Baseline first (default parameters), then one continuous training
   // session evaluated at the 12 h and 24 h marks (§A.4 workflow).
-  row.baseline = capes.run_baseline(t_eval).analyze();
-  capes.run_training(t_short);
-  row.after_short = capes.run_tuned(t_eval).analyze();
-  capes.run_training(t_long - t_short);
-  row.after_long = capes.run_tuned(t_eval).analyze();
+  row.baseline = experiment->run_baseline(t_eval).throughput;
+  experiment->run_training(t_short);
+  row.after_short = experiment->run_tuned(t_eval).throughput;
+  experiment->run_training(t_long - t_short);
+  row.after_long = experiment->run_tuned(t_eval).throughput;
   return row;
 }
 

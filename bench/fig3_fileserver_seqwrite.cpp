@@ -7,8 +7,6 @@
 #include <cstdlib>
 
 #include "bench_util.hpp"
-#include "workload/file_server.hpp"
-#include "workload/seq_write.hpp"
 
 using namespace capes;
 
@@ -20,19 +18,15 @@ void run_fileserver(double scale) {
   const auto t_long = static_cast<std::int64_t>(preset.train_ticks_long * scale);
   const auto t_eval = static_cast<std::int64_t>(preset.eval_ticks * scale);
 
-  sim::Simulator sim;
-  lustre::Cluster cluster(sim, preset.cluster);
-  workload::FileServerOptions wopts;  // 32 instances/client, as in §4.3
-  workload::FileServer wl(cluster, wopts);
-  wl.start();
-  core::CapesSystem capes(sim, cluster, preset.capes);
-  sim.run_until(sim::seconds(10));
+  // 32 instances/client, as in §4.3 (the workload's default).
+  auto experiment = benchutil::build_or_die(
+      core::Experiment::builder().workload("fileserver").warmup_seconds(10));
 
-  const auto baseline = capes.run_baseline(t_eval).analyze();
-  capes.run_training(t_short);
-  const auto after_short = capes.run_tuned(t_eval).analyze();
-  capes.run_training(t_long - t_short);
-  const auto after_long = capes.run_tuned(t_eval).analyze();
+  const auto baseline = experiment->run_baseline(t_eval).throughput;
+  experiment->run_training(t_short);
+  const auto after_short = experiment->run_tuned(t_eval).throughput;
+  experiment->run_training(t_long - t_short);
+  const auto after_long = experiment->run_tuned(t_eval).throughput;
 
   std::printf("fileserver (160 instances total):\n");
   benchutil::print_row("  baseline", baseline);
@@ -49,17 +43,13 @@ void run_seq_write(double scale) {
   const auto t_long = static_cast<std::int64_t>(preset.train_ticks_long * scale);
   const auto t_eval = static_cast<std::int64_t>(preset.eval_ticks * scale);
 
-  sim::Simulator sim;
-  lustre::Cluster cluster(sim, preset.cluster);
-  workload::SeqWriteOptions wopts;  // 5 streams/client x 1 MB writes (§4.3)
-  workload::SeqWrite wl(cluster, wopts);
-  wl.start();
-  core::CapesSystem capes(sim, cluster, preset.capes);
-  sim.run_until(sim::seconds(5));
+  // 5 streams/client x 1 MB writes (§4.3) — the workload's default.
+  auto experiment = benchutil::build_or_die(
+      core::Experiment::builder().workload("seqwrite"));
 
-  const auto baseline = capes.run_baseline(t_eval).analyze();
-  capes.run_training(t_long);
-  const auto tuned = capes.run_tuned(t_eval).analyze();
+  const auto baseline = experiment->run_baseline(t_eval).throughput;
+  experiment->run_training(t_long);
+  const auto tuned = experiment->run_tuned(t_eval).throughput;
 
   std::printf("sequential write (25 streams total):\n");
   benchutil::print_row("  baseline", baseline);

@@ -9,9 +9,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <string>
 
 #include "bench_util.hpp"
-#include "workload/file_server.hpp"
 
 using namespace capes;
 
@@ -32,22 +32,19 @@ void run_session(const SessionPerturbation& p, const std::string& model_path,
   preset.cluster.seed ^= p.workload_seed * 977;
   const auto t_eval = static_cast<std::int64_t>(preset.eval_ticks * scale);
 
-  sim::Simulator sim;
-  lustre::Cluster cluster(sim, preset.cluster);
-  workload::FileServerOptions wopts;
-  wopts.seed = p.workload_seed;
-  workload::FileServer wl(cluster, wopts);
-  wl.start();
-  core::CapesSystem capes(sim, cluster, preset.capes);
-  if (!capes.load_model(model_path)) {
+  auto experiment = benchutil::build_or_die(
+      core::Experiment::builder()
+          .preset(preset)
+          .workload("fileserver:seed=" + std::to_string(p.workload_seed))
+          .warmup_seconds(10));
+  if (!experiment->load_model(model_path)) {
     std::printf("  (failed to load checkpoint)\n");
     return;
   }
-  sim.run_until(sim::seconds(10));
 
   // Each session: 2 h baseline + 2 h tuned (paper: "four hours long").
-  const auto baseline = capes.run_baseline(t_eval).analyze();
-  const auto tuned = capes.run_tuned(t_eval).analyze();
+  const auto baseline = experiment->run_baseline(t_eval).throughput;
+  const auto tuned = experiment->run_tuned(t_eval).throughput;
   std::printf("%-34s baseline %7.2f ± %5.2f  tuned %7.2f ± %5.2f  gain %+5.1f%%\n",
               p.name, baseline.mean, baseline.ci_half_width, tuned.mean,
               tuned.ci_half_width,
@@ -68,19 +65,13 @@ int main(int argc, char** argv) {
 
   // Train once on the unperturbed system and checkpoint (§A.4).
   {
-    core::EvaluationPreset preset = core::fast_preset();
-    sim::Simulator sim;
-    lustre::Cluster cluster(sim, preset.cluster);
-    workload::FileServerOptions wopts;
-    workload::FileServer wl(cluster, wopts);
-    wl.start();
-    core::CapesSystem capes(sim, cluster, preset.capes);
-    sim.run_until(sim::seconds(10));
-    const auto ticks =
-        static_cast<std::int64_t>(preset.train_ticks_long * scale);
+    auto experiment = benchutil::build_or_die(
+        core::Experiment::builder().workload("fileserver").warmup_seconds(10));
+    const auto ticks = static_cast<std::int64_t>(
+        experiment->preset().train_ticks_long * scale);
     std::printf("training for %lld ticks...\n", static_cast<long long>(ticks));
-    capes.run_training(ticks);
-    capes.save_model(model_path);
+    experiment->run_training(ticks);
+    experiment->save_model(model_path);
   }
 
   // Three sessions "spread over two weeks": fresh cluster state, altered

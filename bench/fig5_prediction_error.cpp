@@ -9,7 +9,6 @@
 #include <vector>
 
 #include "bench_util.hpp"
-#include "workload/random_rw.hpp"
 
 using namespace capes;
 
@@ -17,21 +16,14 @@ int main(int argc, char** argv) {
   const double scale = argc > 1 ? std::atof(argv[1]) : 0.75;
   benchutil::print_header("Figure 5: prediction error during training");
 
-  core::EvaluationPreset preset = core::fast_preset();
-  const auto ticks = static_cast<std::int64_t>(preset.train_ticks_long * scale);
-
-  sim::Simulator sim;
-  lustre::Cluster cluster(sim, preset.cluster);
-  workload::RandomRwOptions wopts;
-  wopts.read_fraction = 0.1;
-  workload::RandomRw wl(cluster, wopts);
-  wl.start();
-  core::CapesSystem capes(sim, cluster, preset.capes);
-  sim.run_until(sim::seconds(5));
+  auto experiment = benchutil::build_or_die(
+      core::Experiment::builder().workload("random:0.1"));
+  const auto ticks = static_cast<std::int64_t>(
+      experiment->preset().train_ticks_long * scale);
   std::printf("training for %lld ticks...\n\n", static_cast<long long>(ticks));
-  capes.run_training(ticks);
+  experiment->run_training(ticks);
 
-  const auto& log = capes.engine().prediction_error_log();
+  const auto& log = experiment->system().engine().prediction_error_log();
   if (log.empty()) {
     std::printf("no training steps ran\n");
     return 1;

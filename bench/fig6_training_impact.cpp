@@ -8,7 +8,6 @@
 #include <cstdlib>
 
 #include "bench_util.hpp"
-#include "workload/random_rw.hpp"
 
 using namespace capes;
 
@@ -16,17 +15,11 @@ namespace {
 
 stats::MeasurementResult measure_baseline(std::uint64_t seed,
                                           std::int64_t ticks) {
-  core::EvaluationPreset preset = core::fast_preset(seed);
-  sim::Simulator sim;
-  lustre::Cluster cluster(sim, preset.cluster);
-  workload::RandomRwOptions wopts;
-  wopts.read_fraction = 0.5;
-  wopts.seed = seed * 31 + 7;
-  workload::RandomRw wl(cluster, wopts);
-  wl.start();
-  core::CapesSystem capes(sim, cluster, preset.capes);
-  sim.run_until(sim::seconds(5));
-  return capes.run_baseline(ticks).analyze();
+  auto experiment = benchutil::build_or_die(
+      core::Experiment::builder()
+          .seed(seed)
+          .workload(benchutil::random_spec(0.5, seed * 31 + 7)));
+  return experiment->run_baseline(ticks).throughput;
 }
 
 }  // namespace
@@ -49,18 +42,12 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
   }
 
-  sim::Simulator sim;
-  lustre::Cluster cluster(sim, preset.cluster);
-  workload::RandomRwOptions wopts;
-  wopts.read_fraction = 0.5;
-  workload::RandomRw wl(cluster, wopts);
-  wl.start();
-  core::CapesSystem capes(sim, cluster, preset.capes);
-  sim.run_until(sim::seconds(5));
+  auto experiment = benchutil::build_or_die(
+      core::Experiment::builder().workload("random:0.5"));
   std::printf("training session (%lld ticks, includes random exploration)...\n",
               static_cast<long long>(train_ticks));
-  const auto training = capes.run_training(train_ticks);
-  benchutil::print_row("training session overall", training.analyze());
+  const auto training = experiment->run_training(train_ticks);
+  benchutil::print_row("training session overall", training.throughput);
 
   std::printf(
       "\nPaper's shape: the training session's overall throughput is\n"

@@ -11,14 +11,11 @@
 #include <cstdio>
 #include <filesystem>
 
-#include "core/capes_system.hpp"
+#include "core/experiment.hpp"
 #include "core/pi_codec.hpp"
-#include "core/presets.hpp"
-#include "lustre/cluster.hpp"
 #include "rl/dqn.hpp"
 #include "rl/replay_db.hpp"
 #include "util/rng.hpp"
-#include "workload/random_rw.hpp"
 
 using namespace capes;
 
@@ -117,18 +114,17 @@ void print_inventory() {
   auto dqn = make_dqn(preset, replay);
 
   // Message sizes over a realistic monitored run.
-  sim::Simulator sim;
-  lustre::Cluster cluster(sim, preset.cluster);
-  workload::RandomRwOptions wopts;
-  wopts.read_fraction = 0.5;
-  workload::RandomRw wl(cluster, wopts);
-  wl.start();
-  core::CapesSystem capes(sim, cluster, preset.capes);
-  sim.run_until(sim::seconds(5));
-  capes.run_baseline(300);
+  std::string error;
+  auto experiment =
+      core::Experiment::builder().workload("random:0.5").build(&error);
+  if (!experiment) {
+    std::fprintf(stderr, "experiment setup failed: %s\n", error.c_str());
+    return;
+  }
+  experiment->run_baseline(300);
   const double bytes_per_client_tick =
-      static_cast<double>(capes.monitoring_bytes_sent()) /
-      (300.0 * static_cast<double>(cluster.num_clients()));
+      static_cast<double>(experiment->system().monitoring_bytes_sent()) /
+      (300.0 * static_cast<double>(experiment->cluster()->num_clients()));
 
   std::printf("\n=== Table 2: technical measurements (paper value in braces) ===\n");
   std::printf("%-44s %zu ticks {250 k}\n", "number of records of the Replay DB",

@@ -13,8 +13,7 @@
 #include <cmath>
 #include <cstdio>
 
-#include "core/capes_system.hpp"
-#include "sim/simulator.hpp"
+#include "core/experiment.hpp"
 #include "util/rng.hpp"
 
 using namespace capes;
@@ -93,7 +92,6 @@ class WebServerFarm : public core::TargetSystemAdapter {
 }  // namespace
 
 int main() {
-  sim::Simulator sim;
   WebServerFarm farm(42);
 
   core::CapesOptions options;
@@ -106,21 +104,27 @@ int main() {
   options.engine.eval_epsilon = 0.0;
 
   // Multi-objective reward (§3.2): requests/s minus a latency penalty.
-  core::CapesSystem capes(
-      sim, farm, options, [](const core::PerfSample& s) {
-        return s.write_mbs / 2000.0 - 0.02 * (s.avg_latency_ms / 10.0);
-      });
+  auto experiment = core::Experiment::builder()
+                        .adapter(farm)
+                        .capes_options(options)
+                        .objective([](const core::PerfSample& s) {
+                          return s.write_mbs / 2000.0 -
+                                 0.02 * (s.avg_latency_ms / 10.0);
+                        })
+                        .build();
 
-  const auto baseline = capes.run_baseline(100).analyze();
-  std::printf("baseline: %.0f req/s at workers=8, queue=128\n", baseline.mean);
+  const auto baseline = experiment->run_baseline(100);
+  std::printf("baseline: %.0f req/s at workers=8, queue=128\n",
+              baseline.throughput.mean);
 
   std::printf("training for 1500 ticks...\n");
-  capes.run_training(1500);
+  experiment->run_training(1500);
 
-  const auto tuned = capes.run_tuned(100).analyze();
+  const auto tuned = experiment->run_tuned(100);
   std::printf("tuned:    %.0f req/s (%+.0f%%) at workers=%.0f, queue=%.0f\n",
-              tuned.mean, (tuned.mean / baseline.mean - 1.0) * 100.0,
-              capes.parameter_values()[0], capes.parameter_values()[1]);
+              tuned.throughput.mean, experiment->report().tuned_gain_percent(),
+              experiment->parameter_values()[0],
+              experiment->parameter_values()[1]);
   std::printf("(optimum is workers=24, queue=512)\n");
   return 0;
 }

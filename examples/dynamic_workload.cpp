@@ -2,67 +2,61 @@
 //
 // CAPES "can run continuously to adapt to dynamically changing
 // workloads". This example trains on a write-heavy random workload, then
-// switches the cluster to a read-heavy one mid-run. The Interface Daemon
-// is told about the change (notify_workload_change), which bumps the
-// exploration rate to 0.2 so the agent re-explores around the new regime
-// instead of blindly applying the old policy.
+// uses Experiment::switch_workload to swap in a read-heavy one mid-run.
+// The switch stops the old generator, starts the new one through the
+// workload registry, and tells the Interface Daemon about the change —
+// which bumps the exploration rate to 0.2 so the agent re-explores around
+// the new regime instead of blindly applying the old policy.
 //
 // Run: ./build/examples/dynamic_workload
 
 #include <cstdio>
 
-#include "core/capes_system.hpp"
-#include "core/presets.hpp"
-#include "lustre/cluster.hpp"
-#include "workload/random_rw.hpp"
+#include "core/experiment.hpp"
 
 using namespace capes;
 
 int main() {
-  core::EvaluationPreset preset = core::fast_preset();
-  sim::Simulator sim;
-  lustre::Cluster cluster(sim, preset.cluster);
-  core::CapesSystem capes(sim, cluster, preset.capes);
+  std::string error;
+  auto experiment =
+      core::Experiment::builder().workload("random:0.1").build(&error);
+  if (!experiment) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  const auto& preset = experiment->preset();
 
   // Phase 1: write-heavy workload, train on it.
-  workload::RandomRwOptions phase1;
-  phase1.read_fraction = 0.1;
-  workload::RandomRw wl1(cluster, phase1);
-  wl1.start();
-  sim.run_until(sim::seconds(5));
-
   std::printf("phase 1: write-heavy (1:9) — training %lld ticks\n",
               static_cast<long long>(preset.train_ticks_short));
-  capes.run_training(preset.train_ticks_short);
+  experiment->run_training(preset.train_ticks_short);
+  auto& engine = experiment->system().engine();
   std::printf("  epsilon now %.3f, cwnd=%.0f\n",
-              capes.engine().current_epsilon(capes.engine().training_ticks(), true),
-              capes.parameter_values()[0]);
-  const auto tuned1 = capes.run_tuned(200).analyze();
-  std::printf("  tuned throughput: %s MB/s\n\n", tuned1.to_string().c_str());
+              engine.current_epsilon(engine.training_ticks(), true),
+              experiment->parameter_values()[0]);
+  const auto tuned1 = experiment->run_tuned(200);
+  std::printf("  tuned throughput: %s MB/s\n\n",
+              tuned1.throughput.to_string().c_str());
 
-  // Phase 2: the workload changes — stop the writers, start readers.
+  // Phase 2: the workload changes — the registry resolves the new spec,
+  // the old writers stop, and epsilon jumps to 0.2 (§3.6).
   std::printf("phase 2: switching to read-heavy (9:1)\n");
-  wl1.request_stop();
-  workload::RandomRwOptions phase2;
-  phase2.read_fraction = 0.9;
-  phase2.seed = 1234;
-  workload::RandomRw wl2(cluster, phase2);
-  wl2.start();
-
-  // The job scheduler tells the Interface Daemon a new workload started:
-  // epsilon jumps to 0.2 so CAPES re-explores (§3.6).
-  capes.notify_workload_change();
+  if (!experiment->switch_workload("random:0.9,seed=1234", &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
   std::printf("  epsilon bumped to %.3f\n",
-              capes.engine().current_epsilon(capes.engine().training_ticks(), true));
+              engine.current_epsilon(engine.training_ticks(), true));
 
   // Keep training through the transition — CAPES runs during normal
   // operation, adapting to the new regime.
-  capes.run_training(preset.train_ticks_short);
-  const auto tuned2 = capes.run_tuned(200).analyze();
+  experiment->run_training(preset.train_ticks_short);
+  const auto tuned2 = experiment->run_tuned(200);
   std::printf("  after re-training: %s MB/s (read-heavy: tuning gains are\n"
               "  expected to be small — reads are seek-bound)\n",
-              tuned2.to_string().c_str());
+              tuned2.throughput.to_string().c_str());
   std::printf("  parameters now: cwnd=%.0f rate=%.0f\n",
-              capes.parameter_values()[0], capes.parameter_values()[1]);
+              experiment->parameter_values()[0],
+              experiment->parameter_values()[1]);
   return 0;
 }

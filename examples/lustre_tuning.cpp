@@ -7,69 +7,58 @@
 //   4. turn CAPES on and measure the tuned throughput,
 //   5. checkpoint the trained model for the next session.
 //
-// Accepts an optional conf-file path (the conf.py analogue); see the keys
-// in core/config_io.hpp. Example:
+// All of it goes through the core::Experiment facade. Accepts an optional
+// conf-file path (the conf.py analogue); see the keys in
+// core/config_io.hpp. Example:
 //     ./build/examples/lustre_tuning my.conf
 
 #include <cstdio>
 
-#include "core/capes_system.hpp"
-#include "core/config_io.hpp"
-#include "core/presets.hpp"
-#include "lustre/cluster.hpp"
-#include "workload/random_rw.hpp"
+#include "core/experiment.hpp"
 
 using namespace capes;
 
 int main(int argc, char** argv) {
-  // Start from the laptop-scale preset; a conf file overrides any subset.
-  core::EvaluationPreset preset = core::fast_preset();
-  if (argc > 1) {
-    util::Config cfg;
-    if (!cfg.parse_file(argv[1])) {
-      std::fprintf(stderr, "cannot parse config %s\n", argv[1]);
-      return 1;
-    }
-    preset.capes = core::capes_options_from_config(cfg, preset.capes);
-    preset.cluster = core::cluster_options_from_config(cfg, preset.cluster);
-    std::printf("loaded overrides from %s\n", argv[1]);
-  }
-
   // 1. Target system: the 5-client/4-server cluster with a write-heavy
-  //    random workload (the paper's best case).
-  sim::Simulator sim;
-  lustre::Cluster cluster(sim, preset.cluster);
-  workload::RandomRwOptions wopts;
-  wopts.read_fraction = 0.1;
-  workload::RandomRw workload(cluster, wopts);
-  workload.start();
+  //    random workload (the paper's best case). The laptop-scale preset
+  //    is the default; a conf file overrides any subset.
+  auto builder = core::Experiment::builder().workload("random:0.1");
+  if (argc > 1) builder.config_file(argv[1]);
 
-  core::CapesSystem capes(sim, cluster, preset.capes);
-  sim.run_until(sim::seconds(5));  // warm the workload up
+  std::string error;
+  auto experiment = builder.build(&error);
+  if (!experiment) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  if (argc > 1) std::printf("loaded overrides from %s\n", argv[1]);
 
   // 2. Training session ("24 hours" scaled).
   std::printf("training for %lld ticks...\n",
-              static_cast<long long>(preset.train_ticks_long));
-  const auto training = capes.run_training(preset.train_ticks_long);
+              static_cast<long long>(experiment->preset().train_ticks_long));
+  const auto training = experiment->run_training();
   std::printf("  ran %zu training steps; session throughput %s MB/s\n",
-              training.train_steps, training.analyze().to_string().c_str());
+              training.result.train_steps,
+              training.throughput.to_string().c_str());
 
   // 3. Baseline: default max_rpcs_in_flight = 8, no rate limit.
-  const auto baseline = capes.run_baseline(preset.eval_ticks).analyze();
+  const auto baseline = experiment->run_baseline();
   std::printf("baseline  %s MB/s (default Lustre settings)\n",
-              baseline.to_string().c_str());
+              baseline.throughput.to_string().c_str());
 
   // 4. Tuned: CAPES steering with 5% exploration.
-  const auto tuned = capes.run_tuned(preset.eval_ticks).analyze();
-  std::printf("tuned     %s MB/s  -> %+.1f%%\n", tuned.to_string().c_str(),
-              (tuned.mean / baseline.mean - 1.0) * 100.0);
+  const auto tuned = experiment->run_tuned();
+  std::printf("tuned     %s MB/s  -> %+.1f%%\n",
+              tuned.throughput.to_string().c_str(),
+              experiment->report().tuned_gain_percent());
   std::printf("  final parameters: max_rpcs_in_flight=%.0f, rate_limit=%.0f/s\n",
-              capes.parameter_values()[0], capes.parameter_values()[1]);
+              experiment->parameter_values()[0],
+              experiment->parameter_values()[1]);
 
   // 5. Checkpoint for the next session (loaded automatically by
-  //    CapesSystem::load_model).
+  //    Experiment::load_model).
   const char* ckpt = "capes_lustre_model.bin";
-  if (capes.save_model(ckpt)) {
+  if (experiment->save_model(ckpt)) {
     std::printf("model checkpointed to %s\n", ckpt);
   }
   return 0;

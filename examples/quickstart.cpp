@@ -11,8 +11,7 @@
 #include <cmath>
 #include <cstdio>
 
-#include "core/capes_system.hpp"
-#include "sim/simulator.hpp"
+#include "core/experiment.hpp"
 
 using namespace capes;
 
@@ -63,7 +62,6 @@ class ToySystem : public core::TargetSystemAdapter {
 }  // namespace
 
 int main() {
-  sim::Simulator sim;   // CAPES drives everything off a simulated clock
   ToySystem system;
 
   core::CapesOptions options;
@@ -76,21 +74,26 @@ int main() {
   options.engine.eval_epsilon = 0.0;
   options.reward_scale_mbs = 100.0;
 
-  core::CapesSystem capes(sim, system, options);
+  // The Experiment facade owns the simulated clock and the CAPES control
+  // loop; a custom adapter is all it needs to know about the system.
+  auto experiment = core::Experiment::builder()
+                        .adapter(system)
+                        .capes_options(options)
+                        .build();
 
   std::printf("baseline (default knob = 50)...\n");
-  const auto baseline = capes.run_baseline(50).analyze();
-  std::printf("  throughput %.1f units\n\n", baseline.mean);
+  const auto baseline = experiment->run_baseline(50);
+  std::printf("  throughput %.1f units\n\n", baseline.throughput.mean);
 
   std::printf("training CAPES for 800 ticks...\n");
-  capes.run_training(800);
+  experiment->run_training(800);
 
-  const auto tuned = capes.run_tuned(50).analyze();
+  const auto tuned = experiment->run_tuned(50);
   std::printf("\nresults\n");
-  std::printf("  baseline: %6.1f units\n", baseline.mean);
-  std::printf("  tuned:    %6.1f units  (%+.0f%%)\n", tuned.mean,
-              (tuned.mean / baseline.mean - 1.0) * 100.0);
+  std::printf("  baseline: %6.1f units\n", baseline.throughput.mean);
+  std::printf("  tuned:    %6.1f units  (%+.0f%%)\n", tuned.throughput.mean,
+              experiment->report().tuned_gain_percent());
   std::printf("  knob ended at %.0f (optimum is 80)\n",
-              capes.parameter_values()[0]);
+              experiment->parameter_values()[0]);
   return 0;
 }

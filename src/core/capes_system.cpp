@@ -1,21 +1,17 @@
 #include "core/capes_system.hpp"
 
 #include <cassert>
-#include <sstream>
 
 namespace capes::core {
 
-std::string RunResult::to_csv() const {
-  std::ostringstream out;
-  out << "tick,throughput_mbs,latency_ms,reward\n";
-  const auto& tput = throughput.samples();
-  const auto& lat = latency_ms.samples();
-  for (std::size_t i = 0; i < tput.size(); ++i) {
-    out << (start_tick + static_cast<std::int64_t>(i)) << ',' << tput[i] << ','
-        << (i < lat.size() ? lat[i] : 0.0) << ','
-        << (i < rewards.size() ? rewards[i] : 0.0) << '\n';
+const char* phase_name(RunPhase phase) {
+  switch (phase) {
+    case RunPhase::kTraining: return "training";
+    case RunPhase::kBaseline: return "baseline";
+    case RunPhase::kTuned: return "tuned";
+    case RunPhase::kIdle: break;
   }
-  return out.str();
+  return "idle";
 }
 
 CapesSystem::CapesSystem(sim::Simulator& sim, TargetSystemAdapter& adapter,
@@ -63,7 +59,17 @@ void CapesSystem::notify_workload_change() {
   engine_->notify_workload_change();
 }
 
-void CapesSystem::on_sampling_tick(RunResult& result, Mode mode) {
+void CapesSystem::add_tick_listener(
+    std::function<void(const TickEvent&)> listener) {
+  if (listener) tick_listeners_.push_back(std::move(listener));
+}
+
+void CapesSystem::add_train_step_listener(
+    std::function<void(const TrainStepEvent&)> listener) {
+  if (listener) train_step_listeners_.push_back(std::move(listener));
+}
+
+void CapesSystem::on_sampling_tick(RunResult& result, RunPhase mode) {
   const std::int64_t t = tick_;
 
   // 1. Monitoring Agents sample and ship PIs (stored in the replay DB).
@@ -78,22 +84,41 @@ void CapesSystem::on_sampling_tick(RunResult& result, Mode mode) {
   result.rewards.push_back(reward);
 
   // 3. Action tick: the engine suggests, the daemon checks + broadcasts.
-  if (mode == Mode::kTraining || mode == Mode::kTuned) {
+  if (mode == RunPhase::kTraining || mode == RunPhase::kTuned) {
     const std::size_t suggested =
-        engine_->compute_action(t, mode == Mode::kTraining);
+        engine_->compute_action(t, mode == RunPhase::kTraining);
     daemon_->on_suggested_action(t, suggested, param_values_);
   } else {
     daemon_->on_suggested_action(t, 0, param_values_);  // NULL action
   }
 
   // 4. Training steps (the DRL Engine trains continuously, §3.4).
-  if (mode == Mode::kTraining) {
-    result.train_steps += engine_->train_tick();
+  if (mode == RunPhase::kTraining) {
+    const std::size_t steps = engine_->train_tick();
+    result.train_steps += steps;
+    if (steps > 0) {
+      total_train_steps_ += steps;
+      TrainStepEvent event;
+      event.tick = t;
+      event.steps = steps;
+      event.total_steps = total_train_steps_;
+      for (const auto& listener : train_step_listeners_) listener(event);
+    }
+  }
+
+  if (!tick_listeners_.empty()) {
+    TickEvent event;
+    event.phase = mode;
+    event.tick = t;
+    event.throughput_mbs = perf.throughput_mbs();
+    event.latency_ms = perf.avg_latency_ms;
+    event.reward = reward;
+    for (const auto& listener : tick_listeners_) listener(event);
   }
   ++tick_;
 }
 
-RunResult CapesSystem::run_phase(std::int64_t ticks, Mode mode) {
+RunResult CapesSystem::run_phase(std::int64_t ticks, RunPhase mode) {
   RunResult result;
   result.start_tick = tick_;
   const auto tick_us = sim::seconds(opts_.sampling_tick_s);
@@ -106,16 +131,16 @@ RunResult CapesSystem::run_phase(std::int64_t ticks, Mode mode) {
 }
 
 RunResult CapesSystem::run_training(std::int64_t ticks) {
-  return run_phase(ticks, Mode::kTraining);
+  return run_phase(ticks, RunPhase::kTraining);
 }
 
 RunResult CapesSystem::run_baseline(std::int64_t ticks) {
   reset_parameters();
-  return run_phase(ticks, Mode::kBaseline);
+  return run_phase(ticks, RunPhase::kBaseline);
 }
 
 RunResult CapesSystem::run_tuned(std::int64_t ticks) {
-  return run_phase(ticks, Mode::kTuned);
+  return run_phase(ticks, RunPhase::kTuned);
 }
 
 std::uint64_t CapesSystem::monitoring_bytes_sent() const {

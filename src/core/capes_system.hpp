@@ -7,6 +7,7 @@
 // run_training / run_baseline / run_tuned.
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -37,6 +38,12 @@ struct CapesOptions {
   std::string replay_db_dir;
 };
 
+/// The §A.4 run phases. kIdle only ever appears as "no phase running".
+enum class RunPhase { kIdle, kTraining, kBaseline, kTuned };
+
+/// Lower-case phase label ("training", "baseline", "tuned", "idle").
+const char* phase_name(RunPhase phase);
+
 /// Result of one run phase (training, baseline, or tuned measurement).
 struct RunResult {
   stats::MeasurementSession throughput;  ///< one MB/s sample per tick
@@ -48,9 +55,23 @@ struct RunResult {
 
   stats::MeasurementResult analyze() const { return throughput.analyze(); }
   stats::MeasurementResult analyze_latency() const { return latency_ms.analyze(); }
+};
 
-  /// One CSV row per tick: tick,throughput_mbs,latency_ms,reward.
-  std::string to_csv() const;
+/// Per-tick sample snapshot delivered to tick listeners.
+struct TickEvent {
+  RunPhase phase = RunPhase::kIdle;
+  std::int64_t tick = 0;
+  double throughput_mbs = 0.0;
+  double latency_ms = 0.0;
+  double reward = 0.0;
+};
+
+/// Delivered to train-step listeners after each training tick that ran at
+/// least one minibatch step.
+struct TrainStepEvent {
+  std::int64_t tick = 0;
+  std::size_t steps = 0;        ///< minibatch steps this tick
+  std::size_t total_steps = 0;  ///< cumulative over the system's lifetime
 };
 
 class CapesSystem {
@@ -74,6 +95,11 @@ class CapesSystem {
 
   /// §3.6: tell CAPES a new workload just started (bumps epsilon).
   void notify_workload_change();
+
+  /// Observer hooks. Listeners fire inside the sampling loop in
+  /// registration order; they must not re-enter run_*().
+  void add_tick_listener(std::function<void(const TickEvent&)> listener);
+  void add_train_step_listener(std::function<void(const TrainStepEvent&)> listener);
 
   /// Reset tuned parameters to their initial (default) values.
   void reset_parameters();
@@ -100,9 +126,8 @@ class CapesSystem {
   waldb::Database* database() { return db_.get(); }
 
  private:
-  enum class Mode { kIdle, kTraining, kBaseline, kTuned };
-  RunResult run_phase(std::int64_t ticks, Mode mode);
-  void on_sampling_tick(RunResult& result, Mode mode);
+  RunResult run_phase(std::int64_t ticks, RunPhase mode);
+  void on_sampling_tick(RunResult& result, RunPhase mode);
 
   sim::Simulator& sim_;
   TargetSystemAdapter& adapter_;
@@ -119,6 +144,9 @@ class CapesSystem {
 
   std::vector<double> param_values_;
   std::int64_t tick_ = 0;
+  std::size_t total_train_steps_ = 0;
+  std::vector<std::function<void(const TickEvent&)>> tick_listeners_;
+  std::vector<std::function<void(const TrainStepEvent&)>> train_step_listeners_;
 };
 
 }  // namespace capes::core

@@ -1,0 +1,342 @@
+#include "core/experiment.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "core/config_io.hpp"
+#include "util/config.hpp"
+#include "workload/registry.hpp"
+
+namespace capes::core {
+
+// ---------------------------------------------------------------------------
+// Reports and sinks
+// ---------------------------------------------------------------------------
+
+const PhaseReport* ExperimentReport::find(RunPhase phase) const {
+  for (auto it = phases.rbegin(); it != phases.rend(); ++it) {
+    if (it->phase == phase) return &*it;
+  }
+  return nullptr;
+}
+
+double ExperimentReport::tuned_gain_percent() const {
+  const PhaseReport* baseline = find(RunPhase::kBaseline);
+  const PhaseReport* tuned = find(RunPhase::kTuned);
+  if (!baseline || !tuned || baseline->throughput.mean <= 0.0) return 0.0;
+  return (tuned->throughput.mean / baseline->throughput.mean - 1.0) * 100.0;
+}
+
+std::string run_result_csv(const RunResult& result) {
+  std::ostringstream out;
+  out << "tick,throughput_mbs,latency_ms,reward\n";
+  const auto& tput = result.throughput.samples();
+  const auto& lat = result.latency_ms.samples();
+  for (std::size_t i = 0; i < tput.size(); ++i) {
+    out << (result.start_tick + static_cast<std::int64_t>(i)) << ',' << tput[i]
+        << ',' << (i < lat.size() ? lat[i] : 0.0) << ','
+        << (i < result.rewards.size() ? result.rewards[i] : 0.0) << '\n';
+  }
+  return out.str();
+}
+
+PhaseObserver csv_phase_sink(std::string prefix) {
+  return [prefix = std::move(prefix)](const PhaseReport& report) {
+    const std::string path = prefix + "_" + report.label + ".csv";
+    std::ofstream out(path);
+    out << run_result_csv(report.result);
+    // Observers have no error channel back to the phase runner; an
+    // unwritable sink must at least say so instead of dropping data.
+    if (!out) std::fprintf(stderr, "csv_phase_sink: cannot write %s\n",
+                           path.c_str());
+  };
+}
+
+// ---------------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------------
+
+ExperimentBuilder& ExperimentBuilder::preset(EvaluationPreset p) {
+  preset_ = std::move(p);
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::seed(std::uint64_t s) {
+  seed_ = s;
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::config_file(std::string path) {
+  config_file_ = std::move(path);
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::workload(std::string spec) {
+  workload_spec_ = std::move(spec);
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::adapter(TargetSystemAdapter& a) {
+  adapter_ = &a;
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::capes_options(CapesOptions opts) {
+  capes_options_ = std::move(opts);
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::objective(ObjectiveFunction f) {
+  objective_ = std::move(f);
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::monitor_servers(bool on) {
+  monitor_servers_ = on;
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::tune_write_cache(bool on) {
+  tune_write_cache_ = on;
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::train_ticks(std::int64_t ticks) {
+  train_ticks_ = ticks;
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::eval_ticks(std::int64_t ticks) {
+  eval_ticks_ = ticks;
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::warmup_seconds(double s) {
+  warmup_seconds_ = s;
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::replay_db_dir(std::string dir) {
+  replay_db_dir_ = std::move(dir);
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::on_tick(TickObserver f) {
+  if (f) tick_observers_.push_back(std::move(f));
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::on_train_step(TrainStepObserver f) {
+  if (f) train_step_observers_.push_back(std::move(f));
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::on_phase_end(PhaseObserver f) {
+  if (f) phase_observers_.push_back(std::move(f));
+  return *this;
+}
+
+namespace {
+
+bool fail(std::string* error, const std::string& message) {
+  if (error) *error = message;
+  return false;
+}
+
+}  // namespace
+
+std::unique_ptr<Experiment> ExperimentBuilder::build(std::string* error) {
+  if (adapter_ && !workload_spec_.empty()) {
+    fail(error,
+         "workload() requires the bundled Lustre cluster; a custom adapter() "
+         "brings its own load generator");
+    return nullptr;
+  }
+  if (adapter_ && (monitor_servers_ || tune_write_cache_)) {
+    fail(error,
+         "monitor_servers()/tune_write_cache() are Lustre-cluster options and "
+         "do not apply to a custom adapter()");
+    return nullptr;
+  }
+  if (!adapter_ && workload_spec_.empty()) {
+    fail(error,
+         "no target system: pick a workload() for the bundled Lustre cluster "
+         "or pass a custom adapter()");
+    return nullptr;
+  }
+
+  EvaluationPreset preset =
+      preset_ ? *preset_ : fast_preset(seed_.value_or(42));
+
+  if (!config_file_.empty()) {
+    util::Config cfg;
+    if (!cfg.parse_file(config_file_)) {
+      fail(error, "cannot parse config file '" + config_file_ + "'");
+      return nullptr;
+    }
+    preset.capes = capes_options_from_config(cfg, preset.capes);
+    preset.cluster = cluster_options_from_config(cfg, preset.cluster);
+  }
+  // Opt-in only: a preset or config file that already enables the §6
+  // extensions keeps them.
+  if (monitor_servers_) preset.cluster.monitor_servers = true;
+  if (tune_write_cache_) preset.cluster.tune_write_cache = true;
+  if (capes_options_) preset.capes = *capes_options_;
+  // An explicit seed() wins over whatever seeds the preset, config file,
+  // or capes_options() carried.
+  if (seed_) apply_seed(&preset, *seed_);
+  if (replay_db_dir_) preset.capes.replay_db_dir = *replay_db_dir_;
+
+  std::unique_ptr<Experiment> exp(new Experiment());
+  exp->preset_ = preset;
+  exp->warmup_seconds_ = warmup_seconds_;
+  exp->default_train_ticks_ =
+      train_ticks_ >= 0 ? train_ticks_ : preset.train_ticks_long;
+  exp->default_eval_ticks_ =
+      eval_ticks_ >= 0 ? eval_ticks_ : preset.eval_ticks;
+
+  exp->sim_ = std::make_unique<sim::Simulator>();
+  if (adapter_) {
+    exp->adapter_ = adapter_;
+  } else {
+    exp->cluster_ = std::make_unique<lustre::Cluster>(*exp->sim_, preset.cluster);
+    exp->workload_ = workload::Registry::instance().create(
+        workload_spec_, *exp->cluster_, error);
+    if (!exp->workload_) return nullptr;  // builder state untouched so far
+    exp->workload_->start();
+    exp->adapter_ = exp->cluster_.get();
+  }
+
+  // Observers and the objective are copied, not moved: the builder stays
+  // fully intact, so it can build again (e.g. A/B runs varying one knob).
+  exp->phase_observers_ = phase_observers_;
+  exp->system_ = std::make_unique<CapesSystem>(*exp->sim_, *exp->adapter_,
+                                               preset.capes, objective_);
+  for (const auto& observer : tick_observers_) {
+    exp->system_->add_tick_listener(observer);
+  }
+  for (const auto& observer : train_step_observers_) {
+    exp->system_->add_train_step_listener(observer);
+  }
+  for (const auto& parameter : exp->system_->action_space().parameters()) {
+    exp->report_.parameter_names.push_back(parameter.name);
+  }
+  exp->report_.final_parameters = exp->system_->parameter_values();
+  return exp;
+}
+
+// ---------------------------------------------------------------------------
+// Experiment
+// ---------------------------------------------------------------------------
+
+Experiment::~Experiment() = default;
+
+void Experiment::ensure_warmed_up() {
+  if (warmed_up_) return;
+  warmed_up_ = true;
+  if (warmup_seconds_ > 0.0) {
+    sim_->run_until(sim_->now() + sim::seconds(warmup_seconds_));
+  }
+}
+
+std::string Experiment::workload_name() const {
+  return workload_ ? workload_->name() : std::string();
+}
+
+PhaseReport Experiment::run_phase(RunPhase phase, std::int64_t ticks) {
+  ensure_warmed_up();
+  PhaseReport report;
+  report.phase = phase;
+  report.label = phase_name(phase);
+  report.workload = workload_name();
+  switch (phase) {
+    case RunPhase::kTraining:
+      report.result = system_->run_training(ticks);
+      break;
+    case RunPhase::kBaseline:
+      report.result = system_->run_baseline(ticks);
+      break;
+    case RunPhase::kTuned:
+    case RunPhase::kIdle:
+      report.result = system_->run_tuned(ticks);
+      break;
+  }
+  report.throughput = report.result.analyze();
+  report.latency = report.result.analyze_latency();
+  report_.phases.push_back(std::move(report));
+  report_.final_parameters = system_->parameter_values();
+  const PhaseReport& stored = report_.phases.back();
+  for (const auto& observer : phase_observers_) observer(stored);
+  return stored;
+}
+
+PhaseReport Experiment::run_training(std::int64_t ticks) {
+  return run_phase(RunPhase::kTraining,
+                   ticks >= 0 ? ticks : default_train_ticks_);
+}
+
+PhaseReport Experiment::run_baseline(std::int64_t ticks) {
+  return run_phase(RunPhase::kBaseline,
+                   ticks >= 0 ? ticks : default_eval_ticks_);
+}
+
+PhaseReport Experiment::run_tuned(std::int64_t ticks) {
+  return run_phase(RunPhase::kTuned, ticks >= 0 ? ticks : default_eval_ticks_);
+}
+
+ExperimentReport Experiment::run(std::int64_t train_ticks,
+                                 std::int64_t eval_ticks) {
+  if (train_ticks < 0) train_ticks = default_train_ticks_;
+  if (eval_ticks < 0) eval_ticks = default_eval_ticks_;
+  if (train_ticks > 0) run_training(train_ticks);
+  run_baseline(eval_ticks);
+  run_tuned(eval_ticks);
+  return report();
+}
+
+ExperimentReport Experiment::take_report() {
+  ExperimentReport out = std::move(report_);
+  report_ = ExperimentReport();
+  report_.parameter_names = out.parameter_names;
+  report_.final_parameters = out.final_parameters;
+  return out;
+}
+
+bool Experiment::switch_workload(const std::string& spec, std::string* error) {
+  if (!cluster_) {
+    if (error) *error = "switch_workload requires the bundled Lustre cluster";
+    return false;
+  }
+  auto next = workload::Registry::instance().create(spec, *cluster_, error);
+  if (!next) return false;
+  // Reap earlier retirees whose in-flight ops have certainly completed:
+  // a stopped generator schedules nothing new, and single operations
+  // finish in well under a simulated minute, so anything retired 60+
+  // sim-seconds ago holds no pending callbacks. Keeps continuous
+  // switch-train loops from growing this list without bound.
+  const sim::TimeUs now = sim_->now();
+  std::erase_if(retired_workloads_, [now](const RetiredWorkload& r) {
+    return now - r.retired_at > sim::seconds(60);
+  });
+  if (workload_) workload_->request_stop();
+  // The stopped generator stays alive so its in-flight ops drain naturally.
+  retired_workloads_.push_back({std::move(workload_), now});
+  workload_ = std::move(next);
+  workload_->start();
+  system_->notify_workload_change();
+  return true;
+}
+
+void Experiment::notify_workload_change() { system_->notify_workload_change(); }
+
+bool Experiment::save_model(const std::string& path) const {
+  return system_->save_model(path);
+}
+
+bool Experiment::load_model(const std::string& path) {
+  return system_->load_model(path);
+}
+
+}  // namespace capes::core

@@ -1,0 +1,230 @@
+#pragma once
+// The front door to CAPES: Experiment owns the whole object graph the
+// paper's evaluation needs — simulated clock, target system, workload,
+// and the CapesSystem control loop — and runs the Appendix A.4 workflow
+// (train -> baseline -> tuned) as structured phases. Construction goes
+// through a fluent builder:
+//
+//   auto exp = core::Experiment::builder()
+//                  .workload("fileserver")
+//                  .seed(42)
+//                  .tune_write_cache()
+//                  .on_phase_end(core::csv_phase_sink("out"))
+//                  .build(&error);
+//   auto report = exp->run();
+//
+// Workload specs resolve through workload::Registry, so new workloads
+// plug in without touching this facade. Custom target systems skip the
+// bundled Lustre cluster entirely: pass .adapter(my_system) instead of
+// .workload(...) (see examples/quickstart.cpp).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/capes_system.hpp"
+#include "core/objective.hpp"
+#include "core/presets.hpp"
+#include "lustre/cluster.hpp"
+#include "sim/simulator.hpp"
+#include "workload/workload.hpp"
+
+namespace capes::core {
+
+class Experiment;
+
+/// One completed phase: the raw per-tick data plus its Pilot-style
+/// analysis, ready for printing or sinking.
+struct PhaseReport {
+  RunPhase phase = RunPhase::kIdle;
+  std::string label;     ///< phase_name(phase)
+  std::string workload;  ///< active workload name ("" for custom adapters)
+  RunResult result;
+  stats::MeasurementResult throughput;
+  stats::MeasurementResult latency;
+};
+
+/// Everything an Experiment has run so far, in order.
+struct ExperimentReport {
+  std::vector<PhaseReport> phases;
+  std::vector<std::string> parameter_names;
+  std::vector<double> final_parameters;
+
+  /// Latest report for `phase`, or nullptr if that phase never ran. The
+  /// pointer is into `phases` and is invalidated by the next run_*() call
+  /// (which appends to the vector) — consume it before running more.
+  const PhaseReport* find(RunPhase phase) const;
+
+  /// Tuned-vs-baseline throughput gain in percent (0 when either phase is
+  /// missing or the baseline mean is non-positive).
+  double tuned_gain_percent() const;
+};
+
+using TickObserver = std::function<void(const TickEvent&)>;
+using TrainStepObserver = std::function<void(const TrainStepEvent&)>;
+using PhaseObserver = std::function<void(const PhaseReport&)>;
+
+/// One CSV row per tick: tick,throughput_mbs,latency_ms,reward. (The
+/// composable replacement for the old RunResult::to_csv member.)
+std::string run_result_csv(const RunResult& result);
+
+/// Phase observer that writes `<prefix>_<phase>.csv` after every phase.
+/// Re-running a phase overwrites its file.
+PhaseObserver csv_phase_sink(std::string prefix);
+
+class ExperimentBuilder {
+ public:
+  /// Start from an explicit preset instead of fast_preset(seed).
+  ExperimentBuilder& preset(EvaluationPreset p);
+  /// Seed for the preset's RNGs (cluster, DQN, exploration). Applies on
+  /// top of an explicit preset too.
+  ExperimentBuilder& seed(std::uint64_t s);
+  /// Overlay a conf file (core/config_io.hpp keys) onto the preset.
+  ExperimentBuilder& config_file(std::string path);
+  /// Workload spec resolved through workload::Registry ("random:0.1", ...).
+  ExperimentBuilder& workload(std::string spec);
+  /// Tune a custom target system instead of the bundled Lustre cluster.
+  /// The adapter must outlive the experiment. Mutually exclusive with
+  /// workload()/monitor_servers()/tune_write_cache().
+  ExperimentBuilder& adapter(TargetSystemAdapter& a);
+  /// Override CapesOptions wholesale (mainly for custom adapters; in
+  /// Lustre mode the preset's options are usually right).
+  ExperimentBuilder& capes_options(CapesOptions opts);
+  /// Reward function (§3.2); defaults to aggregate throughput.
+  ExperimentBuilder& objective(ObjectiveFunction f);
+  ExperimentBuilder& monitor_servers(bool on = true);   ///< §6 extension
+  ExperimentBuilder& tune_write_cache(bool on = true);  ///< §6 extension
+  /// Default tick counts for run()/run_training()/run_baseline()/
+  /// run_tuned() calls that don't pass explicit counts.
+  ExperimentBuilder& train_ticks(std::int64_t ticks);
+  ExperimentBuilder& eval_ticks(std::int64_t ticks);
+  /// Simulated warm-up before the first phase (default 5 s).
+  ExperimentBuilder& warmup_seconds(double s);
+  /// Durable replay DB directory ("" = memory only).
+  ExperimentBuilder& replay_db_dir(std::string dir);
+
+  ExperimentBuilder& on_tick(TickObserver f);
+  ExperimentBuilder& on_train_step(TrainStepObserver f);
+  ExperimentBuilder& on_phase_end(PhaseObserver f);
+
+  /// Validates the configuration and assembles the object graph. Returns
+  /// nullptr and sets *error (if non-null) on an unknown workload, a bad
+  /// spec, an unreadable config file, or a missing workload/adapter.
+  /// The builder is left intact either way and can build again.
+  std::unique_ptr<Experiment> build(std::string* error = nullptr);
+
+ private:
+  friend class Experiment;
+  std::optional<EvaluationPreset> preset_;
+  std::optional<std::uint64_t> seed_;
+  std::string config_file_;
+  std::string workload_spec_;
+  TargetSystemAdapter* adapter_ = nullptr;
+  std::optional<CapesOptions> capes_options_;
+  ObjectiveFunction objective_;
+  bool monitor_servers_ = false;
+  bool tune_write_cache_ = false;
+  std::int64_t train_ticks_ = -1;
+  std::int64_t eval_ticks_ = -1;
+  double warmup_seconds_ = 5.0;
+  std::optional<std::string> replay_db_dir_;
+  std::vector<TickObserver> tick_observers_;
+  std::vector<TrainStepObserver> train_step_observers_;
+  std::vector<PhaseObserver> phase_observers_;
+};
+
+class Experiment {
+ public:
+  static ExperimentBuilder builder() { return {}; }
+
+  ~Experiment();
+  Experiment(const Experiment&) = delete;
+  Experiment& operator=(const Experiment&) = delete;
+
+  /// The full §A.4 workflow: one training session, then a baseline and a
+  /// tuned measurement, with phase observers firing after each phase.
+  /// Negative tick counts use the builder/preset defaults.
+  ExperimentReport run(std::int64_t train_ticks = -1,
+                       std::int64_t eval_ticks = -1);
+
+  /// Individual phases, for call sites that interleave them (epsilon
+  /// checks, repeated tuned windows, model checkpointing between phases).
+  PhaseReport run_training(std::int64_t ticks = -1);
+  PhaseReport run_baseline(std::int64_t ticks = -1);
+  PhaseReport run_tuned(std::int64_t ticks = -1);
+
+  /// Swap the active workload for `spec` (resolved via the registry):
+  /// stops the old generator, starts the new one, and tells CAPES about
+  /// the change so epsilon re-explores (§3.6). Lustre mode only.
+  bool switch_workload(const std::string& spec, std::string* error = nullptr);
+
+  /// §3.6 epsilon bump without a workload swap.
+  void notify_workload_change();
+
+  bool save_model(const std::string& path) const;
+  bool load_model(const std::string& path);
+
+  /// Everything run so far plus the current parameter state. The report
+  /// keeps every phase's raw per-tick samples, so a long-lived Experiment
+  /// that loops phases indefinitely grows it without bound; snapshot and
+  /// clear via take_report() in continuous operation.
+  const ExperimentReport& report() const { return report_; }
+
+  /// Moves the accumulated report out, leaving an empty history (the
+  /// parameter state stays current).
+  ExperimentReport take_report();
+
+  // Escape hatches to the owned graph, for benches and tests that poke
+  // below the facade (prediction-error logs, direct parameter sweeps).
+  sim::Simulator& simulator() { return *sim_; }
+  CapesSystem& system() { return *system_; }
+  lustre::Cluster* cluster() { return cluster_.get(); }               ///< null in adapter mode
+  workload::Workload* active_workload() { return workload_.get(); }  ///< null in adapter mode
+  const EvaluationPreset& preset() const { return preset_; }
+  /// Tick counts used when run_*() gets no explicit count (builder
+  /// override if given, else the preset's).
+  std::int64_t default_train_ticks() const { return default_train_ticks_; }
+  std::int64_t default_eval_ticks() const { return default_eval_ticks_; }
+  std::string workload_name() const;
+  const std::vector<double>& parameter_values() const {
+    return system_->parameter_values();
+  }
+
+  /// Runs the configured warm-up if it hasn't happened yet. Phases do
+  /// this on demand; call it directly only to warm up without measuring.
+  void ensure_warmed_up();
+
+ private:
+  friend class ExperimentBuilder;
+  Experiment() = default;
+
+  PhaseReport run_phase(RunPhase phase, std::int64_t ticks);
+
+  EvaluationPreset preset_;
+  double warmup_seconds_ = 5.0;
+  bool warmed_up_ = false;
+  std::int64_t default_train_ticks_ = 0;
+  std::int64_t default_eval_ticks_ = 0;
+
+  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<lustre::Cluster> cluster_;
+  std::unique_ptr<workload::Workload> workload_;
+  /// Generators replaced by switch_workload, kept alive until their
+  /// in-flight operations have certainly drained (see reap in
+  /// switch_workload) so completion callbacks never dangle.
+  struct RetiredWorkload {
+    std::unique_ptr<workload::Workload> workload;
+    sim::TimeUs retired_at = 0;
+  };
+  std::vector<RetiredWorkload> retired_workloads_;
+  TargetSystemAdapter* adapter_ = nullptr;  ///< the active adapter
+  std::unique_ptr<CapesSystem> system_;
+
+  std::vector<PhaseObserver> phase_observers_;
+  ExperimentReport report_;
+};
+
+}  // namespace capes::core

@@ -56,17 +56,21 @@ EvaluationPreset fast_preset(std::uint64_t seed) {
   // noisy congestion-collapse region's value; Double DQN corrects it
   // (see DqnOptions::use_double_dqn and bench/ablation_dqn).
   p.capes.engine.dqn.use_double_dqn = true;
-  p.capes.engine.dqn.seed = seed;
-  p.capes.engine.seed = seed ^ 0x5eedf00d;
 
   p.train_ticks_short = 2400;  // "12 hours"
   p.train_ticks_long = 4800;   // "24 hours"
   p.eval_ticks = 400;          // "2 hour" measurement phases
 
   // Keep per-run noise bounded so scaled-down sessions stay measurable.
-  p.cluster.seed = seed * 2654435761u + 1;
   p.cluster.network.jitter_fraction = 0.05;
+  apply_seed(&p, seed);
   return p;
+}
+
+void apply_seed(EvaluationPreset* preset, std::uint64_t seed) {
+  preset->capes.engine.dqn.seed = seed;
+  preset->capes.engine.seed = seed ^ 0x5eedf00d;
+  preset->cluster.seed = seed * 2654435761u + 1;
 }
 
 }  // namespace capes::core

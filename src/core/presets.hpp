@@ -33,4 +33,9 @@ EvaluationPreset paper_preset();
 /// Laptop-scale evaluation preset (see header comment).
 EvaluationPreset fast_preset(std::uint64_t seed = 42);
 
+/// Re-derive every seed-dependent knob of `preset` from `seed`, exactly
+/// as fast_preset(seed) would. Used by ExperimentBuilder::seed() so
+/// .preset(p).seed(s) equals constructing the preset with s.
+void apply_seed(EvaluationPreset* preset, std::uint64_t seed);
+
 }  // namespace capes::core

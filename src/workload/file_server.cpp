@@ -1,6 +1,9 @@
 #include "workload/file_server.hpp"
 
 #include <algorithm>
+#include <memory>
+
+#include "workload/registry.hpp"
 
 namespace capes::workload {
 
@@ -90,6 +93,26 @@ void FileServer::instance_loop(std::size_t idx, int op) {
     }
   }
   (void)sim;
+}
+
+void register_file_server(Registry& registry) {
+  registry.add(
+      "fileserver",
+      "fileserver[:seed=N][,instances=N][,files=N] — Filebench-style "
+      "create/append/read/delete/stat mix (§4.3, Fig. 3)",
+      [](lustre::Cluster& cluster, const SpecArgs& raw, std::string* error)
+          -> std::unique_ptr<Workload> {
+        SpecArgs args = raw;
+        FileServerOptions opts;
+        if (!spec::take_u64(args, "seed", &opts.seed, error) ||
+            !spec::take_size(args, "instances", &opts.instances_per_client,
+                             error) ||
+            !spec::take_size(args, "files", &opts.files_per_instance, error) ||
+            !spec::reject_unknown(args, 0, error)) {
+          return nullptr;
+        }
+        return std::make_unique<FileServer>(cluster, opts);
+      });
 }
 
 }  // namespace capes::workload

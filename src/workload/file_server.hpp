@@ -19,6 +19,8 @@
 
 namespace capes::workload {
 
+class Registry;
+
 struct FileServerOptions {
   std::size_t instances_per_client = 32;  ///< paper: 32 (160 total)
   /// Mean file size for create/append/read; the paper used 100 MB, the
@@ -57,5 +59,8 @@ class FileServer : public Workload {
   bool running_ = true;
   std::uint64_t ops_ = 0;
 };
+
+/// Registers "fileserver[:seed=N][,instances=N][,files=N]".
+void register_file_server(Registry& registry);
 
 }  // namespace capes::workload

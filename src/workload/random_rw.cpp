@@ -1,6 +1,10 @@
 #include "workload/random_rw.hpp"
 
+#include <memory>
 #include <sstream>
+
+#include "util/parse.hpp"
+#include "workload/registry.hpp"
 
 namespace capes::workload {
 
@@ -40,6 +44,34 @@ void RandomRw::thread_loop(std::size_t client, std::uint64_t file_id,
   } else {
     cluster_.client(client).write(file_id, offset, opts_.io_size, next);
   }
+}
+
+void register_random_rw(Registry& registry) {
+  registry.add(
+      "random",
+      "random[:<read_frac>][,seed=N][,threads=N] — fixed-ratio random R/W "
+      "mix (§4.3, Fig. 2); read_frac in [0, 1]",
+      [](lustre::Cluster& cluster, const SpecArgs& raw, std::string* error)
+          -> std::unique_ptr<Workload> {
+        SpecArgs args = raw;
+        RandomRwOptions opts;
+        if (!args.positional.empty()) {
+          if (!util::parse_double(args.positional[0], &opts.read_fraction) ||
+              opts.read_fraction < 0.0 || opts.read_fraction > 1.0) {
+            if (error) {
+              *error = "read fraction must be a number in [0, 1], got '" +
+                       args.positional[0] + "'";
+            }
+            return nullptr;
+          }
+        }
+        if (!spec::take_u64(args, "seed", &opts.seed, error) ||
+            !spec::take_size(args, "threads", &opts.threads_per_client, error) ||
+            !spec::reject_unknown(args, 1, error)) {
+          return nullptr;
+        }
+        return std::make_unique<RandomRw>(cluster, opts);
+      });
 }
 
 }  // namespace capes::workload

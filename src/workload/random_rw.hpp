@@ -14,6 +14,8 @@
 
 namespace capes::workload {
 
+class Registry;
+
 struct RandomRwOptions {
   double read_fraction = 0.5;      ///< probability an op is a read
   std::uint64_t io_size = 64 << 10;
@@ -42,5 +44,8 @@ class RandomRw : public Workload {
   bool running_ = true;
   std::uint64_t ops_ = 0;
 };
+
+/// Registers "random[:<read_frac>][,seed=N][,threads=N]" (see registry.hpp).
+void register_random_rw(Registry& registry);
 
 }  // namespace capes::workload

@@ -1,5 +1,9 @@
 #include "workload/seq_write.hpp"
 
+#include <memory>
+
+#include "workload/registry.hpp"
+
 namespace capes::workload {
 
 SeqWrite::SeqWrite(lustre::Cluster& cluster, SeqWriteOptions opts)
@@ -24,6 +28,24 @@ void SeqWrite::stream_loop(std::size_t client, std::uint64_t file_id,
             opts_.op_overhead_us, [this, client, file_id, offset] {
               stream_loop(client, file_id, offset + opts_.write_size);
             });
+      });
+}
+
+void register_seq_write(Registry& registry) {
+  registry.add(
+      "seqwrite",
+      "seqwrite[:streams=N][,seed=N] — concurrent sequential append "
+      "streams (HPC checkpoint / surveillance, §4.3)",
+      [](lustre::Cluster& cluster, const SpecArgs& raw, std::string* error)
+          -> std::unique_ptr<Workload> {
+        SpecArgs args = raw;
+        SeqWriteOptions opts;
+        if (!spec::take_u64(args, "seed", &opts.seed, error) ||
+            !spec::take_size(args, "streams", &opts.streams_per_client, error) ||
+            !spec::reject_unknown(args, 0, error)) {
+          return nullptr;
+        }
+        return std::make_unique<SeqWrite>(cluster, opts);
       });
 }
 

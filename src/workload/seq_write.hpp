@@ -13,6 +13,8 @@
 
 namespace capes::workload {
 
+class Registry;
+
 struct SeqWriteOptions {
   std::size_t streams_per_client = 5;
   std::uint64_t write_size = 1 << 20;
@@ -38,5 +40,8 @@ class SeqWrite : public Workload {
   bool running_ = true;
   std::uint64_t ops_ = 0;
 };
+
+/// Registers "seqwrite[:streams=N][,seed=N]".
+void register_seq_write(Registry& registry);
 
 }  // namespace capes::workload

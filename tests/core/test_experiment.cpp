@@ -1,0 +1,341 @@
+// The Experiment facade: builder validation, observer hooks, CSV sink,
+// the §A.4 run() workflow, and — most importantly — equivalence with a
+// hand-wired Simulator + Cluster + CapesSystem stack at the same seed.
+
+#include "core/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "../core/mock_adapter.hpp"
+#include "workload/random_rw.hpp"
+
+namespace capes::core {
+namespace {
+
+using testing::MockAdapter;
+
+CapesOptions tiny_options() {
+  CapesOptions o;
+  o.replay.ticks_per_observation = 3;
+  o.engine.dqn.hidden_size = 16;
+  o.engine.minibatch_size = 4;
+  o.engine.epsilon.anneal_ticks = 50;
+  o.reward_scale_mbs = 100.0;
+  return o;
+}
+
+EvaluationPreset tiny_preset() {
+  auto p = fast_preset(7);
+  p.capes.engine.epsilon.anneal_ticks = 60;
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Builder validation
+// ---------------------------------------------------------------------------
+
+TEST(ExperimentBuilder, RejectsUnknownWorkload) {
+  std::string error;
+  auto exp = Experiment::builder().workload("not_a_workload").build(&error);
+  EXPECT_EQ(exp, nullptr);
+  EXPECT_NE(error.find("unknown workload"), std::string::npos) << error;
+}
+
+TEST(ExperimentBuilder, RejectsInvalidWorkloadSpec) {
+  std::string error;
+  auto exp = Experiment::builder().workload("random:2.0").build(&error);
+  EXPECT_EQ(exp, nullptr);
+  EXPECT_NE(error.find("[0, 1]"), std::string::npos) << error;
+}
+
+TEST(ExperimentBuilder, RequiresWorkloadOrAdapter) {
+  std::string error;
+  auto exp = Experiment::builder().build(&error);
+  EXPECT_EQ(exp, nullptr);
+  EXPECT_NE(error.find("no target system"), std::string::npos) << error;
+}
+
+TEST(ExperimentBuilder, RejectsWorkloadCombinedWithAdapter) {
+  MockAdapter adapter(2, 3);
+  std::string error;
+  auto exp = Experiment::builder()
+                 .adapter(adapter)
+                 .workload("random:0.5")
+                 .build(&error);
+  EXPECT_EQ(exp, nullptr);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ExperimentBuilder, RejectsLustreFlagsWithAdapter) {
+  MockAdapter adapter(2, 3);
+  std::string error;
+  auto exp = Experiment::builder()
+                 .adapter(adapter)
+                 .tune_write_cache()
+                 .build(&error);
+  EXPECT_EQ(exp, nullptr);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ExperimentBuilder, RemainsUsableAfterFailedBuild) {
+  std::size_t phases = 0;
+  auto builder = Experiment::builder()
+                     .workload("random:9")  // invalid read fraction
+                     .on_phase_end([&](const PhaseReport&) { ++phases; });
+  std::string error;
+  EXPECT_EQ(builder.build(&error), nullptr);
+  // Correct the spec and retry with the same builder: the observers must
+  // have survived the failed attempt.
+  builder.workload("random:0.9");
+  auto exp = builder.build(&error);
+  ASSERT_NE(exp, nullptr) << error;
+  exp->run_baseline(3);
+  EXPECT_EQ(phases, 1u);
+}
+
+TEST(ExperimentBuilder, ReusableAfterSuccessfulBuild) {
+  std::size_t ticks = 0;
+  auto builder = Experiment::builder()
+                     .workload("random:0.5")
+                     .warmup_seconds(1)
+                     .on_tick([&](const TickEvent&) { ++ticks; });
+  auto first = builder.build();
+  ASSERT_NE(first, nullptr);
+  first->run_baseline(3);
+  EXPECT_EQ(ticks, 3u);
+  // Observers are copied into each build, not consumed by the first one.
+  auto second = builder.build();
+  ASSERT_NE(second, nullptr);
+  second->run_baseline(3);
+  EXPECT_EQ(ticks, 6u);
+}
+
+TEST(ExperimentBuilder, SeedWinsOverCapesOptions) {
+  MockAdapter adapter(2, 3);
+  auto exp = Experiment::builder()
+                 .adapter(adapter)
+                 .capes_options(tiny_options())
+                 .seed(5)
+                 .build();
+  ASSERT_NE(exp, nullptr);
+  EXPECT_EQ(exp->preset().capes.engine.dqn.seed, 5u);
+  EXPECT_EQ(exp->preset().capes.engine.seed, 5u ^ 0x5eedf00d);
+}
+
+TEST(ExperimentBuilder, RejectsMissingConfigFile) {
+  std::string error;
+  auto exp = Experiment::builder()
+                 .workload("random:0.5")
+                 .config_file("/nonexistent/capes.conf")
+                 .build(&error);
+  EXPECT_EQ(exp, nullptr);
+  EXPECT_NE(error.find("config"), std::string::npos) << error;
+}
+
+// ---------------------------------------------------------------------------
+// Observers and sinks
+// ---------------------------------------------------------------------------
+
+TEST(Experiment, ObserversFireWithPhaseAndTick) {
+  MockAdapter adapter(2, 3);
+  std::vector<TickEvent> ticks;
+  std::vector<PhaseReport> phases;
+  auto exp = Experiment::builder()
+                 .adapter(adapter)
+                 .capes_options(tiny_options())
+                 .on_tick([&](const TickEvent& e) { ticks.push_back(e); })
+                 .on_phase_end([&](const PhaseReport& r) { phases.push_back(r); })
+                 .build();
+  ASSERT_NE(exp, nullptr);
+
+  exp->run_baseline(5);
+  ASSERT_EQ(ticks.size(), 5u);
+  EXPECT_EQ(ticks[0].phase, RunPhase::kBaseline);
+  EXPECT_EQ(ticks[0].tick, 0);
+  EXPECT_EQ(ticks[4].tick, 4);
+  // MockAdapter baseline: knob 50 -> throughput 100 - |50-80| = 70.
+  EXPECT_NEAR(ticks[0].throughput_mbs, 70.0, 1e-9);
+  ASSERT_EQ(phases.size(), 1u);
+  EXPECT_EQ(phases[0].phase, RunPhase::kBaseline);
+  EXPECT_EQ(phases[0].label, "baseline");
+  EXPECT_EQ(phases[0].result.throughput.count(), 5u);
+}
+
+TEST(Experiment, TrainStepObserverFiresDuringTrainingOnly) {
+  MockAdapter adapter(2, 3);
+  std::size_t events = 0;
+  std::size_t last_total = 0;
+  auto exp = Experiment::builder()
+                 .adapter(adapter)
+                 .capes_options(tiny_options())
+                 .on_train_step([&](const TrainStepEvent& e) {
+                   ++events;
+                   last_total = e.total_steps;
+                 })
+                 .build();
+  ASSERT_NE(exp, nullptr);
+  exp->run_baseline(10);
+  EXPECT_EQ(events, 0u);
+  const auto training = exp->run_training(30);
+  EXPECT_GT(events, 0u);
+  EXPECT_EQ(last_total, training.result.train_steps);
+}
+
+TEST(Experiment, CsvSinkWritesOneFilePerPhase) {
+  const auto prefix =
+      (std::filesystem::temp_directory_path() / "capes_exp_csv").string();
+  MockAdapter adapter(2, 3);
+  auto exp = Experiment::builder()
+                 .adapter(adapter)
+                 .capes_options(tiny_options())
+                 .on_phase_end(csv_phase_sink(prefix))
+                 .build();
+  ASSERT_NE(exp, nullptr);
+  exp->run_baseline(4);
+
+  const std::string path = prefix + "_baseline.csv";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << path;
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "tick,throughput_mbs,latency_ms,reward");
+  std::size_t rows = 0;
+  for (std::string line; std::getline(in, line);) {
+    if (!line.empty()) ++rows;
+  }
+  EXPECT_EQ(rows, 4u);
+  std::filesystem::remove(path);
+}
+
+TEST(RunResultCsv, FormatsOneRowPerTick) {
+  RunResult result;
+  result.start_tick = 10;
+  result.throughput.add(1.5);
+  result.throughput.add(2.5);
+  result.latency_ms.add(3.0);
+  result.latency_ms.add(4.0);
+  result.rewards = {0.1, 0.2};
+  EXPECT_EQ(run_result_csv(result),
+            "tick,throughput_mbs,latency_ms,reward\n"
+            "10,1.5,3,0.1\n"
+            "11,2.5,4,0.2\n");
+}
+
+// ---------------------------------------------------------------------------
+// Workflow + equivalence with the hand-wired stack
+// ---------------------------------------------------------------------------
+
+TEST(Experiment, RunExecutesFullWorkflow) {
+  MockAdapter adapter(2, 3);
+  auto exp = Experiment::builder()
+                 .adapter(adapter)
+                 .capes_options(tiny_options())
+                 .train_ticks(40)
+                 .eval_ticks(15)
+                 .build();
+  ASSERT_NE(exp, nullptr);
+  const auto report = exp->run();
+  ASSERT_EQ(report.phases.size(), 3u);
+  EXPECT_EQ(report.phases[0].phase, RunPhase::kTraining);
+  EXPECT_EQ(report.phases[1].phase, RunPhase::kBaseline);
+  EXPECT_EQ(report.phases[2].phase, RunPhase::kTuned);
+  EXPECT_EQ(report.phases[0].result.throughput.count(), 40u);
+  EXPECT_EQ(report.phases[1].result.throughput.count(), 15u);
+  ASSERT_EQ(report.parameter_names.size(), 1u);
+  EXPECT_EQ(report.parameter_names[0], "knob");
+  ASSERT_EQ(report.final_parameters.size(), 1u);
+  // find() returns the latest phase of each kind.
+  EXPECT_EQ(report.find(RunPhase::kBaseline), &report.phases[1]);
+  EXPECT_EQ(report.find(RunPhase::kIdle), nullptr);
+
+  // take_report() drains the history but keeps the parameter state.
+  const auto taken = exp->take_report();
+  EXPECT_EQ(taken.phases.size(), 3u);
+  EXPECT_TRUE(exp->report().phases.empty());
+  EXPECT_EQ(exp->report().parameter_names.size(), 1u);
+  EXPECT_EQ(exp->report().final_parameters.size(), 1u);
+}
+
+TEST(Experiment, MatchesHandWiredStackAtSameSeed) {
+  const auto preset = tiny_preset();
+
+  // Hand-wired reference: the exact pre-facade incantation.
+  double ref_baseline = 0.0, ref_tuned = 0.0, ref_param = 0.0;
+  {
+    sim::Simulator sim;
+    lustre::Cluster cluster(sim, preset.cluster);
+    workload::RandomRwOptions wopts;
+    wopts.read_fraction = 0.1;
+    workload::RandomRw wl(cluster, wopts);
+    wl.start();
+    CapesSystem capes(sim, cluster, preset.capes);
+    sim.run_until(sim::seconds(3));
+    capes.run_training(80);
+    ref_baseline = capes.run_baseline(40).analyze().mean;
+    ref_tuned = capes.run_tuned(40).analyze().mean;
+    ref_param = capes.parameter_values()[0];
+  }
+
+  auto exp = Experiment::builder()
+                 .preset(preset)
+                 .workload("random:0.1")
+                 .warmup_seconds(3)
+                 .build();
+  ASSERT_NE(exp, nullptr);
+  exp->run_training(80);
+  const auto baseline = exp->run_baseline(40);
+  const auto tuned = exp->run_tuned(40);
+
+  // Simulation and DRL are fully seed-deterministic, so the facade must
+  // reproduce the hand-wired numbers exactly, not approximately.
+  EXPECT_DOUBLE_EQ(baseline.throughput.mean, ref_baseline);
+  EXPECT_DOUBLE_EQ(tuned.throughput.mean, ref_tuned);
+  EXPECT_DOUBLE_EQ(exp->parameter_values()[0], ref_param);
+}
+
+TEST(Experiment, SeedAppliesOnTopOfExplicitPreset) {
+  // .preset(fast_preset()).seed(9) must equal fast_preset(9).
+  auto measure = [](ExperimentBuilder builder) {
+    auto exp = builder.workload("random:0.5").warmup_seconds(2).build();
+    EXPECT_NE(exp, nullptr);
+    return exp->run_baseline(25).throughput.mean;
+  };
+  const double via_seed_call =
+      measure(Experiment::builder().preset(fast_preset()).seed(9));
+  const double via_preset = measure(Experiment::builder().preset(fast_preset(9)));
+  const double default_seed = measure(Experiment::builder().preset(fast_preset()));
+  EXPECT_DOUBLE_EQ(via_seed_call, via_preset);
+  EXPECT_NE(via_seed_call, default_seed);
+}
+
+TEST(Experiment, SwitchWorkloadSwapsGeneratorAndBumpsEpsilon) {
+  auto exp = Experiment::builder()
+                 .preset(tiny_preset())
+                 .workload("random:0.1")
+                 .warmup_seconds(2)
+                 .build();
+  ASSERT_NE(exp, nullptr);
+  exp->run_training(80);
+  const std::string before = exp->workload_name();
+
+  std::string error;
+  EXPECT_FALSE(exp->switch_workload("nope", &error));
+  EXPECT_EQ(exp->workload_name(), before);  // failed switch keeps the old one
+
+  ASSERT_TRUE(exp->switch_workload("random:0.9,seed=5", &error)) << error;
+  EXPECT_NE(exp->workload_name(), before);
+  auto& engine = exp->system().engine();
+  // §3.6: the bump pushes evaluation-time epsilon to the bump value.
+  EXPECT_GT(engine.current_epsilon(engine.training_ticks(), true), 0.1);
+  // The swapped-in workload keeps the run going.
+  const auto after = exp->run_training(30);
+  EXPECT_EQ(after.result.throughput.count(), 30u);
+}
+
+}  // namespace
+}  // namespace capes::core

@@ -1,30 +1,21 @@
 // capes_run — command-line driver for the simulated evaluation workflow.
 //
 // The C++ analogue of the prototype's service scripts (§A.3): pick a
-// workload, optionally load a conf file, run the §A.4 evaluation workflow
-// (train -> baseline -> tuned), and optionally dump per-tick CSVs and a
-// model checkpoint.
-//
-// Usage:
-//   capes_run [--workload=random:0.1|fileserver|seqwrite]
-//             [--conf=FILE] [--train-ticks=N] [--eval-ticks=N]
-//             [--csv=PREFIX] [--model=FILE] [--load-model=FILE]
-//             [--seed=N] [--monitor-servers] [--tune-write-cache]
+// workload from the registry, optionally load a conf file, run the §A.4
+// evaluation workflow (train -> baseline -> tuned) through the
+// core::Experiment facade, and optionally dump per-tick CSVs and a model
+// checkpoint. `--list-workloads` prints every registered workload with
+// its spec syntax.
 
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <fstream>
-#include <memory>
+#include <optional>
 #include <string>
 
-#include "core/capes_system.hpp"
-#include "core/config_io.hpp"
-#include "core/presets.hpp"
-#include "lustre/cluster.hpp"
-#include "workload/file_server.hpp"
-#include "workload/random_rw.hpp"
-#include "workload/seq_write.hpp"
+#include "core/experiment.hpp"
+#include "util/parse.hpp"
+#include "workload/registry.hpp"
 
 using namespace capes;
 
@@ -38,9 +29,12 @@ struct Args {
   std::string model_in;
   std::int64_t train_ticks = -1;
   std::int64_t eval_ticks = -1;
-  std::uint64_t seed = 42;
+  /// Unset means "the preset/conf decides"; an explicit --seed wins over
+  /// a conf file's seed keys (ExperimentBuilder::seed semantics).
+  std::optional<std::uint64_t> seed;
   bool monitor_servers = false;
   bool tune_write_cache = false;
+  bool list_workloads = false;
 };
 
 bool parse_flag(const char* arg, const char* name, std::string* out) {
@@ -52,7 +46,32 @@ bool parse_flag(const char* arg, const char* name, std::string* out) {
   return false;
 }
 
-bool parse_args(int argc, char** argv, Args* args) {
+/// Strict numeric flag: "--train-ticks=abc" is an error, not 0.
+template <typename T, bool (*Parse)(std::string_view, T*)>
+bool parse_numeric_flag(const char* flag_name, const std::string& value,
+                        T* out) {
+  if (Parse(value, out)) return true;
+  std::fprintf(stderr, "invalid value for %s: '%s'\n", flag_name,
+               value.c_str());
+  return false;
+}
+
+/// Tick-count flag: strict and non-negative (-1 stays an internal
+/// "use the preset default" sentinel, never a user input).
+bool parse_ticks_flag(const char* flag_name, const std::string& value,
+                      std::int64_t* out) {
+  if (!parse_numeric_flag<std::int64_t, util::parse_i64>(flag_name, value, out))
+    return false;
+  if (*out < 0) {
+    std::fprintf(stderr, "%s must be >= 0, got %s\n", flag_name, value.c_str());
+    return false;
+  }
+  return true;
+}
+
+enum class ParseOutcome { kOk, kError, kHelp };
+
+ParseOutcome parse_args(int argc, char** argv, Args* args) {
   for (int i = 1; i < argc; ++i) {
     std::string value;
     if (parse_flag(argv[i], "--workload", &value)) {
@@ -66,135 +85,154 @@ bool parse_args(int argc, char** argv, Args* args) {
     } else if (parse_flag(argv[i], "--load-model", &value)) {
       args->model_in = value;
     } else if (parse_flag(argv[i], "--train-ticks", &value)) {
-      args->train_ticks = std::atoll(value.c_str());
+      if (!parse_ticks_flag("--train-ticks", value, &args->train_ticks))
+        return ParseOutcome::kError;
     } else if (parse_flag(argv[i], "--eval-ticks", &value)) {
-      args->eval_ticks = std::atoll(value.c_str());
+      if (!parse_ticks_flag("--eval-ticks", value, &args->eval_ticks))
+        return ParseOutcome::kError;
     } else if (parse_flag(argv[i], "--seed", &value)) {
-      args->seed = std::strtoull(value.c_str(), nullptr, 10);
+      std::uint64_t seed = 0;
+      if (!parse_numeric_flag<std::uint64_t, util::parse_u64>("--seed", value,
+                                                              &seed))
+        return ParseOutcome::kError;
+      args->seed = seed;
     } else if (std::strcmp(argv[i], "--monitor-servers") == 0) {
       args->monitor_servers = true;
     } else if (std::strcmp(argv[i], "--tune-write-cache") == 0) {
       args->tune_write_cache = true;
+    } else if (std::strcmp(argv[i], "--list-workloads") == 0) {
+      args->list_workloads = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
-      return false;
+      return ParseOutcome::kHelp;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
-      return false;
+      return ParseOutcome::kError;
     }
   }
-  return true;
+  return ParseOutcome::kOk;
 }
 
-std::unique_ptr<workload::Workload> make_workload(const std::string& spec,
-                                                  lustre::Cluster& cluster) {
-  if (spec.rfind("random:", 0) == 0) {
-    workload::RandomRwOptions o;
-    o.read_fraction = std::atof(spec.c_str() + 7);
-    return std::make_unique<workload::RandomRw>(cluster, o);
+std::string registered_names_joined() {
+  std::string joined;
+  for (const auto& name : workload::Registry::instance().names()) {
+    if (!joined.empty()) joined += '|';
+    joined += name;
   }
-  if (spec == "fileserver") {
-    return std::make_unique<workload::FileServer>(cluster,
-                                                  workload::FileServerOptions{});
-  }
-  if (spec == "seqwrite") {
-    return std::make_unique<workload::SeqWrite>(cluster,
-                                                workload::SeqWriteOptions{});
-  }
-  return nullptr;
+  return joined;
 }
 
-void maybe_write_csv(const std::string& prefix, const std::string& phase,
-                     const core::RunResult& result) {
-  if (prefix.empty()) return;
-  const std::string path = prefix + "_" + phase + ".csv";
-  std::ofstream out(path);
-  out << result.to_csv();
-  std::printf("  wrote %s\n", path.c_str());
+void print_usage() {
+  std::printf(
+      "usage: capes_run [--workload=%s (with optional :spec args)]\n"
+      "                 [--conf=FILE] [--train-ticks=N] [--eval-ticks=N]\n"
+      "                 [--csv=PREFIX] [--model=FILE] [--load-model=FILE]\n"
+      "                 [--seed=N] [--monitor-servers] [--tune-write-cache]\n"
+      "                 [--list-workloads]\n",
+      registered_names_joined().c_str());
+}
+
+void print_workloads() {
+  const auto& registry = workload::Registry::instance();
+  std::printf("registered workloads:\n");
+  for (const auto& name : registry.names()) {
+    std::printf("  %-12s %s\n", name.c_str(),
+                registry.spec_help(name).c_str());
+  }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   Args args;
-  if (!parse_args(argc, argv, &args)) {
-    std::printf(
-        "usage: capes_run [--workload=random:<read_frac>|fileserver|seqwrite]\n"
-        "                 [--conf=FILE] [--train-ticks=N] [--eval-ticks=N]\n"
-        "                 [--csv=PREFIX] [--model=FILE] [--load-model=FILE]\n"
-        "                 [--seed=N] [--monitor-servers] [--tune-write-cache]\n");
-    return 2;
+  switch (parse_args(argc, argv, &args)) {
+    case ParseOutcome::kOk:
+      break;
+    case ParseOutcome::kHelp:
+      print_usage();
+      return 0;
+    case ParseOutcome::kError:
+      print_usage();
+      return 2;
+  }
+  if (args.list_workloads) {
+    print_workloads();
+    return 0;
   }
 
-  core::EvaluationPreset preset = core::fast_preset(args.seed);
-  if (!args.conf.empty()) {
-    util::Config cfg;
-    if (!cfg.parse_file(args.conf)) {
-      std::fprintf(stderr, "cannot parse %s\n", args.conf.c_str());
-      return 1;
-    }
-    preset.capes = core::capes_options_from_config(cfg, preset.capes);
-    preset.cluster = core::cluster_options_from_config(cfg, preset.cluster);
+  auto builder = core::Experiment::builder()
+                     .workload(args.workload)
+                     .monitor_servers(args.monitor_servers)
+                     .tune_write_cache(args.tune_write_cache)
+                     .train_ticks(args.train_ticks)
+                     .eval_ticks(args.eval_ticks);
+  if (args.seed) builder.seed(*args.seed);
+  if (!args.conf.empty()) builder.config_file(args.conf);
+  if (!args.csv_prefix.empty()) {
+    // Like core::csv_phase_sink, but confirming each file on stdout — and
+    // only when it was actually written.
+    builder.on_phase_end([&args](const core::PhaseReport& report) {
+      const std::string path =
+          args.csv_prefix + "_" + report.label + ".csv";
+      std::ofstream out(path);
+      out << core::run_result_csv(report.result);
+      if (out) {
+        std::printf("  wrote %s\n", path.c_str());
+      } else {
+        std::fprintf(stderr, "  cannot write %s\n", path.c_str());
+      }
+    });
   }
-  preset.cluster.monitor_servers = args.monitor_servers;
-  preset.cluster.tune_write_cache = args.tune_write_cache;
-  const std::int64_t train =
-      args.train_ticks >= 0 ? args.train_ticks : preset.train_ticks_long;
-  const std::int64_t eval =
-      args.eval_ticks >= 0 ? args.eval_ticks : preset.eval_ticks;
 
-  sim::Simulator sim;
-  lustre::Cluster cluster(sim, preset.cluster);
-  auto workload = make_workload(args.workload, cluster);
-  if (!workload) {
-    std::fprintf(stderr, "unknown workload: %s\n", args.workload.c_str());
+  std::string error;
+  auto experiment = builder.build(&error);
+  if (!experiment) {
+    std::fprintf(stderr, "%s\n", error.c_str());
     return 1;
   }
-  workload->start();
-  core::CapesSystem capes(sim, cluster, preset.capes);
   if (!args.model_in.empty()) {
-    if (!capes.load_model(args.model_in)) {
+    if (!experiment->load_model(args.model_in)) {
       std::fprintf(stderr, "cannot load model %s\n", args.model_in.c_str());
       return 1;
     }
     std::printf("loaded model from %s\n", args.model_in.c_str());
   }
-  sim.run_until(sim::seconds(5));
 
+  const std::int64_t train = experiment->default_train_ticks();
   std::printf("workload %s, %lld training ticks, %lld eval ticks, seed %llu\n",
-              workload->name().c_str(), static_cast<long long>(train),
-              static_cast<long long>(eval),
-              static_cast<unsigned long long>(args.seed));
+              experiment->workload_name().c_str(),
+              static_cast<long long>(train),
+              static_cast<long long>(experiment->default_eval_ticks()),
+              static_cast<unsigned long long>(
+                  experiment->preset().capes.engine.dqn.seed));
 
   if (train > 0) {
     std::printf("training...\n");
-    const auto tr = capes.run_training(train);
+    const auto training = experiment->run_training();
     std::printf("  %zu train steps, session throughput %s MB/s\n",
-                tr.train_steps, tr.analyze().to_string().c_str());
-    maybe_write_csv(args.csv_prefix, "training", tr);
+                training.result.train_steps,
+                training.throughput.to_string().c_str());
   }
 
-  const auto baseline = capes.run_baseline(eval);
-  const auto base = baseline.analyze();
-  std::printf("baseline: %s MB/s, latency %s ms\n", base.to_string().c_str(),
-              baseline.analyze_latency().to_string().c_str());
-  maybe_write_csv(args.csv_prefix, "baseline", baseline);
+  const auto baseline = experiment->run_baseline();
+  std::printf("baseline: %s MB/s, latency %s ms\n",
+              baseline.throughput.to_string().c_str(),
+              baseline.latency.to_string().c_str());
 
-  const auto tuned_run = capes.run_tuned(eval);
-  const auto tuned = tuned_run.analyze();
+  const auto tuned = experiment->run_tuned();
+  const auto& report = experiment->report();
   std::printf("tuned:    %s MB/s, latency %s ms  (%+.1f%%)\n",
-              tuned.to_string().c_str(),
-              tuned_run.analyze_latency().to_string().c_str(),
-              base.mean > 0 ? (tuned.mean / base.mean - 1.0) * 100.0 : 0.0);
-  maybe_write_csv(args.csv_prefix, "tuned", tuned_run);
+              tuned.throughput.to_string().c_str(),
+              tuned.latency.to_string().c_str(),
+              report.tuned_gain_percent());
 
   std::printf("final parameters:");
-  const auto params = capes.action_space().parameters();
-  for (std::size_t i = 0; i < params.size(); ++i) {
-    std::printf(" %s=%.0f", params[i].name.c_str(), capes.parameter_values()[i]);
+  for (std::size_t i = 0; i < report.parameter_names.size(); ++i) {
+    std::printf(" %s=%.0f", report.parameter_names[i].c_str(),
+                report.final_parameters[i]);
   }
   std::printf("\n");
 
-  if (!args.model_out.empty() && capes.save_model(args.model_out)) {
+  if (!args.model_out.empty() && experiment->save_model(args.model_out)) {
     std::printf("model saved to %s\n", args.model_out.c_str());
   }
   return 0;
