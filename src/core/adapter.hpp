@@ -35,6 +35,11 @@ class TargetSystemAdapter {
 
   /// Collector function: the PI vector of `node` for the current sampling
   /// tick, already normalized to roughly [-1, 1] floats (§3.1).
+  /// Concurrency contract: when the system runs with worker threads
+  /// (CapesOptions::worker_threads > 0), this may be called concurrently
+  /// for *distinct* nodes of one adapter — implementations must confine
+  /// mutable sampling state per node (or synchronize shared state). The
+  /// other adapter methods are always called serially.
   virtual std::vector<float> collect_observation(std::size_t node) = 0;
 
   /// The tunable parameters (valid range, step, initial value) — drives

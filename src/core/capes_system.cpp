@@ -1,6 +1,10 @@
 #include "core/capes_system.hpp"
 
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/thread_pool.hpp"
 
 namespace capes::core {
 
@@ -16,34 +20,112 @@ const char* phase_name(RunPhase phase) {
 
 CapesSystem::CapesSystem(sim::Simulator& sim, TargetSystemAdapter& adapter,
                          CapesOptions opts, ObjectiveFunction objective)
-    : sim_(sim), adapter_(adapter), opts_(std::move(opts)),
-      objective_(objective ? std::move(objective)
-                           : throughput_objective(opts.reward_scale_mbs)) {
-  space_ = std::make_unique<rl::ActionSpace>(adapter_.tunable_parameters());
-  param_values_ = space_->initial_values();
+    : CapesSystem(sim, std::vector<ControlDomainSpec>{{&adapter, nullptr, ""}},
+                  std::move(opts), std::move(objective)) {}
 
-  opts_.replay.num_nodes = adapter_.num_nodes();
-  opts_.replay.pis_per_node = adapter_.pis_per_node();
+CapesSystem::CapesSystem(sim::Simulator& sim,
+                         const std::vector<ControlDomainSpec>& specs,
+                         CapesOptions opts, ObjectiveFunction default_objective)
+    : sim_(sim), opts_(std::move(opts)),
+      objective_(default_objective
+                     ? std::move(default_objective)
+                     : throughput_objective(opts_.reward_scale_mbs)) {
+  // Constructor preconditions fail fast in every build mode: a domain
+  // with a missing adapter or a disagreeing PI width would otherwise
+  // silently train on garbage observations (the codebase is
+  // exception-free, so misuse aborts instead of throwing).
+  if (specs.empty()) {
+    std::fprintf(stderr, "CapesSystem: at least one ControlDomainSpec required\n");
+    std::abort();
+  }
+  for (std::size_t d = 0; d < specs.size(); ++d) {
+    if (specs[d].adapter == nullptr) {
+      std::fprintf(stderr, "CapesSystem: spec %zu has a null adapter\n", d);
+      std::abort();
+    }
+    if (specs[d].adapter->pis_per_node() != specs[0].adapter->pis_per_node()) {
+      std::fprintf(stderr,
+                   "CapesSystem: all domains must agree on pis_per_node "
+                   "(domain %zu has %zu, domain 0 has %zu)\n",
+                   d, specs[d].adapter->pis_per_node(),
+                   specs[0].adapter->pis_per_node());
+      std::abort();
+    }
+    for (std::size_t e = 0; e < d; ++e) {
+      if (specs[e].adapter == specs[d].adapter) {
+        std::fprintf(stderr,
+                     "CapesSystem: specs %zu and %zu share one adapter; each "
+                     "domain needs its own target system (shared sampling "
+                     "state would double-read the per-tick deltas)\n",
+                     e, d);
+        std::abort();
+      }
+    }
+  }
+  const std::size_t pis = specs[0].adapter->pis_per_node();
+
+  // Lay out the shared namespaces: each domain takes a contiguous slice
+  // of the node, action, and parameter axes, in spec order.
+  std::size_t node_offset = 0;
+  std::size_t action_offset = 1;  // composite index 0 is the shared NULL
+  std::size_t param_offset = 0;
+  std::vector<rl::TunableParameter> composite_params;
+  for (std::size_t d = 0; d < specs.size(); ++d) {
+    const ControlDomainSpec& spec = specs[d];
+    auto domain = std::make_unique<ControlDomain>(
+        d, spec.name, *spec.adapter,
+        spec.objective ? spec.objective : objective_, node_offset,
+        action_offset, param_offset);
+    node_offset += domain->num_nodes();
+    action_offset += domain->num_slice_actions();
+    param_offset += domain->num_parameters();
+    for (const rl::TunableParameter& p : domain->space().parameters()) {
+      rl::TunableParameter named = p;
+      // Namespace parameter names only when there is something to
+      // disambiguate, so single-domain reports stay as before.
+      if (specs.size() > 1) named.name = domain->name() + "." + p.name;
+      composite_params.push_back(std::move(named));
+    }
+    domains_.push_back(std::move(domain));
+  }
+  total_nodes_ = node_offset;
+  space_ = std::make_unique<rl::ActionSpace>(std::move(composite_params));
+
+  opts_.replay.num_nodes = total_nodes_;
+  opts_.replay.pis_per_node = pis;
   if (!opts_.replay_db_dir.empty()) {
     db_ = std::make_unique<waldb::Database>();
     if (!db_->open(opts_.replay_db_dir)) db_.reset();
   }
   replay_ = std::make_unique<rl::ReplayDb>(opts_.replay, db_.get());
 
-  daemon_ = std::make_unique<InterfaceDaemon>(*replay_, *space_,
-                                              adapter_.num_nodes(),
-                                              adapter_.pis_per_node());
+  std::vector<ControlDomain*> domain_ptrs;
+  domain_ptrs.reserve(domains_.size());
+  for (auto& domain : domains_) domain_ptrs.push_back(domain.get());
+  daemon_ = std::make_unique<InterfaceDaemon>(*replay_, std::move(domain_ptrs),
+                                              pis);
   opts_.engine.dqn.num_actions = space_->num_actions();
   engine_ = std::make_unique<DrlEngine>(opts_.engine, *replay_);
 
-  for (std::size_t n = 0; n < adapter_.num_nodes(); ++n) {
-    monitoring_agents_.push_back(std::make_unique<MonitoringAgent>(
-        n, adapter_, [this](const std::vector<std::uint8_t>& msg) {
-          daemon_->on_status_message(msg);
-        }));
-    control_agents_.push_back(std::make_unique<ControlAgent>(n, adapter_));
-    daemon_->register_control_agent(control_agents_.back().get());
+  if (opts_.worker_threads > 0) {
+    pool_ = std::make_unique<util::ThreadPool>(opts_.worker_threads);
   }
+
+  for (auto& domain : domains_) {
+    for (std::size_t n = 0; n < domain->num_nodes(); ++n) {
+      auto agent = std::make_unique<MonitoringAgent>(
+          n, domain->global_node(n), domain->adapter(),
+          [this](const std::vector<std::uint8_t>& msg) {
+            daemon_->on_status_message(msg);
+          });
+      agents_flat_.push_back(agent.get());
+      domain->add_monitoring_agent(std::move(agent));
+      auto control = std::make_unique<ControlAgent>(n, domain->adapter());
+      daemon_->register_control_agent(domain->index(), control.get());
+      domain->add_control_agent(std::move(control));
+    }
+  }
+  sample_msgs_.resize(agents_flat_.size());
 }
 
 CapesSystem::~CapesSystem() {
@@ -51,8 +133,7 @@ CapesSystem::~CapesSystem() {
 }
 
 void CapesSystem::reset_parameters() {
-  param_values_ = space_->initial_values();
-  adapter_.set_parameters(param_values_);
+  for (auto& domain : domains_) domain->reset_parameters();
 }
 
 void CapesSystem::notify_workload_change() {
@@ -69,32 +150,74 @@ void CapesSystem::add_train_step_listener(
   if (listener) train_step_listeners_.push_back(std::move(listener));
 }
 
+std::vector<double> CapesSystem::parameter_values() const {
+  std::vector<double> flat;
+  flat.reserve(space_->num_parameters());
+  for (const auto& domain : domains_) {
+    flat.insert(flat.end(), domain->param_values().begin(),
+                domain->param_values().end());
+  }
+  return flat;
+}
+
+void CapesSystem::sample_all_agents(std::int64_t t) {
+  if (pool_ == nullptr) {
+    for (MonitoringAgent* agent : agents_flat_) agent->sample(t);
+    return;
+  }
+  // Fan out collection/encoding across all nodes of all domains (the
+  // collectors touch per-node state only), then fan the encoded messages
+  // into the daemon serially in node order: the replay DB sees exactly
+  // the writes of the single-threaded path.
+  pool_->parallel_for(agents_flat_.size(), [&](std::size_t i) {
+    sample_msgs_[i] = agents_flat_[i]->collect_and_encode(t);
+  });
+  for (std::size_t i = 0; i < agents_flat_.size(); ++i) {
+    agents_flat_[i]->deliver(sample_msgs_[i]);
+  }
+}
+
 void CapesSystem::on_sampling_tick(RunResult& result, RunPhase mode) {
   const std::int64_t t = tick_;
 
   // 1. Monitoring Agents sample and ship PIs (stored in the replay DB).
-  for (auto& agent : monitoring_agents_) agent->sample(t);
+  sample_all_agents(t);
 
-  // 2. Reward: objective-function output over the last tick's performance.
-  const PerfSample perf = adapter_.sample_performance();
-  const double reward = objective_(perf);
+  // 2. Reward: each domain's objective over its own last-tick
+  //    performance; the shared brain trains on the cross-domain mean
+  //    (scale-stable in the domain count). Throughput aggregates.
+  double throughput_sum = 0.0;
+  double latency_sum = 0.0;
+  double reward_sum = 0.0;
+  for (auto& domain : domains_) {
+    const PerfSample perf = domain->adapter().sample_performance();
+    const double domain_reward = domain->objective()(perf);
+    domain->set_last_sample(perf, domain_reward);
+    throughput_sum += perf.throughput_mbs();
+    latency_sum += perf.avg_latency_ms;
+    reward_sum += domain_reward;
+  }
+  const double num_domains = static_cast<double>(domains_.size());
+  const double reward = reward_sum / num_domains;
+  const double latency = latency_sum / num_domains;
   daemon_->on_reward(t, reward);
-  result.throughput.add(perf.throughput_mbs());
-  result.latency_ms.add(perf.avg_latency_ms);
+  result.throughput.add(throughput_sum);
+  result.latency_ms.add(latency);
   result.rewards.push_back(reward);
 
-  // 3. Action tick: the engine suggests, the daemon checks + broadcasts.
+  // 3. Action tick: the engine suggests one composite action, the daemon
+  //    checks it and broadcasts it to the owning domain's slice.
   if (mode == RunPhase::kTraining || mode == RunPhase::kTuned) {
     const std::size_t suggested =
-        engine_->compute_action(t, mode == RunPhase::kTraining);
-    daemon_->on_suggested_action(t, suggested, param_values_);
+        engine_->compute_action(t, mode == RunPhase::kTraining, pool_.get());
+    daemon_->route_suggested_action(t, suggested);
   } else {
-    daemon_->on_suggested_action(t, 0, param_values_);  // NULL action
+    daemon_->route_suggested_action(t, 0);  // NULL action
   }
 
   // 4. Training steps (the DRL Engine trains continuously, §3.4).
   if (mode == RunPhase::kTraining) {
-    const std::size_t steps = engine_->train_tick();
+    const std::size_t steps = engine_->train_tick(pool_.get());
     result.train_steps += steps;
     if (steps > 0) {
       total_train_steps_ += steps;
@@ -110,8 +233,8 @@ void CapesSystem::on_sampling_tick(RunResult& result, RunPhase mode) {
     TickEvent event;
     event.phase = mode;
     event.tick = t;
-    event.throughput_mbs = perf.throughput_mbs();
-    event.latency_ms = perf.avg_latency_ms;
+    event.throughput_mbs = throughput_sum;
+    event.latency_ms = latency;
     event.reward = reward;
     for (const auto& listener : tick_listeners_) listener(event);
   }
@@ -123,7 +246,7 @@ RunResult CapesSystem::run_phase(std::int64_t ticks, RunPhase mode) {
   result.start_tick = tick_;
   const auto tick_us = sim::seconds(opts_.sampling_tick_s);
   for (std::int64_t i = 0; i < ticks; ++i) {
-    sim_.run_until(sim_.now() + tick_us);
+    sim_.run_for(tick_us);
     on_sampling_tick(result, mode);
   }
   result.end_tick = tick_;
@@ -145,7 +268,7 @@ RunResult CapesSystem::run_tuned(std::int64_t ticks) {
 
 std::uint64_t CapesSystem::monitoring_bytes_sent() const {
   std::uint64_t total = 0;
-  for (const auto& agent : monitoring_agents_) total += agent->bytes_sent();
+  for (const auto& domain : domains_) total += domain->monitoring_bytes_sent();
   return total;
 }
 

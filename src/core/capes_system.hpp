@@ -1,10 +1,15 @@
 #pragma once
-// CapesSystem: wires the whole Figure 1 architecture onto a target system
-// and a simulator — Monitoring Agents on every node, the Interface Daemon
-// with its Action Checker, the Replay DB (optionally WAL-durable), the
-// DRL Engine, and Control Agents. Drives sampling/action/training ticks
-// and exposes the evaluation workflow of Appendix A.4:
-// run_training / run_baseline / run_tuned.
+// CapesSystem: wires the whole Figure 1 architecture onto one or more
+// target systems and a shared simulator — Monitoring Agents on every
+// node, the sharded Interface Daemon with per-domain Action Checkers,
+// the Replay DB (optionally WAL-durable), the DRL Engine, and Control
+// Agents. One DRL brain tunes N control domains: observations
+// concatenate every domain's nodes, the action space is the
+// concatenation of every domain's parameter adjustments (plus the shared
+// NULL action), and a single unified tick loop drives all domains. With
+// one domain this is exactly the original single-cluster system.
+// Drives sampling/action/training ticks and exposes the evaluation
+// workflow of Appendix A.4: run_training / run_baseline / run_tuned.
 
 #include <cstdint>
 #include <functional>
@@ -13,6 +18,7 @@
 #include <vector>
 
 #include "core/adapter.hpp"
+#include "core/control_domain.hpp"
 #include "core/drl_engine.hpp"
 #include "core/interface_daemon.hpp"
 #include "core/monitoring_agent.hpp"
@@ -23,6 +29,10 @@
 #include "stats/measurement.hpp"
 #include "waldb/database.hpp"
 
+namespace capes::util {
+class ThreadPool;
+}
+
 namespace capes::core {
 
 struct CapesOptions {
@@ -30,12 +40,17 @@ struct CapesOptions {
   /// per second).
   double sampling_tick_s = 1.0;
   std::size_t action_ticks_per_sample = 1;
-  rl::ReplayDbOptions replay;  ///< num_nodes/pis_per_node filled from adapter
+  rl::ReplayDbOptions replay;  ///< num_nodes/pis_per_node filled from adapters
   DrlEngineOptions engine;
   /// Objective normalization scale (MB/s mapped to O(1) rewards).
   double reward_scale_mbs = 200.0;
   /// Durable replay DB directory ("" = memory only).
   std::string replay_db_dir;
+  /// Worker threads for the per-tick hot path (monitoring-agent fan-out,
+  /// minibatch assembly, DQN GEMM panels). 0 keeps the single-threaded
+  /// deterministic path; the threaded path is engineered to produce the
+  /// same results (parallel collect, serialized fan-in), just faster.
+  std::size_t worker_threads = 0;
 };
 
 /// The §A.4 run phases. kIdle only ever appears as "no phase running".
@@ -45,6 +60,8 @@ enum class RunPhase { kIdle, kTraining, kBaseline, kTuned };
 const char* phase_name(RunPhase phase);
 
 /// Result of one run phase (training, baseline, or tuned measurement).
+/// Throughput aggregates (sums) across domains; latency and reward are
+/// cross-domain means, so their scale is independent of the domain count.
 struct RunResult {
   stats::MeasurementSession throughput;  ///< one MB/s sample per tick
   stats::MeasurementSession latency_ms;  ///< one mean-latency sample per tick
@@ -57,7 +74,9 @@ struct RunResult {
   stats::MeasurementResult analyze_latency() const { return latency_ms.analyze(); }
 };
 
-/// Per-tick sample snapshot delivered to tick listeners.
+/// Per-tick sample snapshot delivered to tick listeners. Aggregated like
+/// RunResult; per-domain detail is available via CapesSystem::domain(i)'s
+/// last_perf()/last_reward() from inside the listener.
 struct TickEvent {
   RunPhase phase = RunPhase::kIdle;
   std::int64_t tick = 0;
@@ -76,10 +95,18 @@ struct TrainStepEvent {
 
 class CapesSystem {
  public:
-  /// The adapter must outlive the system. The objective defaults to
-  /// aggregate throughput.
+  /// Single-cluster convenience: one control domain over `adapter`. The
+  /// adapter must outlive the system. The objective defaults to aggregate
+  /// throughput.
   CapesSystem(sim::Simulator& sim, TargetSystemAdapter& adapter,
               CapesOptions opts, ObjectiveFunction objective = nullptr);
+
+  /// Multi-cluster form: one control domain per spec, all sharing this
+  /// system's DRL Engine, Replay DB and tick loop on `sim`. Adapters must
+  /// outlive the system and agree on pis_per_node (observation rows are
+  /// uniform). `default_objective` applies to every spec without its own.
+  CapesSystem(sim::Simulator& sim, const std::vector<ControlDomainSpec>& specs,
+              CapesOptions opts, ObjectiveFunction default_objective = nullptr);
   ~CapesSystem();
 
   /// Train for `ticks` sampling ticks (control on, epsilon annealing,
@@ -101,21 +128,42 @@ class CapesSystem {
   void add_tick_listener(std::function<void(const TickEvent&)> listener);
   void add_train_step_listener(std::function<void(const TrainStepEvent&)> listener);
 
-  /// Reset tuned parameters to their initial (default) values.
+  /// Reset every domain's tuned parameters to their initial values.
   void reset_parameters();
 
   DrlEngine& engine() { return *engine_; }
   rl::ReplayDb& replay() { return *replay_; }
   InterfaceDaemon& interface_daemon() { return *daemon_; }
+  /// The composite action space: the shared NULL action plus every
+  /// domain's parameter adjustments, domain-namespaced names when there
+  /// is more than one domain.
   const rl::ActionSpace& action_space() const { return *space_; }
-  const std::vector<double>& parameter_values() const { return param_values_; }
+  /// Every domain's parameter values, concatenated in domain order (the
+  /// composite space's parameter order). A snapshot by value: domain
+  /// parameter vectors mutate every action tick, so hold the result, not
+  /// a reference into the system.
+  std::vector<double> parameter_values() const;
   std::int64_t current_tick() const { return tick_; }
 
+  // ---- control domains ---------------------------------------------------
+  std::size_t num_domains() const { return domains_.size(); }
+  ControlDomain& domain(std::size_t i) { return *domains_[i]; }
+  const ControlDomain& domain(std::size_t i) const { return *domains_[i]; }
+  const std::vector<std::unique_ptr<ControlDomain>>& domains() const {
+    return domains_;
+  }
+  /// Monitored nodes across all domains (the replay DB's node count).
+  std::size_t total_nodes() const { return total_nodes_; }
+  /// The hot-path worker pool (null when worker_threads == 0).
+  util::ThreadPool* worker_pool() { return pool_.get(); }
+
+  /// Domain 0's Monitoring Agents (single-cluster accessor, kept for
+  /// call sites predating control domains).
   const std::vector<std::unique_ptr<MonitoringAgent>>& monitoring_agents() const {
-    return monitoring_agents_;
+    return domains_[0]->monitoring_agents();
   }
 
-  /// Total bytes sent by all Monitoring Agents (Table 2).
+  /// Total bytes sent by all Monitoring Agents of all domains (Table 2).
   std::uint64_t monitoring_bytes_sent() const;
 
   /// Checkpoint the trained model (§A.4). Returns false on I/O error.
@@ -128,21 +176,26 @@ class CapesSystem {
  private:
   RunResult run_phase(std::int64_t ticks, RunPhase mode);
   void on_sampling_tick(RunResult& result, RunPhase mode);
+  void sample_all_agents(std::int64_t t);
 
   sim::Simulator& sim_;
-  TargetSystemAdapter& adapter_;
   CapesOptions opts_;
   ObjectiveFunction objective_;
 
-  std::unique_ptr<rl::ActionSpace> space_;
+  std::vector<std::unique_ptr<ControlDomain>> domains_;
+  std::size_t total_nodes_ = 0;
+  std::unique_ptr<rl::ActionSpace> space_;  ///< composite
   std::unique_ptr<waldb::Database> db_;
   std::unique_ptr<rl::ReplayDb> replay_;
   std::unique_ptr<InterfaceDaemon> daemon_;
   std::unique_ptr<DrlEngine> engine_;
-  std::vector<std::unique_ptr<MonitoringAgent>> monitoring_agents_;
-  std::vector<std::unique_ptr<ControlAgent>> control_agents_;
+  std::unique_ptr<util::ThreadPool> pool_;
 
-  std::vector<double> param_values_;
+  /// All domains' Monitoring Agents in fan-in order (domain-major, then
+  /// node): the unit of the per-tick sampling fan-out.
+  std::vector<MonitoringAgent*> agents_flat_;
+  std::vector<std::vector<std::uint8_t>> sample_msgs_;  ///< fan-out buffers
+
   std::int64_t tick_ = 0;
   std::size_t total_train_steps_ = 0;
   std::vector<std::function<void(const TickEvent&)>> tick_listeners_;

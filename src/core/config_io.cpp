@@ -1,5 +1,7 @@
 #include "core/config_io.hpp"
 
+#include <algorithm>
+
 namespace capes::core {
 
 CapesOptions capes_options_from_config(const util::Config& cfg,
@@ -8,6 +10,10 @@ CapesOptions capes_options_from_config(const util::Config& cfg,
   o.sampling_tick_s = cfg.get_double("capes.sampling_tick_s", o.sampling_tick_s);
   o.reward_scale_mbs = cfg.get_double("capes.reward_scale_mbs", o.reward_scale_mbs);
   o.replay_db_dir = cfg.get("capes.replay_db_dir", o.replay_db_dir);
+  // Clamp negatives to "no pool" rather than wrapping through size_t.
+  o.worker_threads = static_cast<std::size_t>(std::max<std::int64_t>(
+      0, cfg.get_int("capes.worker_threads",
+                     static_cast<std::int64_t>(o.worker_threads))));
 
   auto& e = o.engine;
   e.minibatch_size = static_cast<std::size_t>(
@@ -100,6 +106,8 @@ util::Config config_from_options(const CapesOptions& capes,
   cfg.set_double("capes.sampling_tick_s", capes.sampling_tick_s);
   cfg.set_double("capes.reward_scale_mbs", capes.reward_scale_mbs);
   cfg.set("capes.replay_db_dir", capes.replay_db_dir);
+  cfg.set_int("capes.worker_threads",
+              static_cast<std::int64_t>(capes.worker_threads));
   cfg.set_int("drl.minibatch_size",
               static_cast<std::int64_t>(capes.engine.minibatch_size));
   cfg.set_int("drl.train_steps_per_tick",

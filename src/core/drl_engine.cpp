@@ -31,7 +31,8 @@ std::size_t DrlEngine::compute_action(std::int64_t t, bool training,
 std::size_t DrlEngine::train_tick(util::ThreadPool* pool) {
   std::size_t ran = 0;
   for (std::size_t i = 0; i < opts_.train_steps_per_tick; ++i) {
-    auto batch = replay_.construct_minibatch(opts_.minibatch_size, rng_);
+    auto batch = replay_.construct_minibatch(opts_.minibatch_size, rng_,
+                                             /*max_rounds=*/64, pool);
     if (!batch) break;
     const rl::TrainStepResult r = dqn_->train_step(*batch, pool);
     prediction_errors_.emplace_back(dqn_->train_steps(), r.prediction_error);

@@ -44,7 +44,9 @@ class DrlEngine {
   std::int64_t training_ticks() const { return training_ticks_; }
 
   /// Run up to `train_steps_per_tick` training steps (skipped while the
-  /// replay DB cannot fill a minibatch). Returns steps actually run.
+  /// replay DB cannot fill a minibatch). Returns steps actually run. With
+  /// a pool, minibatch assembly and the GEMM panels fan out; the RNG
+  /// stream and the resulting weights are pool-independent.
   std::size_t train_tick(util::ThreadPool* pool = nullptr);
 
   /// §3.6: the Interface Daemon calls this when a new workload starts.

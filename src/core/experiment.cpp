@@ -83,6 +83,25 @@ ExperimentBuilder& ExperimentBuilder::adapter(TargetSystemAdapter& a) {
   return *this;
 }
 
+ExperimentBuilder& ExperimentBuilder::add_cluster(std::string workload_spec) {
+  ExtraDomain extra;
+  extra.workload_spec = std::move(workload_spec);
+  extra_domains_.push_back(std::move(extra));
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::add_cluster(TargetSystemAdapter& a) {
+  ExtraDomain extra;
+  extra.adapter = &a;
+  extra_domains_.push_back(std::move(extra));
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::worker_threads(std::size_t threads) {
+  worker_threads_ = threads;
+  return *this;
+}
+
 ExperimentBuilder& ExperimentBuilder::capes_options(CapesOptions opts) {
   capes_options_ = std::move(opts);
   return *this;
@@ -145,6 +164,13 @@ bool fail(std::string* error, const std::string& message) {
   return false;
 }
 
+/// Per-domain cluster seed: domain 0 keeps the preset's seed verbatim
+/// (single-cluster builds stay bit-identical); later domains mix in
+/// their index so replicated workload specs still diverge.
+std::uint64_t domain_cluster_seed(std::uint64_t base, std::size_t domain) {
+  return base ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(domain));
+}
+
 }  // namespace
 
 std::unique_ptr<Experiment> ExperimentBuilder::build(std::string* error) {
@@ -160,7 +186,7 @@ std::unique_ptr<Experiment> ExperimentBuilder::build(std::string* error) {
          "do not apply to a custom adapter()");
     return nullptr;
   }
-  if (!adapter_ && workload_spec_.empty()) {
+  if (!adapter_ && workload_spec_.empty() && extra_domains_.empty()) {
     fail(error,
          "no target system: pick a workload() for the bundled Lustre cluster "
          "or pass a custom adapter()");
@@ -188,6 +214,7 @@ std::unique_ptr<Experiment> ExperimentBuilder::build(std::string* error) {
   // or capes_options() carried.
   if (seed_) apply_seed(&preset, *seed_);
   if (replay_db_dir_) preset.capes.replay_db_dir = *replay_db_dir_;
+  if (worker_threads_) preset.capes.worker_threads = *worker_threads_;
 
   std::unique_ptr<Experiment> exp(new Experiment());
   exp->preset_ = preset;
@@ -198,21 +225,76 @@ std::unique_ptr<Experiment> ExperimentBuilder::build(std::string* error) {
       eval_ticks_ >= 0 ? eval_ticks_ : preset.eval_ticks;
 
   exp->sim_ = std::make_unique<sim::Simulator>();
-  if (adapter_) {
-    exp->adapter_ = adapter_;
-  } else {
-    exp->cluster_ = std::make_unique<lustre::Cluster>(*exp->sim_, preset.cluster);
-    exp->workload_ = workload::Registry::instance().create(
-        workload_spec_, *exp->cluster_, error);
-    if (!exp->workload_) return nullptr;  // builder state untouched so far
-    exp->workload_->start();
-    exp->adapter_ = exp->cluster_.get();
+
+  // Domain plan: domain 0 from workload()/adapter(), then every
+  // add_cluster() in call order (add_cluster() alone starts at domain 0).
+  struct DomainPlan {
+    std::string spec;
+    TargetSystemAdapter* adapter = nullptr;
+  };
+  std::vector<DomainPlan> plan;
+  if (adapter_ != nullptr) {
+    plan.push_back({"", adapter_});
+  } else if (!workload_spec_.empty()) {
+    plan.push_back({workload_spec_, nullptr});
+  }
+  for (const ExtraDomain& extra : extra_domains_) {
+    plan.push_back({extra.workload_spec, extra.adapter});
+  }
+
+  std::vector<ControlDomainSpec> specs;
+  specs.reserve(plan.size());
+  for (std::size_t d = 0; d < plan.size(); ++d) {
+    Experiment::DomainRuntime runtime;
+    if (plan[d].adapter != nullptr) {
+      runtime.adapter = plan[d].adapter;
+    } else {
+      lustre::ClusterOptions cluster_opts = preset.cluster;
+      cluster_opts.seed = domain_cluster_seed(cluster_opts.seed, d);
+      runtime.cluster =
+          std::make_unique<lustre::Cluster>(*exp->sim_, cluster_opts);
+      runtime.workload = workload::Registry::instance().create(
+          plan[d].spec, *runtime.cluster, error);
+      if (!runtime.workload) return nullptr;  // builder state untouched so far
+      runtime.workload->start();
+      runtime.adapter = runtime.cluster.get();
+    }
+    // Mirror CapesSystem's constructor preconditions with proper error
+    // reporting (the constructor itself aborts on misuse): uniform PI
+    // width across the shared replay DB, and one target system per
+    // domain — a shared adapter would double-read per-tick deltas and
+    // break the distinct-node concurrency contract.
+    for (const ControlDomainSpec& existing : specs) {
+      if (existing.adapter == runtime.adapter) {
+        std::string message = "domain ";
+        message += std::to_string(d);
+        message += " reuses another domain's adapter; each control domain "
+                   "needs its own target system";
+        fail(error, message);
+        return nullptr;
+      }
+    }
+    if (!specs.empty() &&
+        runtime.adapter->pis_per_node() != specs[0].adapter->pis_per_node()) {
+      std::string message = "all control domains must agree on pis_per_node: domain ";
+      message += std::to_string(d);
+      message += " has ";
+      message += std::to_string(runtime.adapter->pis_per_node());
+      message += ", domain 0 has ";
+      message += std::to_string(specs[0].adapter->pis_per_node());
+      fail(error, message);
+      return nullptr;
+    }
+    ControlDomainSpec spec;
+    spec.adapter = runtime.adapter;
+    specs.push_back(std::move(spec));
+    exp->domain_runtimes_.push_back(std::move(runtime));
   }
 
   // Observers and the objective are copied, not moved: the builder stays
   // fully intact, so it can build again (e.g. A/B runs varying one knob).
   exp->phase_observers_ = phase_observers_;
-  exp->system_ = std::make_unique<CapesSystem>(*exp->sim_, *exp->adapter_,
+  exp->system_ = std::make_unique<CapesSystem>(*exp->sim_, specs,
                                                preset.capes, objective_);
   for (const auto& observer : tick_observers_) {
     exp->system_->add_tick_listener(observer);
@@ -237,12 +319,23 @@ void Experiment::ensure_warmed_up() {
   if (warmed_up_) return;
   warmed_up_ = true;
   if (warmup_seconds_ > 0.0) {
-    sim_->run_until(sim_->now() + sim::seconds(warmup_seconds_));
+    sim_->run_for(sim::seconds(warmup_seconds_));
   }
 }
 
 std::string Experiment::workload_name() const {
-  return workload_ ? workload_->name() : std::string();
+  // Single custom-adapter experiments keep the historical "" label; in a
+  // multi-domain mix every domain appears positionally, with "custom"
+  // standing in for adapter domains so the joined label stays truthful.
+  if (domain_runtimes_.size() == 1 && !domain_runtimes_[0].workload) {
+    return "";
+  }
+  std::string joined;
+  for (const DomainRuntime& runtime : domain_runtimes_) {
+    if (!joined.empty()) joined += '+';
+    joined += runtime.workload ? runtime.workload->name() : "custom";
+  }
+  return joined;
 }
 
 PhaseReport Experiment::run_phase(RunPhase phase, std::int64_t ticks) {
@@ -305,11 +398,19 @@ ExperimentReport Experiment::take_report() {
 }
 
 bool Experiment::switch_workload(const std::string& spec, std::string* error) {
-  if (!cluster_) {
+  return switch_workload(0, spec, error);
+}
+
+bool Experiment::switch_workload(std::size_t domain, const std::string& spec,
+                                 std::string* error) {
+  if (domain >= domain_runtimes_.size() ||
+      !domain_runtimes_[domain].cluster) {
     if (error) *error = "switch_workload requires the bundled Lustre cluster";
     return false;
   }
-  auto next = workload::Registry::instance().create(spec, *cluster_, error);
+  DomainRuntime& runtime = domain_runtimes_[domain];
+  auto next =
+      workload::Registry::instance().create(spec, *runtime.cluster, error);
   if (!next) return false;
   // Reap earlier retirees whose in-flight ops have certainly completed:
   // a stopped generator schedules nothing new, and single operations
@@ -320,11 +421,11 @@ bool Experiment::switch_workload(const std::string& spec, std::string* error) {
   std::erase_if(retired_workloads_, [now](const RetiredWorkload& r) {
     return now - r.retired_at > sim::seconds(60);
   });
-  if (workload_) workload_->request_stop();
+  if (runtime.workload) runtime.workload->request_stop();
   // The stopped generator stays alive so its in-flight ops drain naturally.
-  retired_workloads_.push_back({std::move(workload_), now});
-  workload_ = std::move(next);
-  workload_->start();
+  retired_workloads_.push_back({std::move(runtime.workload), now});
+  runtime.workload = std::move(next);
+  runtime.workload->start();
   system_->notify_workload_change();
   return true;
 }

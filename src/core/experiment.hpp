@@ -1,6 +1,6 @@
 #pragma once
 // The front door to CAPES: Experiment owns the whole object graph the
-// paper's evaluation needs — simulated clock, target system, workload,
+// paper's evaluation needs — simulated clock, target systems, workloads,
 // and the CapesSystem control loop — and runs the Appendix A.4 workflow
 // (train -> baseline -> tuned) as structured phases. Construction goes
 // through a fluent builder:
@@ -17,6 +17,20 @@
 // plug in without touching this facade. Custom target systems skip the
 // bundled Lustre cluster entirely: pass .adapter(my_system) instead of
 // .workload(...) (see examples/quickstart.cpp).
+//
+// Multi-cluster experiments add control domains with .add_cluster():
+//
+//   auto exp = core::Experiment::builder()
+//                  .workload("random:0.1")       // domain 0
+//                  .add_cluster("seqwrite")      // domain 1, own cluster
+//                  .add_cluster(my_adapter)      // domain 2, custom system
+//                  .worker_threads(4)            // parallel sampling fan-in
+//                  .build(&error);
+//
+// Every domain gets its own simulated cluster (bundled ones) or adapter,
+// all driven by one simulator and tuned by one shared DRL brain (see
+// core/control_domain.hpp). A single-cluster build through the old API
+// is bit-identical to the pre-domain facade at the same seed.
 
 #include <cstdint>
 #include <functional>
@@ -41,7 +55,9 @@ class Experiment;
 struct PhaseReport {
   RunPhase phase = RunPhase::kIdle;
   std::string label;     ///< phase_name(phase)
-  std::string workload;  ///< active workload name ("" for custom adapters)
+  /// Active workload names, "+"-joined across domains; "custom" stands in
+  /// for adapter domains in a mix ("" for a single custom adapter).
+  std::string workload;
   RunResult result;
   stats::MeasurementResult throughput;
   stats::MeasurementResult latency;
@@ -85,15 +101,28 @@ class ExperimentBuilder {
   /// Overlay a conf file (core/config_io.hpp keys) onto the preset.
   ExperimentBuilder& config_file(std::string path);
   /// Workload spec resolved through workload::Registry ("random:0.1", ...).
+  /// Defines domain 0 on a bundled Lustre cluster.
   ExperimentBuilder& workload(std::string spec);
-  /// Tune a custom target system instead of the bundled Lustre cluster.
-  /// The adapter must outlive the experiment. Mutually exclusive with
-  /// workload()/monitor_servers()/tune_write_cache().
+  /// Tune a custom target system instead of the bundled Lustre cluster
+  /// (domain 0). The adapter must outlive the experiment. Mutually
+  /// exclusive with workload()/monitor_servers()/tune_write_cache().
   ExperimentBuilder& adapter(TargetSystemAdapter& a);
+  /// Add one more control domain on its own bundled Lustre cluster
+  /// running `workload_spec`. Repeatable; domains are tuned together by
+  /// one shared DRL brain. Each added cluster derives its own seed from
+  /// the preset's so replicated specs still diverge.
+  ExperimentBuilder& add_cluster(std::string workload_spec);
+  /// Add one more control domain over a custom adapter (must outlive the
+  /// experiment, and agree with every other domain on pis_per_node).
+  ExperimentBuilder& add_cluster(TargetSystemAdapter& a);
+  /// Worker threads for the hot per-tick path (0 = single-threaded;
+  /// see CapesOptions::worker_threads).
+  ExperimentBuilder& worker_threads(std::size_t threads);
   /// Override CapesOptions wholesale (mainly for custom adapters; in
   /// Lustre mode the preset's options are usually right).
   ExperimentBuilder& capes_options(CapesOptions opts);
-  /// Reward function (§3.2); defaults to aggregate throughput.
+  /// Reward function (§3.2); defaults to aggregate throughput. Applies to
+  /// every domain.
   ExperimentBuilder& objective(ObjectiveFunction f);
   ExperimentBuilder& monitor_servers(bool on = true);   ///< §6 extension
   ExperimentBuilder& tune_write_cache(bool on = true);  ///< §6 extension
@@ -118,11 +147,20 @@ class ExperimentBuilder {
 
  private:
   friend class Experiment;
+  /// One domain past domain 0: either a workload spec on a bundled
+  /// cluster or a caller-owned adapter.
+  struct ExtraDomain {
+    std::string workload_spec;
+    TargetSystemAdapter* adapter = nullptr;
+  };
+
   std::optional<EvaluationPreset> preset_;
   std::optional<std::uint64_t> seed_;
   std::string config_file_;
   std::string workload_spec_;
   TargetSystemAdapter* adapter_ = nullptr;
+  std::vector<ExtraDomain> extra_domains_;
+  std::optional<std::size_t> worker_threads_;
   std::optional<CapesOptions> capes_options_;
   ObjectiveFunction objective_;
   bool monitor_servers_ = false;
@@ -156,10 +194,14 @@ class Experiment {
   PhaseReport run_baseline(std::int64_t ticks = -1);
   PhaseReport run_tuned(std::int64_t ticks = -1);
 
-  /// Swap the active workload for `spec` (resolved via the registry):
+  /// Swap domain 0's workload for `spec` (resolved via the registry):
   /// stops the old generator, starts the new one, and tells CAPES about
-  /// the change so epsilon re-explores (§3.6). Lustre mode only.
+  /// the change so epsilon re-explores (§3.6). Bundled clusters only.
   bool switch_workload(const std::string& spec, std::string* error = nullptr);
+
+  /// Swap a specific domain's workload (bundled-cluster domains only).
+  bool switch_workload(std::size_t domain, const std::string& spec,
+                       std::string* error = nullptr);
 
   /// §3.6 epsilon bump without a workload swap.
   void notify_workload_change();
@@ -181,15 +223,34 @@ class Experiment {
   // below the facade (prediction-error logs, direct parameter sweeps).
   sim::Simulator& simulator() { return *sim_; }
   CapesSystem& system() { return *system_; }
-  lustre::Cluster* cluster() { return cluster_.get(); }               ///< null in adapter mode
-  workload::Workload* active_workload() { return workload_.get(); }  ///< null in adapter mode
+  std::size_t num_domains() const { return domain_runtimes_.size(); }
+  lustre::Cluster* cluster() { return cluster_at(0); }  ///< null in adapter mode
+  /// Domain `domain`'s bundled cluster; null for custom-adapter domains
+  /// and out-of-range indices.
+  lustre::Cluster* cluster_at(std::size_t domain) {
+    return domain < domain_runtimes_.size()
+               ? domain_runtimes_[domain].cluster.get()
+               : nullptr;
+  }
+  workload::Workload* active_workload() { return workload_at(0); }  ///< null in adapter mode
+  /// Domain `domain`'s bundled workload; null for custom-adapter domains
+  /// and out-of-range indices.
+  workload::Workload* workload_at(std::size_t domain) {
+    return domain < domain_runtimes_.size()
+               ? domain_runtimes_[domain].workload.get()
+               : nullptr;
+  }
   const EvaluationPreset& preset() const { return preset_; }
   /// Tick counts used when run_*() gets no explicit count (builder
   /// override if given, else the preset's).
   std::int64_t default_train_ticks() const { return default_train_ticks_; }
   std::int64_t default_eval_ticks() const { return default_eval_ticks_; }
+  /// Active workload names, "+"-joined across domains with "custom" for
+  /// adapter domains ("" for a single custom adapter; a single bundled
+  /// domain reads as before).
   std::string workload_name() const;
-  const std::vector<double>& parameter_values() const {
+  /// Snapshot of every domain's parameter values in composite order.
+  std::vector<double> parameter_values() const {
     return system_->parameter_values();
   }
 
@@ -210,8 +271,14 @@ class Experiment {
   std::int64_t default_eval_ticks_ = 0;
 
   std::unique_ptr<sim::Simulator> sim_;
-  std::unique_ptr<lustre::Cluster> cluster_;
-  std::unique_ptr<workload::Workload> workload_;
+  /// Per-domain ownership: bundled domains own a cluster + workload;
+  /// custom-adapter domains own neither (the caller does).
+  struct DomainRuntime {
+    std::unique_ptr<lustre::Cluster> cluster;
+    std::unique_ptr<workload::Workload> workload;
+    TargetSystemAdapter* adapter = nullptr;
+  };
+  std::vector<DomainRuntime> domain_runtimes_;
   /// Generators replaced by switch_workload, kept alive until their
   /// in-flight operations have certainly drained (see reap in
   /// switch_workload) so completion callbacks never dangle.
@@ -220,7 +287,6 @@ class Experiment {
     sim::TimeUs retired_at = 0;
   };
   std::vector<RetiredWorkload> retired_workloads_;
-  TargetSystemAdapter* adapter_ = nullptr;  ///< the active adapter
   std::unique_ptr<CapesSystem> system_;
 
   std::vector<PhaseObserver> phase_observers_;

@@ -1,5 +1,7 @@
 #include "core/interface_daemon.hpp"
 
+#include <cassert>
+
 #include "util/logging.hpp"
 #include "util/varint.hpp"
 
@@ -9,17 +11,41 @@ InterfaceDaemon::InterfaceDaemon(rl::ReplayDb& replay,
                                  const rl::ActionSpace& space,
                                  std::size_t num_nodes,
                                  std::size_t pis_per_node)
-    : replay_(replay), space_(space) {
-  checker_ = std::make_unique<ActionChecker>(space_);
+    : replay_(replay) {
+  Shard shard;
+  shard.space = &space;
+  shard.checker = std::make_unique<ActionChecker>(space);
+  shard.action_offset = 1;
+  shards_.push_back(std::move(shard));
   decoders_.reserve(num_nodes);
   for (std::size_t i = 0; i < num_nodes; ++i) {
     decoders_.emplace_back(pis_per_node);
   }
 }
 
+InterfaceDaemon::InterfaceDaemon(rl::ReplayDb& replay,
+                                 std::vector<ControlDomain*> domains,
+                                 std::size_t pis_per_node)
+    : replay_(replay) {
+  assert(!domains.empty());
+  shards_.reserve(domains.size());
+  for (ControlDomain* domain : domains) {
+    Shard shard;
+    shard.domain = domain;
+    shard.space = &domain->space();
+    shard.checker = std::make_unique<ActionChecker>(domain->space());
+    shard.action_offset = domain->action_offset();
+    shards_.push_back(std::move(shard));
+    for (std::size_t i = 0; i < domain->num_nodes(); ++i) {
+      decoders_.emplace_back(pis_per_node);
+    }
+  }
+}
+
 void InterfaceDaemon::on_status_message(const std::vector<std::uint8_t>& msg) {
   ++status_messages_;
-  // Peek the node id (first varint) to pick the right stateful decoder.
+  // Peek the global node id (first varint) to pick the right stateful
+  // decoder; messages for nodes outside every shard count as errors.
   util::VarintReader peek(msg);
   auto node = peek.read_varint();
   if (!node || *node >= decoders_.size()) {
@@ -39,16 +65,16 @@ void InterfaceDaemon::on_reward(std::int64_t t, double reward) {
   replay_.record_reward(t, reward);
 }
 
-std::size_t InterfaceDaemon::on_suggested_action(
-    std::int64_t t, std::size_t action_index,
-    std::vector<double>& parameter_values) {
-  const rl::DecodedAction decoded = space_.decode(action_index);
-  std::size_t recorded = action_index;
-  if (!checker_->check(decoded, parameter_values)) {
+std::size_t InterfaceDaemon::apply_checked_action(
+    std::int64_t t, Shard& shard, std::size_t local_action,
+    std::size_t global_action, std::vector<double>& parameter_values) {
+  const rl::DecodedAction decoded = shard.space->decode(local_action);
+  std::size_t recorded = global_action;
+  if (!shard.checker->check(decoded, parameter_values)) {
     recorded = 0;  // vetoed -> NULL action
   } else if (!decoded.null_action) {
-    space_.apply(decoded, parameter_values);
-    for (ControlAgent* agent : control_agents_) {
+    shard.space->apply(decoded, parameter_values);
+    for (ControlAgent* agent : shard.control_agents) {
       agent->on_action_message(parameter_values);
     }
     ++actions_broadcast_;
@@ -57,8 +83,50 @@ std::size_t InterfaceDaemon::on_suggested_action(
   return recorded;
 }
 
+std::size_t InterfaceDaemon::on_suggested_action(
+    std::int64_t t, std::size_t action_index,
+    std::vector<double>& parameter_values) {
+  assert(shards_.size() == 1);
+  return apply_checked_action(t, shards_[0], action_index, action_index,
+                              parameter_values);
+}
+
+std::size_t InterfaceDaemon::route_suggested_action(std::int64_t t,
+                                                    std::size_t action_index) {
+  // The NULL action belongs to no slice; hand it to shard 0 so checker
+  // rules still see it (a rule can veto NULL too, as in the single-shard
+  // path — the recorded action is 0 either way).
+  std::size_t shard_index = 0;
+  std::size_t local = 0;
+  if (action_index != 0) {
+    while (shard_index + 1 < shards_.size() &&
+           action_index >= shards_[shard_index + 1].action_offset) {
+      ++shard_index;
+    }
+    local = action_index - shards_[shard_index].action_offset + 1;
+    assert(local < shards_[shard_index].space->num_actions());
+  }
+  Shard& shard = shards_[shard_index];
+  // Routed dispatch needs a domain-backed parameter vector; a daemon
+  // built through the legacy single-shard constructor must use
+  // on_suggested_action instead. Degrade to a recorded NULL action
+  // rather than dereferencing null in Release builds.
+  assert(shard.domain != nullptr);
+  if (shard.domain == nullptr) {
+    replay_.record_action(t, 0);
+    return 0;
+  }
+  return apply_checked_action(t, shard, local, action_index,
+                              shard.domain->param_values());
+}
+
 void InterfaceDaemon::register_control_agent(ControlAgent* agent) {
-  control_agents_.push_back(agent);
+  shards_[0].control_agents.push_back(agent);
+}
+
+void InterfaceDaemon::register_control_agent(std::size_t shard,
+                                             ControlAgent* agent) {
+  shards_[shard].control_agents.push_back(agent);
 }
 
 }  // namespace capes::core

@@ -3,6 +3,15 @@
 // DB, the DRL Engine and the Control Agents. It is the only component
 // that writes to the Replay DB; it decodes incoming PI messages, stores
 // them, relays rewards, and broadcasts checked actions.
+//
+// The daemon is a sharded fan-in: one shard per control domain. Incoming
+// PI messages carry global (domain-namespaced) node ids and route to the
+// owning shard's stateful decoder; a suggested composite action index
+// routes to the shard whose action slice contains it, is validated by
+// that shard's Action Checker, and — when it passes — is applied to that
+// domain's parameter vector and broadcast to that domain's Control
+// Agents only. With one shard this degenerates exactly to the original
+// single-cluster daemon.
 
 #include <cstdint>
 #include <memory>
@@ -10,6 +19,7 @@
 
 #include "core/action_checker.hpp"
 #include "core/control_agent.hpp"
+#include "core/control_domain.hpp"
 #include "core/pi_codec.hpp"
 #include "rl/action_space.hpp"
 #include "rl/replay_db.hpp"
@@ -18,37 +28,71 @@ namespace capes::core {
 
 class InterfaceDaemon {
  public:
+  /// Single-shard daemon over an externally managed parameter vector (the
+  /// pre-domain construction, still used by agent-level tests).
   InterfaceDaemon(rl::ReplayDb& replay, const rl::ActionSpace& space,
                   std::size_t num_nodes, std::size_t pis_per_node);
 
-  /// Incoming PI message from a Monitoring Agent; decoded and written to
-  /// the replay DB.
+  /// Sharded daemon: one shard per domain, in order. Domains must outlive
+  /// the daemon; their node/action offsets define the routing table.
+  InterfaceDaemon(rl::ReplayDb& replay, std::vector<ControlDomain*> domains,
+                  std::size_t pis_per_node);
+
+  /// Incoming PI message from a Monitoring Agent; the leading global node
+  /// id picks the shard decoder, and the decoded PIs are written to the
+  /// replay DB under that global node id.
   void on_status_message(const std::vector<std::uint8_t>& msg);
 
   /// Record the objective-function output for tick t.
   void on_reward(std::int64_t t, double reward);
 
-  /// An action suggested by the DRL Engine for tick t. Runs the action
-  /// checker; if it passes, records the action and broadcasts the
-  /// resulting parameter values to all Control Agents. Returns the action
-  /// actually recorded (vetoed actions degrade to the NULL action, which
-  /// is what reaches the replay DB — the system did nothing that tick).
+  /// An action suggested by the DRL Engine for tick t, applied to the
+  /// caller's parameter vector (single-shard daemons only). Runs the
+  /// action checker; if it passes, records the action and broadcasts the
+  /// resulting parameter values to the shard's Control Agents. Returns the
+  /// action actually recorded (vetoed actions degrade to the NULL action,
+  /// which is what reaches the replay DB — the system did nothing that
+  /// tick).
   std::size_t on_suggested_action(std::int64_t t, std::size_t action_index,
                                   std::vector<double>& parameter_values);
 
-  void register_control_agent(ControlAgent* agent);
-  ActionChecker& action_checker() { return *checker_; }
+  /// Sharded form: route the composite `action_index` to its owning
+  /// domain and apply it to that domain's parameter vector. Same veto /
+  /// record semantics as on_suggested_action.
+  std::size_t route_suggested_action(std::int64_t t, std::size_t action_index);
+
+  void register_control_agent(ControlAgent* agent);  ///< shard 0
+  void register_control_agent(std::size_t shard, ControlAgent* agent);
+  ActionChecker& action_checker() { return *shards_[0].checker; }
+  ActionChecker& action_checker(std::size_t shard) {
+    return *shards_[shard].checker;
+  }
+  std::size_t num_shards() const { return shards_.size(); }
 
   std::uint64_t status_messages() const { return status_messages_; }
   std::uint64_t decode_errors() const { return decode_errors_; }
   std::uint64_t actions_broadcast() const { return actions_broadcast_; }
 
  private:
+  /// Routing state for one domain's slice of the action namespace (node
+  /// routing needs no per-shard state: decoders_ is indexed by the global
+  /// node id directly).
+  struct Shard {
+    ControlDomain* domain = nullptr;  ///< null for the single-shard ctor
+    const rl::ActionSpace* space = nullptr;
+    std::unique_ptr<ActionChecker> checker;
+    std::size_t action_offset = 1;  ///< global index of local action 1
+    std::vector<ControlAgent*> control_agents;
+  };
+
+  std::size_t apply_checked_action(std::int64_t t, Shard& shard,
+                                   std::size_t local_action,
+                                   std::size_t global_action,
+                                   std::vector<double>& parameter_values);
+
   rl::ReplayDb& replay_;
-  const rl::ActionSpace& space_;
-  std::unique_ptr<ActionChecker> checker_;
-  std::vector<PiDecoder> decoders_;  // one per node
-  std::vector<ControlAgent*> control_agents_;
+  std::vector<Shard> shards_;
+  std::vector<PiDecoder> decoders_;  // one per global node
 
   std::uint64_t status_messages_ = 0;
   std::uint64_t decode_errors_ = 0;

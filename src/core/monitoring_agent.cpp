@@ -4,13 +4,25 @@ namespace capes::core {
 
 MonitoringAgent::MonitoringAgent(std::size_t node, TargetSystemAdapter& adapter,
                                  Deliver deliver)
+    : MonitoringAgent(node, node, adapter, std::move(deliver)) {}
+
+MonitoringAgent::MonitoringAgent(std::size_t local_node, std::size_t global_node,
+                                 TargetSystemAdapter& adapter, Deliver deliver)
     : adapter_(adapter),
-      encoder_(node, adapter.pis_per_node()),
+      local_node_(local_node),
+      encoder_(global_node, adapter.pis_per_node()),
       deliver_(std::move(deliver)) {}
 
 void MonitoringAgent::sample(std::int64_t t) {
-  const std::vector<float> pis = adapter_.collect_observation(encoder_.node());
-  const std::vector<std::uint8_t> msg = encoder_.encode(t, pis);
+  deliver(collect_and_encode(t));
+}
+
+std::vector<std::uint8_t> MonitoringAgent::collect_and_encode(std::int64_t t) {
+  const std::vector<float> pis = adapter_.collect_observation(local_node_);
+  return encoder_.encode(t, pis);
+}
+
+void MonitoringAgent::deliver(const std::vector<std::uint8_t>& msg) {
   if (deliver_) deliver_(msg);
 }
 

@@ -3,6 +3,11 @@
 // it collects the node's performance indicators through the adapter's
 // collector function, encodes them with the differential protocol, and
 // ships the message to the Interface Daemon.
+//
+// Under multi-cluster control the agent carries two node ids: the local
+// node inside its own cluster (what the adapter's collector understands)
+// and the global, domain-namespaced node id it stamps on the wire so the
+// sharded Interface Daemon can route the message.
 
 #include <cstdint>
 #include <functional>
@@ -19,17 +24,33 @@ class MonitoringAgent {
   /// control-network hop).
   using Deliver = std::function<void(const std::vector<std::uint8_t>&)>;
 
+  /// Single-domain form: the wire node id equals the local node id.
   MonitoringAgent(std::size_t node, TargetSystemAdapter& adapter, Deliver deliver);
+
+  /// Multi-domain form: collect as `local_node`, send as `global_node`.
+  MonitoringAgent(std::size_t local_node, std::size_t global_node,
+                  TargetSystemAdapter& adapter, Deliver deliver);
 
   /// Collect + encode + send the PIs for sampling tick `t`.
   void sample(std::int64_t t);
 
+  /// The collect + encode half of sample(), without the delivery. Safe to
+  /// run concurrently for distinct nodes of one adapter (collectors touch
+  /// per-node state only); the caller then delivers the returned messages
+  /// serially, in node order, so the fan-in stays deterministic.
+  std::vector<std::uint8_t> collect_and_encode(std::int64_t t);
+
+  /// Hand a previously encoded message to the Interface Daemon.
+  void deliver(const std::vector<std::uint8_t>& msg);
+
   std::size_t node() const { return encoder_.node(); }
+  std::size_t local_node() const { return local_node_; }
   std::uint64_t bytes_sent() const { return encoder_.total_bytes(); }
   std::uint64_t messages_sent() const { return encoder_.messages(); }
 
  private:
   TargetSystemAdapter& adapter_;
+  std::size_t local_node_;
   PiEncoder encoder_;
   Deliver deliver_;
 };

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "util/serialize.hpp"
+#include "util/thread_pool.hpp"
 
 namespace capes::rl {
 
@@ -152,11 +153,31 @@ bool ReplayDb::transition_available(std::int64_t t) const {
 }
 
 std::optional<Minibatch> ReplayDb::construct_minibatch(
-    std::size_t n, util::Rng& rng, std::size_t max_rounds) const {
+    std::size_t n, util::Rng& rng, std::size_t max_rounds,
+    util::ThreadPool* pool) const {
   const auto s = static_cast<std::int64_t>(opts_.ticks_per_observation);
   const std::int64_t lo = min_tick_ + s - 1;
   const std::int64_t hi = max_tick_ - 1;  // need t+1 to exist
   if (ticks_.empty() || hi < lo) return std::nullopt;
+
+  // Algorithm 1: keep sampling uniform timestamps, keeping only those with
+  // complete data, until n samples are gathered (bounded rounds so a
+  // sparse DB fails cleanly instead of spinning). Drawing all timestamps
+  // first keeps the RNG stream identical whether or not assembly below
+  // runs on the pool.
+  std::vector<std::int64_t> chosen;
+  chosen.reserve(n);
+  for (std::size_t round = 0; round < max_rounds && chosen.size() < n; ++round) {
+    const std::size_t needed = n - chosen.size();
+    for (std::size_t i = 0; i < needed; ++i) {
+      const std::int64_t t = lo + static_cast<std::int64_t>(rng.uniform_u64(
+                                      static_cast<std::uint64_t>(hi - lo + 1)));
+      if (!transition_available(t)) continue;
+      chosen.push_back(t);
+      if (chosen.size() == n) break;
+    }
+  }
+  if (chosen.size() < n) return std::nullopt;
 
   Minibatch batch;
   const std::size_t obs = observation_size();
@@ -164,26 +185,21 @@ std::optional<Minibatch> ReplayDb::construct_minibatch(
   batch.next_states.resize(n, obs);
   batch.actions.reserve(n);
   batch.rewards.reserve(n);
-
-  // Algorithm 1: keep sampling uniform timestamps, keeping only those with
-  // complete data, until n samples are gathered (bounded rounds so a
-  // sparse DB fails cleanly instead of spinning).
-  std::size_t filled = 0;
-  for (std::size_t round = 0; round < max_rounds && filled < n; ++round) {
-    const std::size_t needed = n - filled;
-    for (std::size_t i = 0; i < needed; ++i) {
-      const std::int64_t t = lo + static_cast<std::int64_t>(rng.uniform_u64(
-                                      static_cast<std::uint64_t>(hi - lo + 1)));
-      if (!transition_available(t)) continue;
-      build_observation(t, batch.states.row(filled));
-      build_observation(t + 1, batch.next_states.row(filled));
-      batch.actions.push_back(*action_at(t));
-      batch.rewards.push_back(static_cast<float>(*reward_at(t + 1)));
-      ++filled;
-      if (filled == n) break;
-    }
+  for (std::int64_t t : chosen) {
+    batch.actions.push_back(*action_at(t));
+    batch.rewards.push_back(static_cast<float>(*reward_at(t + 1)));
   }
-  if (filled < n) return std::nullopt;
+  // Observation assembly is the expensive half (S * nodes * P floats per
+  // row, with last-known fill-in); rows are independent, so fan out.
+  const auto build_row = [&](std::size_t i) {
+    build_observation(chosen[i], batch.states.row(i));
+    build_observation(chosen[i] + 1, batch.next_states.row(i));
+  };
+  if (pool != nullptr && n >= 2) {
+    pool->parallel_for(n, build_row);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) build_row(i);
+  }
   return batch;
 }
 

@@ -14,6 +14,10 @@
 #include "util/rng.hpp"
 #include "waldb/database.hpp"
 
+namespace capes::util {
+class ThreadPool;
+}
+
 namespace capes::rl {
 
 /// One training sample w_t = (s_t, s_{t+1}, a_t, r_t) packed as matrices.
@@ -46,7 +50,10 @@ class ReplayDb {
   }
 
   /// Record one node's PI vector for tick t (must have pis_per_node
-  /// entries). Recording twice for the same (t, node) overwrites.
+  /// entries). Recording twice for the same (t, node) overwrites. Under
+  /// multi-cluster control, `node` is the domain-namespaced global node
+  /// index (domain node offset + local node), so every domain writes a
+  /// disjoint slice of the tick row.
   void record_status(std::int64_t t, std::size_t node,
                      const std::vector<float>& pis);
 
@@ -79,9 +86,12 @@ class ReplayDb {
   /// Algorithm 1: construct a minibatch of n transitions by uniform
   /// timestamp sampling. Returns nullopt when the DB cannot possibly
   /// provide n transitions (too few complete ticks) after
-  /// `max_rounds` sampling rounds.
+  /// `max_rounds` sampling rounds. Timestamps are always drawn serially
+  /// (the RNG stream is pool-independent); with a `pool` the observation
+  /// rows are assembled in parallel, producing the identical batch.
   std::optional<Minibatch> construct_minibatch(std::size_t n, util::Rng& rng,
-                                               std::size_t max_rounds = 64) const;
+                                               std::size_t max_rounds = 64,
+                                               util::ThreadPool* pool = nullptr) const;
 
   /// Number of ticks t for which a full transition (obs(t), obs(t+1),
   /// action(t), reward(t+1)) is available. O(ticks); used by tests/benches.

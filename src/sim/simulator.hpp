@@ -41,6 +41,10 @@ class Simulator {
   /// Events exactly at t_end are executed. Returns the number of events run.
   std::size_t run_until(TimeUs t_end);
 
+  /// Advance the clock by `duration` from now (the unified sampling-tick
+  /// step: one call drives every hosted cluster's events for one tick).
+  std::size_t run_for(TimeUs duration) { return run_until(now_ + duration); }
+
   /// Run a single event; returns false when the queue is empty.
   bool step();
 

@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cerrno>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
 namespace capes::util {
@@ -64,6 +65,15 @@ bool parse_double(std::string_view text, double* out) {
   if (errno == ERANGE || !whole_string(s, end)) return false;
   *out = v;
   return true;
+}
+
+bool parse_flag(const char* arg, const char* name, std::string* out) {
+  const std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') {
+    *out = arg + n + 1;
+    return true;
+  }
+  return false;
 }
 
 }  // namespace capes::util

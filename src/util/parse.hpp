@@ -5,6 +5,7 @@
 // is a valid number and report failure instead of guessing.
 
 #include <cstdint>
+#include <string>
 #include <string_view>
 
 namespace capes::util {
@@ -18,5 +19,10 @@ bool parse_u64(std::string_view text, std::uint64_t* out);
 
 /// Parse a decimal floating-point number (no inf/nan/hex).
 bool parse_double(std::string_view text, double* out);
+
+/// Split a "--name=value" command-line argument: when `arg` starts with
+/// `name` immediately followed by '=', store the value part in *out and
+/// return true. Shared by the CLI driver and the bench binaries.
+bool parse_flag(const char* arg, const char* name, std::string* out);
 
 }  // namespace capes::util

@@ -3,6 +3,7 @@
 // deterministic function of the current parameter value, so tests can
 // verify the full control loop without the Lustre simulator.
 
+#include <atomic>
 #include <cmath>
 #include <vector>
 
@@ -59,7 +60,9 @@ class MockAdapter : public TargetSystemAdapter {
 
   double optimum = 80.0;
   double peak_mbs = 100.0;
-  int collect_calls = 0;
+  /// Atomic: collect_observation may run concurrently for distinct nodes
+  /// when the system samples through a worker pool.
+  std::atomic<int> collect_calls{0};
   int set_calls = 0;
 
  private:

@@ -138,5 +138,129 @@ TEST_F(DaemonFixture, ControlAgentAppliesDirectly) {
   EXPECT_DOUBLE_EQ(adapter.current_parameters()[0], 33.0);
 }
 
+// ---------------------------------------------------------------------------
+// Decode-error accounting
+// ---------------------------------------------------------------------------
+
+TEST_F(DaemonFixture, EmptyMessageCounted) {
+  daemon.on_status_message({});
+  EXPECT_EQ(daemon.decode_errors(), 1u);
+  EXPECT_EQ(daemon.status_messages(), 1u);
+}
+
+TEST_F(DaemonFixture, TruncatedPayloadCounted) {
+  // A valid header (node 1, tick 0) claiming 3 entries but carrying none.
+  std::vector<std::uint8_t> msg;
+  util::put_varint(msg, 1);  // node
+  util::put_varint(msg, 0);  // tick
+  util::put_varint(msg, 3);  // count, then nothing
+  daemon.on_status_message(msg);
+  EXPECT_EQ(daemon.decode_errors(), 1u);
+  // Nothing reached the replay DB.
+  EXPECT_FALSE(replay.status_at(0, 1).has_value());
+}
+
+TEST_F(DaemonFixture, DecodeErrorsDoNotPoisonLaterMessages) {
+  MonitoringAgent agent(2, adapter, [this](const std::vector<std::uint8_t>& m) {
+    daemon.on_status_message(m);
+  });
+  daemon.on_status_message({0xFF, 0xFF, 0xFF, 0xFF, 0xFF});
+  agent.sample(0);
+  EXPECT_EQ(daemon.decode_errors(), 1u);
+  EXPECT_TRUE(replay.status_at(0, 2).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Sharded fan-in (multi-domain daemon)
+// ---------------------------------------------------------------------------
+
+struct ShardedDaemonFixture : public ::testing::Test {
+  ShardedDaemonFixture()
+      : adapter_a(2, 4),
+        adapter_b(3, 4),
+        // Domain layout: a = nodes [0,2) actions [1,3), b = nodes [2,5)
+        // actions [3,5); both have one "knob" parameter.
+        domain_a(0, "", adapter_a, throughput_objective(), 0, 1, 0),
+        domain_b(1, "", adapter_b, throughput_objective(), 2, 3, 1),
+        replay(make_replay_options(), nullptr),
+        daemon(replay, {&domain_a, &domain_b}, 4) {}
+
+  static rl::ReplayDbOptions make_replay_options() {
+    rl::ReplayDbOptions o;
+    o.num_nodes = 5;  // both domains
+    o.pis_per_node = 4;
+    o.ticks_per_observation = 2;
+    return o;
+  }
+
+  MockAdapter adapter_a;
+  MockAdapter adapter_b;
+  ControlDomain domain_a;
+  ControlDomain domain_b;
+  rl::ReplayDb replay;
+  InterfaceDaemon daemon;
+};
+
+TEST_F(ShardedDaemonFixture, RoutesStatusByGlobalNode) {
+  // A monitoring agent for domain b's local node 1 ships as global node 3.
+  MonitoringAgent agent(1, 3, adapter_b,
+                        [this](const std::vector<std::uint8_t>& m) {
+                          daemon.on_status_message(m);
+                        });
+  agent.sample(0);
+  EXPECT_EQ(daemon.decode_errors(), 0u);
+  auto pis = replay.status_at(0, 3);
+  ASSERT_TRUE(pis.has_value());
+  EXPECT_NEAR((*pis)[1], 0.1f, 1e-3f);  // local node 1 / 10 in the payload
+  EXPECT_FALSE(replay.status_at(0, 1).has_value());
+}
+
+TEST_F(ShardedDaemonFixture, RejectsNodesBeyondEveryShard) {
+  std::vector<std::uint8_t> msg;
+  util::put_varint(msg, 5);  // first id past domain b's slice
+  util::put_varint(msg, 0);
+  util::put_varint(msg, 0);
+  daemon.on_status_message(msg);
+  EXPECT_EQ(daemon.decode_errors(), 1u);
+}
+
+TEST_F(ShardedDaemonFixture, RoutesActionToOwningDomainSlice) {
+  ControlAgent ca_a(0, adapter_a);
+  ControlAgent ca_b(0, adapter_b);
+  daemon.register_control_agent(0, &ca_a);
+  daemon.register_control_agent(1, &ca_b);
+
+  // Global action 3 = domain b's local action 1 (+step on its knob).
+  const std::size_t recorded = daemon.route_suggested_action(7, 3);
+  EXPECT_EQ(recorded, 3u);
+  EXPECT_DOUBLE_EQ(domain_b.param_values()[0], 55.0);
+  EXPECT_DOUBLE_EQ(domain_a.param_values()[0], 50.0);  // untouched
+  EXPECT_EQ(ca_b.actions_applied(), 1u);
+  EXPECT_EQ(ca_a.actions_applied(), 0u);
+  EXPECT_DOUBLE_EQ(adapter_b.current_parameters()[0], 55.0);
+  EXPECT_DOUBLE_EQ(adapter_a.current_parameters()[0], 50.0);
+  EXPECT_EQ(*replay.action_at(7), 3u);  // recorded under the composite index
+}
+
+TEST_F(ShardedDaemonFixture, NullActionRecordedForShardZero) {
+  const std::size_t recorded = daemon.route_suggested_action(2, 0);
+  EXPECT_EQ(recorded, 0u);
+  EXPECT_EQ(*replay.action_at(2), 0u);
+  EXPECT_EQ(daemon.actions_broadcast(), 0u);
+}
+
+TEST_F(ShardedDaemonFixture, VetoIsPerDomain) {
+  // Domain b's checker vetoes everything; domain a stays tunable.
+  daemon.action_checker(1).add_rule(
+      "frozen", [](const std::vector<double>&) { return false; });
+  EXPECT_EQ(daemon.route_suggested_action(1, 3), 0u);  // b's slice -> vetoed
+  EXPECT_DOUBLE_EQ(domain_b.param_values()[0], 50.0);
+  EXPECT_EQ(*replay.action_at(1), 0u);
+  EXPECT_EQ(daemon.route_suggested_action(2, 1), 1u);  // a's slice passes
+  EXPECT_DOUBLE_EQ(domain_a.param_values()[0], 55.0);
+  EXPECT_EQ(daemon.action_checker(1).vetoed_actions(), 1u);
+  EXPECT_EQ(daemon.action_checker(0).vetoed_actions(), 0u);
+}
+
 }  // namespace
 }  // namespace capes::core

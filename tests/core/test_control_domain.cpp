@@ -1,0 +1,96 @@
+// ControlDomain: the node/action/parameter namespace arithmetic that lets
+// N domains share one Replay DB and one composite action space, plus the
+// per-domain parameter lifecycle.
+
+#include "core/control_domain.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../core/mock_adapter.hpp"
+
+namespace capes::core {
+namespace {
+
+using testing::MockAdapter;
+
+TEST(ControlDomain, DefaultsNameFromIndex) {
+  MockAdapter adapter(2, 3);
+  ControlDomain domain(3, "", adapter, throughput_objective(), 0, 1, 0);
+  EXPECT_EQ(domain.name(), "c3");
+
+  ControlDomain named(0, "edge", adapter, throughput_objective(), 0, 1, 0);
+  EXPECT_EQ(named.name(), "edge");
+}
+
+TEST(ControlDomain, NodeNamespaceMapsThroughOffset) {
+  MockAdapter adapter(4, 3);
+  ControlDomain domain(1, "", adapter, throughput_objective(), /*node_offset=*/4,
+                       /*action_offset=*/3, /*param_offset=*/1);
+  EXPECT_EQ(domain.num_nodes(), 4u);
+  EXPECT_EQ(domain.node_offset(), 4u);
+  EXPECT_EQ(domain.global_node(0), 4u);
+  EXPECT_EQ(domain.global_node(3), 7u);
+  EXPECT_FALSE(domain.owns_global_node(3));
+  EXPECT_TRUE(domain.owns_global_node(4));
+  EXPECT_TRUE(domain.owns_global_node(7));
+  EXPECT_FALSE(domain.owns_global_node(8));
+  EXPECT_EQ(domain.local_node(6), 2u);
+}
+
+TEST(ControlDomain, ActionNamespaceSharesGlobalNull) {
+  // MockAdapter has one tunable parameter: local actions 0 (NULL), 1, 2.
+  MockAdapter adapter(2, 3);
+  // Second domain of two identical ones: its slice starts at global 3.
+  ControlDomain domain(1, "", adapter, throughput_objective(), 2, 3, 1);
+  EXPECT_EQ(domain.num_slice_actions(), 2u);
+  EXPECT_FALSE(domain.owns_global_action(0));  // shared NULL
+  EXPECT_FALSE(domain.owns_global_action(2));  // first domain's slice
+  EXPECT_TRUE(domain.owns_global_action(3));
+  EXPECT_TRUE(domain.owns_global_action(4));
+  EXPECT_FALSE(domain.owns_global_action(5));
+  EXPECT_EQ(domain.local_action(3), 1u);
+  EXPECT_EQ(domain.local_action(4), 2u);
+  EXPECT_EQ(domain.global_action(1), 3u);
+  EXPECT_EQ(domain.global_action(2), 4u);
+  // Local NULL maps to the shared global NULL.
+  EXPECT_EQ(domain.global_action(0), 0u);
+}
+
+TEST(ControlDomain, FirstDomainNamespaceIsIdentity) {
+  // Domain 0's slices must reduce to the single-cluster indices, the
+  // invariant behind the bit-identical single-cluster guarantee.
+  MockAdapter adapter(2, 3);
+  ControlDomain domain(0, "", adapter, throughput_objective(), 0, 1, 0);
+  for (std::size_t a = 1; a < 3; ++a) {
+    EXPECT_EQ(domain.global_action(a), a);
+    EXPECT_EQ(domain.local_action(a), a);
+  }
+  EXPECT_EQ(domain.global_node(1), 1u);
+}
+
+TEST(ControlDomain, ResetParametersPushesInitialValues) {
+  MockAdapter adapter(2, 3);
+  ControlDomain domain(0, "", adapter, throughput_objective(), 0, 1, 0);
+  ASSERT_EQ(domain.param_values().size(), 1u);
+  EXPECT_DOUBLE_EQ(domain.param_values()[0], 50.0);
+
+  domain.param_values()[0] = 95.0;
+  adapter.set_parameters({95.0});
+  domain.reset_parameters();
+  EXPECT_DOUBLE_EQ(domain.param_values()[0], 50.0);
+  EXPECT_DOUBLE_EQ(adapter.current_parameters()[0], 50.0);
+}
+
+TEST(ControlDomain, TracksLastSample) {
+  MockAdapter adapter(1, 3);
+  ControlDomain domain(0, "", adapter, throughput_objective(), 0, 1, 0);
+  PerfSample perf;
+  perf.read_mbs = 12.0;
+  perf.write_mbs = 30.0;
+  domain.set_last_sample(perf, 0.42);
+  EXPECT_DOUBLE_EQ(domain.last_perf().throughput_mbs(), 42.0);
+  EXPECT_DOUBLE_EQ(domain.last_reward(), 0.42);
+}
+
+}  // namespace
+}  // namespace capes::core

@@ -127,6 +127,41 @@ TEST(ExperimentBuilder, SeedWinsOverCapesOptions) {
   EXPECT_EQ(exp->preset().capes.engine.seed, 5u ^ 0x5eedf00d);
 }
 
+TEST(ExperimentBuilder, RejectsMismatchedPisPerNode) {
+  // The shared replay DB needs uniform PI rows; disagreement must be a
+  // build() error (Release builds skip CapesSystem's asserts).
+  MockAdapter a(2, 3), b(2, 4);
+  std::string error;
+  auto exp = Experiment::builder()
+                 .adapter(a)
+                 .add_cluster(b)
+                 .capes_options(tiny_options())
+                 .build(&error);
+  EXPECT_EQ(exp, nullptr);
+  EXPECT_NE(error.find("pis_per_node"), std::string::npos) << error;
+  // Bundled clusters (9 PIs) vs. a 3-PI custom adapter: same rejection.
+  auto mixed = Experiment::builder()
+                   .workload("random:0.5")
+                   .add_cluster(a)
+                   .build(&error);
+  EXPECT_EQ(mixed, nullptr);
+  EXPECT_NE(error.find("pis_per_node"), std::string::npos) << error;
+}
+
+TEST(ExperimentBuilder, RejectsSharedAdapterAcrossDomains) {
+  // One target system per domain: a shared adapter would double-read the
+  // per-tick sampling deltas (and race under worker threads).
+  MockAdapter a(2, 3);
+  std::string error;
+  auto exp = Experiment::builder()
+                 .adapter(a)
+                 .add_cluster(a)
+                 .capes_options(tiny_options())
+                 .build(&error);
+  EXPECT_EQ(exp, nullptr);
+  EXPECT_NE(error.find("adapter"), std::string::npos) << error;
+}
+
 TEST(ExperimentBuilder, RejectsMissingConfigFile) {
   std::string error;
   auto exp = Experiment::builder()
@@ -311,6 +346,147 @@ TEST(Experiment, SeedAppliesOnTopOfExplicitPreset) {
   const double default_seed = measure(Experiment::builder().preset(fast_preset()));
   EXPECT_DOUBLE_EQ(via_seed_call, via_preset);
   EXPECT_NE(via_seed_call, default_seed);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-cluster control domains
+// ---------------------------------------------------------------------------
+
+TEST(Experiment, OldApiSingleClusterBitIdenticalToOneDomainBuild) {
+  // The acceptance pin for the control-domain refactor: a single-cluster
+  // experiment built through the pre-domain API must produce bit-identical
+  // PhaseReports to the equivalent explicit one-domain build at the same
+  // seed. (The old-API-vs-pre-refactor identity is additionally pinned by
+  // MatchesHandWiredStackAtSameSeed above.)
+  auto run = [](ExperimentBuilder builder) {
+    auto exp = builder.warmup_seconds(2).build();
+    EXPECT_NE(exp, nullptr);
+    exp->run_training(80);
+    const auto baseline = exp->run_baseline(30);
+    const auto tuned = exp->run_tuned(30);
+    std::vector<double> out = baseline.result.rewards;
+    out.insert(out.end(), tuned.result.rewards.begin(),
+               tuned.result.rewards.end());
+    out.push_back(baseline.throughput.mean);
+    out.push_back(tuned.throughput.mean);
+    const auto& params = exp->parameter_values();
+    out.insert(out.end(), params.begin(), params.end());
+    return out;
+  };
+  const auto via_old_api =
+      run(Experiment::builder().preset(tiny_preset()).workload("random:0.1"));
+  const auto via_add_cluster =
+      run(Experiment::builder().preset(tiny_preset()).add_cluster("random:0.1"));
+  EXPECT_EQ(via_old_api, via_add_cluster);
+}
+
+TEST(Experiment, FourDomainsTrainOneSharedBrain) {
+  auto preset = tiny_preset();
+  auto exp = Experiment::builder()
+                 .preset(preset)
+                 .workload("random:0.3")
+                 .add_cluster("random:0.3")
+                 .add_cluster("random:0.3")
+                 .add_cluster("random:0.3")
+                 .warmup_seconds(2)
+                 .build();
+  ASSERT_NE(exp, nullptr);
+  EXPECT_EQ(exp->num_domains(), 4u);
+
+  // Acceptance: observation size =
+  // num_domains * num_nodes * pis_per_node * ticks_per_observation.
+  auto& system = exp->system();
+  const std::size_t nodes_per_domain = system.domain(0).num_nodes();
+  EXPECT_EQ(system.replay().observation_size(),
+            4u * nodes_per_domain * lustre::Cluster::kPisPerNode *
+                preset.capes.replay.ticks_per_observation);
+  // One shared DQN sized to the concatenated observation and the
+  // composite action space (NULL + 2 per parameter per domain).
+  EXPECT_EQ(system.engine().dqn().options().observation_size,
+            system.replay().observation_size());
+  EXPECT_EQ(system.action_space().num_actions(),
+            1 + 4 * system.domain(0).num_slice_actions());
+
+  const auto training = exp->run_training(60);
+  EXPECT_GT(training.result.train_steps, 0u);
+  // Replicated clusters derive distinct seeds, so the domains do not
+  // evolve in lockstep even with identical workload specs.
+  EXPECT_NE(system.domain(0).last_perf().throughput_mbs(),
+            system.domain(1).last_perf().throughput_mbs());
+  // Reports carry the namespaced composite parameter vector.
+  EXPECT_EQ(exp->report().parameter_names.size(), 8u);
+  EXPECT_EQ(exp->report().parameter_names[0], "c0.max_rpcs_in_flight");
+  EXPECT_EQ(exp->report().parameter_names[2], "c1.max_rpcs_in_flight");
+  EXPECT_EQ(exp->report().final_parameters.size(), 8u);
+  EXPECT_EQ(exp->workload_name(),
+            "random_rw(r=0.3)+random_rw(r=0.3)+random_rw(r=0.3)+random_rw(r=0.3)");
+}
+
+TEST(Experiment, AddClusterAcceptsCustomAdapterDomains) {
+  MockAdapter a(2, 3), b(2, 3);
+  auto exp = Experiment::builder()
+                 .adapter(a)
+                 .add_cluster(b)
+                 .capes_options(tiny_options())
+                 .build();
+  ASSERT_NE(exp, nullptr);
+  EXPECT_EQ(exp->num_domains(), 2u);
+  EXPECT_EQ(exp->cluster(), nullptr);
+  EXPECT_EQ(exp->workload_name(), "custom+custom");
+  exp->run_baseline(5);
+  EXPECT_GT(a.collect_calls, 0);
+  EXPECT_GT(b.collect_calls, 0);
+}
+
+TEST(Experiment, WorkerThreadsMatchSingleThreadedRun) {
+  auto run = [](std::size_t threads) {
+    auto exp = Experiment::builder()
+                   .preset(tiny_preset())
+                   .workload("random:0.2")
+                   .add_cluster("seqwrite")
+                   .worker_threads(threads)
+                   .warmup_seconds(2)
+                   .build();
+    EXPECT_NE(exp, nullptr);
+    exp->run_training(60);
+    auto tuned = exp->run_tuned(20);
+    std::vector<double> out = tuned.result.rewards;
+    const auto& params = exp->parameter_values();
+    out.insert(out.end(), params.begin(), params.end());
+    return out;
+  };
+  EXPECT_EQ(run(0), run(3));
+}
+
+TEST(Experiment, SwitchWorkloadOnSpecificDomain) {
+  auto exp = Experiment::builder()
+                 .preset(tiny_preset())
+                 .workload("random:0.1")
+                 .add_cluster("random:0.9")
+                 .warmup_seconds(2)
+                 .build();
+  ASSERT_NE(exp, nullptr);
+  exp->run_training(30);
+
+  std::string error;
+  EXPECT_FALSE(exp->switch_workload(5, "seqwrite", &error));  // no such domain
+  ASSERT_TRUE(exp->switch_workload(1, "seqwrite", &error)) << error;
+  EXPECT_EQ(exp->workload_name(), "random_rw(r=0.1)+seq_write");
+  const auto after = exp->run_training(20);
+  EXPECT_EQ(after.result.throughput.count(), 20u);
+}
+
+TEST(Experiment, SwitchWorkloadRejectsAdapterDomain) {
+  MockAdapter a(2, 3), b(2, 3);
+  auto exp = Experiment::builder()
+                 .adapter(a)
+                 .add_cluster(b)
+                 .capes_options(tiny_options())
+                 .build();
+  ASSERT_NE(exp, nullptr);
+  std::string error;
+  EXPECT_FALSE(exp->switch_workload(1, "seqwrite", &error));
+  EXPECT_NE(error.find("bundled"), std::string::npos) << error;
 }
 
 TEST(Experiment, SwitchWorkloadSwapsGeneratorAndBumpsEpsilon) {

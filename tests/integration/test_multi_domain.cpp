@@ -1,0 +1,199 @@
+// Multi-cluster control domains: one CapesSystem (one DRL brain, one
+// Replay DB) driving N MockAdapter domains on a shared simulator.
+// Covers the namespace layout end to end, the aggregation semantics,
+// single-domain equivalence with the legacy constructor, and the
+// worker-pool hot path producing bit-identical results to the
+// single-threaded one.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "../core/mock_adapter.hpp"
+#include "core/capes_system.hpp"
+
+namespace capes::core {
+namespace {
+
+using testing::MockAdapter;
+
+CapesOptions small_options() {
+  CapesOptions o;
+  o.replay.ticks_per_observation = 3;
+  o.engine.dqn.hidden_size = 16;
+  o.engine.minibatch_size = 4;
+  o.engine.epsilon.anneal_ticks = 50;
+  o.engine.dqn.learning_rate = 1e-3f;
+  o.reward_scale_mbs = 100.0;
+  return o;
+}
+
+std::vector<ControlDomainSpec> two_domains(MockAdapter& a, MockAdapter& b) {
+  ControlDomainSpec first;
+  first.adapter = &a;
+  ControlDomainSpec second;
+  second.adapter = &b;
+  return {first, second};
+}
+
+TEST(MultiDomain, LaysOutSharedNamespaces) {
+  sim::Simulator sim;
+  MockAdapter a(2, 3), b(3, 3);
+  std::vector<ControlDomainSpec> specs = two_domains(a, b);
+  CapesSystem capes(sim, specs, small_options());
+
+  EXPECT_EQ(capes.num_domains(), 2u);
+  EXPECT_EQ(capes.total_nodes(), 5u);
+  EXPECT_EQ(capes.domain(0).node_offset(), 0u);
+  EXPECT_EQ(capes.domain(1).node_offset(), 2u);
+  // Composite action space: shared NULL + 2 actions per domain parameter.
+  EXPECT_EQ(capes.action_space().num_actions(), 5u);
+  EXPECT_EQ(capes.domain(0).action_offset(), 1u);
+  EXPECT_EQ(capes.domain(1).action_offset(), 3u);
+  // Domain-namespaced parameter names, concatenated parameter values.
+  ASSERT_EQ(capes.action_space().num_parameters(), 2u);
+  EXPECT_EQ(capes.action_space().parameter(0).name, "c0.knob");
+  EXPECT_EQ(capes.action_space().parameter(1).name, "c1.knob");
+  EXPECT_EQ(capes.parameter_values(), (std::vector<double>{50.0, 50.0}));
+  // One monitoring + control agent per node, per domain.
+  EXPECT_EQ(capes.domain(0).monitoring_agents().size(), 2u);
+  EXPECT_EQ(capes.domain(1).monitoring_agents().size(), 3u);
+  EXPECT_EQ(capes.interface_daemon().num_shards(), 2u);
+}
+
+TEST(MultiDomain, ObservationSizeScalesWithDomainCount) {
+  // Acceptance shape: observation size =
+  // num_domains * num_nodes * pis_per_node * ticks_per_observation.
+  sim::Simulator sim;
+  MockAdapter a(2, 3), b(2, 3);
+  std::vector<ControlDomainSpec> specs = two_domains(a, b);
+  CapesSystem capes(sim, specs, small_options());
+  EXPECT_EQ(capes.replay().observation_size(), 2u * 2u * 3u * 3u);
+  EXPECT_EQ(capes.engine().dqn().options().observation_size, 36u);
+  EXPECT_EQ(capes.engine().dqn().options().num_actions, 5u);
+}
+
+TEST(MultiDomain, StatusMessagesLandUnderGlobalNodeIds) {
+  sim::Simulator sim;
+  MockAdapter a(2, 3), b(3, 3);
+  std::vector<ControlDomainSpec> specs = two_domains(a, b);
+  CapesSystem capes(sim, specs, small_options());
+  capes.run_baseline(5);
+  for (std::size_t node = 0; node < 5; ++node) {
+    EXPECT_TRUE(capes.replay().status_at(3, node).has_value()) << node;
+  }
+  EXPECT_EQ(capes.interface_daemon().decode_errors(), 0u);
+  // Domain 1's node 0 writes under global id 2, with its local node id in
+  // the PI payload (MockAdapter PI 1 encodes node/10).
+  auto pis = capes.replay().status_at(3, 2);
+  ASSERT_TRUE(pis.has_value());
+  EXPECT_NEAR((*pis)[1], 0.0f, 1e-4f);
+}
+
+TEST(MultiDomain, AggregatesPerformanceAcrossDomains) {
+  sim::Simulator sim;
+  MockAdapter a(2, 3), b(2, 3);
+  std::vector<ControlDomainSpec> specs = two_domains(a, b);
+  // Domain 1 gets its own objective; domain 0 uses the system default.
+  specs[1].objective = [](const PerfSample& s) { return -s.avg_latency_ms; };
+  CapesSystem capes(sim, specs, small_options());
+  const RunResult result = capes.run_baseline(10);
+
+  // Mock throughput at knob 50 is 70 MB/s each; latency 2.5 ms each.
+  EXPECT_NEAR(result.analyze().mean, 140.0, 1e-9);
+  EXPECT_NEAR(result.analyze_latency().mean, 2.5, 1e-9);
+  // Reward is the cross-domain mean: (70/100 + -2.5) / 2.
+  EXPECT_NEAR(result.rewards.front(), (0.7 - 2.5) / 2.0, 1e-12);
+  // Per-domain detail stays observable.
+  EXPECT_NEAR(capes.domain(0).last_perf().throughput_mbs(), 70.0, 1e-9);
+  EXPECT_NEAR(capes.domain(0).last_reward(), 0.7, 1e-12);
+  EXPECT_NEAR(capes.domain(1).last_reward(), -2.5, 1e-12);
+}
+
+TEST(MultiDomain, TrainingSteersBothDomains) {
+  sim::Simulator sim;
+  MockAdapter a(2, 3), b(2, 3);
+  std::vector<ControlDomainSpec> specs = two_domains(a, b);
+  CapesSystem capes(sim, specs, small_options());
+  capes.run_training(150);  // epsilon ~1 early: random walk over both slices
+  EXPECT_GT(a.set_calls, 0);
+  EXPECT_GT(b.set_calls, 0);
+  EXPECT_GT(capes.engine().total_train_steps(), 0u);
+}
+
+TEST(MultiDomain, ResetRestoresEveryDomain) {
+  sim::Simulator sim;
+  MockAdapter a(2, 3), b(2, 3);
+  std::vector<ControlDomainSpec> specs = two_domains(a, b);
+  CapesSystem capes(sim, specs, small_options());
+  a.set_parameters({95.0});
+  b.set_parameters({5.0});
+  capes.domain(0).param_values()[0] = 95.0;
+  capes.domain(1).param_values()[0] = 5.0;
+  capes.reset_parameters();
+  EXPECT_DOUBLE_EQ(a.current_parameters()[0], 50.0);
+  EXPECT_DOUBLE_EQ(b.current_parameters()[0], 50.0);
+  EXPECT_EQ(capes.parameter_values(), (std::vector<double>{50.0, 50.0}));
+}
+
+TEST(MultiDomain, MonitoringBytesSumAcrossDomains) {
+  sim::Simulator sim;
+  MockAdapter a(2, 3), b(3, 3);
+  std::vector<ControlDomainSpec> specs = two_domains(a, b);
+  CapesSystem capes(sim, specs, small_options());
+  capes.run_baseline(10);
+  EXPECT_EQ(capes.monitoring_bytes_sent(),
+            capes.domain(0).monitoring_bytes_sent() +
+                capes.domain(1).monitoring_bytes_sent());
+  EXPECT_GT(capes.domain(1).monitoring_bytes_sent(), 0u);
+}
+
+TEST(MultiDomain, SingleDomainSpecMatchesLegacyConstructor) {
+  // One domain through the spec vector must behave exactly like the
+  // single-adapter constructor: same rewards, same parameters, same
+  // replay contents at the same seed.
+  auto run = [](bool via_specs) {
+    sim::Simulator sim;
+    MockAdapter adapter(2, 3);
+    std::unique_ptr<CapesSystem> capes;
+    if (via_specs) {
+      ControlDomainSpec spec;
+      spec.adapter = &adapter;
+      capes = std::make_unique<CapesSystem>(
+          sim, std::vector<ControlDomainSpec>{spec}, small_options());
+    } else {
+      capes = std::make_unique<CapesSystem>(sim, adapter, small_options());
+    }
+    capes->run_training(60);
+    RunResult tuned = capes->run_tuned(20);
+    tuned.rewards.push_back(capes->parameter_values()[0]);
+    return tuned.rewards;
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+TEST(MultiDomain, WorkerPoolPathIsBitIdentical) {
+  // The threaded hot path (parallel collect/encode, pooled minibatch
+  // assembly and GEMM panels) is engineered to keep the RNG streams and
+  // the arithmetic identical; the whole run must match bit for bit.
+  auto run = [](std::size_t threads) {
+    sim::Simulator sim;
+    MockAdapter a(2, 3), b(2, 3);
+    std::vector<ControlDomainSpec> specs = two_domains(a, b);
+    CapesOptions opts = small_options();
+    opts.worker_threads = threads;
+    CapesSystem capes(sim, specs, opts);
+    capes.run_training(80);
+    RunResult tuned = capes.run_tuned(20);
+    std::vector<double> out = tuned.rewards;
+    const std::vector<double>& params = capes.parameter_values();
+    out.insert(out.end(), params.begin(), params.end());
+    return out;
+  };
+  const std::vector<double> single = run(0);
+  const std::vector<double> pooled = run(3);
+  EXPECT_EQ(single, pooled);
+}
+
+}  // namespace
+}  // namespace capes::core

@@ -5,6 +5,7 @@
 #include <filesystem>
 
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace capes::rl {
 namespace {
@@ -44,6 +45,48 @@ TEST(ReplayDb, RecordAndFetch) {
   EXPECT_FLOAT_EQ((*v)[0], 2.0f);
   EXPECT_FALSE(db.status_at(5, 0).has_value());
   EXPECT_FALSE(db.status_at(6, 1).has_value());
+}
+
+TEST(ReplayDb, RecordStatusOverwritesSameTickAndNode) {
+  // Domain-namespaced node ids: with two domains of 2 nodes each sharing
+  // one DB, global ids 0..1 belong to domain 0 and 2..3 to domain 1.
+  ReplayDbOptions o = small_options();
+  o.num_nodes = 4;
+  ReplayDb db(o);
+  db.record_status(7, 1, pis(1.0f));   // domain 0, local node 1
+  db.record_status(7, 3, pis(30.0f));  // domain 1, local node 1 (offset 2)
+
+  // Re-recording the same (t, global node) overwrites in place...
+  db.record_status(7, 3, pis(99.0f));
+  auto v = db.status_at(7, 3);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_FLOAT_EQ((*v)[0], 99.0f);
+  // ...and never bleeds into the same local node of another domain.
+  auto other = db.status_at(7, 1);
+  ASSERT_TRUE(other.has_value());
+  EXPECT_FLOAT_EQ((*other)[0], 1.0f);
+  EXPECT_EQ(db.tick_count(), 1u);
+}
+
+TEST(ReplayDb, PooledMinibatchAssemblyMatchesSerial) {
+  // The pool only parallelizes observation-row assembly; the RNG draws
+  // stay serial, so the same seed must yield the same batch either way.
+  ReplayDb db(small_options());
+  fill(db, 40);
+  util::Rng rng_serial(11), rng_pool(11);
+  util::ThreadPool pool(3);
+  auto serial = db.construct_minibatch(8, rng_serial, 64, nullptr);
+  auto pooled = db.construct_minibatch(8, rng_pool, 64, &pool);
+  ASSERT_TRUE(serial.has_value());
+  ASSERT_TRUE(pooled.has_value());
+  EXPECT_EQ(serial->actions, pooled->actions);
+  EXPECT_EQ(serial->rewards, pooled->rewards);
+  for (std::size_t i = 0; i < serial->size(); ++i) {
+    for (std::size_t j = 0; j < db.observation_size(); ++j) {
+      ASSERT_EQ(serial->states.row(i)[j], pooled->states.row(i)[j]);
+      ASSERT_EQ(serial->next_states.row(i)[j], pooled->next_states.row(i)[j]);
+    }
+  }
 }
 
 TEST(ReplayDb, ActionsAndRewards) {

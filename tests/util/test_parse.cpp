@@ -60,5 +60,18 @@ TEST(ParseDouble, RejectsNonDecimalForms) {
   EXPECT_DOUBLE_EQ(v, 1.0);
 }
 
+TEST(ParseFlag, SplitsNameValueArguments) {
+  std::string value;
+  EXPECT_TRUE(parse_flag("--ticks=150", "--ticks", &value));
+  EXPECT_EQ(value, "150");
+  EXPECT_TRUE(parse_flag("--json=", "--json", &value));
+  EXPECT_EQ(value, "");
+  value = "untouched";
+  EXPECT_FALSE(parse_flag("--ticks", "--ticks", &value));     // no '='
+  EXPECT_FALSE(parse_flag("--ticksx=1", "--ticks", &value));  // wrong name
+  EXPECT_FALSE(parse_flag("--tick=1", "--ticks", &value));
+  EXPECT_EQ(value, "untouched");
+}
+
 }  // namespace
 }  // namespace capes::util

@@ -22,7 +22,15 @@ using namespace capes;
 namespace {
 
 struct Args {
-  std::string workload = "random:0.1";
+  /// Repeatable --workload=: one control domain per spec, in flag order.
+  /// Empty means the default single "random:0.1" domain.
+  std::vector<std::string> workloads;
+  /// --clusters=N replicates a single workload spec into N domains.
+  std::int64_t clusters = 1;
+  /// --threads=N: worker threads for the per-tick hot path (0 = off).
+  /// Unset means "the preset/conf decides", so an explicit --threads=0
+  /// can force the single-threaded path over a conf file's setting.
+  std::optional<std::int64_t> threads;
   std::string conf;
   std::string csv_prefix;
   std::string model_out;
@@ -37,14 +45,7 @@ struct Args {
   bool list_workloads = false;
 };
 
-bool parse_flag(const char* arg, const char* name, std::string* out) {
-  const std::size_t n = std::strlen(name);
-  if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') {
-    *out = arg + n + 1;
-    return true;
-  }
-  return false;
-}
+using util::parse_flag;
 
 /// Strict numeric flag: "--train-ticks=abc" is an error, not 0.
 template <typename T, bool (*Parse)(std::string_view, T*)>
@@ -75,7 +76,28 @@ ParseOutcome parse_args(int argc, char** argv, Args* args) {
   for (int i = 1; i < argc; ++i) {
     std::string value;
     if (parse_flag(argv[i], "--workload", &value)) {
-      args->workload = value;
+      args->workloads.push_back(value);
+    } else if (parse_flag(argv[i], "--clusters", &value)) {
+      if (!parse_numeric_flag<std::int64_t, util::parse_i64>("--clusters",
+                                                             value,
+                                                             &args->clusters))
+        return ParseOutcome::kError;
+      if (args->clusters < 1) {
+        std::fprintf(stderr, "--clusters must be >= 1, got %s\n",
+                     value.c_str());
+        return ParseOutcome::kError;
+      }
+    } else if (parse_flag(argv[i], "--threads", &value)) {
+      std::int64_t threads = 0;
+      if (!parse_numeric_flag<std::int64_t, util::parse_i64>("--threads",
+                                                             value, &threads))
+        return ParseOutcome::kError;
+      if (threads < 0) {
+        std::fprintf(stderr, "--threads must be >= 0, got %s\n",
+                     value.c_str());
+        return ParseOutcome::kError;
+      }
+      args->threads = threads;
     } else if (parse_flag(argv[i], "--conf", &value)) {
       args->conf = value;
     } else if (parse_flag(argv[i], "--csv", &value)) {
@@ -123,11 +145,17 @@ std::string registered_names_joined() {
 
 void print_usage() {
   std::printf(
-      "usage: capes_run [--workload=%s (with optional :spec args)]\n"
+      "usage: capes_run [--workload=%s (with optional :spec args)]...\n"
+      "                 [--clusters=N] [--threads=N]\n"
       "                 [--conf=FILE] [--train-ticks=N] [--eval-ticks=N]\n"
       "                 [--csv=PREFIX] [--model=FILE] [--load-model=FILE]\n"
       "                 [--seed=N] [--monitor-servers] [--tune-write-cache]\n"
-      "                 [--list-workloads]\n",
+      "                 [--list-workloads]\n"
+      "\n"
+      "Repeat --workload to tune several clusters (one control domain each)\n"
+      "with one shared DRL brain, or use --clusters=N to replicate a single\n"
+      "spec across N identically configured clusters. --threads=N fans the\n"
+      "per-tick sampling/training hot path out over N worker threads.\n",
       registered_names_joined().c_str());
 }
 
@@ -159,12 +187,32 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if (args.clusters > 1 && args.workloads.size() > 1) {
+    std::fprintf(stderr,
+                 "--clusters replicates a single --workload spec; pass either "
+                 "--clusters=N or repeated --workload flags, not both\n");
+    return 2;
+  }
+  std::vector<std::string> specs =
+      args.workloads.empty() ? std::vector<std::string>{"random:0.1"}
+                             : args.workloads;
+  if (args.clusters > 1) {
+    // Copy before assign: passing specs[0] itself would hand assign() a
+    // reference into the container it is rewriting.
+    const std::string replicated = specs[0];
+    specs.assign(static_cast<std::size_t>(args.clusters), replicated);
+  }
+
   auto builder = core::Experiment::builder()
-                     .workload(args.workload)
+                     .workload(specs[0])
                      .monitor_servers(args.monitor_servers)
                      .tune_write_cache(args.tune_write_cache)
                      .train_ticks(args.train_ticks)
                      .eval_ticks(args.eval_ticks);
+  for (std::size_t i = 1; i < specs.size(); ++i) builder.add_cluster(specs[i]);
+  if (args.threads) {
+    builder.worker_threads(static_cast<std::size_t>(*args.threads));
+  }
   if (args.seed) builder.seed(*args.seed);
   if (!args.conf.empty()) builder.config_file(args.conf);
   if (!args.csv_prefix.empty()) {
@@ -204,6 +252,12 @@ int main(int argc, char** argv) {
               static_cast<long long>(experiment->default_eval_ticks()),
               static_cast<unsigned long long>(
                   experiment->preset().capes.engine.dqn.seed));
+  if (experiment->num_domains() > 1) {
+    std::printf("%zu control domains, observation size %zu, %zu actions\n",
+                experiment->num_domains(),
+                experiment->system().replay().observation_size(),
+                experiment->system().action_space().num_actions());
+  }
 
   if (train > 0) {
     std::printf("training...\n");

@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# Runs the multi-cluster scaling bench and emits BENCH_multicluster.json
+# (ticks/sec vs. domain count, single-threaded vs. worker pool).
+#
+#   tools/run_multicluster_bench.sh [build_dir] [output.json]
+#
+# Tunables via environment:
+#   CAPES_BENCH_TICKS    training ticks per measured point (default 150)
+#   CAPES_BENCH_THREADS  worker-pool size (default: bench's hardware pick)
+set -eu
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_multicluster.json}"
+BENCH="$BUILD_DIR/bench/ext_multi_cluster"
+
+if [ ! -x "$BENCH" ]; then
+  echo "error: $BENCH not built (cmake --build $BUILD_DIR --target ext_multi_cluster)" >&2
+  exit 1
+fi
+
+set -- --ticks="${CAPES_BENCH_TICKS:-150}" --json="$OUT"
+if [ -n "${CAPES_BENCH_THREADS:-}" ]; then
+  set -- "$@" --threads="$CAPES_BENCH_THREADS"
+fi
+"$BENCH" "$@"
