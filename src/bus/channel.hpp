@@ -1,0 +1,149 @@
+#pragma once
+// bus::Channel — a bounded in-flight queue for one control-network hop.
+// Publishers enqueue messages whose fate (drop / delivery tick) the
+// channel's Transport decides; the owning endpoint drains everything due
+// at the current sampling tick. One channel per topic: the Interface
+// Daemon's PI inbox, and one action channel per control-domain shard.
+//
+// Concurrency contract: publish() is thread-safe (the monitoring fan-out
+// publishes from worker threads); drain() and the counters are meant for
+// the owning endpoint's serial tick loop, though they also lock so TSan
+// stays clean if they race a straggling publisher. Determinism does not
+// depend on publish order: fates are pure per-message hashes and drain
+// sorts by (deliver tick, sender, send tick) — unique per message, since
+// a sender publishes at most once per tick on a topic.
+//
+// Per-sender FIFO: a sender's messages never reorder with each other
+// (each agent holds one connection to the daemon), so the stateful
+// differential PI codec stays valid; messages from *different* senders
+// reorder freely under jitter. The clamp lives here, not in the
+// Transport, because it is per-(topic, sender) history.
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "bus/message.hpp"
+#include "bus/transport.hpp"
+
+namespace capes::bus {
+
+/// Counter snapshot; deltas between snapshots give per-phase numbers.
+struct ChannelStats {
+  std::uint64_t published = 0;  ///< accepted into the queue
+  std::uint64_t dropped = 0;    ///< transport drops + capacity overflows
+  std::uint64_t delivered = 0;
+  std::uint64_t late = 0;       ///< delivered with deliver_tick > send_tick
+
+  ChannelStats& operator+=(const ChannelStats& other) {
+    published += other.published;
+    dropped += other.dropped;
+    delivered += other.delivered;
+    late += other.late;
+    return *this;
+  }
+};
+
+template <typename T>
+class Channel {
+ public:
+  /// `capacity` bounds the in-flight queue; 0 = unbounded. A full channel
+  /// drops new messages (counted). Publishers that must not lose encoder
+  /// sync on an overflow (the differential PI hop) use unbounded
+  /// channels; overflow-droppable hops carry absolute state. Note that
+  /// under concurrent publishers *which* message overflows depends on
+  /// arrival order — bound only serially-published channels when
+  /// determinism matters.
+  Channel(Transport& transport, std::uint64_t topic, std::size_t capacity = 0)
+      : transport_(&transport), topic_(topic), capacity_(capacity) {}
+
+  std::uint64_t topic() const { return topic_; }
+
+  /// The transport's drop verdict for (sender, send_tick) — pure and
+  /// lock-free, so a publisher can skip paying for encoding a message the
+  /// transport will refuse (publish() then recomputes the same verdict).
+  bool will_drop(std::uint64_t sender, std::int64_t send_tick) const {
+    return transport_->plan(topic_, sender, send_tick).dropped;
+  }
+
+  /// Publish one message. Returns true when the message was accepted
+  /// (queued for delivery at its transport-planned tick), false when the
+  /// transport dropped it or the channel was full. Thread-safe.
+  bool publish(std::uint64_t sender, std::int64_t send_tick, T payload) {
+    Delivery fate = transport_->plan(topic_, sender, send_tick);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (fate.dropped || (capacity_ > 0 && pending_.size() >= capacity_)) {
+      ++stats_.dropped;
+      return false;
+    }
+    if (last_deliver_.size() <= sender) last_deliver_.resize(sender + 1, 0);
+    // FIFO clamp: never deliver before this sender's previous message.
+    fate.deliver_tick = std::max(fate.deliver_tick, last_deliver_[sender]);
+    last_deliver_[sender] = fate.deliver_tick;
+    Message<T> msg;
+    msg.topic = topic_;
+    msg.sender = sender;
+    msg.send_tick = send_tick;
+    msg.deliver_tick = fate.deliver_tick;
+    msg.payload = std::move(payload);
+    pending_.push_back(std::move(msg));
+    ++stats_.published;
+    return true;
+  }
+
+  /// Deliver every message due at `now_tick` (deliver_tick <= now_tick)
+  /// to `fn(const Message<T>&)`, in (deliver tick, sender, send tick)
+  /// order. Returns the number delivered.
+  template <typename Fn>
+  std::size_t drain(std::int64_t now_tick, Fn&& fn) {
+    std::vector<Message<T>> due;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = std::partition(
+          pending_.begin(), pending_.end(),
+          [now_tick](const Message<T>& m) { return m.deliver_tick > now_tick; });
+      due.assign(std::make_move_iterator(it),
+                 std::make_move_iterator(pending_.end()));
+      pending_.erase(it, pending_.end());
+    }
+    std::sort(due.begin(), due.end(), [](const Message<T>& a, const Message<T>& b) {
+      if (a.deliver_tick != b.deliver_tick) return a.deliver_tick < b.deliver_tick;
+      if (a.sender != b.sender) return a.sender < b.sender;
+      return a.send_tick < b.send_tick;
+    });
+    for (const Message<T>& msg : due) fn(msg);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.delivered += due.size();
+      for (const Message<T>& msg : due) {
+        if (msg.late()) ++stats_.late;
+      }
+    }
+    return due.size();
+  }
+
+  /// Messages accepted but not yet drained.
+  std::size_t pending() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pending_.size();
+  }
+
+  ChannelStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+ private:
+  Transport* transport_;
+  std::uint64_t topic_;
+  std::size_t capacity_;
+
+  mutable std::mutex mu_;
+  std::vector<Message<T>> pending_;
+  std::vector<std::int64_t> last_deliver_;  ///< per-sender FIFO clamp
+  ChannelStats stats_;
+};
+
+}  // namespace capes::bus

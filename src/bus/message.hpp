@@ -1,0 +1,23 @@
+#pragma once
+// One message on a control-network channel: topic + payload + tick
+// stamps. The payload type is the channel's: encoded PI bytes on the
+// monitoring hop, absolute parameter vectors on the action hop.
+
+#include <cstdint>
+
+namespace capes::bus {
+
+template <typename T>
+struct Message {
+  std::uint64_t topic = 0;
+  std::uint64_t sender = 0;
+  std::int64_t send_tick = 0;     ///< sampling tick the sender published at
+  std::int64_t deliver_tick = 0;  ///< tick the transport delivers it
+  T payload{};
+
+  /// True when the transport delivered this message after its send tick
+  /// (it spent at least one full sampling tick on the control network).
+  bool late() const { return deliver_tick > send_tick; }
+};
+
+}  // namespace capes::bus

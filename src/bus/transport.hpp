@@ -1,0 +1,110 @@
+#pragma once
+// capes::bus — the control-network transport abstraction (§3.3). In the
+// paper, Monitoring Agents ship PI messages to the Interface Daemon and
+// the daemon broadcasts checked actions to Control Agents over a real
+// control network: messages arrive late, out of order, or not at all,
+// and the Replay DB's missing-entry tolerance exists precisely to absorb
+// that. A bus::Transport decides every message's fate; bus::Channel
+// (channel.hpp) queues accepted messages until their delivery tick.
+//
+// Two implementations:
+//  * SyncTransport — every message delivered on its send tick. Draining a
+//    sync channel inside the same tick is bit-identical to the direct
+//    function calls it replaced (the default, and the reproduction mode).
+//  * SimTransport — seeded latency / jitter / drop model driven by the
+//    simulator's tick clock. Per-message fates are *counter-based*: a
+//    fate is a pure hash of (seed, topic, sender, send tick), never a
+//    draw from a shared RNG stream, so results are identical no matter
+//    how many worker threads publish concurrently or in what order.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace capes::bus {
+
+/// A transport's verdict for one message.
+struct Delivery {
+  bool dropped = false;
+  /// Earliest tick the message may be drained (>= send tick). Channels
+  /// additionally clamp this so each sender's stream stays FIFO.
+  std::int64_t deliver_tick = 0;
+};
+
+enum class TransportKind { kSync, kSim };
+
+/// Parsed form of a transport spec. The CLI / config grammar:
+///   sync
+///   sim[:latency_ticks=N,jitter=X,drop=P,seed=N]
+struct TransportOptions {
+  TransportKind kind = TransportKind::kSync;
+  /// Fixed delivery delay in sampling ticks (sim only).
+  std::int64_t latency_ticks = 1;
+  /// Extra random delay: per message, uniform in [0, jitter) ticks
+  /// (floored; 0 disables). A jitter of 2.0 adds 0 or 1 extra ticks.
+  double jitter = 0.0;
+  /// Per-message drop probability in [0, 1).
+  double drop = 0.0;
+  /// Seed for the per-message fate hash. When not explicitly set (via
+  /// spec/config/code), CapesSystem derives one from the experiment seed
+  /// so a seeded run fixes its network realization too.
+  std::uint64_t seed = 0;
+  bool seed_explicit = false;
+};
+
+/// Transport policy: decides each message's fate. Implementations must be
+/// pure per (topic, sender, send_tick) — plan() may be called more than
+/// once for one message (publishers pre-check the drop fate before paying
+/// for encoding) and from concurrent worker threads.
+class Transport {
+ public:
+  virtual ~Transport();
+
+  /// The fate of the message `sender` sends on `topic` at `send_tick`.
+  virtual Delivery plan(std::uint64_t topic, std::uint64_t sender,
+                        std::int64_t send_tick) const = 0;
+
+  /// "sync" or "sim" (the spec scheme).
+  virtual const char* name() const = 0;
+};
+
+/// Immediate delivery: deliver_tick == send_tick, nothing dropped.
+class SyncTransport final : public Transport {
+ public:
+  Delivery plan(std::uint64_t topic, std::uint64_t sender,
+                std::int64_t send_tick) const override;
+  const char* name() const override { return "sync"; }
+};
+
+/// Seeded latency / jitter / drop model (see TransportOptions fields).
+class SimTransport final : public Transport {
+ public:
+  explicit SimTransport(const TransportOptions& opts);
+
+  Delivery plan(std::uint64_t topic, std::uint64_t sender,
+                std::int64_t send_tick) const override;
+  const char* name() const override { return "sim"; }
+
+  const TransportOptions& options() const { return opts_; }
+
+ private:
+  TransportOptions opts_;
+};
+
+/// Build the transport `opts` describes.
+std::unique_ptr<Transport> make_transport(const TransportOptions& opts);
+
+/// Parse "sync" / "sim[:k=v,...]" into *out. Returns false (with a
+/// human-readable *error, if non-null) on an unknown scheme, an unknown
+/// option key, a malformed value, or an out-of-range value
+/// (latency_ticks < 0, jitter < 0, drop outside [0, 1)).
+bool parse_transport_spec(std::string_view spec, TransportOptions* out,
+                          std::string* error = nullptr);
+
+/// Canonical spec string for `opts` ("sync", or "sim:latency_ticks=..."
+/// listing every sim knob; seed only when explicitly set). Round-trips
+/// through parse_transport_spec.
+std::string transport_spec_string(const TransportOptions& opts);
+
+}  // namespace capes::bus

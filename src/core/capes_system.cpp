@@ -99,11 +99,20 @@ CapesSystem::CapesSystem(sim::Simulator& sim,
   }
   replay_ = std::make_unique<rl::ReplayDb>(opts_.replay, db_.get());
 
+  // The control network: one transport behind every hop. A sim transport
+  // without an explicit seed derives one from the engine seed, so a
+  // seeded experiment fixes its network realization too.
+  bus::TransportOptions transport_opts = opts_.transport;
+  if (!transport_opts.seed_explicit) {
+    transport_opts.seed = opts_.engine.seed ^ 0xb0575eedULL;
+  }
+  transport_ = bus::make_transport(transport_opts);
+
   std::vector<ControlDomain*> domain_ptrs;
   domain_ptrs.reserve(domains_.size());
   for (auto& domain : domains_) domain_ptrs.push_back(domain.get());
   daemon_ = std::make_unique<InterfaceDaemon>(*replay_, std::move(domain_ptrs),
-                                              pis);
+                                              pis, transport_.get());
   opts_.engine.dqn.num_actions = space_->num_actions();
   engine_ = std::make_unique<DrlEngine>(opts_.engine, *replay_);
 
@@ -114,10 +123,7 @@ CapesSystem::CapesSystem(sim::Simulator& sim,
   for (auto& domain : domains_) {
     for (std::size_t n = 0; n < domain->num_nodes(); ++n) {
       auto agent = std::make_unique<MonitoringAgent>(
-          n, domain->global_node(n), domain->adapter(),
-          [this](const std::vector<std::uint8_t>& msg) {
-            daemon_->on_status_message(msg);
-          });
+          n, domain->global_node(n), domain->adapter(), *daemon_->inbox());
       agents_flat_.push_back(agent.get());
       domain->add_monitoring_agent(std::move(agent));
       auto control = std::make_unique<ControlAgent>(n, domain->adapter());
@@ -125,7 +131,6 @@ CapesSystem::CapesSystem(sim::Simulator& sim,
       domain->add_control_agent(std::move(control));
     }
   }
-  sample_msgs_.resize(agents_flat_.size());
 }
 
 CapesSystem::~CapesSystem() {
@@ -163,18 +168,21 @@ std::vector<double> CapesSystem::parameter_values() const {
 void CapesSystem::sample_all_agents(std::int64_t t) {
   if (pool_ == nullptr) {
     for (MonitoringAgent* agent : agents_flat_) agent->sample(t);
-    return;
+  } else {
+    // Fan collection/encoding/publishing out across all nodes of all
+    // domains (collectors touch per-node state only, and the channel is
+    // thread-safe). Worker count and publish order cannot change results:
+    // message fates are pure per-message hashes and the daemon's drain
+    // sorts by (deliver tick, sender) — so the replay DB sees exactly
+    // the writes of the single-threaded path, in the same order.
+    pool_->parallel_for(agents_flat_.size(),
+                        [&](std::size_t i) { agents_flat_[i]->sample(t); });
   }
-  // Fan out collection/encoding across all nodes of all domains (the
-  // collectors touch per-node state only), then fan the encoded messages
-  // into the daemon serially in node order: the replay DB sees exactly
-  // the writes of the single-threaded path.
-  pool_->parallel_for(agents_flat_.size(), [&](std::size_t i) {
-    sample_msgs_[i] = agents_flat_[i]->collect_and_encode(t);
-  });
-  for (std::size_t i = 0; i < agents_flat_.size(); ++i) {
-    agents_flat_[i]->deliver(sample_msgs_[i]);
-  }
+  // The daemon's sampling-tick drain: write whatever has arrived by now
+  // (this tick's messages under sync; under sim whichever earlier sends
+  // are due). Stragglers surface on a later tick; drops never do — the
+  // replay DB's missing-entry tolerance absorbs them.
+  daemon_->drain_status(t);
 }
 
 void CapesSystem::on_sampling_tick(RunResult& result, RunPhase mode) {
@@ -214,6 +222,10 @@ void CapesSystem::on_sampling_tick(RunResult& result, RunPhase mode) {
   } else {
     daemon_->route_suggested_action(t, 0);  // NULL action
   }
+  // Deliver checked-action broadcasts due by this tick (the one just
+  // routed under sync; under sim possibly earlier delayed ones — a
+  // delayed action reaches the target system on the tick it lands).
+  daemon_->drain_actions(t);
 
   // 4. Training steps (the DRL Engine trains continuously, §3.4).
   if (mode == RunPhase::kTraining) {
@@ -244,12 +256,16 @@ void CapesSystem::on_sampling_tick(RunResult& result, RunPhase mode) {
 RunResult CapesSystem::run_phase(std::int64_t ticks, RunPhase mode) {
   RunResult result;
   result.start_tick = tick_;
+  const bus::ChannelStats bus_before = daemon_->bus_stats();
   const auto tick_us = sim::seconds(opts_.sampling_tick_s);
   for (std::int64_t i = 0; i < ticks; ++i) {
     sim_.run_for(tick_us);
     on_sampling_tick(result, mode);
   }
   result.end_tick = tick_;
+  const bus::ChannelStats bus_after = daemon_->bus_stats();
+  result.messages_dropped = bus_after.dropped - bus_before.dropped;
+  result.messages_late = bus_after.late - bus_before.late;
   return result;
 }
 

@@ -10,6 +10,13 @@
 // one domain this is exactly the original single-cluster system.
 // Drives sampling/action/training ticks and exposes the evaluation
 // workflow of Appendix A.4: run_training / run_baseline / run_tuned.
+//
+// Control network: every agent <-> daemon hop rides a bus::Channel whose
+// bus::Transport CapesOptions::transport selects. The default
+// SyncTransport delivers within the tick (bit-identical to the direct
+// calls it replaced); SimTransport adds seeded latency / jitter / drop,
+// with late PI messages surfacing on arrival and dropped ones absorbed
+// by the Replay DB's missing-entry tolerance.
 
 #include <cstdint>
 #include <functional>
@@ -17,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "bus/transport.hpp"
 #include "core/adapter.hpp"
 #include "core/control_domain.hpp"
 #include "core/drl_engine.hpp"
@@ -49,8 +57,14 @@ struct CapesOptions {
   /// Worker threads for the per-tick hot path (monitoring-agent fan-out,
   /// minibatch assembly, DQN GEMM panels). 0 keeps the single-threaded
   /// deterministic path; the threaded path is engineered to produce the
-  /// same results (parallel collect, serialized fan-in), just faster.
+  /// same results (parallel collect-and-publish, order-independent
+  /// drain), just faster.
   std::size_t worker_threads = 0;
+  /// Control-network model for the agent <-> daemon hops (sync = direct
+  /// delivery, the default). When the sim transport's seed is not
+  /// explicitly set, it derives from the engine seed so one experiment
+  /// seed also fixes the network realization.
+  bus::TransportOptions transport;
 };
 
 /// The §A.4 run phases. kIdle only ever appears as "no phase running".
@@ -69,6 +83,11 @@ struct RunResult {
   std::int64_t start_tick = 0;
   std::int64_t end_tick = 0;
   std::size_t train_steps = 0;
+  /// Control-network accounting over this phase (PI + action channels):
+  /// messages the transport dropped, and messages delivered at least one
+  /// tick after they were sent. Both zero under the sync transport.
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t messages_late = 0;
 
   stats::MeasurementResult analyze() const { return throughput.analyze(); }
   stats::MeasurementResult analyze_latency() const { return latency_ms.analyze(); }
@@ -134,6 +153,8 @@ class CapesSystem {
   DrlEngine& engine() { return *engine_; }
   rl::ReplayDb& replay() { return *replay_; }
   InterfaceDaemon& interface_daemon() { return *daemon_; }
+  /// The control-network transport every hop rides on.
+  const bus::Transport& transport() const { return *transport_; }
   /// The composite action space: the shared NULL action plus every
   /// domain's parameter adjustments, domain-namespaced names when there
   /// is more than one domain.
@@ -187,6 +208,8 @@ class CapesSystem {
   std::unique_ptr<rl::ActionSpace> space_;  ///< composite
   std::unique_ptr<waldb::Database> db_;
   std::unique_ptr<rl::ReplayDb> replay_;
+  /// Declared before the daemon: the daemon's channels reference it.
+  std::unique_ptr<bus::Transport> transport_;
   std::unique_ptr<InterfaceDaemon> daemon_;
   std::unique_ptr<DrlEngine> engine_;
   std::unique_ptr<util::ThreadPool> pool_;
@@ -194,7 +217,6 @@ class CapesSystem {
   /// All domains' Monitoring Agents in fan-in order (domain-major, then
   /// node): the unit of the per-tick sampling fan-out.
   std::vector<MonitoringAgent*> agents_flat_;
-  std::vector<std::vector<std::uint8_t>> sample_msgs_;  ///< fan-out buffers
 
   std::int64_t tick_ = 0;
   std::size_t total_train_steps_ = 0;

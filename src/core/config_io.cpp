@@ -15,6 +15,28 @@ CapesOptions capes_options_from_config(const util::Config& cfg,
       0, cfg.get_int("capes.worker_threads",
                      static_cast<std::int64_t>(o.worker_threads))));
 
+  // Control-network transport. "capes.transport" names the scheme; the
+  // sim knobs mirror the CLI spec options. Out-of-range values clamp to
+  // the nearest valid one (config files are overlays, not validators —
+  // the CLI/spec path rejects instead).
+  const std::string scheme = cfg.get(
+      "capes.transport",
+      o.transport.kind == bus::TransportKind::kSim ? "sim" : "sync");
+  o.transport.kind = scheme == "sim" ? bus::TransportKind::kSim
+                                     : bus::TransportKind::kSync;
+  o.transport.latency_ticks = std::max<std::int64_t>(
+      0, cfg.get_int("capes.transport.latency_ticks", o.transport.latency_ticks));
+  o.transport.jitter =
+      std::max(0.0, cfg.get_double("capes.transport.jitter", o.transport.jitter));
+  o.transport.drop = std::clamp(
+      cfg.get_double("capes.transport.drop", o.transport.drop), 0.0, 0.999);
+  if (cfg.has("capes.transport.seed")) {
+    o.transport.seed = static_cast<std::uint64_t>(
+        cfg.get_int("capes.transport.seed",
+                    static_cast<std::int64_t>(o.transport.seed)));
+    o.transport.seed_explicit = true;
+  }
+
   auto& e = o.engine;
   e.minibatch_size = static_cast<std::size_t>(
       cfg.get_int("drl.minibatch_size", static_cast<std::int64_t>(e.minibatch_size)));
@@ -108,6 +130,15 @@ util::Config config_from_options(const CapesOptions& capes,
   cfg.set("capes.replay_db_dir", capes.replay_db_dir);
   cfg.set_int("capes.worker_threads",
               static_cast<std::int64_t>(capes.worker_threads));
+  cfg.set("capes.transport",
+          capes.transport.kind == bus::TransportKind::kSim ? "sim" : "sync");
+  cfg.set_int("capes.transport.latency_ticks", capes.transport.latency_ticks);
+  cfg.set_double("capes.transport.jitter", capes.transport.jitter);
+  cfg.set_double("capes.transport.drop", capes.transport.drop);
+  if (capes.transport.seed_explicit) {
+    cfg.set_int("capes.transport.seed",
+                static_cast<std::int64_t>(capes.transport.seed));
+  }
   cfg.set_int("drl.minibatch_size",
               static_cast<std::int64_t>(capes.engine.minibatch_size));
   cfg.set_int("drl.train_steps_per_tick",

@@ -102,6 +102,18 @@ ExperimentBuilder& ExperimentBuilder::worker_threads(std::size_t threads) {
   return *this;
 }
 
+ExperimentBuilder& ExperimentBuilder::transport(std::string spec) {
+  transport_spec_ = std::move(spec);
+  transport_options_.reset();
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::transport(bus::TransportOptions opts) {
+  transport_options_ = opts;
+  transport_spec_.reset();
+  return *this;
+}
+
 ExperimentBuilder& ExperimentBuilder::capes_options(CapesOptions opts) {
   capes_options_ = std::move(opts);
   return *this;
@@ -202,6 +214,16 @@ std::unique_ptr<Experiment> ExperimentBuilder::build(std::string* error) {
       fail(error, "cannot parse config file '" + config_file_ + "'");
       return nullptr;
     }
+    // Misspelling a transport scheme must not silently fall back to a
+    // perfect network (the same strictness as the --transport/spec
+    // path); the numeric keys merely clamp, like every other conf key.
+    if (const auto scheme = cfg.get("capes.transport");
+        scheme && *scheme != "sync" && *scheme != "sim") {
+      fail(error, "config file '" + config_file_ +
+                      "': unknown capes.transport '" + *scheme +
+                      "' (expected sync or sim)");
+      return nullptr;
+    }
     preset.capes = capes_options_from_config(cfg, preset.capes);
     preset.cluster = cluster_options_from_config(cfg, preset.cluster);
   }
@@ -210,6 +232,20 @@ std::unique_ptr<Experiment> ExperimentBuilder::build(std::string* error) {
   if (monitor_servers_) preset.cluster.monitor_servers = true;
   if (tune_write_cache_) preset.cluster.tune_write_cache = true;
   if (capes_options_) preset.capes = *capes_options_;
+  // An explicit transport() wins over the preset, config file, and
+  // capes_options(). The spec-string form validates here so a typo is a
+  // build() error, not a silent sync fallback.
+  if (transport_spec_) {
+    std::string transport_error;
+    if (!bus::parse_transport_spec(*transport_spec_, &preset.capes.transport,
+                                   &transport_error)) {
+      fail(error, "invalid transport spec '" + *transport_spec_ +
+                      "': " + transport_error);
+      return nullptr;
+    }
+  } else if (transport_options_) {
+    preset.capes.transport = *transport_options_;
+  }
   // An explicit seed() wins over whatever seeds the preset, config file,
   // or capes_options() carried.
   if (seed_) apply_seed(&preset, *seed_);

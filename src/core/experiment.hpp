@@ -58,6 +58,9 @@ struct PhaseReport {
   /// Active workload names, "+"-joined across domains; "custom" stands in
   /// for adapter domains in a mix ("" for a single custom adapter).
   std::string workload;
+  /// Per-tick data plus the phase's control-network accounting
+  /// (result.messages_dropped / result.messages_late — zero under the
+  /// default sync transport).
   RunResult result;
   stats::MeasurementResult throughput;
   stats::MeasurementResult latency;
@@ -118,6 +121,15 @@ class ExperimentBuilder {
   /// Worker threads for the hot per-tick path (0 = single-threaded;
   /// see CapesOptions::worker_threads).
   ExperimentBuilder& worker_threads(std::size_t threads);
+  /// Control-network transport for the agent <-> daemon hops, as a spec
+  /// string: "sync" (immediate delivery, the default — bit-identical to
+  /// builds that never call transport()) or
+  /// "sim[:latency_ticks=N,jitter=X,drop=P,seed=N]" (seeded, simulated
+  /// latency / jitter / drop). A malformed spec fails build(). Wins over
+  /// capes_options()/config-file transport settings.
+  ExperimentBuilder& transport(std::string spec);
+  /// Same, from already-parsed options.
+  ExperimentBuilder& transport(bus::TransportOptions opts);
   /// Override CapesOptions wholesale (mainly for custom adapters; in
   /// Lustre mode the preset's options are usually right).
   ExperimentBuilder& capes_options(CapesOptions opts);
@@ -161,6 +173,8 @@ class ExperimentBuilder {
   TargetSystemAdapter* adapter_ = nullptr;
   std::vector<ExtraDomain> extra_domains_;
   std::optional<std::size_t> worker_threads_;
+  std::optional<std::string> transport_spec_;
+  std::optional<bus::TransportOptions> transport_options_;
   std::optional<CapesOptions> capes_options_;
   ObjectiveFunction objective_;
   bool monitor_servers_ = false;

@@ -1,11 +1,28 @@
 #include "core/interface_daemon.hpp"
 
 #include <cassert>
+#include <stdexcept>
+#include <string>
 
 #include "util/logging.hpp"
 #include "util/varint.hpp"
 
 namespace capes::core {
+
+namespace {
+
+/// Channel topics: one inbox for all PI traffic, one action topic per
+/// shard. Topic ids feed the per-message fate hash, so distinct topics
+/// see independent network realizations.
+constexpr std::uint64_t kStatusTopic = 1;
+constexpr std::uint64_t kActionTopicBase = 2;
+
+/// Bounded action queues: one publish per tick and a per-tick drain keep
+/// the in-flight count near the transport delay, so this bound only
+/// guards against a pathological transport configuration.
+constexpr std::size_t kActionChannelCapacity = 1024;
+
+}  // namespace
 
 InterfaceDaemon::InterfaceDaemon(rl::ReplayDb& replay,
                                  const rl::ActionSpace& space,
@@ -25,9 +42,13 @@ InterfaceDaemon::InterfaceDaemon(rl::ReplayDb& replay,
 
 InterfaceDaemon::InterfaceDaemon(rl::ReplayDb& replay,
                                  std::vector<ControlDomain*> domains,
-                                 std::size_t pis_per_node)
+                                 std::size_t pis_per_node,
+                                 bus::Transport* transport)
     : replay_(replay) {
   assert(!domains.empty());
+  if (transport != nullptr) {
+    inbox_ = std::make_unique<PiChannel>(*transport, kStatusTopic);
+  }
   shards_.reserve(domains.size());
   for (ControlDomain* domain : domains) {
     Shard shard;
@@ -35,11 +56,26 @@ InterfaceDaemon::InterfaceDaemon(rl::ReplayDb& replay,
     shard.space = &domain->space();
     shard.checker = std::make_unique<ActionChecker>(domain->space());
     shard.action_offset = domain->action_offset();
+    if (transport != nullptr) {
+      shard.actions = std::make_unique<ActionChannel>(
+          *transport, kActionTopicBase + domain->index(),
+          kActionChannelCapacity);
+    }
     shards_.push_back(std::move(shard));
     for (std::size_t i = 0; i < domain->num_nodes(); ++i) {
       decoders_.emplace_back(pis_per_node);
     }
   }
+}
+
+std::size_t InterfaceDaemon::check_shard(std::size_t shard) const {
+  if (shard >= shards_.size()) {
+    throw std::out_of_range("InterfaceDaemon: shard " + std::to_string(shard) +
+                            " out of range (daemon has " +
+                            std::to_string(shards_.size()) + " shard" +
+                            (shards_.size() == 1 ? "" : "s") + ")");
+  }
+  return shard;
 }
 
 void InterfaceDaemon::on_status_message(const std::vector<std::uint8_t>& msg) {
@@ -65,6 +101,35 @@ void InterfaceDaemon::on_reward(std::int64_t t, double reward) {
   replay_.record_reward(t, reward);
 }
 
+std::size_t InterfaceDaemon::drain_status(std::int64_t t) {
+  if (!inbox_) return 0;
+  return inbox_->drain(t, [this](const bus::Message<std::vector<std::uint8_t>>&
+                                     msg) { on_status_message(msg.payload); });
+}
+
+std::size_t InterfaceDaemon::drain_actions(std::int64_t t) {
+  std::size_t delivered = 0;
+  for (Shard& shard : shards_) {
+    if (!shard.actions) continue;
+    delivered += shard.actions->drain(
+        t, [&shard](const bus::Message<std::vector<double>>& msg) {
+          for (ControlAgent* agent : shard.control_agents) {
+            agent->on_action_message(msg.payload);
+          }
+        });
+  }
+  return delivered;
+}
+
+bus::ChannelStats InterfaceDaemon::bus_stats() const {
+  bus::ChannelStats stats;
+  if (inbox_) stats += inbox_->stats();
+  for (const Shard& shard : shards_) {
+    if (shard.actions) stats += shard.actions->stats();
+  }
+  return stats;
+}
+
 std::size_t InterfaceDaemon::apply_checked_action(
     std::int64_t t, Shard& shard, std::size_t local_action,
     std::size_t global_action, std::vector<double>& parameter_values) {
@@ -74,8 +139,17 @@ std::size_t InterfaceDaemon::apply_checked_action(
     recorded = 0;  // vetoed -> NULL action
   } else if (!decoded.null_action) {
     shard.space->apply(decoded, parameter_values);
-    for (ControlAgent* agent : shard.control_agents) {
-      agent->on_action_message(parameter_values);
+    if (shard.actions) {
+      // Control-network broadcast: the daemon's view of the parameters
+      // updates now; the target system applies them when the message
+      // lands (possibly ticks later, possibly never if dropped — the
+      // next delivered broadcast carries absolute values and heals it).
+      shard.actions->publish(shard.domain ? shard.domain->index() : 0, t,
+                             parameter_values);
+    } else {
+      for (ControlAgent* agent : shard.control_agents) {
+        agent->on_action_message(parameter_values);
+      }
     }
     ++actions_broadcast_;
   }
@@ -126,7 +200,7 @@ void InterfaceDaemon::register_control_agent(ControlAgent* agent) {
 
 void InterfaceDaemon::register_control_agent(std::size_t shard,
                                              ControlAgent* agent) {
-  shards_[shard].control_agents.push_back(agent);
+  shards_[check_shard(shard)].control_agents.push_back(agent);
 }
 
 }  // namespace capes::core

@@ -12,31 +12,51 @@
 // domain's parameter vector and broadcast to that domain's Control
 // Agents only. With one shard this degenerates exactly to the original
 // single-cluster daemon.
+//
+// Control-network mode: constructed with a bus::Transport, the daemon
+// owns its PI inbox channel (which Monitoring Agents publish into) and
+// one action channel per shard (which checked actions are broadcast
+// through). The tick loop drains both once per sampling tick: whatever
+// has arrived is written / applied, late messages surface on the tick
+// they arrive, dropped ones never do — the Replay DB's missing-entry
+// tolerance absorbs the gaps. Without a transport the daemon keeps the
+// original direct-call behavior (agent-level tests, hop-free wiring).
 
 #include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "bus/channel.hpp"
 #include "core/action_checker.hpp"
 #include "core/control_agent.hpp"
 #include "core/control_domain.hpp"
+#include "core/monitoring_agent.hpp"
 #include "core/pi_codec.hpp"
 #include "rl/action_space.hpp"
 #include "rl/replay_db.hpp"
 
 namespace capes::core {
 
+/// The action hop's channel: absolute parameter vectors, sender = shard.
+/// Absolute payloads make action drops self-healing (the next delivered
+/// broadcast carries the full state), so a bounded queue is safe here.
+using ActionChannel = bus::Channel<std::vector<double>>;
+
 class InterfaceDaemon {
  public:
   /// Single-shard daemon over an externally managed parameter vector (the
-  /// pre-domain construction, still used by agent-level tests).
+  /// pre-domain construction, still used by agent-level tests). Always
+  /// direct-call: no control network between the agents and the daemon.
   InterfaceDaemon(rl::ReplayDb& replay, const rl::ActionSpace& space,
                   std::size_t num_nodes, std::size_t pis_per_node);
 
   /// Sharded daemon: one shard per domain, in order. Domains must outlive
-  /// the daemon; their node/action offsets define the routing table.
+  /// the daemon; their node/action offsets define the routing table. A
+  /// non-null `transport` (which must outlive the daemon) puts the PI
+  /// inbox and the per-shard action broadcasts on the control network.
   InterfaceDaemon(rl::ReplayDb& replay, std::vector<ControlDomain*> domains,
-                  std::size_t pis_per_node);
+                  std::size_t pis_per_node,
+                  bus::Transport* transport = nullptr);
 
   /// Incoming PI message from a Monitoring Agent; the leading global node
   /// id picks the shard decoder, and the decoded PIs are written to the
@@ -58,14 +78,36 @@ class InterfaceDaemon {
 
   /// Sharded form: route the composite `action_index` to its owning
   /// domain and apply it to that domain's parameter vector. Same veto /
-  /// record semantics as on_suggested_action.
+  /// record semantics as on_suggested_action. In control-network mode the
+  /// domain-side parameter vector updates immediately (the daemon's view)
+  /// but the broadcast to the Control Agents rides the shard's action
+  /// channel — a delayed action reaches the target system on a later
+  /// tick, exactly as in a real deployment.
   std::size_t route_suggested_action(std::int64_t t, std::size_t action_index);
+
+  // ---- control network -----------------------------------------------------
+  /// The PI inbox Monitoring Agents publish into (null without a
+  /// transport).
+  PiChannel* inbox() { return inbox_.get(); }
+
+  /// Write every PI message that has arrived by tick `t` to the Replay
+  /// DB. No-op without a transport. Returns messages delivered.
+  std::size_t drain_status(std::int64_t t);
+
+  /// Deliver every checked action broadcast due by tick `t` to its
+  /// shard's Control Agents. No-op without a transport. Returns messages
+  /// delivered.
+  std::size_t drain_actions(std::int64_t t);
+
+  /// Combined control-network counters (PI inbox + all action channels).
+  /// All-zero without a transport.
+  bus::ChannelStats bus_stats() const;
 
   void register_control_agent(ControlAgent* agent);  ///< shard 0
   void register_control_agent(std::size_t shard, ControlAgent* agent);
   ActionChecker& action_checker() { return *shards_[0].checker; }
   ActionChecker& action_checker(std::size_t shard) {
-    return *shards_[shard].checker;
+    return *shards_[check_shard(shard)].checker;
   }
   std::size_t num_shards() const { return shards_.size(); }
 
@@ -83,7 +125,14 @@ class InterfaceDaemon {
     std::unique_ptr<ActionChecker> checker;
     std::size_t action_offset = 1;  ///< global index of local action 1
     std::vector<ControlAgent*> control_agents;
+    /// Control-network broadcast channel (null = direct calls).
+    std::unique_ptr<ActionChannel> actions;
   };
+
+  /// Validated shard index; throws std::out_of_range (with the shard
+  /// count in the message) on a bad one — indexing another domain's
+  /// checker or agent list would silently corrupt cross-domain state.
+  std::size_t check_shard(std::size_t shard) const;
 
   std::size_t apply_checked_action(std::int64_t t, Shard& shard,
                                    std::size_t local_action,
@@ -93,6 +142,7 @@ class InterfaceDaemon {
   rl::ReplayDb& replay_;
   std::vector<Shard> shards_;
   std::vector<PiDecoder> decoders_;  // one per global node
+  std::unique_ptr<PiChannel> inbox_;
 
   std::uint64_t status_messages_ = 0;
   std::uint64_t decode_errors_ = 0;

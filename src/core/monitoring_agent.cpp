@@ -13,13 +13,36 @@ MonitoringAgent::MonitoringAgent(std::size_t local_node, std::size_t global_node
       encoder_(global_node, adapter.pis_per_node()),
       deliver_(std::move(deliver)) {}
 
+MonitoringAgent::MonitoringAgent(std::size_t local_node, std::size_t global_node,
+                                 TargetSystemAdapter& adapter, PiChannel& channel)
+    : adapter_(adapter),
+      local_node_(local_node),
+      encoder_(global_node, adapter.pis_per_node()),
+      channel_(&channel) {}
+
 void MonitoringAgent::sample(std::int64_t t) {
-  deliver(collect_and_encode(t));
+  publish(t, collect_and_encode(t));
 }
 
 std::vector<std::uint8_t> MonitoringAgent::collect_and_encode(std::int64_t t) {
+  // Collection is local to the node and happens every tick — only the
+  // send can be lost. Skipping the encode on a to-be-dropped tick keeps
+  // the encoder state equal to the last delivered message, so the
+  // daemon's differential decoder stays in sync (the next successful
+  // message carries the accumulated delta).
   const std::vector<float> pis = adapter_.collect_observation(local_node_);
+  if (channel_ != nullptr && channel_->will_drop(node(), t)) return {};
   return encoder_.encode(t, pis);
+}
+
+void MonitoringAgent::publish(std::int64_t t, std::vector<std::uint8_t> msg) {
+  if (channel_ != nullptr) {
+    // An empty msg means collect_and_encode already saw the drop verdict;
+    // publish recomputes the same pure fate and counts it as dropped.
+    channel_->publish(node(), t, std::move(msg));
+    return;
+  }
+  if (deliver_) deliver_(msg);
 }
 
 void MonitoringAgent::deliver(const std::vector<std::uint8_t>& msg) {

@@ -2,45 +2,79 @@
 // Monitoring Agent (§3.3): one per monitored node. At every sampling tick
 // it collects the node's performance indicators through the adapter's
 // collector function, encodes them with the differential protocol, and
-// ships the message to the Interface Daemon.
+// publishes the message onto the control network (a bus::Channel feeding
+// the Interface Daemon's inbox). Depending on the transport behind the
+// channel the message arrives the same tick (SyncTransport — identical
+// to a direct call), some ticks late, or never.
+//
+// Drop handling and the differential codec: collection is local, so the
+// agent samples its node every tick regardless. When the transport will
+// drop this tick's send, the agent skips encoding — the encoder's state
+// then still mirrors the last message that actually reached the wire, so
+// the next successful send carries the accumulated delta and the
+// daemon-side decoder never desynchronizes. The dropped tick is simply
+// absent from the Replay DB, which is what its missing-entry tolerance
+// (§3.5) exists to absorb.
 //
 // Under multi-cluster control the agent carries two node ids: the local
 // node inside its own cluster (what the adapter's collector understands)
-// and the global, domain-namespaced node id it stamps on the wire so the
-// sharded Interface Daemon can route the message.
+// and the global, domain-namespaced node id it stamps on the wire — also
+// its sender id on the channel — so the sharded Interface Daemon can
+// route the message.
 
 #include <cstdint>
 #include <functional>
 #include <vector>
 
+#include "bus/channel.hpp"
 #include "core/adapter.hpp"
 #include "core/pi_codec.hpp"
 
 namespace capes::core {
 
+/// The monitoring hop's channel: encoded PI messages, sender = global
+/// node id. Unbounded — see the drop-handling note above; capacity drops
+/// would desynchronize the differential codec, transport drops cannot.
+using PiChannel = bus::Channel<std::vector<std::uint8_t>>;
+
 class MonitoringAgent {
  public:
-  /// `deliver` carries an encoded message to the Interface Daemon (the
-  /// control-network hop).
+  /// Direct delivery to the Interface Daemon, bypassing the control
+  /// network (agent-level tests and hop-free wiring).
   using Deliver = std::function<void(const std::vector<std::uint8_t>&)>;
 
-  /// Single-domain form: the wire node id equals the local node id.
+  /// Single-domain direct form: the wire node id equals the local node id.
   MonitoringAgent(std::size_t node, TargetSystemAdapter& adapter, Deliver deliver);
 
-  /// Multi-domain form: collect as `local_node`, send as `global_node`.
+  /// Multi-domain direct form: collect as `local_node`, send as
+  /// `global_node`.
   MonitoringAgent(std::size_t local_node, std::size_t global_node,
                   TargetSystemAdapter& adapter, Deliver deliver);
 
-  /// Collect + encode + send the PIs for sampling tick `t`.
+  /// Control-network form: publish onto `channel` as sender
+  /// `global_node`. The channel must outlive the agent.
+  MonitoringAgent(std::size_t local_node, std::size_t global_node,
+                  TargetSystemAdapter& adapter, PiChannel& channel);
+
+  /// Collect + encode + publish the PIs for sampling tick `t`. In
+  /// channel mode this is thread-safe for distinct nodes of one adapter
+  /// (collectors touch per-node state only; the channel serializes
+  /// internally and drain order is publish-order-independent), so the
+  /// per-tick fan-out may run it from worker threads directly.
   void sample(std::int64_t t);
 
-  /// The collect + encode half of sample(), without the delivery. Safe to
-  /// run concurrently for distinct nodes of one adapter (collectors touch
-  /// per-node state only); the caller then delivers the returned messages
-  /// serially, in node order, so the fan-in stays deterministic.
+  /// The collect + encode half of sample(), without the send. Returns an
+  /// empty message when the transport will drop this tick's send (the
+  /// encode is skipped; see the header comment). Safe to run concurrently
+  /// for distinct nodes of one adapter.
   std::vector<std::uint8_t> collect_and_encode(std::int64_t t);
 
-  /// Hand a previously encoded message to the Interface Daemon.
+  /// The send half: publish `msg` (encoded at tick `t`) onto the channel,
+  /// or hand it to the direct Deliver callback. An empty `msg` stands for
+  /// "transport-dropped" and only bumps the channel's drop counter.
+  void publish(std::int64_t t, std::vector<std::uint8_t> msg);
+
+  /// Direct-delivery escape hatch (Deliver mode only; ignores channels).
   void deliver(const std::vector<std::uint8_t>& msg);
 
   std::size_t node() const { return encoder_.node(); }
@@ -53,6 +87,7 @@ class MonitoringAgent {
   std::size_t local_node_;
   PiEncoder encoder_;
   Deliver deliver_;
+  PiChannel* channel_ = nullptr;
 };
 
 }  // namespace capes::core

@@ -1,0 +1,222 @@
+// Channel semantics: publish/drain ordering, per-sender FIFO under
+// jitter, drop and late accounting, bounded capacity, and
+// publish-order-independent drains (the worker-thread contract).
+
+#include "bus/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bus/transport.hpp"
+
+namespace capes::bus {
+namespace {
+
+using IntChannel = Channel<int>;
+
+TEST(Channel, SyncPublishThenDrainDeliversSameTick) {
+  SyncTransport sync;
+  IntChannel channel(sync, 1);
+  EXPECT_TRUE(channel.publish(0, 5, 100));
+  EXPECT_TRUE(channel.publish(1, 5, 200));
+  EXPECT_EQ(channel.pending(), 2u);
+
+  std::vector<int> seen;
+  EXPECT_EQ(channel.drain(5, [&](const Message<int>& m) {
+    seen.push_back(m.payload);
+    EXPECT_EQ(m.deliver_tick, 5);
+    EXPECT_FALSE(m.late());
+  }), 2u);
+  EXPECT_EQ(seen, (std::vector<int>{100, 200}));  // sender order
+  EXPECT_EQ(channel.pending(), 0u);
+  EXPECT_EQ(channel.stats().published, 2u);
+  EXPECT_EQ(channel.stats().delivered, 2u);
+  EXPECT_EQ(channel.stats().late, 0u);
+  EXPECT_EQ(channel.stats().dropped, 0u);
+}
+
+TEST(Channel, HoldsMessagesUntilTheirDeliveryTick) {
+  TransportOptions opts;
+  opts.kind = TransportKind::kSim;
+  opts.latency_ticks = 2;
+  SimTransport sim(opts);
+  IntChannel channel(sim, 1);
+  channel.publish(0, 10, 7);
+
+  std::size_t delivered = 0;
+  EXPECT_EQ(channel.drain(10, [&](const Message<int>&) { ++delivered; }), 0u);
+  EXPECT_EQ(channel.drain(11, [&](const Message<int>&) { ++delivered; }), 0u);
+  EXPECT_EQ(channel.drain(12, [&](const Message<int>& m) {
+    ++delivered;
+    EXPECT_EQ(m.send_tick, 10);
+    EXPECT_EQ(m.deliver_tick, 12);
+    EXPECT_TRUE(m.late());
+  }), 1u);
+  EXPECT_EQ(delivered, 1u);
+  EXPECT_EQ(channel.stats().late, 1u);
+}
+
+TEST(Channel, DrainOrderIsDeliverTickThenSenderThenSendTick) {
+  TransportOptions opts;
+  opts.kind = TransportKind::kSim;
+  opts.latency_ticks = 0;
+  SimTransport sim(opts);
+  // Payload encodes (sender, tick) so the order is visible.
+  Channel<std::string> channel(sim, 1);
+  // Published in scrambled sender order (each sender's own stream stays
+  // in tick order, as agents publish — the FIFO clamp assumes that).
+  channel.publish(2, 1, "s2t1");
+  channel.publish(1, 1, "s1t1");
+  channel.publish(0, 1, "s0t1");
+  channel.publish(0, 2, "s0t2");
+
+  std::vector<std::string> seen;
+  channel.drain(2, [&](const Message<std::string>& m) { seen.push_back(m.payload); });
+  EXPECT_EQ(seen,
+            (std::vector<std::string>{"s0t1", "s1t1", "s2t1", "s0t2"}));
+}
+
+TEST(Channel, PerSenderStreamsStayFifoUnderJitter) {
+  TransportOptions opts;
+  opts.kind = TransportKind::kSim;
+  opts.latency_ticks = 1;
+  opts.jitter = 6.0;
+  opts.seed = 3;
+  SimTransport sim(opts);
+  Channel<std::int64_t> channel(sim, 1);
+  for (std::int64_t t = 0; t < 100; ++t) channel.publish(4, t, t);
+
+  std::int64_t last_seen = -1;
+  bool fifo = true;
+  channel.drain(1000, [&](const Message<std::int64_t>& m) {
+    if (m.payload < last_seen) fifo = false;
+    last_seen = m.payload;
+    // The clamp never delivers before the raw plan's earliest tick.
+    EXPECT_GE(m.deliver_tick, m.send_tick + 1);
+  });
+  EXPECT_TRUE(fifo);
+  EXPECT_EQ(last_seen, 99);
+}
+
+TEST(Channel, DropsAreCountedAndNeverDelivered) {
+  TransportOptions opts;
+  opts.kind = TransportKind::kSim;
+  opts.latency_ticks = 0;
+  opts.drop = 0.4;
+  opts.seed = 5;
+  SimTransport sim(opts);
+  IntChannel channel(sim, 1);
+  std::size_t accepted = 0;
+  for (std::int64_t t = 0; t < 200; ++t) {
+    // will_drop agrees with what publish is about to decide.
+    const bool predicted = channel.will_drop(0, t);
+    const bool published = channel.publish(0, t, 1);
+    EXPECT_EQ(published, !predicted);
+    if (published) ++accepted;
+  }
+  const ChannelStats stats = channel.stats();
+  EXPECT_EQ(stats.published, accepted);
+  EXPECT_EQ(stats.dropped, 200u - accepted);
+  EXPECT_GT(stats.dropped, 0u);
+  EXPECT_LT(stats.dropped, 200u);
+
+  std::size_t delivered = 0;
+  channel.drain(1000, [&](const Message<int>&) { ++delivered; });
+  EXPECT_EQ(delivered, accepted);
+}
+
+TEST(Channel, BoundedCapacityDropsTheOverflow) {
+  SyncTransport sync;
+  IntChannel channel(sync, 1, 2);
+  EXPECT_TRUE(channel.publish(0, 0, 1));
+  EXPECT_TRUE(channel.publish(1, 0, 2));
+  EXPECT_FALSE(channel.publish(2, 0, 3));  // full
+  EXPECT_EQ(channel.stats().dropped, 1u);
+  std::size_t delivered = 0;
+  channel.drain(0, [&](const Message<int>&) { ++delivered; });
+  EXPECT_EQ(delivered, 2u);
+  // Draining frees the slots again.
+  EXPECT_TRUE(channel.publish(2, 1, 4));
+}
+
+TEST(Channel, DrainResultIndependentOfPublishOrder) {
+  TransportOptions opts;
+  opts.kind = TransportKind::kSim;
+  opts.latency_ticks = 1;
+  opts.jitter = 3.0;
+  opts.drop = 0.2;
+  opts.seed = 17;
+  SimTransport sim(opts);
+
+  auto run = [&](bool reversed) {
+    Channel<std::string> channel(sim, 1);
+    std::vector<std::pair<std::uint64_t, std::int64_t>> sends;
+    for (std::uint64_t sender = 0; sender < 6; ++sender) {
+      sends.emplace_back(sender, 3);
+    }
+    if (reversed) std::reverse(sends.begin(), sends.end());
+    for (const auto& [sender, tick] : sends) {
+      std::string payload = "s";
+      payload += std::to_string(sender);
+      channel.publish(sender, tick, std::move(payload));
+    }
+    std::vector<std::string> seen;
+    for (std::int64_t t = 3; t < 10; ++t) {
+      channel.drain(t, [&](const Message<std::string>& m) {
+        std::string entry = std::to_string(t);
+        entry += ':';
+        entry += m.payload;
+        seen.push_back(std::move(entry));
+      });
+    }
+    return seen;
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(Channel, ConcurrentPublishersMatchSerialResult) {
+  TransportOptions opts;
+  opts.kind = TransportKind::kSim;
+  opts.latency_ticks = 1;
+  opts.jitter = 4.0;
+  opts.drop = 0.15;
+  opts.seed = 23;
+  SimTransport sim(opts);
+  constexpr std::uint64_t kSenders = 8;
+  constexpr std::int64_t kTicks = 40;
+
+  auto run = [&](bool threaded) {
+    Channel<std::uint64_t> channel(sim, 1);
+    for (std::int64_t t = 0; t < kTicks; ++t) {
+      if (threaded) {
+        std::vector<std::thread> threads;
+        for (std::uint64_t s = 0; s < kSenders; ++s) {
+          threads.emplace_back(
+              [&channel, s, t] { channel.publish(s, t, s * 1000 + t); });
+        }
+        for (auto& thread : threads) thread.join();
+      } else {
+        for (std::uint64_t s = 0; s < kSenders; ++s) {
+          channel.publish(s, t, s * 1000 + t);
+        }
+      }
+    }
+    std::vector<std::uint64_t> seen;
+    for (std::int64_t t = 0; t < kTicks + 10; ++t) {
+      channel.drain(t, [&](const Message<std::uint64_t>& m) {
+        seen.push_back(m.payload);
+      });
+    }
+    return seen;
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+}  // namespace
+}  // namespace capes::bus

@@ -1,0 +1,214 @@
+// Transport policies and the spec grammar: sync immediacy, the sim
+// model's counter-based determinism, and strict parse rejection.
+
+#include "bus/transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace capes::bus {
+namespace {
+
+TEST(SyncTransport, DeliversEveryMessageOnItsSendTick) {
+  SyncTransport sync;
+  for (std::int64_t t : {0, 1, 7, 1000}) {
+    const Delivery d = sync.plan(1, 3, t);
+    EXPECT_FALSE(d.dropped);
+    EXPECT_EQ(d.deliver_tick, t);
+  }
+}
+
+TEST(SimTransport, FixedLatencyNoJitterNoDrop) {
+  TransportOptions opts;
+  opts.kind = TransportKind::kSim;
+  opts.latency_ticks = 3;
+  SimTransport sim(opts);
+  for (std::int64_t t = 0; t < 50; ++t) {
+    const Delivery d = sim.plan(1, 0, t);
+    EXPECT_FALSE(d.dropped);
+    EXPECT_EQ(d.deliver_tick, t + 3);
+  }
+}
+
+TEST(SimTransport, PlanIsPureAndSeedDeterministic) {
+  TransportOptions opts;
+  opts.kind = TransportKind::kSim;
+  opts.jitter = 4.0;
+  opts.drop = 0.3;
+  opts.seed = 42;
+  SimTransport a(opts), b(opts);
+  for (std::uint64_t sender = 0; sender < 8; ++sender) {
+    for (std::int64_t t = 0; t < 64; ++t) {
+      const Delivery da = a.plan(1, sender, t);
+      const Delivery db = b.plan(1, sender, t);
+      EXPECT_EQ(da.dropped, db.dropped);
+      EXPECT_EQ(da.deliver_tick, db.deliver_tick);
+      // Repeated calls on one instance agree too (publishers pre-check
+      // the drop fate, then publish recomputes it).
+      const Delivery da2 = a.plan(1, sender, t);
+      EXPECT_EQ(da.dropped, da2.dropped);
+      EXPECT_EQ(da.deliver_tick, da2.deliver_tick);
+    }
+  }
+}
+
+TEST(SimTransport, SeedChangesTheRealization) {
+  TransportOptions opts;
+  opts.kind = TransportKind::kSim;
+  opts.drop = 0.5;
+  opts.seed = 1;
+  SimTransport a(opts);
+  opts.seed = 2;
+  SimTransport b(opts);
+  std::size_t differing = 0;
+  for (std::int64_t t = 0; t < 200; ++t) {
+    if (a.plan(1, 0, t).dropped != b.plan(1, 0, t).dropped) ++differing;
+  }
+  EXPECT_GT(differing, 0u);
+}
+
+TEST(SimTransport, DropRateTracksTheConfiguredProbability) {
+  TransportOptions opts;
+  opts.kind = TransportKind::kSim;
+  opts.drop = 0.2;
+  opts.seed = 7;
+  SimTransport sim(opts);
+  std::size_t drops = 0;
+  const std::size_t n = 20000;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (sim.plan(1, i % 16, static_cast<std::int64_t>(i / 16)).dropped) {
+      ++drops;
+    }
+  }
+  const double rate = static_cast<double>(drops) / static_cast<double>(n);
+  EXPECT_NEAR(rate, 0.2, 0.02);
+}
+
+TEST(SimTransport, JitterStaysWithinItsBound) {
+  TransportOptions opts;
+  opts.kind = TransportKind::kSim;
+  opts.latency_ticks = 1;
+  opts.jitter = 3.0;  // extra delay in {0, 1, 2}
+  SimTransport sim(opts);
+  bool saw_extra = false;
+  for (std::int64_t t = 0; t < 500; ++t) {
+    const Delivery d = sim.plan(1, 0, t);
+    ASSERT_GE(d.deliver_tick, t + 1);
+    ASSERT_LE(d.deliver_tick, t + 3);
+    if (d.deliver_tick > t + 1) saw_extra = true;
+  }
+  EXPECT_TRUE(saw_extra);
+}
+
+TEST(SimTransport, TopicsSeeIndependentRealizations) {
+  TransportOptions opts;
+  opts.kind = TransportKind::kSim;
+  opts.drop = 0.5;
+  opts.seed = 11;
+  SimTransport sim(opts);
+  std::size_t differing = 0;
+  for (std::int64_t t = 0; t < 200; ++t) {
+    if (sim.plan(1, 0, t).dropped != sim.plan(2, 0, t).dropped) ++differing;
+  }
+  EXPECT_GT(differing, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Spec grammar
+// ---------------------------------------------------------------------------
+
+TEST(TransportSpec, ParsesSync) {
+  TransportOptions opts;
+  std::string error;
+  ASSERT_TRUE(parse_transport_spec("sync", &opts, &error)) << error;
+  EXPECT_EQ(opts.kind, TransportKind::kSync);
+}
+
+TEST(TransportSpec, ParsesBareSimWithDefaults) {
+  TransportOptions opts;
+  std::string error;
+  ASSERT_TRUE(parse_transport_spec("sim", &opts, &error)) << error;
+  EXPECT_EQ(opts.kind, TransportKind::kSim);
+  EXPECT_EQ(opts.latency_ticks, 1);
+  EXPECT_DOUBLE_EQ(opts.jitter, 0.0);
+  EXPECT_DOUBLE_EQ(opts.drop, 0.0);
+  EXPECT_FALSE(opts.seed_explicit);
+}
+
+TEST(TransportSpec, ParsesFullOptionList) {
+  TransportOptions opts;
+  std::string error;
+  ASSERT_TRUE(parse_transport_spec(
+      "sim:latency_ticks=4,jitter=2.5,drop=0.25,seed=99", &opts, &error))
+      << error;
+  EXPECT_EQ(opts.kind, TransportKind::kSim);
+  EXPECT_EQ(opts.latency_ticks, 4);
+  EXPECT_DOUBLE_EQ(opts.jitter, 2.5);
+  EXPECT_DOUBLE_EQ(opts.drop, 0.25);
+  EXPECT_EQ(opts.seed, 99u);
+  EXPECT_TRUE(opts.seed_explicit);
+}
+
+TEST(TransportSpec, RejectsBadInput) {
+  TransportOptions opts;
+  std::string error;
+  EXPECT_FALSE(parse_transport_spec("udp", &opts, &error));
+  EXPECT_NE(error.find("unknown transport"), std::string::npos) << error;
+  EXPECT_FALSE(parse_transport_spec("sync:latency_ticks=1", &opts, &error));
+  EXPECT_FALSE(parse_transport_spec("sim:bogus=1", &opts, &error));
+  EXPECT_NE(error.find("unknown transport option"), std::string::npos) << error;
+  EXPECT_FALSE(parse_transport_spec("sim:drop", &opts, &error));
+  EXPECT_NE(error.find("key=value"), std::string::npos) << error;
+  EXPECT_FALSE(parse_transport_spec("sim:drop=1.5", &opts, &error));
+  EXPECT_FALSE(parse_transport_spec("sim:drop=abc", &opts, &error));
+  EXPECT_FALSE(parse_transport_spec("sim:latency_ticks=-2", &opts, &error));
+  EXPECT_FALSE(parse_transport_spec("sim:jitter=-1", &opts, &error));
+  EXPECT_FALSE(parse_transport_spec("sim:seed=-5", &opts, &error));
+}
+
+TEST(TransportSpec, RejectionLeavesOutputUntouched) {
+  TransportOptions opts;
+  opts.kind = TransportKind::kSim;
+  opts.latency_ticks = 9;
+  EXPECT_FALSE(parse_transport_spec("sim:latency_ticks=3,drop=oops", &opts));
+  EXPECT_EQ(opts.latency_ticks, 9);  // not the half-parsed 3
+}
+
+TEST(TransportSpec, RoundTripsThroughSpecString) {
+  TransportOptions opts;
+  std::string error;
+  ASSERT_TRUE(parse_transport_spec("sim:latency_ticks=2,jitter=1.5,drop=0.1",
+                                   &opts, &error));
+  TransportOptions reparsed;
+  ASSERT_TRUE(parse_transport_spec(transport_spec_string(opts), &reparsed,
+                                   &error))
+      << error;
+  EXPECT_EQ(reparsed.kind, opts.kind);
+  EXPECT_EQ(reparsed.latency_ticks, opts.latency_ticks);
+  EXPECT_DOUBLE_EQ(reparsed.jitter, opts.jitter);
+  EXPECT_DOUBLE_EQ(reparsed.drop, opts.drop);
+  EXPECT_EQ(transport_spec_string(TransportOptions{}), "sync");
+
+  // The round-trip is value-exact even for doubles %g would truncate.
+  TransportOptions nasty;
+  nasty.kind = TransportKind::kSim;
+  nasty.jitter = 2.0 / 3.0;
+  nasty.drop = 0.123456789012345678;
+  TransportOptions nasty_back;
+  ASSERT_TRUE(parse_transport_spec(transport_spec_string(nasty), &nasty_back,
+                                   &error))
+      << error;
+  EXPECT_EQ(nasty_back.jitter, nasty.jitter);
+  EXPECT_EQ(nasty_back.drop, nasty.drop);
+}
+
+TEST(MakeTransport, BuildsTheRequestedKind) {
+  TransportOptions opts;
+  EXPECT_STREQ(make_transport(opts)->name(), "sync");
+  opts.kind = TransportKind::kSim;
+  EXPECT_STREQ(make_transport(opts)->name(), "sim");
+}
+
+}  // namespace
+}  // namespace capes::bus

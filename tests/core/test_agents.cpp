@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <stdexcept>
 
+#include "bus/transport.hpp"
 #include "core/control_agent.hpp"
 #include "util/varint.hpp"
 #include "core/interface_daemon.hpp"
@@ -249,6 +251,25 @@ TEST_F(ShardedDaemonFixture, NullActionRecordedForShardZero) {
   EXPECT_EQ(daemon.actions_broadcast(), 0u);
 }
 
+TEST_F(ShardedDaemonFixture, RejectsOutOfRangeShardIndices) {
+  // Indexing another domain's checker or agent list out of range used to
+  // read shards_ unchecked; now it must throw with the shard count.
+  ControlAgent ca(0, adapter_a);
+  EXPECT_THROW(daemon.action_checker(2), std::out_of_range);
+  EXPECT_THROW(daemon.register_control_agent(7, &ca), std::out_of_range);
+  try {
+    daemon.action_checker(9);
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("shard 9"), std::string::npos) << what;
+    EXPECT_NE(what.find("2 shards"), std::string::npos) << what;
+  }
+  // In-range indices still work.
+  daemon.register_control_agent(1, &ca);
+  EXPECT_NO_THROW(daemon.action_checker(1));
+}
+
 TEST_F(ShardedDaemonFixture, VetoIsPerDomain) {
   // Domain b's checker vetoes everything; domain a stays tunable.
   daemon.action_checker(1).add_rule(
@@ -260,6 +281,119 @@ TEST_F(ShardedDaemonFixture, VetoIsPerDomain) {
   EXPECT_DOUBLE_EQ(domain_a.param_values()[0], 55.0);
   EXPECT_EQ(daemon.action_checker(1).vetoed_actions(), 1u);
   EXPECT_EQ(daemon.action_checker(0).vetoed_actions(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Control-network mode (daemon + agents over a bus transport)
+// ---------------------------------------------------------------------------
+
+/// One domain (2 nodes) behind a configurable transport; agents publish
+/// into the daemon's inbox and action broadcasts ride a shard channel.
+struct TransportedDaemonFixture : public ::testing::Test {
+  void wire(const bus::TransportOptions& topts) {
+    transport = bus::make_transport(topts);
+    daemon = std::make_unique<InterfaceDaemon>(
+        replay, std::vector<ControlDomain*>{&domain}, 4, transport.get());
+    for (std::size_t n = 0; n < 2; ++n) {
+      agents.push_back(std::make_unique<MonitoringAgent>(
+          n, n, adapter, *daemon->inbox()));
+      controls.push_back(std::make_unique<ControlAgent>(n, adapter));
+      daemon->register_control_agent(0, controls.back().get());
+    }
+  }
+
+  static rl::ReplayDbOptions make_replay_options() {
+    rl::ReplayDbOptions o;
+    o.num_nodes = 2;
+    o.pis_per_node = 4;
+    o.ticks_per_observation = 2;
+    return o;
+  }
+
+  MockAdapter adapter{2, 4};
+  ControlDomain domain{0, "", adapter, throughput_objective(), 0, 1, 0};
+  rl::ReplayDb replay{make_replay_options(), nullptr};
+  std::unique_ptr<bus::Transport> transport;
+  std::unique_ptr<InterfaceDaemon> daemon;
+  std::vector<std::unique_ptr<MonitoringAgent>> agents;
+  std::vector<std::unique_ptr<ControlAgent>> controls;
+};
+
+TEST_F(TransportedDaemonFixture, SyncChannelMatchesDirectDelivery) {
+  wire(bus::TransportOptions{});  // sync
+  for (std::int64_t t = 0; t < 3; ++t) {
+    for (auto& agent : agents) agent->sample(t);
+    EXPECT_EQ(daemon->drain_status(t), 2u);
+    EXPECT_TRUE(replay.status_at(t, 0).has_value());
+    EXPECT_TRUE(replay.status_at(t, 1).has_value());
+  }
+  const bus::ChannelStats stats = daemon->bus_stats();
+  EXPECT_EQ(stats.published, 6u);
+  EXPECT_EQ(stats.delivered, 6u);
+  EXPECT_EQ(stats.dropped, 0u);
+  EXPECT_EQ(stats.late, 0u);
+}
+
+TEST_F(TransportedDaemonFixture, LatePiMessagesSurfaceWhenTheyArrive) {
+  bus::TransportOptions topts;
+  topts.kind = bus::TransportKind::kSim;
+  topts.latency_ticks = 2;
+  wire(topts);
+  for (auto& agent : agents) agent->sample(0);
+  EXPECT_EQ(daemon->drain_status(0), 0u);  // still in flight
+  EXPECT_FALSE(replay.status_at(0, 0).has_value());
+  EXPECT_EQ(daemon->drain_status(1), 0u);
+  EXPECT_EQ(daemon->drain_status(2), 2u);  // lands two ticks late
+  EXPECT_TRUE(replay.status_at(0, 0).has_value());  // recorded under send tick
+  EXPECT_TRUE(replay.status_at(0, 1).has_value());
+  EXPECT_EQ(daemon->bus_stats().late, 2u);
+}
+
+TEST_F(TransportedDaemonFixture, DroppedPiMessagesNeverReachTheReplayDb) {
+  bus::TransportOptions topts;
+  topts.kind = bus::TransportKind::kSim;
+  topts.latency_ticks = 0;
+  topts.drop = 0.5;
+  topts.seed = 13;
+  wire(topts);
+  const std::int64_t ticks = 40;
+  for (std::int64_t t = 0; t < ticks; ++t) {
+    for (auto& agent : agents) agent->sample(t);
+    daemon->drain_status(t);
+  }
+  const bus::ChannelStats stats = daemon->bus_stats();
+  EXPECT_GT(stats.dropped, 0u);
+  EXPECT_EQ(stats.published, 2u * ticks - stats.dropped);
+  // Every delivered message decoded cleanly: skipping the encode on a
+  // dropped tick keeps the differential codec in sync across the gap.
+  EXPECT_EQ(daemon->decode_errors(), 0u);
+  std::size_t present = 0;
+  for (std::int64_t t = 0; t < ticks; ++t) {
+    for (std::size_t n = 0; n < 2; ++n) {
+      if (replay.status_at(t, n).has_value()) ++present;
+    }
+  }
+  EXPECT_EQ(present, static_cast<std::size_t>(stats.delivered));
+}
+
+TEST_F(TransportedDaemonFixture, DelayedActionLandsOnALaterTick) {
+  bus::TransportOptions topts;
+  topts.kind = bus::TransportKind::kSim;
+  topts.latency_ticks = 2;
+  wire(topts);
+  // Action 1 = +step on the knob. The domain-side (daemon's view)
+  // parameter vector updates immediately; the target system only sees it
+  // when the broadcast lands two ticks later.
+  EXPECT_EQ(daemon->route_suggested_action(5, 1), 1u);
+  EXPECT_DOUBLE_EQ(domain.param_values()[0], 55.0);
+  EXPECT_DOUBLE_EQ(adapter.current_parameters()[0], 50.0);
+  EXPECT_EQ(daemon->drain_actions(5), 0u);
+  EXPECT_EQ(daemon->drain_actions(6), 0u);
+  EXPECT_DOUBLE_EQ(adapter.current_parameters()[0], 50.0);
+  EXPECT_EQ(daemon->drain_actions(7), 1u);
+  EXPECT_DOUBLE_EQ(adapter.current_parameters()[0], 55.0);
+  EXPECT_EQ(controls[0]->actions_applied(), 1u);
+  EXPECT_EQ(controls[1]->actions_applied(), 1u);
 }
 
 }  // namespace

@@ -62,6 +62,46 @@ network.base_latency_us = 500
   EXPECT_EQ(o.network.base_latency, 500);
 }
 
+TEST(ConfigIo, TransportKeysApplied) {
+  util::Config cfg;
+  ASSERT_TRUE(cfg.parse_string(R"(
+capes.transport = sim
+capes.transport.latency_ticks = 3
+capes.transport.jitter = 2.5
+capes.transport.drop = 0.1
+capes.transport.seed = 77
+)"));
+  const CapesOptions o = capes_options_from_config(cfg);
+  EXPECT_EQ(o.transport.kind, bus::TransportKind::kSim);
+  EXPECT_EQ(o.transport.latency_ticks, 3);
+  EXPECT_DOUBLE_EQ(o.transport.jitter, 2.5);
+  EXPECT_DOUBLE_EQ(o.transport.drop, 0.1);
+  EXPECT_EQ(o.transport.seed, 77u);
+  EXPECT_TRUE(o.transport.seed_explicit);
+  // Absent keys keep the sync default with no explicit seed.
+  const CapesOptions d = capes_options_from_config(util::Config{});
+  EXPECT_EQ(d.transport.kind, bus::TransportKind::kSync);
+  EXPECT_FALSE(d.transport.seed_explicit);
+}
+
+TEST(ConfigIo, TransportKeysRoundTrip) {
+  CapesOptions capes;
+  capes.transport.kind = bus::TransportKind::kSim;
+  capes.transport.latency_ticks = 5;
+  capes.transport.jitter = 1.5;
+  capes.transport.drop = 0.05;
+  capes.transport.seed = 9;
+  capes.transport.seed_explicit = true;
+  const util::Config cfg = config_from_options(capes, lustre::ClusterOptions{});
+  const CapesOptions back = capes_options_from_config(cfg);
+  EXPECT_EQ(back.transport.kind, bus::TransportKind::kSim);
+  EXPECT_EQ(back.transport.latency_ticks, 5);
+  EXPECT_DOUBLE_EQ(back.transport.jitter, 1.5);
+  EXPECT_DOUBLE_EQ(back.transport.drop, 0.05);
+  EXPECT_EQ(back.transport.seed, 9u);
+  EXPECT_TRUE(back.transport.seed_explicit);
+}
+
 TEST(ConfigIo, BaseOverridesPreserved) {
   CapesOptions base;
   base.reward_scale_mbs = 123.0;

@@ -458,6 +458,152 @@ TEST(Experiment, WorkerThreadsMatchSingleThreadedRun) {
   EXPECT_EQ(run(0), run(3));
 }
 
+// ---------------------------------------------------------------------------
+// Control-network transports
+// ---------------------------------------------------------------------------
+
+TEST(ExperimentBuilder, RejectsMalformedTransportSpec) {
+  std::string error;
+  auto exp = Experiment::builder()
+                 .workload("random:0.5")
+                 .transport("carrier-pigeon")
+                 .build(&error);
+  EXPECT_EQ(exp, nullptr);
+  EXPECT_NE(error.find("unknown transport"), std::string::npos) << error;
+  auto exp2 = Experiment::builder()
+                  .workload("random:0.5")
+                  .transport("sim:drop=1.5")
+                  .build(&error);
+  EXPECT_EQ(exp2, nullptr);
+  EXPECT_NE(error.find("drop"), std::string::npos) << error;
+}
+
+namespace {
+
+/// Everything seed-deterministic a run produces, flattened for equality
+/// comparison: per-tick rewards, throughput means, final parameters.
+std::vector<double> run_fingerprint(ExperimentBuilder builder) {
+  auto exp = builder.warmup_seconds(2).build();
+  EXPECT_NE(exp, nullptr);
+  exp->run_training(80);
+  const auto baseline = exp->run_baseline(30);
+  const auto tuned = exp->run_tuned(30);
+  std::vector<double> out = baseline.result.rewards;
+  out.insert(out.end(), tuned.result.rewards.begin(),
+             tuned.result.rewards.end());
+  out.push_back(baseline.throughput.mean);
+  out.push_back(tuned.throughput.mean);
+  const auto& params = exp->parameter_values();
+  out.insert(out.end(), params.begin(), params.end());
+  return out;
+}
+
+}  // namespace
+
+TEST(Experiment, SyncTransportBitIdenticalToDefaultBuild) {
+  // The refactor's acceptance pin: an explicit .transport("sync") — and
+  // therefore the bus-channel plumbing as a whole — must reproduce the
+  // no-.transport() build exactly. (That build in turn equals the
+  // pre-facade hand-wired stack via MatchesHandWiredStackAtSameSeed, so
+  // the chain pins sync mode to the pre-refactor goldens.)
+  const auto via_default = run_fingerprint(
+      Experiment::builder().preset(tiny_preset()).workload("random:0.1"));
+  const auto via_sync = run_fingerprint(Experiment::builder()
+                                            .preset(tiny_preset())
+                                            .workload("random:0.1")
+                                            .transport("sync"));
+  EXPECT_EQ(via_default, via_sync);
+}
+
+TEST(Experiment, SimTransportDeterministicAcrossRunsAndThreads) {
+  auto builder = [](std::size_t threads) {
+    return Experiment::builder()
+        .preset(tiny_preset())
+        .workload("random:0.2")
+        .add_cluster("seqwrite")
+        .transport("sim:latency_ticks=2,jitter=3,drop=0.1")
+        .worker_threads(threads);
+  };
+  const auto first = run_fingerprint(builder(0));
+  const auto second = run_fingerprint(builder(0));
+  const auto pooled = run_fingerprint(builder(4));
+  EXPECT_EQ(first, second);  // deterministic across runs
+  EXPECT_EQ(first, pooled);  // and across worker-thread counts
+}
+
+TEST(Experiment, SimTransportSeedSelectsTheNetworkRealization) {
+  auto fingerprint = [](const std::string& spec) {
+    return run_fingerprint(Experiment::builder()
+                               .preset(tiny_preset())
+                               .workload("random:0.2")
+                               .transport(spec));
+  };
+  EXPECT_NE(fingerprint("sim:drop=0.2,seed=1"),
+            fingerprint("sim:drop=0.2,seed=2"));
+}
+
+TEST(Experiment, SimTransportWithSustainedDropStillTrainsAndReportsIt) {
+  // The ReplayDb missing-tolerance satellite: under sustained drop the
+  // observation stack has holes, minibatches skip incomplete ticks, and
+  // training must still make steps — with the loss visible in the
+  // PhaseReport counters.
+  auto exp = Experiment::builder()
+                 .preset(tiny_preset())
+                 .workload("random:0.1")
+                 .transport("sim:latency_ticks=1,jitter=2,drop=0.15")
+                 .warmup_seconds(2)
+                 .build();
+  ASSERT_NE(exp, nullptr);
+  const auto training = exp->run_training(120);
+  EXPECT_GT(training.result.train_steps, 0u);  // still trains
+  EXPECT_GT(training.result.messages_dropped, 0u);
+  EXPECT_GT(training.result.messages_late, 0u);
+  const auto baseline = exp->run_baseline(30);
+  EXPECT_GT(baseline.result.messages_dropped, 0u);  // counters are per phase
+  // The sync default reports clean channels.
+  auto sync_exp = Experiment::builder()
+                      .preset(tiny_preset())
+                      .workload("random:0.1")
+                      .warmup_seconds(2)
+                      .build();
+  ASSERT_NE(sync_exp, nullptr);
+  const auto sync_training = sync_exp->run_training(30);
+  EXPECT_EQ(sync_training.result.messages_dropped, 0u);
+  EXPECT_EQ(sync_training.result.messages_late, 0u);
+}
+
+TEST(ExperimentBuilder, RejectsUnknownTransportSchemeInConfigFile) {
+  // A typo'd scheme in a conf file must be a build() error, not a
+  // silent perfect-network fallback (same bar as the --transport path).
+  const auto path =
+      (std::filesystem::temp_directory_path() / "capes_transport.conf")
+          .string();
+  {
+    std::ofstream out(path);
+    out << "capes.transport = simulated\n";
+  }
+  std::string error;
+  auto exp = Experiment::builder()
+                 .workload("random:0.5")
+                 .config_file(path)
+                 .build(&error);
+  EXPECT_EQ(exp, nullptr);
+  EXPECT_NE(error.find("capes.transport"), std::string::npos) << error;
+  // The valid schemes still pass through the same file.
+  {
+    std::ofstream out(path);
+    out << "capes.transport = sim\ncapes.transport.drop = 0.1\n";
+  }
+  auto sim_exp = Experiment::builder()
+                     .workload("random:0.5")
+                     .config_file(path)
+                     .build(&error);
+  ASSERT_NE(sim_exp, nullptr) << error;
+  EXPECT_EQ(sim_exp->preset().capes.transport.kind, bus::TransportKind::kSim);
+  EXPECT_DOUBLE_EQ(sim_exp->preset().capes.transport.drop, 0.1);
+  std::filesystem::remove(path);
+}
+
 TEST(Experiment, SwitchWorkloadOnSpecificDomain) {
   auto exp = Experiment::builder()
                  .preset(tiny_preset())

@@ -13,6 +13,7 @@
 #include <optional>
 #include <string>
 
+#include "bus/transport.hpp"
 #include "core/experiment.hpp"
 #include "util/parse.hpp"
 #include "workload/registry.hpp"
@@ -31,6 +32,9 @@ struct Args {
   /// Unset means "the preset/conf decides", so an explicit --threads=0
   /// can force the single-threaded path over a conf file's setting.
   std::optional<std::int64_t> threads;
+  /// --transport=sync|sim[:latency_ticks=..,jitter=..,drop=..,seed=..].
+  /// Unset means "the preset/conf decides" (sync by default).
+  std::optional<std::string> transport;
   std::string conf;
   std::string csv_prefix;
   std::string model_out;
@@ -98,6 +102,17 @@ ParseOutcome parse_args(int argc, char** argv, Args* args) {
         return ParseOutcome::kError;
       }
       args->threads = threads;
+    } else if (parse_flag(argv[i], "--transport", &value)) {
+      // Validate eagerly so an unknown scheme or malformed option list is
+      // a usage error (exit 2) before any experiment work starts.
+      bus::TransportOptions parsed;
+      std::string transport_error;
+      if (!bus::parse_transport_spec(value, &parsed, &transport_error)) {
+        std::fprintf(stderr, "invalid value for --transport: %s\n",
+                     transport_error.c_str());
+        return ParseOutcome::kError;
+      }
+      args->transport = value;
     } else if (parse_flag(argv[i], "--conf", &value)) {
       args->conf = value;
     } else if (parse_flag(argv[i], "--csv", &value)) {
@@ -147,6 +162,8 @@ void print_usage() {
   std::printf(
       "usage: capes_run [--workload=%s (with optional :spec args)]...\n"
       "                 [--clusters=N] [--threads=N]\n"
+      "                 [--transport=sync|sim[:latency_ticks=N,jitter=X,"
+      "drop=P,seed=N]]\n"
       "                 [--conf=FILE] [--train-ticks=N] [--eval-ticks=N]\n"
       "                 [--csv=PREFIX] [--model=FILE] [--load-model=FILE]\n"
       "                 [--seed=N] [--monitor-servers] [--tune-write-cache]\n"
@@ -155,7 +172,10 @@ void print_usage() {
       "Repeat --workload to tune several clusters (one control domain each)\n"
       "with one shared DRL brain, or use --clusters=N to replicate a single\n"
       "spec across N identically configured clusters. --threads=N fans the\n"
-      "per-tick sampling/training hot path out over N worker threads.\n",
+      "per-tick sampling/training hot path out over N worker threads.\n"
+      "--transport=sim puts the agent<->daemon hops on a simulated control\n"
+      "network (seeded latency/jitter/drop); the default sync transport\n"
+      "delivers every message within its tick.\n",
       registered_names_joined().c_str());
 }
 
@@ -213,6 +233,7 @@ int main(int argc, char** argv) {
   if (args.threads) {
     builder.worker_threads(static_cast<std::size_t>(*args.threads));
   }
+  if (args.transport) builder.transport(*args.transport);
   if (args.seed) builder.seed(*args.seed);
   if (!args.conf.empty()) builder.config_file(args.conf);
   if (!args.csv_prefix.empty()) {
@@ -285,6 +306,17 @@ int main(int argc, char** argv) {
                 report.final_parameters[i]);
   }
   std::printf("\n");
+
+  if (experiment->preset().capes.transport.kind == bus::TransportKind::kSim) {
+    std::uint64_t dropped = 0, late = 0;
+    for (const auto& phase : report.phases) {
+      dropped += phase.result.messages_dropped;
+      late += phase.result.messages_late;
+    }
+    std::printf("control network (sim): %llu messages dropped, %llu late\n",
+                static_cast<unsigned long long>(dropped),
+                static_cast<unsigned long long>(late));
+  }
 
   if (!args.model_out.empty() && experiment->save_model(args.model_out)) {
     std::printf("model saved to %s\n", args.model_out.c_str());

@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# Runs the control-network transport bench and emits BENCH_transport.json
+# (training ticks/sec: sync vs sim at drop=0, so the delta is pure bus
+# overhead).
+#
+#   tools/run_transport_bench.sh [build_dir] [output.json]
+#
+# Tunables via environment:
+#   CAPES_BENCH_TICKS    training ticks per measured point (default 400)
+#   CAPES_BENCH_THREADS  worker threads (default 0 = single-threaded)
+set -eu
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_transport.json}"
+BENCH="$BUILD_DIR/bench/ext_transport"
+
+if [ ! -x "$BENCH" ]; then
+  echo "error: $BENCH not built (cmake --build $BUILD_DIR --target ext_transport)" >&2
+  exit 1
+fi
+
+set -- --ticks="${CAPES_BENCH_TICKS:-400}" --json="$OUT"
+if [ -n "${CAPES_BENCH_THREADS:-}" ]; then
+  set -- "$@" --threads="$CAPES_BENCH_THREADS"
+fi
+"$BENCH" "$@"
