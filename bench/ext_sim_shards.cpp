@@ -1,0 +1,161 @@
+// Sharded-event-loop bench: training ticks/sec of one CapesSystem
+// driving 1/2/4/8 replicated control domains with the simulator event
+// loop serial (one queue, --sim-shards=1) vs sharded (one queue per
+// domain, advanced concurrently on the worker pool between sampling
+// ticks). Both sides use the same worker pool for the rest of the hot
+// path, so the delta is pure event-loop sharding. Results are
+// bit-identical either way (pinned by tests/integration/
+// test_sim_shards.cpp); this bench measures the speed.
+//
+//   ./build/bench/ext_sim_shards [--ticks=N] [--threads=N] [--json=FILE]
+//
+// --json writes a machine-readable summary; tools/run_simshards_bench.sh
+// wraps this into BENCH_simshards.json for CI artifacts. Speedups track
+// the host's core count: on a single-core machine the sharded loop
+// cannot beat the serial one (~1.0x, the bench says so).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "util/parse.hpp"
+
+using namespace capes;
+using util::parse_flag;
+
+namespace {
+
+constexpr std::size_t kDomainCounts[] = {1, 2, 4, 8};
+
+struct Sample {
+  std::size_t domains = 0;
+  std::size_t shards = 0;
+  double ticks_per_sec_serial = 0.0;
+  double ticks_per_sec_sharded = 0.0;
+  double speedup() const {
+    return ticks_per_sec_serial > 0.0
+               ? ticks_per_sec_sharded / ticks_per_sec_serial
+               : 0.0;
+  }
+};
+
+/// Train `ticks` on `domains` replicated clusters with `sim_shards`
+/// event queues (1 = serial, 0 = auto/per-domain); returns ticks/sec
+/// and fills *shards_used.
+double measure(std::size_t domains, std::int64_t ticks, std::size_t threads,
+               std::size_t sim_shards, std::size_t* shards_used) {
+  auto builder = core::Experiment::builder()
+                     .seed(11)
+                     .workload(benchutil::random_spec(0.5))
+                     .warmup_seconds(2)
+                     .worker_threads(threads)
+                     .sim_shards(sim_shards);
+  for (std::size_t d = 1; d < domains; ++d) {
+    builder.add_cluster(benchutil::random_spec(0.5));
+  }
+  auto experiment = benchutil::build_or_die(std::move(builder));
+  *shards_used = experiment->simulator().num_shards();
+  // Fill the replay DB far enough that every measured tick runs full
+  // minibatch training (the steady-state hot path, not the ramp-up).
+  experiment->run_training(
+      static_cast<std::int64_t>(
+          experiment->preset().capes.replay.ticks_per_observation) +
+      40);
+
+  const auto start = std::chrono::steady_clock::now();
+  experiment->run_training(ticks);
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  return static_cast<double>(ticks) / elapsed.count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::int64_t ticks = 150;
+  std::size_t threads =
+      std::min<std::size_t>(8, std::thread::hardware_concurrency());
+  if (threads == 0) threads = 2;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (parse_flag(argv[i], "--ticks", &value)) {
+      if (!util::parse_i64(value, &ticks) || ticks <= 0) {
+        std::fprintf(stderr, "--ticks must be a positive integer, got '%s'\n",
+                     value.c_str());
+        return 2;
+      }
+    } else if (parse_flag(argv[i], "--threads", &value)) {
+      std::int64_t parsed = 0;
+      if (!util::parse_i64(value, &parsed) || parsed <= 0) {
+        std::fprintf(stderr, "--threads must be a positive integer, got '%s'\n",
+                     value.c_str());
+        return 2;
+      }
+      threads = static_cast<std::size_t>(parsed);
+    } else if (parse_flag(argv[i], "--json", &value)) {
+      json_path = value;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  benchutil::print_header("sharded simulator event loop (ticks/sec, training)");
+  std::printf("%lld training ticks per point, pool of %zu worker threads, "
+              "%u hardware threads\n\n",
+              static_cast<long long>(ticks), threads,
+              std::thread::hardware_concurrency());
+  std::printf("%8s %8s %14s %14s %9s\n", "domains", "shards", "serial t/s",
+              "sharded t/s", "speedup");
+
+  std::vector<Sample> samples;
+  for (std::size_t domains : kDomainCounts) {
+    Sample s;
+    s.domains = domains;
+    std::size_t shards_used = 0;
+    s.ticks_per_sec_serial = measure(domains, ticks, threads, 1, &shards_used);
+    s.ticks_per_sec_sharded = measure(domains, ticks, threads, 0, &s.shards);
+    std::printf("%8zu %8zu %14.1f %14.1f %8.2fx\n", s.domains, s.shards,
+                s.ticks_per_sec_serial, s.ticks_per_sec_sharded, s.speedup());
+    std::fflush(stdout);
+    samples.push_back(s);
+  }
+  if (std::thread::hardware_concurrency() <= 1) {
+    std::printf("\nnote: single hardware thread — shard speedup is expected "
+                "to be ~1.0 here; run on a multi-core host.\n");
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\n  \"bench\": \"ext_sim_shards\",\n"
+        << "  \"ticks\": " << ticks << ",\n"
+        << "  \"pool_threads\": " << threads << ",\n"
+        << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+        << ",\n  \"results\": [\n";
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      const Sample& s = samples[i];
+      char line[256];
+      std::snprintf(line, sizeof(line),
+                    "    {\"domains\": %zu, \"shards\": %zu, "
+                    "\"ticks_per_sec_serial\": %.2f, "
+                    "\"ticks_per_sec_sharded\": %.2f, \"speedup\": %.3f}%s\n",
+                    s.domains, s.shards, s.ticks_per_sec_serial,
+                    s.ticks_per_sec_sharded, s.speedup(),
+                    i + 1 < samples.size() ? "," : "");
+      out << line;
+    }
+    out << "  ]\n}\n";
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -120,6 +120,29 @@ CapesSystem::CapesSystem(sim::Simulator& sim,
     pool_ = std::make_unique<util::ThreadPool>(opts_.worker_threads);
   }
 
+  // CapesOptions::sim_shards is a request the hosting context satisfies
+  // by sharding the simulator *before* constructing the system (the
+  // builder does; direct callers use Simulator::configure_shards). A
+  // request that was never honored would silently run the serial loop,
+  // so fail fast like the other constructor preconditions.
+  const std::size_t shards_requested =
+      opts_.sim_shards == 0 ? domains_.size() : opts_.sim_shards;
+  if (shards_requested > 1 && sim_.num_shards() == 1) {
+    std::fprintf(stderr,
+                 "CapesSystem: sim_shards = %zu requested but the simulator "
+                 "has one shard; call Simulator::configure_shards first\n",
+                 shards_requested);
+    std::abort();
+  }
+
+  // Every domain owns one shard of the (possibly sharded) simulator
+  // event loop, so barrier-time calls into its target system route their
+  // scheduling to the right queue. With an unsharded simulator this
+  // binds everything to shard 0 — the original behavior.
+  for (auto& domain : domains_) {
+    domain->attach_sim_shard(&sim_, domain->index() % sim_.num_shards());
+  }
+
   for (auto& domain : domains_) {
     for (std::size_t n = 0; n < domain->num_nodes(); ++n) {
       auto agent = std::make_unique<MonitoringAgent>(
@@ -198,6 +221,9 @@ void CapesSystem::on_sampling_tick(RunResult& result, RunPhase mode) {
   double latency_sum = 0.0;
   double reward_sum = 0.0;
   for (auto& domain : domains_) {
+    // Bind the domain's shard: sampling is read-only today, but any
+    // event an adapter ever schedules from here belongs in its queue.
+    const auto binding = domain->bind_sim_shard();
     const PerfSample perf = domain->adapter().sample_performance();
     const double domain_reward = domain->objective()(perf);
     domain->set_last_sample(perf, domain_reward);
@@ -259,7 +285,12 @@ RunResult CapesSystem::run_phase(std::int64_t ticks, RunPhase mode) {
   const bus::ChannelStats bus_before = daemon_->bus_stats();
   const auto tick_us = sim::seconds(opts_.sampling_tick_s);
   for (std::int64_t i = 0; i < ticks; ++i) {
-    sim_.run_for(tick_us);
+    // One sampling tick: every simulator shard advances to the tick
+    // boundary (concurrently when there is a pool and more than one
+    // shard), and run_for returns only at the time-synced barrier —
+    // after which the daemon drains, the engine acts, and delayed
+    // broadcasts land, all single-threaded again.
+    sim_.run_for(tick_us, pool_.get());
     on_sampling_tick(result, mode);
   }
   result.end_tick = tick_;

@@ -65,6 +65,18 @@ struct CapesOptions {
   /// explicitly set, it derives from the engine seed so one experiment
   /// seed also fixes the network realization.
   bus::TransportOptions transport;
+  /// Simulator event-loop shards: how many per-domain event queues the
+  /// hosting simulator is partitioned into. 1 (the default) keeps the
+  /// serial single-queue loop; 0 means "auto" — one shard per control
+  /// domain; N caps the shard count (domains map to shard d % N). Between
+  /// sampling ticks domains only interact through bus channel publishes,
+  /// so shards advance independently — concurrently when worker_threads
+  /// gives them a pool — and rejoin at a time-synced barrier every tick,
+  /// bit-identical to the serial loop for a fixed seed. ExperimentBuilder
+  /// resolves this against the domain count and configures the simulator;
+  /// callers wiring CapesSystem onto their own Simulator shard it
+  /// themselves (sim::Simulator::configure_shards / bind_shard).
+  std::size_t sim_shards = 1;
 };
 
 /// The §A.4 run phases. kIdle only ever appears as "no phase running".

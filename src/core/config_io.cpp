@@ -14,6 +14,18 @@ CapesOptions capes_options_from_config(const util::Config& cfg,
   o.worker_threads = static_cast<std::size_t>(std::max<std::int64_t>(
       0, cfg.get_int("capes.worker_threads",
                      static_cast<std::int64_t>(o.worker_threads))));
+  // Simulator event-loop sharding: "auto" (or 0) = one event queue per
+  // control domain; N >= 1 caps the queue count (1 = the serial loop).
+  // Negatives clamp to the serial loop, like every other overlay key.
+  if (const auto shards = cfg.get("capes.sim.shards")) {
+    if (*shards == "auto") {
+      o.sim_shards = 0;
+    } else {
+      const std::int64_t n = cfg.get_int(
+          "capes.sim.shards", static_cast<std::int64_t>(o.sim_shards));
+      o.sim_shards = n < 0 ? 1 : static_cast<std::size_t>(n);
+    }
+  }
 
   // Control-network transport. "capes.transport" names the scheme; the
   // sim knobs mirror the CLI spec options. Out-of-range values clamp to
@@ -130,6 +142,12 @@ util::Config config_from_options(const CapesOptions& capes,
   cfg.set("capes.replay_db_dir", capes.replay_db_dir);
   cfg.set_int("capes.worker_threads",
               static_cast<std::int64_t>(capes.worker_threads));
+  if (capes.sim_shards == 0) {
+    cfg.set("capes.sim.shards", "auto");
+  } else {
+    cfg.set_int("capes.sim.shards",
+                static_cast<std::int64_t>(capes.sim_shards));
+  }
   cfg.set("capes.transport",
           capes.transport.kind == bus::TransportKind::kSim ? "sim" : "sync");
   cfg.set_int("capes.transport.latency_ticks", capes.transport.latency_ticks);

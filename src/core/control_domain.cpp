@@ -26,6 +26,9 @@ ControlDomain::ControlDomain(std::size_t index, std::string name,
 
 void ControlDomain::reset_parameters() {
   param_values_ = space_.initial_values();
+  // set_parameters may schedule (e.g. a rate-limit change re-arming a
+  // cluster's send loop) — keep those events in this domain's shard.
+  const auto binding = bind_sim_shard();
   adapter_.set_parameters(param_values_);
 }
 

@@ -24,6 +24,7 @@
 #include "core/monitoring_agent.hpp"
 #include "core/objective.hpp"
 #include "rl/action_space.hpp"
+#include "sim/simulator.hpp"
 
 namespace capes::core {
 
@@ -87,6 +88,26 @@ class ControlDomain {
   /// Reset to initial values and push them into the target system.
   void reset_parameters();
 
+  // ---- simulator shard (wired by CapesSystem) ----------------------------
+  /// This domain's shard of the sharded simulator event loop. Barrier-time
+  /// calls into the domain's target system (parameter application,
+  /// workload restarts) can schedule follow-up events from outside any
+  /// executing event; binding the owned shard routes them into this
+  /// domain's queue instead of shard 0.
+  void attach_sim_shard(const sim::Simulator* sim, std::size_t shard) {
+    sim_ = sim;
+    sim_shard_ = shard;
+  }
+  std::size_t sim_shard() const { return sim_shard_; }
+  /// Scoped binding of the owned shard; inactive (a no-op) when no shard
+  /// was attached or the simulator is unsharded.
+  sim::Simulator::ShardBinding bind_sim_shard() const {
+    if (sim_ == nullptr || sim_->num_shards() == 1) {
+      return sim::Simulator::no_binding();
+    }
+    return sim_->bind_shard(sim_shard_);
+  }
+
   // ---- agents (wired by CapesSystem) -------------------------------------
   void add_monitoring_agent(std::unique_ptr<MonitoringAgent> agent);
   void add_control_agent(std::unique_ptr<ControlAgent> agent);
@@ -109,6 +130,8 @@ class ControlDomain {
  private:
   std::size_t index_;
   std::string name_;
+  const sim::Simulator* sim_ = nullptr;
+  std::size_t sim_shard_ = 0;
   TargetSystemAdapter& adapter_;
   ObjectiveFunction objective_;
   rl::ActionSpace space_;

@@ -1,5 +1,6 @@
 #include "core/experiment.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -7,6 +8,7 @@
 
 #include "core/config_io.hpp"
 #include "util/config.hpp"
+#include "util/parse.hpp"
 #include "workload/registry.hpp"
 
 namespace capes::core {
@@ -99,6 +101,11 @@ ExperimentBuilder& ExperimentBuilder::add_cluster(TargetSystemAdapter& a) {
 
 ExperimentBuilder& ExperimentBuilder::worker_threads(std::size_t threads) {
   worker_threads_ = threads;
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::sim_shards(std::size_t shards) {
+  sim_shards_ = shards;
   return *this;
 }
 
@@ -224,6 +231,18 @@ std::unique_ptr<Experiment> ExperimentBuilder::build(std::string* error) {
                       "' (expected sync or sim)");
       return nullptr;
     }
+    // Same strictness for the shard count: a typo'd "auto" must not
+    // silently fall back to the serial loop.
+    if (const auto shards = cfg.get("capes.sim.shards");
+        shards && *shards != "auto") {
+      std::int64_t parsed = 0;
+      if (!util::parse_i64(*shards, &parsed)) {
+        fail(error, "config file '" + config_file_ +
+                        "': invalid capes.sim.shards '" + *shards +
+                        "' (expected auto or an integer)");
+        return nullptr;
+      }
+    }
     preset.capes = capes_options_from_config(cfg, preset.capes);
     preset.cluster = cluster_options_from_config(cfg, preset.cluster);
   }
@@ -251,16 +270,7 @@ std::unique_ptr<Experiment> ExperimentBuilder::build(std::string* error) {
   if (seed_) apply_seed(&preset, *seed_);
   if (replay_db_dir_) preset.capes.replay_db_dir = *replay_db_dir_;
   if (worker_threads_) preset.capes.worker_threads = *worker_threads_;
-
-  std::unique_ptr<Experiment> exp(new Experiment());
-  exp->preset_ = preset;
-  exp->warmup_seconds_ = warmup_seconds_;
-  exp->default_train_ticks_ =
-      train_ticks_ >= 0 ? train_ticks_ : preset.train_ticks_long;
-  exp->default_eval_ticks_ =
-      eval_ticks_ >= 0 ? eval_ticks_ : preset.eval_ticks;
-
-  exp->sim_ = std::make_unique<sim::Simulator>();
+  if (sim_shards_) preset.capes.sim_shards = *sim_shards_;
 
   // Domain plan: domain 0 from workload()/adapter(), then every
   // add_cluster() in call order (add_cluster() alone starts at domain 0).
@@ -278,13 +288,41 @@ std::unique_ptr<Experiment> ExperimentBuilder::build(std::string* error) {
     plan.push_back({extra.workload_spec, extra.adapter});
   }
 
+  // Resolve the event-loop shard count against the domain count: "auto"
+  // (0) means one queue per domain, and no request can exceed the domain
+  // count (an idle extra queue would only add barrier work). The preset
+  // records the resolved count so Experiment::preset() reports what
+  // actually runs.
+  preset.capes.sim_shards =
+      preset.capes.sim_shards == 0
+          ? plan.size()
+          : std::min(preset.capes.sim_shards, plan.size());
+  if (preset.capes.sim_shards < 1) preset.capes.sim_shards = 1;
+
+  std::unique_ptr<Experiment> exp(new Experiment());
+  exp->preset_ = preset;
+  exp->warmup_seconds_ = warmup_seconds_;
+  exp->default_train_ticks_ =
+      train_ticks_ >= 0 ? train_ticks_ : preset.train_ticks_long;
+  exp->default_eval_ticks_ =
+      eval_ticks_ >= 0 ? eval_ticks_ : preset.eval_ticks;
+
+  exp->sim_ = std::make_unique<sim::Simulator>();
+  exp->sim_->configure_shards(preset.capes.sim_shards);
+
   std::vector<ControlDomainSpec> specs;
   specs.reserve(plan.size());
   for (std::size_t d = 0; d < plan.size(); ++d) {
     Experiment::DomainRuntime runtime;
+    runtime.shard = d % preset.capes.sim_shards;
     if (plan[d].adapter != nullptr) {
       runtime.adapter = plan[d].adapter;
     } else {
+      // Bind this domain's shard while the cluster wires itself up and
+      // the generator starts: every event they schedule from outside the
+      // event loop lands in the domain's own queue (follow-ups scheduled
+      // by running events stay in the executing queue automatically).
+      const auto binding = exp->sim_->bind_shard(runtime.shard);
       lustre::ClusterOptions cluster_opts = preset.cluster;
       cluster_opts.seed = domain_cluster_seed(cluster_opts.seed, d);
       runtime.cluster =
@@ -355,7 +393,7 @@ void Experiment::ensure_warmed_up() {
   if (warmed_up_) return;
   warmed_up_ = true;
   if (warmup_seconds_ > 0.0) {
-    sim_->run_for(sim::seconds(warmup_seconds_));
+    sim_->run_for(sim::seconds(warmup_seconds_), system_->worker_pool());
   }
 }
 
@@ -445,6 +483,10 @@ bool Experiment::switch_workload(std::size_t domain, const std::string& spec,
     return false;
   }
   DomainRuntime& runtime = domain_runtimes_[domain];
+  // Bind this domain's shard across create+start, like build() does: a
+  // generator that schedules from its constructor must land in the
+  // domain's queue too.
+  const auto binding = sim_->bind_shard(runtime.shard);
   auto next =
       workload::Registry::instance().create(spec, *runtime.cluster, error);
   if (!next) return false;

@@ -121,6 +121,15 @@ class ExperimentBuilder {
   /// Worker threads for the hot per-tick path (0 = single-threaded;
   /// see CapesOptions::worker_threads).
   ExperimentBuilder& worker_threads(std::size_t threads);
+  /// Simulator event-loop shards: 1 (the default) is the serial
+  /// single-queue loop, 0 means "auto" (one event queue per control
+  /// domain), N caps the queue count (domains map to shard d % N; the
+  /// request also caps at the domain count). Shards advance concurrently
+  /// on the worker_threads() pool between sampling ticks and meet a
+  /// time-synced barrier at every tick — bit-identical to the serial
+  /// loop for a fixed seed (see CapesOptions::sim_shards). Conf key:
+  /// capes.sim.shards.
+  ExperimentBuilder& sim_shards(std::size_t shards);
   /// Control-network transport for the agent <-> daemon hops, as a spec
   /// string: "sync" (immediate delivery, the default — bit-identical to
   /// builds that never call transport()) or
@@ -173,6 +182,7 @@ class ExperimentBuilder {
   TargetSystemAdapter* adapter_ = nullptr;
   std::vector<ExtraDomain> extra_domains_;
   std::optional<std::size_t> worker_threads_;
+  std::optional<std::size_t> sim_shards_;
   std::optional<std::string> transport_spec_;
   std::optional<bus::TransportOptions> transport_options_;
   std::optional<CapesOptions> capes_options_;
@@ -291,6 +301,10 @@ class Experiment {
     std::unique_ptr<lustre::Cluster> cluster;
     std::unique_ptr<workload::Workload> workload;
     TargetSystemAdapter* adapter = nullptr;
+    /// The simulator shard this domain's events live in (shard 0 when
+    /// the event loop is unsharded). Workload (re)starts bind it so
+    /// their generator chains land in the right queue.
+    std::size_t shard = 0;
   };
   std::vector<DomainRuntime> domain_runtimes_;
   /// Generators replaced by switch_workload, kept alive until their

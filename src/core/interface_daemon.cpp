@@ -22,6 +22,16 @@ constexpr std::uint64_t kActionTopicBase = 2;
 /// guards against a pathological transport configuration.
 constexpr std::size_t kActionChannelCapacity = 1024;
 
+/// Applying a checked action runs the target system's parameter setters,
+/// which may schedule follow-up events (e.g. a cluster re-arming its
+/// send loop); binding the owning domain's simulator shard keeps them in
+/// its queue, not shard 0. Domain-less shards (the legacy single-shard
+/// constructor) have nothing to bind.
+sim::Simulator::ShardBinding bind_domain_shard(const ControlDomain* domain) {
+  return domain != nullptr ? domain->bind_sim_shard()
+                           : sim::Simulator::no_binding();
+}
+
 }  // namespace
 
 InterfaceDaemon::InterfaceDaemon(rl::ReplayDb& replay,
@@ -111,6 +121,7 @@ std::size_t InterfaceDaemon::drain_actions(std::int64_t t) {
   std::size_t delivered = 0;
   for (Shard& shard : shards_) {
     if (!shard.actions) continue;
+    const auto binding = bind_domain_shard(shard.domain);
     delivered += shard.actions->drain(
         t, [&shard](const bus::Message<std::vector<double>>& msg) {
           for (ControlAgent* agent : shard.control_agents) {
@@ -147,6 +158,7 @@ std::size_t InterfaceDaemon::apply_checked_action(
       shard.actions->publish(shard.domain ? shard.domain->index() : 0, t,
                              parameter_values);
     } else {
+      const auto binding = bind_domain_shard(shard.domain);
       for (ControlAgent* agent : shard.control_agents) {
         agent->on_action_message(parameter_values);
       }

@@ -1,0 +1,59 @@
+#include "sim/event_queue.hpp"
+
+#include <memory>
+
+namespace capes::sim {
+
+thread_local EventQueue* EventQueue::current_ = nullptr;
+
+void EventQueue::schedule_at(TimeUs t, std::function<void()> fn) {
+  if (t < now_) t = now_;
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void EventQueue::schedule_in(TimeUs delay, std::function<void()> fn) {
+  schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+}
+
+std::size_t EventQueue::run_until(TimeUs t_end) {
+  const ScopedCurrent scope(this);
+  std::size_t ran = 0;
+  while (!queue_.empty() && queue_.top().time <= t_end) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ev.fn();
+    ++ran;
+  }
+  executed_ += ran;
+  if (now_ < t_end) now_ = t_end;
+  return ran;
+}
+
+bool EventQueue::step() {
+  if (queue_.empty()) return false;
+  const ScopedCurrent scope(this);
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.time;
+  ev.fn();
+  ++executed_;
+  return true;
+}
+
+void EventQueue::schedule_periodic(
+    TimeUs t, TimeUs period, std::int64_t index,
+    std::shared_ptr<std::function<void(std::int64_t)>> fn) {
+  schedule_at(t, [this, t, period, index, fn] {
+    (*fn)(index);
+    schedule_periodic(t + period, period, index + 1, fn);
+  });
+}
+
+void EventQueue::every(TimeUs start, TimeUs period,
+                       std::function<void(std::int64_t)> fn) {
+  auto shared = std::make_shared<std::function<void(std::int64_t)>>(std::move(fn));
+  schedule_periodic(start, period, 0, shared);
+}
+
+}  // namespace capes::sim

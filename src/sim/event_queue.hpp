@@ -1,0 +1,125 @@
+#pragma once
+// One discrete-event queue: the unit the sharded simulator schedules on.
+// Time is an int64 count of microseconds since simulation start. Events
+// fire in (time, insertion order); handlers may schedule further events.
+//
+// Extracted from the original monolithic Simulator so that independent
+// control domains can each own a queue and advance concurrently between
+// sampling ticks (see sim/simulator.hpp for the shard host and the
+// barrier protocol). A queue is single-threaded by construction: exactly
+// one thread runs run_until()/step() at a time, and every event executed
+// by a queue schedules follow-ups into that same queue via the
+// thread-local current() pointer the Simulator routes through.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+namespace capes::sim {
+
+using TimeUs = std::int64_t;
+
+constexpr TimeUs kUsPerMs = 1000;
+constexpr TimeUs kUsPerSec = 1000 * 1000;
+
+/// Convert seconds (double) to simulation microseconds.
+inline TimeUs seconds(double s) {
+  return static_cast<TimeUs>(s * static_cast<double>(kUsPerSec));
+}
+
+class EventQueue {
+ public:
+  /// next_event_time() when the queue is empty.
+  static constexpr TimeUs kNoEvent = INT64_MAX;
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  TimeUs now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `t` (>= now, else it fires "now").
+  void schedule_at(TimeUs t, std::function<void()> fn);
+
+  /// Schedule `fn` after `delay` microseconds.
+  void schedule_in(TimeUs delay, std::function<void()> fn);
+
+  /// Run until the queue is empty or simulated time would pass `t_end`.
+  /// Events exactly at t_end are executed, and the clock lands on t_end
+  /// even when the queue drains early (the time-synced barrier every
+  /// shard meets at a sampling tick). Returns the number of events run.
+  std::size_t run_until(TimeUs t_end);
+
+  /// Advance the clock by `duration` from now.
+  std::size_t run_for(TimeUs duration) { return run_until(now_ + duration); }
+
+  /// Run a single event; returns false when the queue is empty.
+  bool step();
+
+  /// Timestamp of the next pending event, kNoEvent when empty.
+  TimeUs next_event_time() const {
+    return queue_.empty() ? kNoEvent : queue_.top().time;
+  }
+
+  std::size_t pending_events() const { return queue_.size(); }
+  std::size_t executed_events() const { return executed_; }
+
+  /// Register a callback invoked every `period` starting at `start`
+  /// (inclusive) until the simulation stops being run. Useful for sampling
+  /// ticks. The callback receives the tick index (0-based).
+  void every(TimeUs start, TimeUs period, std::function<void(std::int64_t)> fn);
+
+  /// The queue currently executing an event on this thread (null outside
+  /// run_until()/step()). Simulator::schedule_* routes through this so an
+  /// event's follow-ups always land in the shard that ran it, regardless
+  /// of which worker thread is advancing the shard.
+  static EventQueue* current() { return current_; }
+
+  /// Owner tag (the hosting Simulator). Routing checks it so that a call
+  /// into simulator B from an event executing in simulator A's shard
+  /// never lands in A's queue. Null for standalone queues.
+  void set_owner(const void* owner) { owner_ = owner; }
+  const void* owner() const { return owner_; }
+
+ private:
+  struct Event {
+    TimeUs time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Marks this queue as the thread's executing queue for a scope.
+  class ScopedCurrent {
+   public:
+    explicit ScopedCurrent(EventQueue* q) : previous_(current_) {
+      current_ = q;
+    }
+    ~ScopedCurrent() { current_ = previous_; }
+    ScopedCurrent(const ScopedCurrent&) = delete;
+    ScopedCurrent& operator=(const ScopedCurrent&) = delete;
+
+   private:
+    EventQueue* previous_;
+  };
+
+  void schedule_periodic(TimeUs t, TimeUs period, std::int64_t index,
+                         std::shared_ptr<std::function<void(std::int64_t)>> fn);
+
+  static thread_local EventQueue* current_;
+
+  const void* owner_ = nullptr;
+  TimeUs now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace capes::sim

@@ -1,55 +1,97 @@
 #include "sim/simulator.hpp"
 
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <utility>
+
+#include "util/thread_pool.hpp"
 
 namespace capes::sim {
 
-void Simulator::schedule_at(TimeUs t, std::function<void()> fn) {
-  if (t < now_) t = now_;
-  queue_.push(Event{t, next_seq_++, std::move(fn)});
+thread_local const Simulator* Simulator::bound_sim_ = nullptr;
+thread_local std::size_t Simulator::bound_shard_ = 0;
+
+Simulator::Simulator() {
+  shards_.push_back(std::make_unique<EventQueue>());
+  shards_[0]->set_owner(this);
 }
 
-void Simulator::schedule_in(TimeUs delay, std::function<void()> fn) {
-  schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(fn));
-}
-
-std::size_t Simulator::run_until(TimeUs t_end) {
-  std::size_t ran = 0;
-  while (!queue_.empty() && queue_.top().time <= t_end) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    now_ = ev.time;
-    ev.fn();
-    ++ran;
+void Simulator::configure_shards(std::size_t n) {
+  if (n < 1) n = 1;
+  if (pending_events() != 0 || executed_events() != 0 || now() != 0) {
+    std::fprintf(stderr,
+                 "Simulator::configure_shards: shards must be configured "
+                 "before any event is scheduled or the clock moves\n");
+    std::abort();
   }
-  executed_ += ran;
-  if (now_ < t_end) now_ = t_end;
-  return ran;
+  shards_.clear();
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<EventQueue>());
+    shards_.back()->set_owner(this);
+  }
+}
+
+Simulator::ShardBinding::~ShardBinding() {
+  if (active_) {
+    bound_sim_ = previous_sim_;
+    bound_shard_ = previous_shard_;
+  }
+}
+
+Simulator::ShardBinding Simulator::bind_shard(std::size_t shard) const {
+  if (shard >= shards_.size()) {
+    std::fprintf(stderr, "Simulator::bind_shard: shard %zu out of range (%zu)\n",
+                 shard, shards_.size());
+    std::abort();
+  }
+  ShardBinding binding(bound_sim_, bound_shard_);
+  bound_sim_ = this;
+  bound_shard_ = shard;
+  return binding;
+}
+
+std::size_t Simulator::run_until(TimeUs t_end, util::ThreadPool* pool) {
+  if (shards_.size() == 1) return shards_[0]->run_until(t_end);
+  // Per-slot tallies instead of an atomic sum: parallel_for hands each
+  // index to exactly one worker, so the writes never alias.
+  std::vector<std::size_t> ran(shards_.size(), 0);
+  if (pool != nullptr) {
+    pool->parallel_for(shards_.size(), [&](std::size_t i) {
+      ran[i] = shards_[i]->run_until(t_end);
+    });
+  } else {
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      ran[i] = shards_[i]->run_until(t_end);
+    }
+  }
+  std::size_t total = 0;
+  for (std::size_t n : ran) total += n;
+  return total;
 }
 
 bool Simulator::step() {
-  if (queue_.empty()) return false;
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
-  now_ = ev.time;
-  ev.fn();
-  ++executed_;
-  return true;
+  EventQueue* next = nullptr;
+  for (auto& shard : shards_) {
+    if (shard->next_event_time() == EventQueue::kNoEvent) continue;
+    if (next == nullptr || shard->next_event_time() < next->next_event_time()) {
+      next = shard.get();
+    }
+  }
+  return next != nullptr && next->step();
 }
 
-void Simulator::schedule_periodic(
-    TimeUs t, TimeUs period, std::int64_t index,
-    std::shared_ptr<std::function<void(std::int64_t)>> fn) {
-  schedule_at(t, [this, t, period, index, fn] {
-    (*fn)(index);
-    schedule_periodic(t + period, period, index + 1, fn);
-  });
+std::size_t Simulator::pending_events() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->pending_events();
+  return total;
 }
 
-void Simulator::every(TimeUs start, TimeUs period,
-                      std::function<void(std::int64_t)> fn) {
-  auto shared = std::make_shared<std::function<void(std::int64_t)>>(std::move(fn));
-  schedule_periodic(start, period, 0, shared);
+std::size_t Simulator::executed_events() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->executed_events();
+  return total;
 }
 
 }  // namespace capes::sim

@@ -1,81 +1,182 @@
 #pragma once
-// Discrete-event simulation engine. Time is an int64 count of microseconds
-// since simulation start. Events fire in (time, insertion order); handlers
-// may schedule further events. This engine hosts the simulated Lustre
-// cluster that substitutes for the paper's physical testbed.
+// Discrete-event simulation engine, sharded per control domain. This
+// engine hosts the simulated Lustre clusters that substitute for the
+// paper's physical testbed.
+//
+// A Simulator owns one or more sim::EventQueue shards. With one shard
+// (the default) it is exactly the original monolithic event loop. With
+// N shards, independent control domains schedule onto their own queues
+// and run_until()/run_for() advance every shard to the same target time
+// — concurrently on a util::ThreadPool when one is passed — meeting a
+// time-synced barrier at each sampling tick. Domains only interact
+// through bus channel publishes between ticks, so per-domain event
+// streams are identical to the serial interleaving and a sharded run is
+// bit-identical to the single-queue one for a fixed seed.
+//
+// Scheduling routes to the right shard without the lustre/workload
+// layers knowing shards exist:
+//  * an event's follow-up schedules land in the shard executing it
+//    (EventQueue::current(), a thread-local set while a queue runs);
+//  * setup code outside event execution (cluster construction, workload
+//    start) schedules into the shard bound via bind_shard(), shard 0
+//    when nothing is bound.
+// now() follows the same rule, so an executing event reads its shard's
+// clock and barrier-time code reads the common tick boundary.
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
+#include <utility>
 #include <vector>
+
+#include "sim/event_queue.hpp"
+
+namespace capes::util {
+class ThreadPool;
+}
 
 namespace capes::sim {
 
-using TimeUs = std::int64_t;
-
-constexpr TimeUs kUsPerMs = 1000;
-constexpr TimeUs kUsPerSec = 1000 * 1000;
-
-/// Convert seconds (double) to simulation microseconds.
-inline TimeUs seconds(double s) {
-  return static_cast<TimeUs>(s * static_cast<double>(kUsPerSec));
-}
-
-/// Event-queue simulator.
+/// Event-queue simulator (a host of one or more EventQueue shards).
 class Simulator {
  public:
-  Simulator() = default;
+  Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
-  TimeUs now() const { return now_; }
+  // ---- sharding ----------------------------------------------------------
+
+  /// Repartition the event space into `n` queues (n < 1 reads as 1).
+  /// Only legal on a pristine simulator — before any event has been
+  /// scheduled or the clock moved — because existing events cannot be
+  /// reassigned to shards; misuse aborts (this codebase is
+  /// exception-free).
+  void configure_shards(std::size_t n);
+
+  std::size_t num_shards() const { return shards_.size(); }
+  EventQueue& shard(std::size_t i) { return *shards_[i]; }
+  const EventQueue& shard(std::size_t i) const { return *shards_[i]; }
+
+  /// Scoped default-shard binding for scheduling done outside event
+  /// execution (cluster construction, workload start/switch, barrier-time
+  /// parameter application). The binding is thread-local, so barrier code
+  /// running on worker threads can bind without racing other threads;
+  /// destruction restores the previous binding.
+  class [[nodiscard]] ShardBinding {
+   public:
+    ~ShardBinding();
+    ShardBinding(ShardBinding&& other) noexcept
+        : active_(other.active_),
+          previous_sim_(other.previous_sim_),
+          previous_shard_(other.previous_shard_) {
+      other.active_ = false;
+    }
+    ShardBinding(const ShardBinding&) = delete;
+    ShardBinding& operator=(const ShardBinding&) = delete;
+    ShardBinding& operator=(ShardBinding&&) = delete;
+
+   private:
+    friend class Simulator;
+    ShardBinding() = default;  ///< inactive: destruction restores nothing
+    ShardBinding(const Simulator* previous_sim, std::size_t previous_shard)
+        : active_(true),
+          previous_sim_(previous_sim),
+          previous_shard_(previous_shard) {}
+    bool active_ = false;
+    const Simulator* previous_sim_ = nullptr;
+    std::size_t previous_shard_ = 0;
+  };
+
+  /// Bind `shard` as the target of out-of-event schedule_*() calls from
+  /// this thread for the returned binding's lifetime. Aborts on an
+  /// out-of-range shard.
+  ShardBinding bind_shard(std::size_t shard) const;
+
+  /// An inactive binding (destruction restores nothing) for call sites
+  /// that bind conditionally.
+  static ShardBinding no_binding() { return {}; }
+
+  // ---- the original single-queue API -------------------------------------
+
+  /// The executing shard's clock inside an event; outside, the bound
+  /// shard's clock when a binding is active, else the latest shard
+  /// clock. At a barrier every shard sits on the same t_end, so all
+  /// three reads agree; after a bare step() on a sharded simulator the
+  /// latest-clock rule keeps now() monotonic (lagging shards catch up
+  /// on the next run_until). Inline: this is the simulator's hottest
+  /// read (every RPC in the cluster model calls it several times).
+  TimeUs now() const {
+    EventQueue* executing = EventQueue::current();
+    if (executing != nullptr && executing->owner() == this) {
+      return executing->now();
+    }
+    if (bound_sim_ == this) return shards_[bound_shard_]->now();
+    TimeUs latest = shards_[0]->now();
+    for (std::size_t i = 1; i < shards_.size(); ++i) {
+      latest = std::max(latest, shards_[i]->now());
+    }
+    return latest;
+  }
 
   /// Schedule `fn` at absolute time `t` (>= now, else it fires "now").
-  void schedule_at(TimeUs t, std::function<void()> fn);
+  void schedule_at(TimeUs t, std::function<void()> fn) {
+    route().schedule_at(t, std::move(fn));
+  }
 
   /// Schedule `fn` after `delay` microseconds.
-  void schedule_in(TimeUs delay, std::function<void()> fn);
+  void schedule_in(TimeUs delay, std::function<void()> fn) {
+    route().schedule_in(delay, std::move(fn));
+  }
 
-  /// Run until the queue is empty or simulated time would pass `t_end`.
-  /// Events exactly at t_end are executed. Returns the number of events run.
-  std::size_t run_until(TimeUs t_end);
+  /// Advance every shard until its queue is empty or simulated time
+  /// would pass `t_end`; events exactly at t_end are executed and every
+  /// shard's clock lands on t_end (the barrier). With a pool and more
+  /// than one shard, shards advance concurrently and this call is the
+  /// barrier wait. Returns the number of events run across all shards.
+  std::size_t run_until(TimeUs t_end, util::ThreadPool* pool = nullptr);
 
   /// Advance the clock by `duration` from now (the unified sampling-tick
   /// step: one call drives every hosted cluster's events for one tick).
-  std::size_t run_for(TimeUs duration) { return run_until(now_ + duration); }
+  std::size_t run_for(TimeUs duration, util::ThreadPool* pool = nullptr) {
+    return run_until(now() + duration, pool);
+  }
 
-  /// Run a single event; returns false when the queue is empty.
+  /// Run the globally earliest pending event (ties break toward the
+  /// lowest shard index); returns false when every queue is empty. Only
+  /// the chosen shard's clock advances; sibling shards catch up on the
+  /// next run_until (now() reports the latest clock meanwhile).
   bool step();
 
-  std::size_t pending_events() const { return queue_.size(); }
-  std::size_t executed_events() const { return executed_; }
+  std::size_t pending_events() const;
+  std::size_t executed_events() const;
 
   /// Register a callback invoked every `period` starting at `start`
   /// (inclusive) until the simulation stops being run. Useful for sampling
-  /// ticks. The callback receives the tick index (0-based).
-  void every(TimeUs start, TimeUs period, std::function<void(std::int64_t)> fn);
+  /// ticks. The callback receives the tick index (0-based). Routed like
+  /// schedule_at: the periodic chain lives in one shard.
+  void every(TimeUs start, TimeUs period, std::function<void(std::int64_t)> fn) {
+    route().every(start, period, std::move(fn));
+  }
 
  private:
-  struct Event {
-    TimeUs time;
-    std::uint64_t seq;
-    std::function<void()> fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
+  /// The queue schedule_*() targets right now: the executing queue when
+  /// inside an event — but only one of ours: an event in simulator A's
+  /// shard calling into simulator B must reach B's queues, not push into
+  /// A's — else this thread's bound shard (shard 0 when nothing is bound
+  /// or the binding belongs to another Simulator).
+  EventQueue& route() const {
+    EventQueue* executing = EventQueue::current();
+    if (executing != nullptr && executing->owner() == this) return *executing;
+    return *shards_[bound_sim_ == this ? bound_shard_ : 0];
+  }
 
-  void schedule_periodic(TimeUs t, TimeUs period, std::int64_t index,
-                         std::shared_ptr<std::function<void(std::int64_t)>> fn);
+  /// This thread's active binding (see bind_shard). Tagged with the
+  /// owning Simulator so bindings never leak across instances.
+  static thread_local const Simulator* bound_sim_;
+  static thread_local std::size_t bound_shard_;
 
-  TimeUs now_ = 0;
-  std::uint64_t next_seq_ = 0;
-  std::size_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<std::unique_ptr<EventQueue>> shards_;
 };
 
 }  // namespace capes::sim

@@ -1,0 +1,102 @@
+// sim::EventQueue: the single-shard event loop extracted from the
+// monolithic Simulator. Ordering, clock, periodic, and the thread-local
+// current() pointer the sharded Simulator routes scheduling through.
+
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace capes::sim {
+namespace {
+
+TEST(EventQueue, TimeStartsAtZero) {
+  EventQueue q;
+  EXPECT_EQ(q.now(), 0);
+  EXPECT_EQ(q.pending_events(), 0u);
+  EXPECT_EQ(q.next_event_time(), EventQueue::kNoEvent);
+}
+
+TEST(EventQueue, EventsFireInTimeOrderWithInsertionTieBreak) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(300, [&] { order.push_back(3); });
+  q.schedule_at(100, [&] { order.push_back(1); });
+  q.schedule_at(100, [&] { order.push_back(2); });
+  EXPECT_EQ(q.next_event_time(), 100);
+  q.run_until(1000);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.executed_events(), 3u);
+}
+
+TEST(EventQueue, RunUntilLandsOnTargetTimeEvenWhenDrained) {
+  // The barrier contract: every shard's clock reaches t_end, with or
+  // without events, so all shards agree on "now" at each sampling tick.
+  EventQueue q;
+  q.schedule_at(50, [] {});
+  q.run_until(1000);
+  EXPECT_EQ(q.now(), 1000);
+  EventQueue empty;
+  EXPECT_EQ(empty.run_until(777), 0u);
+  EXPECT_EQ(empty.now(), 777);
+}
+
+TEST(EventQueue, PastSchedulesClampToNow) {
+  EventQueue q;
+  q.run_until(500);
+  bool ran = false;
+  q.schedule_at(100, [&] { ran = true; });  // in the past -> fires "now"
+  q.run_until(500);
+  EXPECT_TRUE(ran);
+  q.schedule_in(-25, [] {});  // negative delay -> fires "now"
+  EXPECT_EQ(q.next_event_time(), 500);
+}
+
+TEST(EventQueue, StepRunsOneEvent) {
+  EventQueue q;
+  int runs = 0;
+  q.schedule_at(10, [&] { ++runs; });
+  q.schedule_at(20, [&] { ++runs; });
+  EXPECT_TRUE(q.step());
+  EXPECT_EQ(runs, 1);
+  EXPECT_EQ(q.now(), 10);
+  EXPECT_TRUE(q.step());
+  EXPECT_FALSE(q.step());
+  EXPECT_EQ(runs, 2);
+}
+
+TEST(EventQueue, EveryFiresPeriodicallyWithTickIndex) {
+  EventQueue q;
+  std::vector<std::int64_t> ticks;
+  q.every(100, 50, [&](std::int64_t i) { ticks.push_back(i); });
+  q.run_until(250);
+  EXPECT_EQ(ticks, (std::vector<std::int64_t>{0, 1, 2, 3}));
+}
+
+TEST(EventQueue, CurrentIsSetWhileExecuting) {
+  // Simulator::schedule_* routes through current(), so an event's
+  // follow-ups always land in the queue that ran it.
+  EventQueue q;
+  EXPECT_EQ(EventQueue::current(), nullptr);
+  EventQueue* seen = nullptr;
+  q.schedule_at(10, [&] { seen = EventQueue::current(); });
+  q.run_until(100);
+  EXPECT_EQ(seen, &q);
+  EXPECT_EQ(EventQueue::current(), nullptr);
+}
+
+TEST(EventQueue, FollowUpsScheduledByEventsStayInQueue) {
+  EventQueue q;
+  int runs = 0;
+  q.schedule_at(10, [&] {
+    ++runs;
+    EventQueue::current()->schedule_in(5, [&] { ++runs; });
+  });
+  q.run_until(100);
+  EXPECT_EQ(runs, 2);
+  EXPECT_EQ(q.executed_events(), 2u);
+}
+
+}  // namespace
+}  // namespace capes::sim

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
 #include <vector>
+
+#include "util/thread_pool.hpp"
 
 namespace capes::sim {
 namespace {
@@ -136,6 +139,181 @@ TEST(Simulator, RunUntilReturnsEventCount) {
   for (int i = 0; i < 7; ++i) sim.schedule_at(i * 10, [] {});
   EXPECT_EQ(sim.run_until(30), 4u);  // t=0,10,20,30
   EXPECT_EQ(sim.run_until(100), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded event loop
+// ---------------------------------------------------------------------------
+
+TEST(SimulatorShards, DefaultIsSingleShard) {
+  Simulator sim;
+  EXPECT_EQ(sim.num_shards(), 1u);
+}
+
+TEST(SimulatorShards, BindShardRoutesOutOfEventSchedules) {
+  Simulator sim;
+  sim.configure_shards(3);
+  {
+    const auto binding = sim.bind_shard(2);
+    sim.schedule_at(10, [] {});
+    sim.schedule_at(20, [] {});
+  }
+  sim.schedule_at(30, [] {});  // binding restored -> shard 0
+  EXPECT_EQ(sim.shard(0).pending_events(), 1u);
+  EXPECT_EQ(sim.shard(1).pending_events(), 0u);
+  EXPECT_EQ(sim.shard(2).pending_events(), 2u);
+  EXPECT_EQ(sim.pending_events(), 3u);
+}
+
+TEST(SimulatorShards, BindingsNest) {
+  Simulator sim;
+  sim.configure_shards(2);
+  const auto outer = sim.bind_shard(1);
+  {
+    const auto inner = sim.bind_shard(0);
+    sim.schedule_at(1, [] {});
+  }
+  sim.schedule_at(2, [] {});  // back to the outer binding
+  EXPECT_EQ(sim.shard(0).pending_events(), 1u);
+  EXPECT_EQ(sim.shard(1).pending_events(), 1u);
+}
+
+TEST(SimulatorShards, FollowUpsStayInTheExecutingShard) {
+  // An event's own schedules must land in its shard even with no
+  // binding active — this is what keeps a domain's event chain inside
+  // its queue across ticks.
+  Simulator sim;
+  sim.configure_shards(2);
+  {
+    const auto binding = sim.bind_shard(1);
+    sim.schedule_at(10, [&] { sim.schedule_in(5000, [] {}); });
+  }
+  sim.run_until(1000);
+  EXPECT_EQ(sim.shard(0).pending_events(), 0u);
+  EXPECT_EQ(sim.shard(1).pending_events(), 1u);
+}
+
+TEST(SimulatorShards, RunUntilIsABarrierForEveryShard) {
+  // Empty shards advance too: the barrier leaves every clock on t_end,
+  // so a shard with no events (an idle domain) can never stall or skew
+  // the others.
+  Simulator sim;
+  sim.configure_shards(3);
+  {
+    const auto binding = sim.bind_shard(1);
+    sim.schedule_at(400, [] {});
+  }
+  EXPECT_EQ(sim.run_until(1000), 1u);
+  for (std::size_t s = 0; s < 3; ++s) {
+    EXPECT_EQ(sim.shard(s).now(), 1000) << s;
+  }
+  EXPECT_EQ(sim.now(), 1000);
+}
+
+TEST(SimulatorShards, NowInsideAnEventReadsTheShardClock) {
+  Simulator sim;
+  sim.configure_shards(2);
+  TimeUs seen0 = -1, seen1 = -1;
+  {
+    const auto binding = sim.bind_shard(0);
+    sim.schedule_at(100, [&] { seen0 = sim.now(); });
+  }
+  {
+    const auto binding = sim.bind_shard(1);
+    sim.schedule_at(700, [&] { seen1 = sim.now(); });
+  }
+  sim.run_until(1000);
+  EXPECT_EQ(seen0, 100);
+  EXPECT_EQ(seen1, 700);
+}
+
+TEST(SimulatorShards, StepPicksTheGloballyEarliestEvent) {
+  Simulator sim;
+  sim.configure_shards(2);
+  std::vector<int> order;
+  {
+    const auto binding = sim.bind_shard(1);
+    sim.schedule_at(10, [&] { order.push_back(1); });
+  }
+  {
+    const auto binding = sim.bind_shard(0);
+    sim.schedule_at(20, [&] { order.push_back(2); });
+  }
+  EXPECT_TRUE(sim.step());
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(SimulatorShards, StepKeepsNowMonotonicAcrossShards) {
+  // A bare step() advances only the chosen shard's clock; now() must
+  // still report the latest clock so a following run_for never rewinds
+  // time past an already-executed event.
+  Simulator sim;
+  sim.configure_shards(2);
+  bool follow_up_ran = false;
+  {
+    const auto binding = sim.bind_shard(1);
+    sim.schedule_at(700, [&] {
+      sim.schedule_in(50, [&] { follow_up_ran = true; });
+    });
+  }
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(sim.now(), 700);  // the latest shard clock, not shard 0's 0
+  sim.run_for(100);           // t_end = 800: the 750 follow-up must run
+  EXPECT_TRUE(follow_up_ran);
+  EXPECT_EQ(sim.shard(0).now(), 800);
+  EXPECT_EQ(sim.shard(1).now(), 800);
+}
+
+TEST(SimulatorShards, ExecutingQueueOfAnotherSimulatorIsNotAdopted) {
+  // An event running in simulator A's shard that calls into simulator B
+  // must schedule into B's queues (and read B's clock), not push into
+  // the queue currently executing on this thread.
+  Simulator a;
+  Simulator b;
+  TimeUs b_now_seen = -1;
+  a.schedule_at(250, [&] {
+    b.schedule_at(40, [] {});
+    b_now_seen = b.now();
+  });
+  a.run_until(1000);
+  EXPECT_EQ(b_now_seen, 0);  // B's clock, not A's 250
+  EXPECT_EQ(a.pending_events(), 0u);
+  EXPECT_EQ(b.pending_events(), 1u);
+  EXPECT_EQ(b.run_until(100), 1u);
+}
+
+TEST(SimulatorShards, ParallelAdvanceMatchesSerialAdvance) {
+  // Same event plan, advanced with and without a worker pool: per-shard
+  // execution traces must be identical (each shard is single-threaded
+  // either way; the pool only overlaps different shards in time).
+  auto run = [](util::ThreadPool* pool) {
+    Simulator sim;
+    sim.configure_shards(4);
+    std::vector<std::vector<TimeUs>> trace(4);
+    for (std::size_t s = 0; s < 4; ++s) {
+      // A periodic chain per shard with a shard-specific phase; every()
+      // reschedules from inside event execution, so the whole chain
+      // lives in shard s.
+      const auto binding = sim.bind_shard(s);
+      sim.every(10 + static_cast<TimeUs>(s), 40,
+                [&trace, &sim, s](std::int64_t) {
+                  trace[s].push_back(sim.now());
+                });
+    }
+    std::size_t total = 0;
+    for (int tick = 0; tick < 5; ++tick) {
+      total += sim.run_for(1000, pool);
+    }
+    return std::make_pair(total, trace);
+  };
+  util::ThreadPool pool(4);
+  const auto serial = run(nullptr);
+  const auto pooled = run(&pool);
+  EXPECT_EQ(serial.first, pooled.first);
+  EXPECT_EQ(serial.second, pooled.second);
+  EXPECT_GT(serial.first, 0u);
 }
 
 }  // namespace

@@ -1,0 +1,56 @@
+# Asserts that `capes_run --help` mentions every flag the strict parser
+# accepts. The flag list is extracted from capes_run.cpp itself (the
+# parse_flag / strcmp call sites), so adding a flag without updating the
+# usage text fails this check instead of drifting silently. Run as:
+#
+#   cmake -DCAPES_RUN=<binary> -DCAPES_RUN_SOURCE=<capes_run.cpp> \
+#         -P tools/check_usage.cmake
+
+if(NOT CAPES_RUN OR NOT CAPES_RUN_SOURCE)
+  message(FATAL_ERROR
+    "usage: cmake -DCAPES_RUN=<binary> -DCAPES_RUN_SOURCE=<capes_run.cpp> "
+    "-P check_usage.cmake")
+endif()
+
+execute_process(COMMAND ${CAPES_RUN} --help
+  OUTPUT_VARIABLE usage
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "${CAPES_RUN} --help exited with ${rc}")
+endif()
+
+file(READ ${CAPES_RUN_SOURCE} source)
+# Value flags: parse_flag(argv[i], "--name", ...); boolean flags:
+# std::strcmp(argv[i], "--name").
+string(REGEX MATCHALL "parse_flag\\(argv\\[i\\], \"--[a-z0-9-]+\"" value_flags
+  "${source}")
+string(REGEX MATCHALL "strcmp\\(argv\\[i\\], \"--[a-z0-9-]+\"" bool_flags
+  "${source}")
+
+set(flags "")
+foreach(match IN LISTS value_flags bool_flags)
+  string(REGEX REPLACE ".*\"(--[a-z0-9-]+)\".*" "\\1" flag "${match}")
+  list(APPEND flags "${flag}")
+endforeach()
+list(REMOVE_DUPLICATES flags)
+list(LENGTH flags flag_count)
+if(flag_count LESS 10)
+  message(FATAL_ERROR
+    "flag extraction looks broken: only found ${flag_count} flags "
+    "(${flags}) in ${CAPES_RUN_SOURCE}")
+endif()
+
+set(missing "")
+foreach(flag IN LISTS flags)
+  string(FIND "${usage}" "${flag}" position)
+  if(position EQUAL -1)
+    list(APPEND missing "${flag}")
+  endif()
+endforeach()
+
+if(missing)
+  message(FATAL_ERROR
+    "capes_run usage text omits flag(s) the parser accepts: ${missing} — "
+    "update print_usage() in tools/capes_run.cpp (and docs/CONFIG.md)")
+endif()
+message(STATUS "usage text mentions all ${flag_count} parser flags")
