@@ -94,11 +94,16 @@ class Channel {
   }
 
   /// Deliver every message due at `now_tick` (deliver_tick <= now_tick)
-  /// to `fn(const Message<T>&)`, in (deliver tick, sender, send tick)
-  /// order. Returns the number delivered.
+  /// to `fn(Message<T>&)`, in (deliver tick, sender, send tick) order.
+  /// The reference is mutable so an endpoint may move the payload out
+  /// (e.g. to recycle its buffer); the ticks are still valid afterwards.
+  /// Returns the number delivered. Must only be called by the owning
+  /// endpoint's single tick thread — the due-message scratch is a member
+  /// so the steady-state drain reuses its capacity instead of
+  /// allocating.
   template <typename Fn>
   std::size_t drain(std::int64_t now_tick, Fn&& fn) {
-    std::vector<Message<T>> due;
+    std::vector<Message<T>>& due = drain_scratch_;
     {
       std::lock_guard<std::mutex> lock(mu_);
       auto it = std::partition(
@@ -113,7 +118,7 @@ class Channel {
       if (a.sender != b.sender) return a.sender < b.sender;
       return a.send_tick < b.send_tick;
     });
-    for (const Message<T>& msg : due) fn(msg);
+    for (Message<T>& msg : due) fn(msg);
     {
       std::lock_guard<std::mutex> lock(mu_);
       stats_.delivered += due.size();
@@ -142,6 +147,7 @@ class Channel {
 
   mutable std::mutex mu_;
   std::vector<Message<T>> pending_;
+  std::vector<Message<T>> drain_scratch_;   ///< due messages; owner-thread only
   std::vector<std::int64_t> last_deliver_;  ///< per-sender FIFO clamp
   ChannelStats stats_;
 };

@@ -9,12 +9,12 @@ void ActionChecker::add_rule(std::string name, Rule rule) {
 bool ActionChecker::check(const rl::DecodedAction& action,
                           const std::vector<double>& current_values) {
   if (action.null_action) return true;
-  std::vector<double> next = current_values;
+  next_scratch_.assign(current_values.begin(), current_values.end());
   // apply() clamps into range, so the range check is implicit; rules see
   // the values that would actually be set.
-  space_.apply(action, next);
+  space_.apply(action, next_scratch_);
   for (const auto& [name, rule] : rules_) {
-    if (!rule(next)) {
+    if (!rule(next_scratch_)) {
       ++vetoed_;
       return false;
     }

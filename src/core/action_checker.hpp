@@ -35,6 +35,9 @@ class ActionChecker {
   const rl::ActionSpace& space_;
   std::vector<std::pair<std::string, Rule>> rules_;
   std::uint64_t vetoed_ = 0;
+  /// Post-action values handed to rules; reused across checks so the
+  /// per-tick action path stays allocation-free once warm.
+  std::vector<double> next_scratch_;
 };
 
 }  // namespace capes::core

@@ -6,6 +6,7 @@
 // (Appendix A.3.3). Implement it to tune any system; the bundled
 // implementation is lustre::Cluster.
 
+#include <algorithm>
 #include <cstddef>
 #include <vector>
 
@@ -41,6 +42,16 @@ class TargetSystemAdapter {
   /// mutable sampling state per node (or synchronize shared state). The
   /// other adapter methods are always called serially.
   virtual std::vector<float> collect_observation(std::size_t node) = 0;
+
+  /// Allocation-free collector: write exactly pis_per_node() floats for
+  /// `node` into `out`. The default bridges to collect_observation()
+  /// (allocating); hot-path adapters override it so the steady-state
+  /// sampling tick touches no heap. Same concurrency contract as
+  /// collect_observation().
+  virtual void collect_observation_into(std::size_t node, float* out) {
+    const std::vector<float> pis = collect_observation(node);
+    std::copy(pis.begin(), pis.end(), out);
+  }
 
   /// The tunable parameters (valid range, step, initial value) — drives
   /// the action space (§3.7).

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "util/alloc_hook.hpp"
+#include "util/logging.hpp"
 #include "util/thread_pool.hpp"
 
 namespace capes::core {
@@ -115,9 +117,22 @@ CapesSystem::CapesSystem(sim::Simulator& sim,
                                               pis, transport_.get());
   opts_.engine.dqn.num_actions = space_->num_actions();
   engine_ = std::make_unique<DrlEngine>(opts_.engine, *replay_);
+  if (db_) {
+    // Durable learner checkpoints ride the same WAL-framed store as the
+    // replay tables; a restarted tuner resumes mid-training. The replay
+    // cache itself is rebuilt from fresh samples, not reloaded.
+    engine_->set_checkpoint_store(db_.get());
+    engine_->restore_checkpoint(*db_);
+  }
 
   if (opts_.worker_threads > 0) {
     pool_ = std::make_unique<util::ThreadPool>(opts_.worker_threads);
+  }
+  if (opts_.worker_threads > 0 ||
+      opts_.engine.learner_mode == LearnerMode::kAsync) {
+    // Multiple threads may log (workers, the learner): route lines
+    // through the async drain so they are never torn.
+    util::Logger::instance().enable_async();
   }
 
   // CapesOptions::sim_shards is a request the hosting context satisfies
@@ -154,6 +169,20 @@ CapesSystem::CapesSystem(sim::Simulator& sim,
       domain->add_control_agent(std::move(control));
     }
   }
+
+  // Close the allocation-free status loop: drained PI payload buffers
+  // flow back to the agent that encoded them (keyed by global node id).
+  agent_by_node_.assign(total_nodes_, nullptr);
+  for (MonitoringAgent* agent : agents_flat_) {
+    agent_by_node_[agent->node()] = agent;
+  }
+  daemon_->set_payload_recycler(
+      [this](std::uint64_t sender, std::vector<std::uint8_t>&& payload) {
+        if (sender < agent_by_node_.size() &&
+            agent_by_node_[sender] != nullptr) {
+          agent_by_node_[sender]->recycle_payload(std::move(payload));
+        }
+      });
 }
 
 CapesSystem::~CapesSystem() {
@@ -176,6 +205,10 @@ void CapesSystem::add_tick_listener(
 void CapesSystem::add_train_step_listener(
     std::function<void(const TrainStepEvent&)> listener) {
   if (listener) train_step_listeners_.push_back(std::move(listener));
+}
+
+std::uint64_t CapesSystem::hot_path_allocations() const {
+  return hot_path_allocs_ + engine_->hot_path_allocations();
 }
 
 std::vector<double> CapesSystem::parameter_values() const {
@@ -211,8 +244,14 @@ void CapesSystem::sample_all_agents(std::int64_t t) {
 void CapesSystem::on_sampling_tick(RunResult& result, RunPhase mode) {
   const std::int64_t t = tick_;
 
+  // Allocation audit: tally brackets cover the CAPES control path only
+  // (see hot_path_allocations()); the bits between brackets — domain
+  // performance sampling, result appends, listeners — are excluded.
+  util::AllocTally alloc_tally;
+
   // 1. Monitoring Agents sample and ship PIs (stored in the replay DB).
   sample_all_agents(t);
+  hot_path_allocs_ += alloc_tally.delta();
 
   // 2. Reward: each domain's objective over its own last-tick
   //    performance; the shared brain trains on the cross-domain mean
@@ -234,13 +273,16 @@ void CapesSystem::on_sampling_tick(RunResult& result, RunPhase mode) {
   const double num_domains = static_cast<double>(domains_.size());
   const double reward = reward_sum / num_domains;
   const double latency = latency_sum / num_domains;
+  alloc_tally.restart();
   daemon_->on_reward(t, reward);
+  hot_path_allocs_ += alloc_tally.delta();
   result.throughput.add(throughput_sum);
   result.latency_ms.add(latency);
   result.rewards.push_back(reward);
 
   // 3. Action tick: the engine suggests one composite action, the daemon
   //    checks it and broadcasts it to the owning domain's slice.
+  alloc_tally.restart();
   if (mode == RunPhase::kTraining || mode == RunPhase::kTuned) {
     const std::size_t suggested =
         engine_->compute_action(t, mode == RunPhase::kTraining, pool_.get());
@@ -248,9 +290,13 @@ void CapesSystem::on_sampling_tick(RunResult& result, RunPhase mode) {
   } else {
     daemon_->route_suggested_action(t, 0);  // NULL action
   }
+  hot_path_allocs_ += alloc_tally.delta();
   // Deliver checked-action broadcasts due by this tick (the one just
   // routed under sync; under sim possibly earlier delayed ones — a
   // delayed action reaches the target system on the tick it lands).
+  // Outside the allocation bracket: applying parameters runs the target
+  // system's setters, which may schedule simulator events (excluded from
+  // the audit like the rest of event execution).
   daemon_->drain_actions(t);
 
   // 4. Training steps (the DRL Engine trains continuously, §3.4).
@@ -293,6 +339,10 @@ RunResult CapesSystem::run_phase(std::int64_t ticks, RunPhase mode) {
     sim_.run_for(tick_us, pool_.get());
     on_sampling_tick(result, mode);
   }
+  // Async learner barrier: phase results and anything read after this
+  // (fingerprints, logs, train-step counts) reflect all of the phase's
+  // training.
+  engine_->drain_learner();
   result.end_tick = tick_;
   const bus::ChannelStats bus_after = daemon_->bus_stats();
   result.messages_dropped = bus_after.dropped - bus_before.dropped;

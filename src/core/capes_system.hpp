@@ -206,6 +206,18 @@ class CapesSystem {
   /// The durable replay database, when configured (else nullptr).
   waldb::Database* database() { return db_.get(); }
 
+  /// Heap allocations observed on the per-tick CAPES control path
+  /// (status sample/encode/decode/record, reward record, action
+  /// select/check/publish, minibatch assembly + inline training).
+  /// Excluded by design: action delivery to the target system (applying
+  /// parameters may schedule events), simulator event execution,
+  /// durable-DB writes,
+  /// result/log appends, listener callbacks, and learner-thread work.
+  /// Zero once warm in the audited configuration (sync learner, no
+  /// worker pool, memory-only DB, bounded replay retention); always 0
+  /// when the counting allocator hook is not linked in.
+  std::uint64_t hot_path_allocations() const;
+
  private:
   RunResult run_phase(std::int64_t ticks, RunPhase mode);
   void on_sampling_tick(RunResult& result, RunPhase mode);
@@ -229,6 +241,10 @@ class CapesSystem {
   /// All domains' Monitoring Agents in fan-in order (domain-major, then
   /// node): the unit of the per-tick sampling fan-out.
   std::vector<MonitoringAgent*> agents_flat_;
+  /// Same agents indexed by global node id (payload recycling).
+  std::vector<MonitoringAgent*> agent_by_node_;
+  /// Control-path allocation count (see hot_path_allocations()).
+  std::uint64_t hot_path_allocs_ = 0;
 
   std::int64_t tick_ = 0;
   std::size_t total_train_steps_ = 0;

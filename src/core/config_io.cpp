@@ -50,6 +50,17 @@ CapesOptions capes_options_from_config(const util::Config& cfg,
   }
 
   auto& e = o.engine;
+  // Learner mode reads like the transport scheme: config files are
+  // overlays, so an unknown value keeps the base rather than failing
+  // here — the CLI/builder path validates strictly instead.
+  const std::string learner_mode = cfg.get(
+      "capes.learner.mode",
+      e.learner_mode == LearnerMode::kAsync ? "async" : "sync");
+  e.learner_mode =
+      learner_mode == "async" ? LearnerMode::kAsync : LearnerMode::kSync;
+  e.checkpoint_ticks = static_cast<std::size_t>(std::max<std::int64_t>(
+      0, cfg.get_int("capes.learner.checkpoint_ticks",
+                     static_cast<std::int64_t>(e.checkpoint_ticks))));
   e.minibatch_size = static_cast<std::size_t>(
       cfg.get_int("drl.minibatch_size", static_cast<std::int64_t>(e.minibatch_size)));
   e.train_steps_per_tick = static_cast<std::size_t>(cfg.get_int(
@@ -157,6 +168,10 @@ util::Config config_from_options(const CapesOptions& capes,
     cfg.set_int("capes.transport.seed",
                 static_cast<std::int64_t>(capes.transport.seed));
   }
+  cfg.set("capes.learner.mode",
+          capes.engine.learner_mode == LearnerMode::kAsync ? "async" : "sync");
+  cfg.set_int("capes.learner.checkpoint_ticks",
+              static_cast<std::int64_t>(capes.engine.checkpoint_ticks));
   cfg.set_int("drl.minibatch_size",
               static_cast<std::int64_t>(capes.engine.minibatch_size));
   cfg.set_int("drl.train_steps_per_tick",

@@ -121,6 +121,24 @@ ExperimentBuilder& ExperimentBuilder::transport(bus::TransportOptions opts) {
   return *this;
 }
 
+ExperimentBuilder& ExperimentBuilder::learner(LearnerMode mode) {
+  learner_mode_ = mode;
+  learner_spec_.reset();
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::learner(std::string spec) {
+  learner_spec_ = std::move(spec);
+  learner_mode_.reset();
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::learner_checkpoint_ticks(
+    std::size_t ticks) {
+  learner_checkpoint_ticks_ = ticks;
+  return *this;
+}
+
 ExperimentBuilder& ExperimentBuilder::capes_options(CapesOptions opts) {
   capes_options_ = std::move(opts);
   return *this;
@@ -243,6 +261,15 @@ std::unique_ptr<Experiment> ExperimentBuilder::build(std::string* error) {
         return nullptr;
       }
     }
+    // And for the learner mode: a misspelled "async" silently training
+    // inline would hide the one behavioural knob this key exists for.
+    if (const auto mode = cfg.get("capes.learner.mode");
+        mode && *mode != "sync" && *mode != "async") {
+      fail(error, "config file '" + config_file_ +
+                      "': unknown capes.learner.mode '" + *mode +
+                      "' (expected sync or async)");
+      return nullptr;
+    }
     preset.capes = capes_options_from_config(cfg, preset.capes);
     preset.cluster = cluster_options_from_config(cfg, preset.cluster);
   }
@@ -264,6 +291,24 @@ std::unique_ptr<Experiment> ExperimentBuilder::build(std::string* error) {
     }
   } else if (transport_options_) {
     preset.capes.transport = *transport_options_;
+  }
+  // Learner mode mirrors the transport precedence: the spec-string form
+  // validates here so a typo is a build() error.
+  if (learner_spec_) {
+    if (*learner_spec_ == "sync") {
+      preset.capes.engine.learner_mode = LearnerMode::kSync;
+    } else if (*learner_spec_ == "async") {
+      preset.capes.engine.learner_mode = LearnerMode::kAsync;
+    } else {
+      fail(error, "invalid learner spec '" + *learner_spec_ +
+                      "' (expected sync or async)");
+      return nullptr;
+    }
+  } else if (learner_mode_) {
+    preset.capes.engine.learner_mode = *learner_mode_;
+  }
+  if (learner_checkpoint_ticks_) {
+    preset.capes.engine.checkpoint_ticks = *learner_checkpoint_ticks_;
   }
   // An explicit seed() wins over whatever seeds the preset, config file,
   // or capes_options() carried.

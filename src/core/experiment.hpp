@@ -139,6 +139,21 @@ class ExperimentBuilder {
   ExperimentBuilder& transport(std::string spec);
   /// Same, from already-parsed options.
   ExperimentBuilder& transport(bus::TransportOptions opts);
+  /// Where DRL training steps run: LearnerMode::kSync trains inline on
+  /// the control thread (bit-identical to builds that never call this),
+  /// kAsync moves training to a dedicated learner thread that overlaps
+  /// the next tick's simulation — same weights, same actions, by the
+  /// engine's sampling-on-the-control-thread protocol. Conf key:
+  /// capes.learner.mode. Wins over capes_options()/config-file settings.
+  ExperimentBuilder& learner(LearnerMode mode);
+  /// Same, from a spec string: "sync" or "async". Anything else fails
+  /// build() (no silent fallback).
+  ExperimentBuilder& learner(std::string spec);
+  /// Persist the learner's full state (weights, optimizer moments, step
+  /// counters) through the durable replay DB every N training ticks
+  /// (0 = off, the default). Takes effect when replay_db_dir() is set.
+  /// Conf key: capes.learner.checkpoint_ticks.
+  ExperimentBuilder& learner_checkpoint_ticks(std::size_t ticks);
   /// Override CapesOptions wholesale (mainly for custom adapters; in
   /// Lustre mode the preset's options are usually right).
   ExperimentBuilder& capes_options(CapesOptions opts);
@@ -185,6 +200,9 @@ class ExperimentBuilder {
   std::optional<std::size_t> sim_shards_;
   std::optional<std::string> transport_spec_;
   std::optional<bus::TransportOptions> transport_options_;
+  std::optional<LearnerMode> learner_mode_;
+  std::optional<std::string> learner_spec_;
+  std::optional<std::size_t> learner_checkpoint_ticks_;
   std::optional<CapesOptions> capes_options_;
   ObjectiveFunction objective_;
   bool monitor_servers_ = false;

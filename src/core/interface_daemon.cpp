@@ -98,13 +98,13 @@ void InterfaceDaemon::on_status_message(const std::vector<std::uint8_t>& msg) {
     ++decode_errors_;
     return;
   }
-  auto decoded = decoders_[*node].decode(msg);
-  if (!decoded) {
+  if (!decoders_[*node].decode_into(msg, decode_scratch_)) {
     ++decode_errors_;
     CAPES_LOG_WARN("intfd") << "malformed PI message from node " << *node;
     return;
   }
-  replay_.record_status(decoded->tick, decoded->node, decoded->pis);
+  replay_.record_status(decode_scratch_.tick, decode_scratch_.node,
+                        decode_scratch_.pis);
 }
 
 void InterfaceDaemon::on_reward(std::int64_t t, double reward) {
@@ -113,8 +113,17 @@ void InterfaceDaemon::on_reward(std::int64_t t, double reward) {
 
 std::size_t InterfaceDaemon::drain_status(std::int64_t t) {
   if (!inbox_) return 0;
-  return inbox_->drain(t, [this](const bus::Message<std::vector<std::uint8_t>>&
-                                     msg) { on_status_message(msg.payload); });
+  return inbox_->drain(
+      t, [this](bus::Message<std::vector<std::uint8_t>>& msg) {
+        on_status_message(msg.payload);
+        if (payload_recycler_) {
+          payload_recycler_(msg.sender, std::move(msg.payload));
+        }
+      });
+}
+
+void InterfaceDaemon::set_payload_recycler(PayloadRecycler recycler) {
+  payload_recycler_ = std::move(recycler);
 }
 
 std::size_t InterfaceDaemon::drain_actions(std::int64_t t) {
@@ -123,9 +132,13 @@ std::size_t InterfaceDaemon::drain_actions(std::int64_t t) {
     if (!shard.actions) continue;
     const auto binding = bind_domain_shard(shard.domain);
     delivered += shard.actions->drain(
-        t, [&shard](const bus::Message<std::vector<double>>& msg) {
+        t, [&shard](bus::Message<std::vector<double>>& msg) {
           for (ControlAgent* agent : shard.control_agents) {
             agent->on_action_message(msg.payload);
+          }
+          // Recycle the broadcast buffer for the next publish.
+          if (shard.action_pool.size() < 4) {
+            shard.action_pool.push_back(std::move(msg.payload));
           }
         });
   }
@@ -155,8 +168,16 @@ std::size_t InterfaceDaemon::apply_checked_action(
       // updates now; the target system applies them when the message
       // lands (possibly ticks later, possibly never if dropped — the
       // next delivered broadcast carries absolute values and heals it).
+      // The copy goes into a recycled buffer so steady-state broadcasts
+      // do not allocate.
+      std::vector<double> payload;
+      if (!shard.action_pool.empty()) {
+        payload = std::move(shard.action_pool.back());
+        shard.action_pool.pop_back();
+      }
+      payload.assign(parameter_values.begin(), parameter_values.end());
       shard.actions->publish(shard.domain ? shard.domain->index() : 0, t,
-                             parameter_values);
+                             std::move(payload));
     } else {
       const auto binding = bind_domain_shard(shard.domain);
       for (ControlAgent* agent : shard.control_agents) {

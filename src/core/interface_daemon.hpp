@@ -23,6 +23,7 @@
 // original direct-call behavior (agent-level tests, hop-free wiring).
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -94,6 +95,15 @@ class InterfaceDaemon {
   /// DB. No-op without a transport. Returns messages delivered.
   std::size_t drain_status(std::int64_t t);
 
+  /// Optional hook: after a PI message is consumed by drain_status, its
+  /// payload buffer is handed here (keyed by the sender's global node id)
+  /// so the owning Monitoring Agent can reuse the capacity — the last
+  /// link in the allocation-free status round trip. Runs on the drain
+  /// (control) thread.
+  using PayloadRecycler =
+      std::function<void(std::uint64_t sender, std::vector<std::uint8_t>&& payload)>;
+  void set_payload_recycler(PayloadRecycler recycler);
+
   /// Deliver every checked action broadcast due by tick `t` to its
   /// shard's Control Agents. No-op without a transport. Returns messages
   /// delivered.
@@ -127,6 +137,10 @@ class InterfaceDaemon {
     std::vector<ControlAgent*> control_agents;
     /// Control-network broadcast channel (null = direct calls).
     std::unique_ptr<ActionChannel> actions;
+    /// Recycled action-broadcast payloads: publish pops one (capacity
+    /// reused for the parameter copy), drain_actions pushes the drained
+    /// buffer back. Both run on the control thread.
+    std::vector<std::vector<double>> action_pool;
   };
 
   /// Validated shard index; throws std::out_of_range (with the shard
@@ -143,6 +157,8 @@ class InterfaceDaemon {
   std::vector<Shard> shards_;
   std::vector<PiDecoder> decoders_;  // one per global node
   std::unique_ptr<PiChannel> inbox_;
+  PayloadRecycler payload_recycler_;
+  PiMessage decode_scratch_;  ///< reused across on_status_message calls
 
   std::uint64_t status_messages_ = 0;
   std::uint64_t decode_errors_ = 0;

@@ -29,6 +29,7 @@
 #include "bus/channel.hpp"
 #include "core/adapter.hpp"
 #include "core/pi_codec.hpp"
+#include "util/arena.hpp"
 
 namespace capes::core {
 
@@ -77,17 +78,29 @@ class MonitoringAgent {
   /// Direct-delivery escape hatch (Deliver mode only; ignores channels).
   void deliver(const std::vector<std::uint8_t>& msg);
 
+  /// Return a drained payload buffer to this agent's free list so the
+  /// next encode reuses its capacity instead of allocating. The daemon's
+  /// drain (serial, on the control thread) calls this; it never overlaps
+  /// the sampling fan-out, so no lock is needed.
+  void recycle_payload(std::vector<std::uint8_t>&& buf);
+
   std::size_t node() const { return encoder_.node(); }
   std::size_t local_node() const { return local_node_; }
   std::uint64_t bytes_sent() const { return encoder_.total_bytes(); }
   std::uint64_t messages_sent() const { return encoder_.messages(); }
 
  private:
+  std::vector<std::uint8_t> acquire_payload();
+
   TargetSystemAdapter& adapter_;
   std::size_t local_node_;
   PiEncoder encoder_;
   Deliver deliver_;
   PiChannel* channel_ = nullptr;
+  /// Per-tick scratch for the collected PI vector; reset each sample().
+  util::Arena arena_;
+  /// Recycled encode buffers (see recycle_payload).
+  std::vector<std::vector<std::uint8_t>> free_payloads_;
 };
 
 }  // namespace capes::core

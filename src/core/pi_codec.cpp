@@ -25,61 +25,73 @@ PiEncoder::PiEncoder(std::size_t node, std::size_t num_pis)
 
 std::vector<std::uint8_t> PiEncoder::encode(std::int64_t t,
                                             const std::vector<float>& pis) {
-  assert(pis.size() == prev_quantized_.size());
-  std::vector<std::uint8_t> changed_payload;
+  std::vector<std::uint8_t> msg;
+  encode_into(t, pis.data(), pis.size(), msg);
+  return msg;
+}
+
+void PiEncoder::encode_into(std::int64_t t, const float* pis, std::size_t n,
+                            std::vector<std::uint8_t>& out) {
+  assert(n == prev_quantized_.size());
+  staging_.clear();
   std::size_t count = 0;
   std::size_t last_index = 0;
-  for (std::size_t i = 0; i < pis.size(); ++i) {
+  for (std::size_t i = 0; i < n; ++i) {
     const std::int64_t q = quantize(pis[i]);
     if (!first_ && q == prev_quantized_[i]) continue;
-    util::put_varint(changed_payload, i - last_index);
-    util::put_svarint(changed_payload, q - (first_ ? 0 : prev_quantized_[i]));
+    util::put_varint(staging_, i - last_index);
+    util::put_svarint(staging_, q - (first_ ? 0 : prev_quantized_[i]));
     prev_quantized_[i] = q;
     last_index = i;
     ++count;
   }
   first_ = false;
 
-  std::vector<std::uint8_t> msg;
-  util::put_varint(msg, node_);
-  util::put_varint(msg, static_cast<std::uint64_t>(t));
-  util::put_varint(msg, count);
-  msg.insert(msg.end(), changed_payload.begin(), changed_payload.end());
-  total_bytes_ += msg.size();
+  out.clear();
+  util::put_varint(out, node_);
+  util::put_varint(out, static_cast<std::uint64_t>(t));
+  util::put_varint(out, count);
+  out.insert(out.end(), staging_.begin(), staging_.end());
+  total_bytes_ += out.size();
   ++messages_;
-  return msg;
 }
 
 PiDecoder::PiDecoder(std::size_t num_pis) : quantized_(num_pis, 0) {}
 
 std::optional<PiMessage> PiDecoder::decode(const std::vector<std::uint8_t>& msg) {
+  PiMessage out;
+  if (!decode_into(msg, out)) return std::nullopt;
+  return out;
+}
+
+bool PiDecoder::decode_into(const std::vector<std::uint8_t>& msg,
+                            PiMessage& out) {
   util::VarintReader r(msg);
   auto node = r.read_varint();
   auto tick = r.read_varint();
   auto count = r.read_varint();
-  if (!node || !tick || !count || *count > quantized_.size()) return std::nullopt;
+  if (!node || !tick || !count || *count > quantized_.size()) return false;
 
   std::size_t index = 0;
   bool first_entry = true;
   for (std::uint64_t i = 0; i < *count; ++i) {
     auto gap = r.read_varint();
     auto delta = r.read_svarint();
-    if (!gap || !delta) return std::nullopt;
+    if (!gap || !delta) return false;
     index = first_entry ? static_cast<std::size_t>(*gap)
                         : index + static_cast<std::size_t>(*gap);
     first_entry = false;
-    if (index >= quantized_.size()) return std::nullopt;
+    if (index >= quantized_.size()) return false;
     quantized_[index] += *delta;
   }
 
-  PiMessage out;
   out.node = static_cast<std::size_t>(*node);
   out.tick = static_cast<std::int64_t>(*tick);
   out.pis.resize(quantized_.size());
   for (std::size_t i = 0; i < quantized_.size(); ++i) {
     out.pis[i] = dequantize(quantized_[i]);
   }
-  return out;
+  return true;
 }
 
 }  // namespace capes::core

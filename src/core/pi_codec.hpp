@@ -24,13 +24,22 @@ class PiEncoder {
   /// svarint(value_delta_quantized) }*.
   std::vector<std::uint8_t> encode(std::int64_t t, const std::vector<float>& pis);
 
+  /// Allocation-free form: encode `n` PIs (n == num_pis()) into `out`,
+  /// which is cleared first and reuses its capacity — the hot path hands
+  /// in a recycled payload buffer and no heap allocation happens once the
+  /// buffer has grown to the message working set.
+  void encode_into(std::int64_t t, const float* pis, std::size_t n,
+                   std::vector<std::uint8_t>& out);
+
   std::size_t node() const { return node_; }
+  std::size_t num_pis() const { return prev_quantized_.size(); }
   std::uint64_t total_bytes() const { return total_bytes_; }
   std::uint64_t messages() const { return messages_; }
 
  private:
   std::size_t node_;
   std::vector<std::int64_t> prev_quantized_;
+  std::vector<std::uint8_t> staging_;  ///< changed-entry scratch, capacity reused
   bool first_ = true;
   std::uint64_t total_bytes_ = 0;
   std::uint64_t messages_ = 0;
@@ -50,6 +59,11 @@ class PiDecoder {
 
   /// Decode one message; nullopt on malformed input.
   std::optional<PiMessage> decode(const std::vector<std::uint8_t>& msg);
+
+  /// Allocation-free form: reconstruct into `out` (whose pis vector
+  /// reuses its capacity). Returns false on malformed input, leaving
+  /// `out` untouched.
+  bool decode_into(const std::vector<std::uint8_t>& msg, PiMessage& out);
 
  private:
   std::vector<std::int64_t> quantized_;

@@ -59,6 +59,13 @@ Cluster::Cluster(sim::Simulator& sim, ClusterOptions opts)
 }
 
 std::vector<float> Cluster::collect_server_observation(std::size_t server_index) {
+  std::vector<float> pis(kPisPerNode);
+  collect_server_observation_into(server_index, pis.data());
+  return pis;
+}
+
+void Cluster::collect_server_observation_into(std::size_t server_index,
+                                              float* pis) {
   Ost& srv = *servers_[server_index];
   const sim::Disk& disk = srv.disk();
   ServerSnapshot& snap = server_snapshots_[server_index];
@@ -80,7 +87,6 @@ std::vector<float> Cluster::collect_server_observation(std::size_t server_index)
   snap.metadata_served = srv.metadata_served();
   snap.time = now;
 
-  std::vector<float> pis(kPisPerNode);
   pis[0] = static_cast<float>(log_compress(static_cast<double>(disk.queue_depth()), 12.0));
   pis[1] = static_cast<float>(log_compress(static_cast<double>(disk.queued_writes()), 12.0));
   pis[2] = static_cast<float>(log_compress(static_cast<double>(disk.queued_reads()), 12.0));
@@ -92,13 +98,19 @@ std::vector<float> Cluster::collect_server_observation(std::size_t server_index)
   pis[7] = static_cast<float>(
       log_compress(static_cast<double>(disk.min_process_time()) / 1000.0, 20.0));
   pis[8] = static_cast<float>(log_compress(meta_rate, 12.0));
-  return pis;
 }
 
 std::vector<float> Cluster::collect_observation(std::size_t node) {
+  std::vector<float> pis(kPisPerNode);
+  collect_observation_into(node, pis.data());
+  return pis;
+}
+
+void Cluster::collect_observation_into(std::size_t node, float* pis) {
   assert(node < num_nodes());
   if (node >= clients_.size()) {
-    return collect_server_observation(node - clients_.size());
+    collect_server_observation_into(node - clients_.size(), pis);
+    return;
   }
   Client& cl = *clients_[node];
   NodeSnapshot& snap = pi_snapshots_[node];
@@ -121,7 +133,6 @@ std::vector<float> Cluster::collect_observation(std::size_t node) {
   }
   ping_ms /= static_cast<double>(servers_.size());
 
-  std::vector<float> pis(kPisPerNode);
   pis[0] = static_cast<float>(log_compress(cl.cwnd(), 8.0));       // 256 -> 1.0
   pis[1] = static_cast<float>(cl.rate_limit() / kRateNorm);
   pis[2] = static_cast<float>(read_mbs / kThroughputNormMbs);
@@ -132,7 +143,6 @@ std::vector<float> Cluster::collect_observation(std::size_t node) {
   pis[6] = static_cast<float>(log_compress(cl.avg_ack_ewma_us() / 1000.0, 10.0));
   pis[7] = static_cast<float>(log_compress(cl.avg_send_ewma_us() / 1000.0, 10.0));
   pis[8] = static_cast<float>(log_compress(cl.avg_pt_ratio(), 12.0));
-  return pis;
 }
 
 std::vector<rl::TunableParameter> Cluster::tunable_parameters() const {

@@ -40,6 +40,7 @@ class Cluster : public core::TargetSystemAdapter {
   ///   3 disk busy fraction  4 disk read MB/s      5 disk write MB/s
   ///   6 last process time   7 min process time    8 metadata ops/s
   std::vector<float> collect_observation(std::size_t node) override;
+  void collect_observation_into(std::size_t node, float* out) override;
   std::vector<rl::TunableParameter> tunable_parameters() const override;
   /// values[0] = max_rpcs_in_flight, values[1] = I/O rate limit
   /// (requests/s), and when options().tune_write_cache, values[2] = write
@@ -82,6 +83,7 @@ class Cluster : public core::TargetSystemAdapter {
   };
 
   std::vector<float> collect_server_observation(std::size_t server_index);
+  void collect_server_observation_into(std::size_t server_index, float* out);
 
   sim::Simulator& sim_;
   ClusterOptions opts_;

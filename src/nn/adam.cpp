@@ -40,4 +40,37 @@ void Adam::step() {
   }
 }
 
+void Adam::serialize_state(util::BinaryWriter& w) const {
+  w.put_u64(static_cast<std::uint64_t>(t_));
+  w.put_u32(static_cast<std::uint32_t>(params_.size()));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    w.put_f32_vector(m_[i]);
+    w.put_f32_vector(v_[i]);
+  }
+}
+
+bool Adam::restore_state(util::BinaryReader& r) {
+  auto t = r.get_u64();
+  auto count = r.get_u32();
+  if (!t || !count || *count != params_.size()) return false;
+  std::vector<std::vector<float>> m;
+  std::vector<std::vector<float>> v;
+  m.reserve(params_.size());
+  v.reserve(params_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto mi = r.get_f32_vector();
+    auto vi = r.get_f32_vector();
+    if (!mi || !vi || mi->size() != params_[i]->value.size() ||
+        vi->size() != params_[i]->value.size()) {
+      return false;
+    }
+    m.push_back(std::move(*mi));
+    v.push_back(std::move(*vi));
+  }
+  t_ = static_cast<std::size_t>(*t);
+  m_ = std::move(m);
+  v_ = std::move(v);
+  return true;
+}
+
 }  // namespace capes::nn

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "nn/layers.hpp"
+#include "util/serialize.hpp"
 
 namespace capes::nn {
 
@@ -33,6 +34,15 @@ class Adam {
 
   const Options& options() const { return opts_; }
   void set_learning_rate(float lr) { opts_.learning_rate = lr; }
+
+  /// Append the moment buffers and step counter (not the hyperparameters
+  /// or the parameter values themselves — those live with the model).
+  void serialize_state(util::BinaryWriter& w) const;
+
+  /// Restore state written by serialize_state. Returns false (state
+  /// untouched) on malformed data or a moment-shape mismatch with the
+  /// captured parameter set.
+  bool restore_state(util::BinaryReader& r);
 
  private:
   std::vector<Parameter*> params_;

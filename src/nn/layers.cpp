@@ -12,6 +12,7 @@ Dense::Dense(std::size_t in_features, std::size_t out_features, std::string name
   b_.name = name + ".bias";
   b_.value.assign(out_, 0.0f);
   b_.grad.assign(out_, 0.0f);
+  w_view_.resize(out_, in_);
 }
 
 void Dense::init_xavier(util::Rng& rng) {
@@ -25,9 +26,8 @@ void Dense::init_xavier(util::Rng& rng) {
 const Matrix& Dense::forward(const Matrix& x, util::ThreadPool* pool) {
   assert(x.cols() == in_);
   cached_input_ = x;
-  Matrix w_view(out_, in_);
-  w_view.storage() = w_.value;
-  matmul_nt(x, w_view, output_, pool);
+  w_view_.storage() = w_.value;
+  matmul_nt(x, w_view_, output_, pool);
   add_row_vector(output_, b_.value);
   return output_;
 }
@@ -37,19 +37,18 @@ const Matrix& Dense::backward(const Matrix& grad_out, util::ThreadPool* pool) {
   assert(grad_out.rows() == cached_input_.rows());
 
   // dW += grad_out^T * X  ([out, batch] x [batch, in] -> [out, in])
-  Matrix dw;
-  matmul_tn(grad_out, cached_input_, dw, pool);
-  for (std::size_t i = 0; i < dw.size(); ++i) w_.grad[i] += dw.data()[i];
+  matmul_tn(grad_out, cached_input_, dw_scratch_, pool);
+  for (std::size_t i = 0; i < dw_scratch_.size(); ++i) {
+    w_.grad[i] += dw_scratch_.data()[i];
+  }
 
   // db += column sums of grad_out
-  std::vector<float> db;
-  column_sums(grad_out, db);
-  for (std::size_t i = 0; i < out_; ++i) b_.grad[i] += db[i];
+  column_sums(grad_out, db_scratch_);
+  for (std::size_t i = 0; i < out_; ++i) b_.grad[i] += db_scratch_[i];
 
   // dX = grad_out * W ([batch, out] x [out, in] -> [batch, in])
-  Matrix w_view(out_, in_);
-  w_view.storage() = w_.value;
-  matmul_nn(grad_out, w_view, grad_input_, pool);
+  w_view_.storage() = w_.value;
+  matmul_nn(grad_out, w_view_, grad_input_, pool);
   return grad_input_;
 }
 

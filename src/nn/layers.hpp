@@ -57,6 +57,11 @@ class Dense {
   Matrix cached_input_;
   Matrix output_;
   Matrix grad_input_;
+  // Scratch reused across calls so steady-state forward/backward perform
+  // no heap allocation (the hot-path contract of the async learner).
+  Matrix w_view_;
+  Matrix dw_scratch_;
+  std::vector<float> db_scratch_;
 };
 
 /// Elementwise hyperbolic tangent.

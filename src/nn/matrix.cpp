@@ -6,9 +6,11 @@ namespace capes::nn {
 
 namespace {
 
-/// Run fn(row) over [0, n), via the pool when given.
-void for_rows(std::size_t n, util::ThreadPool* pool,
-              const std::function<void(std::size_t)>& fn) {
+/// Run fn(row) over [0, n), via the pool when given. Templated (not
+/// std::function) so the serial path stays allocation-free — the closure
+/// would exceed std::function's inline buffer and hit the heap per call.
+template <typename Fn>
+void for_rows(std::size_t n, util::ThreadPool* pool, const Fn& fn) {
   if (pool != nullptr && n >= 16) {
     pool->parallel_for(n, fn);
   } else {

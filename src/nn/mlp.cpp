@@ -99,17 +99,28 @@ void Mlp::copy_weights_from(const Mlp& other) {
   }
 }
 
+std::unique_ptr<Mlp> Mlp::clone() const {
+  auto copy = std::unique_ptr<Mlp>(new Mlp(sizes_, activation_, RawTag{}));
+  copy->copy_weights_from(*this);
+  auto dst = copy->parameters();
+  auto src = parameters();
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i]->name = src[i]->name;
+  return copy;
+}
+
 void Mlp::soft_update_from(const Mlp& other, float alpha) {
-  auto dst = parameters();
-  auto src = other.parameters();
-  assert(dst.size() == src.size());
-  for (std::size_t i = 0; i < dst.size(); ++i) {
-    auto& d = dst[i]->value;
-    const auto& s = src[i]->value;
+  // Walks the layers directly (no parameters() vector) — this runs every
+  // train step and must stay off the heap.
+  assert(dense_.size() == other.dense_.size());
+  const auto blend = [alpha](std::vector<float>& d, const std::vector<float>& s) {
     assert(d.size() == s.size());
     for (std::size_t j = 0; j < d.size(); ++j) {
       d[j] = (1.0f - alpha) * d[j] + alpha * s[j];
     }
+  };
+  for (std::size_t i = 0; i < dense_.size(); ++i) {
+    blend(dense_[i].weights().value, other.dense_[i].weights().value);
+    blend(dense_[i].bias().value, other.dense_[i].bias().value);
   }
 }
 

@@ -54,6 +54,9 @@ class Mlp {
   /// Copy all parameter values from another MLP of identical shape.
   void copy_weights_from(const Mlp& other);
 
+  /// Deep copy of shape + parameter values (gradients start zeroed).
+  std::unique_ptr<Mlp> clone() const;
+
   /// Soft update: theta_this = (1 - alpha) * theta_this + alpha * theta_other.
   void soft_update_from(const Mlp& other, float alpha);
 

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "nn/loss.hpp"
+#include "util/crc32.hpp"
 
 namespace capes::rl {
 
@@ -38,18 +39,41 @@ std::size_t Dqn::hidden_size() const {
   return opts_.hidden_size == 0 ? opts_.observation_size : opts_.hidden_size;
 }
 
+const std::vector<float>& Dqn::q_values_scratch(
+    const std::vector<float>& observation, util::ThreadPool* pool) {
+  assert(observation.size() == opts_.observation_size);
+  act_input_.resize(1, opts_.observation_size);
+  std::copy(observation.begin(), observation.end(), act_input_.data());
+  // Acting set: the published snapshot if there is one, the online
+  // network otherwise (sync mode — identical behaviour to pre-async
+  // builds). forward() mutates activation caches, so published snapshots
+  // are evaluated on a private same-shape copy owned by this thread; the
+  // weight copy is allocation-free in steady state.
+  nn::Mlp* net = online_.get();
+  if (auto snap = acting_.load(std::memory_order_acquire)) {
+    if (snap != acting_in_use_) {
+      if (acting_eval_ == nullptr) {
+        acting_eval_ = snap->clone();
+      } else {
+        acting_eval_->copy_weights_from(*snap);
+      }
+      acting_in_use_ = std::move(snap);
+    }
+    net = acting_eval_.get();
+  }
+  const nn::Matrix& out = net->forward(act_input_, pool);
+  act_q_.assign(out.row(0), out.row(0) + out.cols());
+  return act_q_;
+}
+
 std::vector<float> Dqn::q_values(const std::vector<float>& observation,
                                  util::ThreadPool* pool) {
-  assert(observation.size() == opts_.observation_size);
-  nn::Matrix x(1, opts_.observation_size);
-  std::copy(observation.begin(), observation.end(), x.data());
-  const nn::Matrix& out = online_->forward(x, pool);
-  return {out.row(0), out.row(0) + out.cols()};
+  return q_values_scratch(observation, pool);
 }
 
 std::size_t Dqn::greedy_action(const std::vector<float>& observation,
                                util::ThreadPool* pool) {
-  const auto q = q_values(observation, pool);
+  const auto& q = q_values_scratch(observation, pool);
   return static_cast<std::size_t>(
       std::max_element(q.begin(), q.end()) - q.begin());
 }
@@ -72,21 +96,24 @@ TrainStepResult Dqn::train_step(const Minibatch& batch,
   // to the online network. With Double DQN the action is chosen by the
   // online network and only *evaluated* by the target network.
   nn::Mlp& bootstrap = opts_.use_target_network ? *target_ : *online_;
-  const nn::Matrix next_q = bootstrap.forward(batch.next_states, pool);
-  std::vector<float> targets(n);
+  // Copied into scratch (capacity reused across steps) because in the
+  // no-target ablation the later online forward would clobber the cache
+  // this reference points into.
+  next_q_ = bootstrap.forward(batch.next_states, pool);
+  targets_.resize(n);
   if (opts_.use_double_dqn && opts_.use_target_network) {
-    const nn::Matrix online_next = online_->forward(batch.next_states, pool);
+    const nn::Matrix& online_next = online_->forward(batch.next_states, pool);
     for (std::size_t i = 0; i < n; ++i) {
       const float* sel = online_next.row(i);
       const auto best = static_cast<std::size_t>(
           std::max_element(sel, sel + online_next.cols()) - sel);
-      targets[i] = batch.rewards[i] + opts_.gamma * next_q.at(i, best);
+      targets_[i] = batch.rewards[i] + opts_.gamma * next_q_.at(i, best);
     }
   } else {
     for (std::size_t i = 0; i < n; ++i) {
-      const float* row = next_q.row(i);
-      const float max_next = *std::max_element(row, row + next_q.cols());
-      targets[i] = batch.rewards[i] + opts_.gamma * max_next;
+      const float* row = next_q_.row(i);
+      const float max_next = *std::max_element(row, row + next_q_.cols());
+      targets_[i] = batch.rewards[i] + opts_.gamma * max_next;
     }
   }
 
@@ -96,17 +123,16 @@ TrainStepResult Dqn::train_step(const Minibatch& batch,
   TrainStepResult result;
   float abs_err = 0.0f;
   for (std::size_t i = 0; i < n; ++i) {
-    abs_err += std::fabs(pred.at(i, batch.actions[i]) - targets[i]);
+    abs_err += std::fabs(pred.at(i, batch.actions[i]) - targets_[i]);
   }
   result.prediction_error = abs_err / static_cast<float>(n);
 
-  nn::Matrix grad;
   if (opts_.loss == LossKind::kMse) {
-    result.loss = nn::masked_mse_loss(pred, batch.actions, targets, grad);
+    result.loss = nn::masked_mse_loss(pred, batch.actions, targets_, grad_);
   } else {
-    result.loss = nn::masked_huber_loss(pred, batch.actions, targets, grad);
+    result.loss = nn::masked_huber_loss(pred, batch.actions, targets_, grad_);
   }
-  online_->backward(grad, pool);
+  online_->backward(grad_, pool);
   adam_->step();
 
   if (opts_.use_target_network) {
@@ -126,6 +152,75 @@ bool Dqn::load_checkpoint(const std::string& path) {
   if (loaded->layer_sizes() != online_->layer_sizes()) return false;
   online_->copy_weights_from(*loaded);
   target_->copy_weights_from(*loaded);
+  return true;
+}
+
+void Dqn::publish_acting() {
+  acting_.store(std::shared_ptr<const nn::Mlp>(online_->clone()),
+                std::memory_order_release);
+}
+
+void Dqn::clear_acting() {
+  acting_.store(nullptr, std::memory_order_release);
+  acting_in_use_.reset();
+}
+
+std::uint32_t Dqn::weights_fingerprint() const {
+  std::uint32_t crc = 0;
+  for (const auto* p : online_->parameters()) {
+    crc = util::crc32_update(crc, p->value.data(),
+                             p->value.size() * sizeof(float));
+  }
+  return crc;
+}
+
+namespace {
+constexpr std::uint32_t kStateMagic = 0x43445153u;  // "CDQS"
+constexpr std::uint32_t kStateVersion = 1;
+}  // namespace
+
+void Dqn::save_state(util::BinaryWriter& w) const {
+  w.put_u32(kStateMagic);
+  w.put_u32(kStateVersion);
+  w.put_u64(static_cast<std::uint64_t>(train_steps_));
+  const auto online_bytes = online_->serialize();
+  w.put_u64(online_bytes.size());
+  w.put_raw(online_bytes.data(), online_bytes.size());
+  const auto target_bytes = target_->serialize();
+  w.put_u64(target_bytes.size());
+  w.put_raw(target_bytes.data(), target_bytes.size());
+  adam_->serialize_state(w);
+}
+
+bool Dqn::load_state(util::BinaryReader& r) {
+  auto magic = r.get_u32();
+  auto version = r.get_u32();
+  if (!magic || *magic != kStateMagic || !version || *version != kStateVersion) {
+    return false;
+  }
+  auto steps = r.get_u64();
+  if (!steps) return false;
+  auto read_mlp = [&r]() -> std::unique_ptr<nn::Mlp> {
+    auto size = r.get_u64();
+    if (!size || *size > r.remaining()) return nullptr;
+    std::vector<std::uint8_t> bytes(static_cast<std::size_t>(*size));
+    if (!r.get_raw(bytes.data(), bytes.size())) return nullptr;
+    return nn::Mlp::deserialize(bytes);
+  };
+  auto online = read_mlp();
+  auto target = read_mlp();
+  if (!online || !target ||
+      online->layer_sizes() != online_->layer_sizes() ||
+      target->layer_sizes() != target_->layer_sizes()) {
+    return false;
+  }
+  // Adam::restore_state validates fully before mutating, and it is the
+  // last fallible read — nothing below this point can leave the engine
+  // half-restored.
+  if (!adam_->restore_state(r)) return false;
+  online_->copy_weights_from(*online);
+  target_->copy_weights_from(*target);
+  train_steps_ = static_cast<std::size_t>(*steps);
   return true;
 }
 

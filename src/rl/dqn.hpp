@@ -4,6 +4,7 @@
 // a soft-updated target network, Adam, and the Bellman/MSE training step
 // of Equation 1.
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -13,6 +14,7 @@
 #include "nn/mlp.hpp"
 #include "rl/replay_db.hpp"
 #include "util/rng.hpp"
+#include "util/serialize.hpp"
 
 namespace capes::util {
 class ThreadPool;
@@ -91,16 +93,71 @@ class Dqn {
   bool save_checkpoint(const std::string& path) const;
   bool load_checkpoint(const std::string& path);
 
+  // --- Double-buffered weights (async learner) --------------------------
+  //
+  // The learner thread mutates the "learning" set (online_/target_/adam_)
+  // and publishes an immutable snapshot of the online network at swap
+  // points; the acting path reads that snapshot lock-free. While no
+  // snapshot has been published (sync mode) the acting path reads online_
+  // directly, so sync behaviour is byte-for-byte what it was before.
+
+  /// Snapshot the online network and make it the acting set. Called by the
+  /// learner thread after a train step; safe against concurrent q_values/
+  /// greedy_action/select_action readers.
+  void publish_acting();
+
+  /// Drop the acting snapshot (acting falls back to online_). Not safe
+  /// against concurrent readers — call only when the learner is quiescent.
+  void clear_acting();
+
+  bool has_acting_snapshot() const {
+    return acting_.load(std::memory_order_acquire) != nullptr;
+  }
+
+  /// CRC32 over every online-network parameter value, in stable parameter
+  /// order. Pins weight equivalence in tests without dumping tensors.
+  std::uint32_t weights_fingerprint() const;
+
+  /// Full learner state for warm restarts: online + target weights, Adam
+  /// moments and step counter, and train_steps(). Unlike save_checkpoint
+  /// this loses nothing — a restored Dqn trains bit-identically to one
+  /// that never stopped.
+  void save_state(util::BinaryWriter& w) const;
+
+  /// Restore save_state() output. Returns false (state untouched) on
+  /// malformed data or a shape mismatch.
+  bool load_state(util::BinaryReader& r);
+
   /// In-memory size of both networks plus optimizer state, bytes.
   std::size_t memory_bytes() const;
 
  private:
+  /// Q-values for one observation into reusable scratch; returns act_q_.
+  const std::vector<float>& q_values_scratch(
+      const std::vector<float>& observation, util::ThreadPool* pool);
+
   DqnOptions opts_;
   util::Rng rng_;
   std::unique_ptr<nn::Mlp> online_;
   std::unique_ptr<nn::Mlp> target_;
   std::unique_ptr<nn::Adam> adam_;
   std::size_t train_steps_ = 0;
+
+  /// Immutable acting snapshot; null until publish_acting() first runs.
+  std::atomic<std::shared_ptr<const nn::Mlp>> acting_{nullptr};
+  /// The snapshot the acting path is currently evaluating. forward()
+  /// mutates activation caches, so each published snapshot is evaluated on
+  /// a private mutable copy owned by the acting thread.
+  std::shared_ptr<const nn::Mlp> acting_in_use_;
+  std::unique_ptr<nn::Mlp> acting_eval_;
+
+  // Scratch reused across calls so the steady-state acting/training path
+  // performs no heap allocation.
+  nn::Matrix act_input_;
+  std::vector<float> act_q_;
+  std::vector<float> targets_;
+  nn::Matrix next_q_;
+  nn::Matrix grad_;
 };
 
 }  // namespace capes::rl

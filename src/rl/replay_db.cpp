@@ -16,10 +16,28 @@ ReplayDb::ReplayDb(ReplayDbOptions opts, waldb::Database* db)
 }
 
 ReplayDb::TickData& ReplayDb::tick(std::int64_t t) {
-  auto [it, inserted] = ticks_.try_emplace(t);
-  if (inserted) {
-    it->second.pis.assign(opts_.num_nodes * opts_.pis_per_node, 0.0f);
-    it->second.node_present.assign(opts_.num_nodes, false);
+  auto it = ticks_.find(t);
+  if (it == ticks_.end()) {
+    if (!free_nodes_.empty()) {
+      // Reuse a node recycled by trim_retention: rekey it and wipe the
+      // payload while keeping its buffers, so a retention-bounded DB
+      // inserts without heap traffic (size is steady, so no rehash).
+      auto nh = std::move(free_nodes_.back());
+      free_nodes_.pop_back();
+      nh.key() = t;
+      TickData& td = nh.mapped();
+      std::fill(td.pis.begin(), td.pis.end(), 0.0f);
+      std::fill(td.node_present.begin(), td.node_present.end(), false);
+      td.has_action = false;
+      td.action = 0;
+      td.has_reward = false;
+      td.reward = 0.0;
+      it = ticks_.insert(std::move(nh)).position;
+    } else {
+      it = ticks_.try_emplace(t).first;
+      it->second.pis.assign(opts_.num_nodes * opts_.pis_per_node, 0.0f);
+      it->second.node_present.assign(opts_.num_nodes, false);
+    }
     if (ticks_.size() == 1) {
       min_tick_ = max_tick_ = t;
     } else {
@@ -122,12 +140,21 @@ bool ReplayDb::has_observation(std::int64_t t) const {
 }
 
 bool ReplayDb::build_observation(std::int64_t t, float* out) const {
+  // Owner-thread entry point (the engine's action path): reuse the
+  // member scratch so steady-state calls never touch the heap. Pooled
+  // minibatch assembly uses per-task locals instead of this member.
+  return build_observation_into(t, out, last_known_scratch_);
+}
+
+bool ReplayDb::build_observation_into(std::int64_t t, float* out,
+                                      std::vector<float>& last_known) const {
   if (!has_observation(t)) return false;
   const auto s = static_cast<std::int64_t>(opts_.ticks_per_observation);
   const std::size_t row = opts_.num_nodes * opts_.pis_per_node;
   // last_known[node * P + p]: most recent value for fill-in of missing
-  // entries (zero before any data).
-  std::vector<float> last_known(row, 0.0f);
+  // entries (zero before any data). Caller-provided so hot paths can
+  // reuse its capacity.
+  last_known.assign(row, 0.0f);
   std::size_t out_idx = 0;
   for (std::int64_t i = t - s + 1; i <= t; ++i) {
     const TickData* td = find_tick(i);
@@ -155,17 +182,28 @@ bool ReplayDb::transition_available(std::int64_t t) const {
 std::optional<Minibatch> ReplayDb::construct_minibatch(
     std::size_t n, util::Rng& rng, std::size_t max_rounds,
     util::ThreadPool* pool) const {
+  Minibatch batch;
+  if (!construct_minibatch_into(batch, n, rng, max_rounds, pool)) {
+    return std::nullopt;
+  }
+  return batch;
+}
+
+bool ReplayDb::construct_minibatch_into(Minibatch& batch, std::size_t n,
+                                        util::Rng& rng, std::size_t max_rounds,
+                                        util::ThreadPool* pool) const {
   const auto s = static_cast<std::int64_t>(opts_.ticks_per_observation);
   const std::int64_t lo = min_tick_ + s - 1;
   const std::int64_t hi = max_tick_ - 1;  // need t+1 to exist
-  if (ticks_.empty() || hi < lo) return std::nullopt;
+  if (ticks_.empty() || hi < lo) return false;
 
   // Algorithm 1: keep sampling uniform timestamps, keeping only those with
   // complete data, until n samples are gathered (bounded rounds so a
   // sparse DB fails cleanly instead of spinning). Drawing all timestamps
   // first keeps the RNG stream identical whether or not assembly below
   // runs on the pool.
-  std::vector<std::int64_t> chosen;
+  std::vector<std::int64_t>& chosen = chosen_scratch_;
+  chosen.clear();
   chosen.reserve(n);
   for (std::size_t round = 0; round < max_rounds && chosen.size() < n; ++round) {
     const std::size_t needed = n - chosen.size();
@@ -177,12 +215,13 @@ std::optional<Minibatch> ReplayDb::construct_minibatch(
       if (chosen.size() == n) break;
     }
   }
-  if (chosen.size() < n) return std::nullopt;
+  if (chosen.size() < n) return false;
 
-  Minibatch batch;
   const std::size_t obs = observation_size();
   batch.states.resize(n, obs);
   batch.next_states.resize(n, obs);
+  batch.actions.clear();
+  batch.rewards.clear();
   batch.actions.reserve(n);
   batch.rewards.reserve(n);
   for (std::int64_t t : chosen) {
@@ -191,16 +230,38 @@ std::optional<Minibatch> ReplayDb::construct_minibatch(
   }
   // Observation assembly is the expensive half (S * nodes * P floats per
   // row, with last-known fill-in); rows are independent, so fan out.
-  const auto build_row = [&](std::size_t i) {
-    build_observation(chosen[i], batch.states.row(i));
-    build_observation(chosen[i] + 1, batch.next_states.row(i));
-  };
   if (pool != nullptr && n >= 2) {
-    pool->parallel_for(n, build_row);
+    pool->parallel_for(n, [&](std::size_t i) {
+      thread_local std::vector<float> last_known;
+      build_observation_into(chosen[i], batch.states.row(i), last_known);
+      build_observation_into(chosen[i] + 1, batch.next_states.row(i),
+                             last_known);
+    });
   } else {
-    for (std::size_t i = 0; i < n; ++i) build_row(i);
+    for (std::size_t i = 0; i < n; ++i) {
+      build_observation_into(chosen[i], batch.states.row(i),
+                             last_known_scratch_);
+      build_observation_into(chosen[i] + 1, batch.next_states.row(i),
+                             last_known_scratch_);
+    }
   }
-  return batch;
+  return true;
+}
+
+std::size_t ReplayDb::drain_minibatches(Minibatch* const* slots,
+                                        std::size_t max_batches,
+                                        std::size_t batch_size, util::Rng& rng,
+                                        std::size_t max_rounds,
+                                        util::ThreadPool* pool) const {
+  std::size_t filled = 0;
+  while (filled < max_batches) {
+    if (!construct_minibatch_into(*slots[filled], batch_size, rng, max_rounds,
+                                  pool)) {
+      break;
+    }
+    ++filled;
+  }
+  return filled;
 }
 
 std::size_t ReplayDb::usable_transitions() const {
@@ -220,8 +281,12 @@ std::size_t ReplayDb::memory_bytes() const {
 
 void ReplayDb::trim_retention() {
   if (opts_.max_ticks_retained == 0) return;
+  constexpr std::size_t kMaxFreeNodes = 8;
   while (ticks_.size() > opts_.max_ticks_retained) {
-    ticks_.erase(min_tick_);
+    auto nh = ticks_.extract(min_tick_);
+    if (!nh.empty() && free_nodes_.size() < kMaxFreeNodes) {
+      free_nodes_.push_back(std::move(nh));
+    }
     ++min_tick_;
     // Gaps are possible; advance to the next existing tick.
     while (ticks_.find(min_tick_) == ticks_.end() && min_tick_ < max_tick_) {

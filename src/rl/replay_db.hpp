@@ -93,6 +93,25 @@ class ReplayDb {
                                                std::size_t max_rounds = 64,
                                                util::ThreadPool* pool = nullptr) const;
 
+  /// Allocation-free variant: assembles the batch into `out`, reusing its
+  /// matrices' capacity (zero heap traffic once capacities have warmed
+  /// up). Same sampling stream as construct_minibatch. Returns false when
+  /// the DB cannot provide n transitions. Not safe for concurrent callers
+  /// (shared sampling scratch).
+  bool construct_minibatch_into(Minibatch& out, std::size_t n, util::Rng& rng,
+                                std::size_t max_rounds = 64,
+                                util::ThreadPool* pool = nullptr) const;
+
+  /// Fill up to `max_batches` caller-owned minibatch slots back-to-back
+  /// (the async learner's feed: the engine collects free job slots and
+  /// drains fresh batches into them in one call). Draws from `rng`
+  /// exactly like that many construct_minibatch calls. Returns the number
+  /// of slots filled; stops early once the DB runs out of transitions.
+  std::size_t drain_minibatches(Minibatch* const* slots, std::size_t max_batches,
+                                std::size_t batch_size, util::Rng& rng,
+                                std::size_t max_rounds = 64,
+                                util::ThreadPool* pool = nullptr) const;
+
   /// Number of ticks t for which a full transition (obs(t), obs(t+1),
   /// action(t), reward(t+1)) is available. O(ticks); used by tests/benches.
   std::size_t usable_transitions() const;
@@ -113,15 +132,25 @@ class ReplayDb {
   TickData& tick(std::int64_t t);
   const TickData* find_tick(std::int64_t t) const;
   bool transition_available(std::int64_t t) const;
+  bool build_observation_into(std::int64_t t, float* out,
+                              std::vector<float>& last_known) const;
   void persist_status(std::int64_t t, std::size_t node,
                       const std::vector<float>& pis);
   void trim_retention();
 
+  using TickMap = std::unordered_map<std::int64_t, TickData>;
+
   ReplayDbOptions opts_;
   waldb::Database* db_;
-  std::unordered_map<std::int64_t, TickData> ticks_;
+  TickMap ticks_;
   std::int64_t min_tick_ = 0;
   std::int64_t max_tick_ = -1;
+  /// Hash nodes recycled from trim_retention so a retention-bounded DB
+  /// inserts new ticks without touching the heap.
+  std::vector<TickMap::node_type> free_nodes_;
+  /// Sampling scratch for the _into paths (single caller at a time).
+  mutable std::vector<std::int64_t> chosen_scratch_;
+  mutable std::vector<float> last_known_scratch_;
 };
 
 }  // namespace capes::rl

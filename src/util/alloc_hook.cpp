@@ -1,0 +1,96 @@
+#include "util/alloc_hook.hpp"
+
+#include <atomic>
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+// Replacement global allocation functions ([new.delete.single]): count,
+// then forward to malloc/free. Defined here (not weak) so they replace
+// the libstdc++ defaults in any binary that links this object file;
+// sanitizer runtimes still interpose below malloc, so ASan/TSan remain
+// fully effective. All variants forward to one counted core so the
+// counts agree regardless of which overload the compiler selects.
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocs{0};
+std::atomic<std::uint64_t> g_frees{0};
+
+void* counted_alloc(std::size_t size, std::size_t align) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = 1;
+  void* p = align > alignof(std::max_align_t)
+                ? std::aligned_alloc(align, (size + align - 1) / align * align)
+                : std::malloc(size);
+  while (p == nullptr) {
+    std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) throw std::bad_alloc();
+    handler();
+    p = align > alignof(std::max_align_t)
+            ? std::aligned_alloc(align, (size + align - 1) / align * align)
+            : std::malloc(size);
+  }
+  return p;
+}
+
+void counted_free(void* p) noexcept {
+  g_frees.fetch_add(1, std::memory_order_relaxed);
+  std::free(p);
+}
+
+}  // namespace
+
+namespace capes::util {
+
+std::uint64_t allocation_count() {
+  return g_allocs.load(std::memory_order_relaxed);
+}
+
+std::uint64_t deallocation_count() {
+  return g_frees.load(std::memory_order_relaxed);
+}
+
+bool allocation_hook_active() { return true; }
+
+}  // namespace capes::util
+
+void* operator new(std::size_t size) { return counted_alloc(size, 0); }
+void* operator new[](std::size_t size) { return counted_alloc(size, 0); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_alloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_alloc(size, static_cast<std::size_t>(align));
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return counted_alloc(size, 0);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return counted_alloc(size, 0);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void operator delete(void* p) noexcept { counted_free(p); }
+void operator delete[](void* p) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  counted_free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  counted_free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { counted_free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  counted_free(p);
+}

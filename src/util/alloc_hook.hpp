@@ -1,0 +1,39 @@
+#pragma once
+// Process-wide heap-allocation counting hook. Linking any translation
+// unit that references these symbols pulls in replacement global
+// operator new/delete (alloc_hook.cpp) that count every allocation, so
+// tests and benches can assert the steady-state hot path allocates
+// nothing (the "allocation-free tick" guarantee) and report
+// allocations/tick. Counting is a relaxed atomic increment — cheap
+// enough to stay on in every build; the zero-allocation *assertions*
+// live in Debug-built tests.
+
+#include <cstdint>
+
+namespace capes::util {
+
+/// Total operator-new calls observed process-wide since start. Monotonic;
+/// meaningful as deltas around a scope.
+std::uint64_t allocation_count();
+
+/// Total operator-delete calls observed process-wide.
+std::uint64_t deallocation_count();
+
+/// True when the counting operator new/delete replacements are linked
+/// into this binary (they are whenever this header's symbols are used).
+bool allocation_hook_active();
+
+/// RAII delta counter: allocations (process-wide, all threads) between
+/// construction and delta()/stop().
+class AllocTally {
+ public:
+  AllocTally() : start_(allocation_count()) {}
+  /// Allocations since construction (or the last restart()).
+  std::uint64_t delta() const { return allocation_count() - start_; }
+  void restart() { start_ = allocation_count(); }
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace capes::util

@@ -1,0 +1,88 @@
+#pragma once
+// Per-tick bump allocator. The hot path's transient buffers (PI-encode
+// staging, minibatch-assembly scratch) live in an Arena that is reset at
+// a well-defined point each tick: allocation is a pointer bump, reset is
+// O(1), and once the arena has grown to the tick's working-set size the
+// steady state performs zero heap allocations (the property the Debug
+// allocation hook asserts).
+//
+// Overflow never fails: an allocation that does not fit is served from a
+// heap-backed overflow block, and the next reset() folds the observed
+// high-water mark back into one contiguous buffer — so warmup allocates,
+// steady state does not. Not thread-safe; one arena per owning component.
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace capes::util {
+
+class Arena {
+ public:
+  explicit Arena(std::size_t initial_bytes = 4096) { grow(initial_bytes); }
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Allocate `bytes` aligned to `align` (a power of two). Never null for
+  /// bytes > 0; valid until the next reset().
+  void* allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t)) {
+    assert((align & (align - 1)) == 0);
+    // Align the absolute address, not the offset — the buffer base is
+    // only guaranteed operator-new alignment.
+    const auto base = reinterpret_cast<std::uintptr_t>(buffer_.data());
+    const std::size_t offset =
+        ((base + used_ + align - 1) & ~static_cast<std::uintptr_t>(align - 1)) -
+        base;
+    if (offset + bytes > buffer_.size()) {
+      // Overflow block: serve this allocation from the heap and remember
+      // the demand so the next reset() grows the main buffer past it.
+      overflow_.emplace_back(new std::uint8_t[bytes + align]);
+      overflow_bytes_ += bytes + align;
+      auto addr = reinterpret_cast<std::uintptr_t>(overflow_.back().get());
+      addr = (addr + align - 1) & ~static_cast<std::uintptr_t>(align - 1);
+      return reinterpret_cast<void*>(addr);
+    }
+    used_ = offset + bytes;
+    high_water_ = used_ > high_water_ ? used_ : high_water_;
+    return buffer_.data() + offset;
+  }
+
+  /// Typed array helper; elements are NOT constructed (intended for
+  /// trivially constructible scratch).
+  template <typename T>
+  T* alloc_array(std::size_t n) {
+    return static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+  }
+
+  /// Invalidate every outstanding allocation and make the full (possibly
+  /// grown) buffer available again. O(1) in the steady state: the buffer
+  /// only grows while overflow blocks were needed since the last reset.
+  void reset() {
+    if (!overflow_.empty()) {
+      grow(buffer_.size() + overflow_bytes_ + buffer_.size() / 2);
+      overflow_.clear();
+      overflow_bytes_ = 0;
+    }
+    used_ = 0;
+  }
+
+  std::size_t used() const { return used_; }
+  std::size_t capacity() const { return buffer_.size(); }
+  std::size_t high_water() const { return high_water_; }
+  /// Overflow blocks live since the last reset (0 in the steady state).
+  std::size_t overflow_blocks() const { return overflow_.size(); }
+
+ private:
+  void grow(std::size_t bytes) { buffer_.resize(bytes); }
+
+  std::vector<std::uint8_t> buffer_;
+  std::size_t used_ = 0;
+  std::size_t high_water_ = 0;
+  std::vector<std::unique_ptr<std::uint8_t[]>> overflow_;
+  std::size_t overflow_bytes_ = 0;
+};
+
+}  // namespace capes::util

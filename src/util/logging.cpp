@@ -1,12 +1,22 @@
 #include "util/logging.hpp"
 
 #include <cstdio>
+#include <utility>
 
 namespace capes::util {
 
 Logger& Logger::instance() {
   static Logger logger;
   return logger;
+}
+
+Logger::~Logger() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (drain_.joinable()) drain_.join();
 }
 
 void Logger::set_level(LogLevel level) {
@@ -19,13 +29,75 @@ LogLevel Logger::level() const {
   return level_;
 }
 
+void Logger::write_line(const Entry& e) {
+  static const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+  std::fprintf(sink(), "[%s] %s: %s\n", kNames[static_cast<int>(e.level)],
+               e.component.c_str(), e.msg.c_str());
+}
+
 void Logger::log(LogLevel level, const std::string& component,
                  const std::string& msg) {
-  static const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
   if (level < level_ || level == LogLevel::kOff) return;
-  std::fprintf(stderr, "[%s] %s: %s\n",
-               kNames[static_cast<int>(level)], component.c_str(), msg.c_str());
+  if (async_) {
+    queue_.push_back(Entry{level, component, msg});
+    lock.unlock();
+    cv_.notify_one();
+    return;
+  }
+  ++lines_written_;
+  write_line(Entry{level, component, msg});
+}
+
+void Logger::enable_async() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (async_) return;
+  async_ = true;
+  drain_ = std::thread([this] { drain_loop(); });
+}
+
+bool Logger::async() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return async_;
+}
+
+void Logger::drain_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stop_) return;
+      continue;
+    }
+    Entry e = std::move(queue_.front());
+    queue_.pop_front();
+    writing_ = true;
+    lock.unlock();
+    // Sink I/O happens outside the lock: producers never wait on it, and
+    // this thread is the only writer, so lines cannot interleave.
+    write_line(e);
+    lock.lock();
+    writing_ = false;
+    ++lines_written_;
+    if (queue_.empty()) drained_cv_.notify_all();
+  }
+}
+
+void Logger::flush() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!async_) return;
+  drained_cv_.wait(lock, [this] { return queue_.empty() && !writing_; });
+}
+
+void Logger::set_sink(std::FILE* sink) {
+  flush();
+  std::lock_guard<std::mutex> lock(mu_);
+  sink_ = sink;
+}
+
+std::uint64_t Logger::lines_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lines_written_;
 }
 
 }  // namespace capes::util

@@ -4,10 +4,22 @@
 // The Python prototype routed debug output through conf.py-controlled log
 // files; here a process-wide singleton with a runtime level serves the same
 // purpose without pulling in a dependency.
+//
+// Two delivery modes. Synchronous (the default): log() formats and writes
+// under the logger mutex — simple, ordered, but a caller blocks on sink
+// I/O. Asynchronous (enable_async()): log() only enqueues the structured
+// (level, component, message) entry and a dedicated drain thread performs
+// all sink writes — worker-pool and learner threads never block on I/O,
+// and lines cannot tear because exactly one thread writes the sink.
+// CapesSystem enables the drain whenever it runs background threads.
 
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
 #include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 
 namespace capes::util {
 
@@ -24,9 +36,47 @@ class Logger {
   /// Emit one log line if `level` passes the filter.
   void log(LogLevel level, const std::string& component, const std::string& msg);
 
+  /// Switch to the asynchronous drain (idempotent; sticky for the process
+  /// lifetime — the drain thread is joined at exit). Safe to call from
+  /// any thread.
+  void enable_async();
+  bool async() const;
+
+  /// Block until every line enqueued before this call has reached the
+  /// sink. No-op in synchronous mode.
+  void flush();
+
+  /// Redirect output (tests). nullptr restores stderr. Flushes first so
+  /// pending lines land in the old sink.
+  void set_sink(std::FILE* sink);
+
+  /// Lines written to the sink so far (tests/introspection).
+  std::uint64_t lines_written() const;
+
  private:
   Logger() = default;
+  ~Logger();
+
+  struct Entry {
+    LogLevel level;
+    std::string component;
+    std::string msg;
+  };
+
+  void drain_loop();
+  void write_line(const Entry& e);
+  std::FILE* sink() const { return sink_ ? sink_ : stderr; }
+
   mutable std::mutex mu_;
+  std::condition_variable cv_;         ///< wakes the drain thread
+  std::condition_variable drained_cv_; ///< wakes flush() waiters
+  std::deque<Entry> queue_;
+  std::thread drain_;
+  bool async_ = false;
+  bool stop_ = false;
+  bool writing_ = false;  ///< drain thread is mid-write (flush must wait)
+  std::FILE* sink_ = nullptr;  ///< nullptr = stderr
+  std::uint64_t lines_written_ = 0;
   LogLevel level_ = LogLevel::kWarn;
 };
 

@@ -42,17 +42,33 @@ void ThreadPool::parallel_for(std::size_t n,
   if (n == 0) return;
   const std::size_t nthreads = workers_.size() + 1;  // workers + caller
   const std::size_t chunk = (n + nthreads - 1) / nthreads;
+  // Every chunk — including the caller's — runs under first-exception
+  // capture, and the caller always waits for all submitted chunks before
+  // rethrowing at this synchronization point. (Previously a throwing
+  // caller chunk unwound past the futures while workers still held the
+  // dangling `fn` reference, and a throwing worker chunk could abandon
+  // later futures the same way.)
+  std::exception_ptr first_error;
+  std::mutex err_mu;
+  const auto run_chunk = [&fn, &first_error, &err_mu](std::size_t begin,
+                                                      std::size_t end) {
+    try {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(err_mu);
+      if (!first_error) first_error = std::current_exception();
+    }
+  };
   std::vector<std::future<void>> futs;
   std::size_t begin = chunk;  // caller handles [0, chunk)
   while (begin < n) {
     const std::size_t end = std::min(n, begin + chunk);
-    futs.push_back(submit([begin, end, &fn] {
-      for (std::size_t i = begin; i < end; ++i) fn(i);
-    }));
+    futs.push_back(submit([begin, end, &run_chunk] { run_chunk(begin, end); }));
     begin = end;
   }
-  for (std::size_t i = 0; i < std::min(chunk, n); ++i) fn(i);
-  for (auto& f : futs) f.get();
+  run_chunk(0, std::min(chunk, n));
+  for (auto& f : futs) f.get();  // never throws: chunks capture internally
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace capes::util

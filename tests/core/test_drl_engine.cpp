@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "waldb/database.hpp"
+
 namespace capes::core {
 namespace {
 
@@ -139,6 +141,134 @@ TEST(DrlEngine, PredictionErrorLogGrowsMonotonically) {
   for (std::size_t i = 1; i < log.size(); ++i) {
     EXPECT_GT(log[i].first, log[i - 1].first);
   }
+}
+
+TEST(DrlEngine, AsyncLearnerMatchesSyncBitExactly) {
+  // The tentpole invariant: minibatch sampling stays on the control
+  // thread and compute_action waits for published weights, so the async
+  // learner replays exactly the sync training trajectory.
+  rl::ReplayDb replay_sync(replay_options());
+  rl::ReplayDb replay_async(replay_options());
+  fill_replay(replay_sync, 30);
+  fill_replay(replay_async, 30);
+
+  DrlEngineOptions sync_opts = engine_options();
+  DrlEngineOptions async_opts = engine_options();
+  async_opts.learner_mode = LearnerMode::kAsync;
+
+  DrlEngine sync_engine(sync_opts, replay_sync);
+  DrlEngine async_engine(async_opts, replay_async);
+
+  for (int tick = 0; tick < 12; ++tick) {
+    const std::size_t a = sync_engine.compute_action(20 + tick % 5, true);
+    const std::size_t b = async_engine.compute_action(20 + tick % 5, true);
+    EXPECT_EQ(a, b) << "tick " << tick;
+    EXPECT_EQ(sync_engine.train_tick(), async_engine.train_tick());
+  }
+  EXPECT_TRUE(async_engine.learner_thread_running());
+  EXPECT_EQ(sync_engine.total_train_steps(), async_engine.total_train_steps());
+  EXPECT_EQ(sync_engine.weights_fingerprint(),
+            async_engine.weights_fingerprint());
+  ASSERT_EQ(sync_engine.loss_log().size(), async_engine.loss_log().size());
+  for (std::size_t i = 0; i < sync_engine.loss_log().size(); ++i) {
+    EXPECT_EQ(sync_engine.loss_log()[i], async_engine.loss_log()[i]) << i;
+  }
+}
+
+TEST(DrlEngine, AsyncLearnerRunToRunDeterministic) {
+  std::uint32_t fingerprints[2];
+  for (int run = 0; run < 2; ++run) {
+    rl::ReplayDb replay(replay_options());
+    fill_replay(replay, 30);
+    DrlEngineOptions opts = engine_options();
+    opts.learner_mode = LearnerMode::kAsync;
+    DrlEngine engine(opts, replay);
+    for (int tick = 0; tick < 10; ++tick) {
+      engine.compute_action(25, true);
+      engine.train_tick();
+    }
+    fingerprints[run] = engine.weights_fingerprint();
+  }
+  EXPECT_EQ(fingerprints[0], fingerprints[1]);
+}
+
+TEST(DrlEngine, LearnerThreadStartsLazilyAndStopsOnDestruction) {
+  rl::ReplayDb replay(replay_options());
+  fill_replay(replay, 30);
+  DrlEngineOptions opts = engine_options();
+  opts.learner_mode = LearnerMode::kAsync;
+  DrlEngine engine(opts, replay);
+  EXPECT_EQ(engine.learner_mode(), LearnerMode::kAsync);
+  EXPECT_FALSE(engine.learner_thread_running());
+  engine.train_tick();
+  EXPECT_TRUE(engine.learner_thread_running());
+  // Destructor joins the learner; the test passing (no hang, no TSan
+  // report) is the assertion.
+}
+
+TEST(DrlEngine, SyncModeNeverStartsLearnerThread) {
+  rl::ReplayDb replay(replay_options());
+  fill_replay(replay, 30);
+  DrlEngine engine(engine_options(), replay);
+  engine.train_tick();
+  EXPECT_FALSE(engine.learner_thread_running());
+}
+
+TEST(DrlEngine, CheckpointWrittenAtCadenceAndRestoredExactly) {
+  auto db = waldb::Database::in_memory();
+  rl::ReplayDb replay(replay_options());
+  fill_replay(replay, 30);
+
+  DrlEngineOptions opts = engine_options();
+  opts.checkpoint_ticks = 3;
+  DrlEngine engine(opts, replay);
+  engine.set_checkpoint_store(&db);
+  for (int tick = 0; tick < 7; ++tick) {
+    engine.compute_action(25, true);
+    engine.train_tick();
+  }
+  EXPECT_EQ(engine.checkpoints_written(), 2u);  // after ticks 3 and 6
+
+  // A fresh engine restored from the store resumes with the checkpointed
+  // weights, optimizer state and epsilon clock.
+  rl::ReplayDb replay2(replay_options());
+  fill_replay(replay2, 30);
+  DrlEngine resumed(opts, replay2);
+  EXPECT_TRUE(resumed.restore_checkpoint(db));
+  EXPECT_EQ(resumed.training_ticks(), 6);
+  EXPECT_EQ(resumed.total_train_steps(),
+            6u * engine_options().train_steps_per_tick);
+
+  // And restoring garbage fails without touching the engine.
+  auto empty_db = waldb::Database::in_memory();
+  const auto before = resumed.weights_fingerprint();
+  EXPECT_FALSE(resumed.restore_checkpoint(empty_db));
+  EXPECT_EQ(resumed.weights_fingerprint(), before);
+}
+
+TEST(DrlEngine, AsyncCheckpointMatchesSyncCheckpoint) {
+  // The checkpoint job rides the work ring behind the batches of its
+  // tick, so the persisted state equals what sync mode persists.
+  std::vector<std::uint8_t> blobs[2];
+  for (int mode = 0; mode < 2; ++mode) {
+    auto db = waldb::Database::in_memory();
+    rl::ReplayDb replay(replay_options());
+    fill_replay(replay, 30);
+    DrlEngineOptions opts = engine_options();
+    opts.checkpoint_ticks = 4;
+    opts.learner_mode = mode == 0 ? LearnerMode::kSync : LearnerMode::kAsync;
+    DrlEngine engine(opts, replay);
+    engine.set_checkpoint_store(&db);
+    for (int tick = 0; tick < 9; ++tick) {
+      engine.compute_action(25, true);
+      engine.train_tick();
+    }
+    engine.drain_learner();
+    auto blob = db.get("learner", 0);
+    ASSERT_TRUE(blob.has_value()) << "mode " << mode;
+    blobs[mode] = *blob;
+  }
+  EXPECT_EQ(blobs[0], blobs[1]);
 }
 
 }  // namespace

@@ -134,6 +134,58 @@ TEST(Adam, TrainsMlpOnXor) {
   }
 }
 
+TEST(Adam, StateRoundTripResumesIdentically) {
+  // Two optimizers over identical parameters; after transplanting the
+  // moment state mid-run, further steps must match exactly.
+  Parameter pa;
+  pa.value = {1.0f, -2.0f, 3.0f};
+  Parameter pb;
+  pb.value = pa.value;
+  Adam a({&pa});
+  Adam b({&pb});
+  for (int s = 0; s < 5; ++s) {
+    pa.grad = {0.1f * (s + 1), -0.2f, 0.05f};
+    a.step();
+  }
+  util::BinaryWriter w;
+  a.serialize_state(w);
+  const auto bytes = w.take();
+  util::BinaryReader r(bytes);
+  ASSERT_TRUE(b.restore_state(r));
+  EXPECT_EQ(b.steps(), 5u);
+  pb.value = pa.value;
+  for (int s = 0; s < 3; ++s) {
+    pa.grad = {-0.3f, 0.4f * (s + 1), 0.0f};
+    pb.grad = pa.grad;
+    a.step();
+    b.step();
+  }
+  for (std::size_t i = 0; i < pa.value.size(); ++i) {
+    EXPECT_EQ(pa.value[i], pb.value[i]) << i;
+  }
+}
+
+TEST(Adam, RestoreStateRejectsShapeMismatch) {
+  Parameter small;
+  small.value = {1.0f};
+  small.grad = {0.1f};
+  Adam donor({&small});
+  donor.step();
+  util::BinaryWriter w;
+  donor.serialize_state(w);
+  const auto bytes = w.take();
+
+  Parameter big;
+  big.value = {1.0f, 2.0f};
+  Adam target({&big});
+  util::BinaryReader r(bytes);
+  EXPECT_FALSE(target.restore_state(r));
+  EXPECT_EQ(target.steps(), 0u);  // untouched on failure
+
+  util::BinaryReader truncated(bytes.data(), 3);
+  EXPECT_FALSE(target.restore_state(truncated));
+}
+
 TEST(Adam, LearningRateSetter) {
   Parameter p;
   p.value = {0.0f};

@@ -113,6 +113,26 @@ TEST(Mlp, CopyWeightsMakesIdentical) {
   }
 }
 
+TEST(Mlp, CloneIsIndependentDeepCopy) {
+  util::Rng rng(21);
+  Mlp a({3, 4, 2}, rng, Activation::kRelu);
+  auto b = a.clone();
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->layer_sizes(), a.layer_sizes());
+  EXPECT_EQ(b->activation(), a.activation());
+  Matrix x = random_matrix(2, 3, rng);
+  {
+    const Matrix& ya = a.forward(x);
+    const Matrix& yb = b->forward(x);
+    for (std::size_t i = 0; i < ya.size(); ++i) {
+      EXPECT_EQ(ya.data()[i], yb.data()[i]);
+    }
+  }
+  // Mutating the clone must not touch the original.
+  b->parameters()[0]->value[0] += 1.0f;
+  EXPECT_NE(a.parameters()[0]->value[0], b->parameters()[0]->value[0]);
+}
+
 TEST(Mlp, SoftUpdateInterpolates) {
   util::Rng rng(9);
   Mlp a({2, 3, 1}, rng);

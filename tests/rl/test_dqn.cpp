@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "util/alloc_hook.hpp"
 #include "util/rng.hpp"
 
 namespace capes::rl {
@@ -231,6 +232,105 @@ TEST(Dqn, LearnsContextualBandit) {
     picked_best += dqn.greedy_action(obs) == 1;
   }
   EXPECT_GE(picked_best, 45);
+}
+
+TEST(Dqn, FingerprintTracksWeightChanges) {
+  Dqn a(small_options());
+  Dqn b(small_options());
+  EXPECT_EQ(a.weights_fingerprint(), b.weights_fingerprint());
+  util::Rng rng(3);
+  a.train_step(make_batch(8, 4, 3, rng));
+  EXPECT_NE(a.weights_fingerprint(), b.weights_fingerprint());
+}
+
+TEST(Dqn, ActingSnapshotServesPublishedWeights) {
+  Dqn dqn(small_options());
+  const std::vector<float> obs{0.1f, -0.2f, 0.3f, 0.4f};
+  const auto q0 = dqn.q_values(obs);
+
+  // Publish, then keep training the learning set: the acting path must
+  // keep answering with the published snapshot, not the moving online
+  // network.
+  dqn.publish_acting();
+  ASSERT_TRUE(dqn.has_acting_snapshot());
+  util::Rng rng(5);
+  for (int i = 0; i < 5; ++i) dqn.train_step(make_batch(8, 4, 3, rng));
+  EXPECT_EQ(dqn.q_values(obs), q0);
+
+  // Re-publish: the acting set catches up with the trained weights.
+  dqn.publish_acting();
+  const auto q_trained = dqn.q_values(obs);
+  EXPECT_NE(q_trained, q0);
+
+  // Clearing falls back to reading the online network directly.
+  dqn.clear_acting();
+  EXPECT_FALSE(dqn.has_acting_snapshot());
+  EXPECT_EQ(dqn.q_values(obs), q_trained);
+}
+
+TEST(Dqn, StateRoundTripResumesBitIdentically) {
+  Dqn a(small_options());
+  util::Rng rng(11);
+  for (int i = 0; i < 6; ++i) a.train_step(make_batch(8, 4, 3, rng));
+
+  util::BinaryWriter w;
+  a.save_state(w);
+  const auto bytes = w.take();
+
+  Dqn b(small_options());
+  util::BinaryReader r(bytes);
+  ASSERT_TRUE(b.load_state(r));
+  EXPECT_EQ(b.train_steps(), 6u);
+  EXPECT_EQ(b.weights_fingerprint(), a.weights_fingerprint());
+
+  // The restored engine must continue training exactly like the original
+  // (same Adam moments, same target network).
+  util::Rng rng_a(13);
+  util::Rng rng_b(13);
+  for (int i = 0; i < 4; ++i) {
+    const auto ra = a.train_step(make_batch(8, 4, 3, rng_a));
+    const auto rb = b.train_step(make_batch(8, 4, 3, rng_b));
+    EXPECT_EQ(ra.loss, rb.loss);
+  }
+  EXPECT_EQ(a.weights_fingerprint(), b.weights_fingerprint());
+}
+
+TEST(Dqn, LoadStateRejectsGarbageAndShapeMismatch) {
+  Dqn dqn(small_options());
+  const auto before = dqn.weights_fingerprint();
+  std::vector<std::uint8_t> garbage{1, 2, 3, 4};
+  util::BinaryReader r(garbage);
+  EXPECT_FALSE(dqn.load_state(r));
+
+  DqnOptions big = small_options();
+  big.hidden_size = 32;
+  Dqn other(big);
+  util::BinaryWriter w;
+  other.save_state(w);
+  const auto bytes = w.take();
+  util::BinaryReader r2(bytes);
+  EXPECT_FALSE(dqn.load_state(r2));
+  EXPECT_EQ(dqn.weights_fingerprint(), before);
+  EXPECT_EQ(dqn.train_steps(), 0u);
+}
+
+TEST(Dqn, SteadyStateActingAndTrainingAreAllocationFree) {
+  Dqn dqn(small_options());
+  util::Rng rng(17);
+  Minibatch batch = make_batch(8, 4, 3, rng);
+  const std::vector<float> obs{0.1f, 0.2f, 0.3f, 0.4f};
+  // Warm up every scratch buffer (forward caches, targets, grads).
+  for (int i = 0; i < 3; ++i) {
+    dqn.q_values(obs);  // returns by value: that copy is the caller's
+    dqn.greedy_action(obs);
+    dqn.train_step(batch);
+  }
+  util::AllocTally tally;
+  for (int i = 0; i < 50; ++i) {
+    dqn.greedy_action(obs);
+    dqn.train_step(batch);
+  }
+  EXPECT_EQ(tally.delta(), 0u);
 }
 
 }  // namespace

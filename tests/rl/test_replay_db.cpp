@@ -4,6 +4,7 @@
 
 #include <filesystem>
 
+#include "util/alloc_hook.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -280,6 +281,81 @@ TEST(ReplayDb, MemoryBytesScaleWithTicks) {
   const auto m0 = db.memory_bytes();
   fill(db, 100);
   EXPECT_GT(db.memory_bytes(), m0);
+}
+
+TEST(ReplayDb, MinibatchIntoMatchesAllocatingVariant) {
+  ReplayDb db(small_options());
+  fill(db, 30);
+  util::Rng rng_a(42);
+  util::Rng rng_b(42);
+  const auto batch = db.construct_minibatch(8, rng_a);
+  ASSERT_TRUE(batch.has_value());
+  Minibatch into;
+  ASSERT_TRUE(db.construct_minibatch_into(into, 8, rng_b));
+  EXPECT_EQ(into.actions, batch->actions);
+  EXPECT_EQ(into.rewards, batch->rewards);
+  ASSERT_EQ(into.states.size(), batch->states.size());
+  for (std::size_t i = 0; i < into.states.size(); ++i) {
+    EXPECT_EQ(into.states.data()[i], batch->states.data()[i]);
+    EXPECT_EQ(into.next_states.data()[i], batch->next_states.data()[i]);
+  }
+}
+
+TEST(ReplayDb, MinibatchIntoIsAllocationFreeWhenWarm) {
+  ReplayDb db(small_options());
+  fill(db, 30);
+  util::Rng rng(7);
+  Minibatch batch;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(db.construct_minibatch_into(batch, 8, rng));
+  }
+  util::AllocTally tally;
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(db.construct_minibatch_into(batch, 8, rng));
+  }
+  EXPECT_EQ(tally.delta(), 0u);
+}
+
+TEST(ReplayDb, DrainMinibatchesFillsSlotsLikeRepeatedCalls) {
+  ReplayDb db(small_options());
+  fill(db, 30);
+  util::Rng rng_a(5);
+  util::Rng rng_b(5);
+  Minibatch a0, a1, a2;
+  Minibatch* slots[] = {&a0, &a1, &a2};
+  EXPECT_EQ(db.drain_minibatches(slots, 3, 4, rng_a), 3u);
+  for (Minibatch* m : {&a0, &a1, &a2}) {
+    Minibatch want;
+    ASSERT_TRUE(db.construct_minibatch_into(want, 4, rng_b));
+    EXPECT_EQ(m->actions, want.actions);
+    EXPECT_EQ(m->rewards, want.rewards);
+  }
+}
+
+TEST(ReplayDb, DrainMinibatchesStopsWhenDbTooSparse) {
+  ReplayDb db(small_options());
+  util::Rng rng(1);
+  Minibatch a0, a1;
+  Minibatch* slots[] = {&a0, &a1};
+  EXPECT_EQ(db.drain_minibatches(slots, 2, 4, rng), 0u);
+}
+
+TEST(ReplayDb, RetentionBoundedRecordingIsAllocationFreeWhenWarm) {
+  ReplayDbOptions o = small_options();
+  o.max_ticks_retained = 12;
+  ReplayDb db(o);  // memory-only: no waldb persistence on this path
+  fill(db, 40);    // warm: retention trimming and node recycling active
+  const std::vector<float> p{1.0f, 2.0f, 3.0f};
+  util::AllocTally tally;
+  for (std::int64_t t = 40; t < 80; ++t) {
+    for (std::size_t node = 0; node < o.num_nodes; ++node) {
+      db.record_status(t, node, p);
+    }
+    db.record_action(t, 1);
+    db.record_reward(t, 0.5);
+  }
+  EXPECT_EQ(tally.delta(), 0u);
+  EXPECT_EQ(db.tick_count(), 12u);
 }
 
 }  // namespace

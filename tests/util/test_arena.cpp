@@ -1,0 +1,120 @@
+#include "util/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+
+#include "util/alloc_hook.hpp"
+
+namespace capes::util {
+namespace {
+
+TEST(Arena, AllocationsAreDistinctAndWritable) {
+  Arena arena(1024);
+  auto* a = arena.alloc_array<std::uint64_t>(10);
+  auto* b = arena.alloc_array<std::uint64_t>(10);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a, b);
+  for (int i = 0; i < 10; ++i) {
+    a[i] = 1;
+    b[i] = 2;
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(a[i], 1u);
+    EXPECT_EQ(b[i], 2u);
+  }
+}
+
+TEST(Arena, RespectsAlignment) {
+  Arena arena(1024);
+  arena.allocate(1, 1);
+  void* p = arena.allocate(16, 64);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 64, 0u);
+  arena.allocate(3, 1);
+  void* q = arena.allocate(8, 32);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(q) % 32, 0u);
+}
+
+TEST(Arena, ResetReusesTheSameStorage) {
+  Arena arena(1024);
+  void* first = arena.allocate(100);
+  arena.reset();
+  void* second = arena.allocate(100);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(arena.overflow_blocks(), 0u);
+}
+
+TEST(Arena, OverflowServesAllocationAndGrowsOnReset) {
+  Arena arena(64);
+  void* small = arena.allocate(32);
+  ASSERT_NE(small, nullptr);
+  // Does not fit: must still be served, tracked as overflow.
+  void* big = arena.allocate(1024);
+  ASSERT_NE(big, nullptr);
+  EXPECT_EQ(arena.overflow_blocks(), 1u);
+  std::memset(big, 0xab, 1024);
+  arena.reset();
+  EXPECT_EQ(arena.overflow_blocks(), 0u);
+  // After the growth fold-in the same demand fits in the main buffer.
+  void* again = arena.allocate(1024);
+  ASSERT_NE(again, nullptr);
+  EXPECT_EQ(arena.overflow_blocks(), 0u);
+}
+
+TEST(Arena, SteadyStateIsAllocationFree) {
+  Arena arena(16);  // deliberately small: warmup must grow
+  for (int warm = 0; warm < 3; ++warm) {
+    arena.reset();
+    arena.alloc_array<float>(200);
+    arena.alloc_array<std::int64_t>(50);
+  }
+  // Steady state: same per-tick demand, zero heap traffic.
+  AllocTally tally;
+  for (int tick = 0; tick < 100; ++tick) {
+    arena.reset();
+    auto* f = arena.alloc_array<float>(200);
+    auto* i = arena.alloc_array<std::int64_t>(50);
+    f[199] = 1.0f;
+    i[49] = 7;
+  }
+  EXPECT_EQ(tally.delta(), 0u);
+}
+
+TEST(Arena, HighWaterTracksPeakUse) {
+  Arena arena(4096);
+  arena.allocate(100, 1);
+  arena.reset();
+  arena.allocate(300, 1);
+  EXPECT_GE(arena.high_water(), 300u);
+  EXPECT_LE(arena.high_water(), arena.capacity());
+}
+
+// N3664 lets the compiler elide unobserved new-*expressions* (which -O2
+// did to a naive `new int` here), but direct calls to the allocation
+// functions are real calls and always hit the hook.
+
+TEST(AllocHook, CountsHeapAllocations) {
+  ASSERT_TRUE(allocation_hook_active());
+  AllocTally tally;
+  for (int i = 0; i < 10; ++i) {
+    void* p = ::operator new(16);
+    ::operator delete(p);
+  }
+  EXPECT_GE(tally.delta(), 10u);
+}
+
+TEST(AllocHook, TallyRestartsCleanly) {
+  AllocTally tally;
+  void* p = ::operator new(16);
+  ::operator delete(p);
+  EXPECT_GE(tally.delta(), 1u);
+  tally.restart();
+  // No allocations after restart() from this thread; other test threads
+  // do not run concurrently, so the delta stays zero.
+  EXPECT_EQ(tally.delta(), 0u);
+}
+
+}  // namespace
+}  // namespace capes::util

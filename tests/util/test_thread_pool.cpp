@@ -71,6 +71,45 @@ TEST(ThreadPool, ParallelForComputesCorrectSum) {
   EXPECT_EQ(sum, 2L * 4999 * 5000 / 2);
 }
 
+TEST(ThreadPool, ParallelForRethrowsWorkerChunkException) {
+  ThreadPool pool(3);
+  // Only indices handled by worker chunks throw (the caller handles the
+  // first chunk); the exception must surface at the synchronization
+  // point instead of silently terminating a worker.
+  EXPECT_THROW(pool.parallel_for(1000,
+                                 [](std::size_t i) {
+                                   if (i >= 900) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForRethrowsCallerChunkException) {
+  ThreadPool pool(3);
+  // The caller's own chunk (index 0) throwing must not unwind past the
+  // in-flight worker chunks — that left workers holding a dangling
+  // reference to the body. Every *worker* chunk still completes (the
+  // throw only aborts the caller's own chunk of 250); the exception
+  // surfaces after the join.
+  std::atomic<int> visited{0};
+  EXPECT_THROW(pool.parallel_for(1000,
+                                 [&](std::size_t i) {
+                                   if (i == 0) throw std::runtime_error("early");
+                                   visited.fetch_add(1);
+                                 }),
+               std::runtime_error);
+  EXPECT_EQ(visited.load(), 750);  // 3 worker chunks of 250
+}
+
+TEST(ThreadPool, PoolUsableAfterParallelForException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(100, [](std::size_t) { throw std::runtime_error("x"); }),
+      std::runtime_error);
+  std::atomic<int> counter{0};
+  pool.parallel_for(100, [&](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 100);
+}
+
 TEST(ThreadPool, DestructionDrainsQueue) {
   std::atomic<int> counter{0};
   {

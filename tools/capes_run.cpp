@@ -35,6 +35,9 @@ struct Args {
   /// --transport=sync|sim[:latency_ticks=..,jitter=..,drop=..,seed=..].
   /// Unset means "the preset/conf decides" (sync by default).
   std::optional<std::string> transport;
+  /// --learner=sync|async: where DRL training steps run. Unset means
+  /// "the preset/conf decides" (sync by default).
+  std::optional<std::string> learner;
   /// --sim-shards=auto|N: per-domain simulator event queues (0 = auto =
   /// one per control domain). Unset means "the preset/conf decides"
   /// (the serial single-queue loop by default).
@@ -117,6 +120,15 @@ ParseOutcome parse_args(int argc, char** argv, Args* args) {
         return ParseOutcome::kError;
       }
       args->transport = value;
+    } else if (parse_flag(argv[i], "--learner", &value)) {
+      if (value != "sync" && value != "async") {
+        std::fprintf(stderr,
+                     "invalid value for --learner: '%s' (expected sync or "
+                     "async)\n",
+                     value.c_str());
+        return ParseOutcome::kError;
+      }
+      args->learner = value;
     } else if (parse_flag(argv[i], "--sim-shards", &value)) {
       if (value == "auto") {
         args->sim_shards = 0;  // ExperimentBuilder: one shard per domain
@@ -183,6 +195,7 @@ void print_usage() {
       "                 [--clusters=N] [--threads=N] [--sim-shards=auto|N]\n"
       "                 [--transport=sync|sim[:latency_ticks=N,jitter=X,"
       "drop=P,seed=N]]\n"
+      "                 [--learner=sync|async]\n"
       "                 [--conf=FILE] [--train-ticks=N] [--eval-ticks=N]\n"
       "                 [--csv=PREFIX] [--model=FILE] [--load-model=FILE]\n"
       "                 [--seed=N] [--monitor-servers] [--tune-write-cache]\n"
@@ -203,6 +216,9 @@ void print_usage() {
       "  --transport=sim:latency_ticks=2,jitter=2,drop=0.05,seed=7\n"
       "(drop in [0,1); latency_ticks/jitter >= 0; seed pins the network\n"
       "realization independently of --seed).\n"
+      "--learner=async moves DRL training to a dedicated learner thread\n"
+      "that overlaps the next tick's simulation; actions and weights stay\n"
+      "bit-identical to --learner=sync (the default) at the same seed.\n"
       "See docs/CONFIG.md for the full flag and conf-key reference.\n",
       registered_names_joined().c_str());
 }
@@ -263,6 +279,7 @@ int main(int argc, char** argv) {
   }
   if (args.sim_shards) builder.sim_shards(*args.sim_shards);
   if (args.transport) builder.transport(*args.transport);
+  if (args.learner) builder.learner(*args.learner);
   if (args.seed) builder.seed(*args.seed);
   if (!args.conf.empty()) builder.config_file(args.conf);
   if (!args.csv_prefix.empty()) {

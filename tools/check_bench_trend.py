@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Compare two bench JSON artifacts and flag throughput regressions.
+
+Usage:
+    tools/check_bench_trend.py BASELINE.json CURRENT.json
+        [--threshold=0.20] [--strict]
+
+Both files are the BENCH_*.json emitted by the bench runners
+(tools/run_*_bench.sh): a top-level "results" list of rows, each row a
+flat object mixing key fields (threads, domains, ...) with measured
+"ticks_per_sec*" metrics. Rows are matched across files by their key
+fields; a metric that dropped by more than the threshold (default 20%)
+is reported.
+
+Warn-only by default: regressions are printed but the exit code stays 0,
+so CI surfaces the trend without going red on a noisy shared runner.
+--strict exits 1 on any regression instead (for local gating runs).
+Missing baselines (first run, renamed bench) exit 0 with a notice.
+"""
+
+import argparse
+import json
+import sys
+
+METRIC_PREFIX = "ticks_per_sec"
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except FileNotFoundError:
+        return None
+    except json.JSONDecodeError as e:
+        sys.exit(f"error: {path} is not valid JSON: {e}")
+
+
+def row_key(row):
+    """Identity of a results row: every non-metric, non-derived field."""
+    return tuple(
+        sorted(
+            (k, v)
+            for k, v in row.items()
+            if not k.startswith(METRIC_PREFIX) and k != "speedup"
+        )
+    )
+
+
+def metrics(row):
+    return {k: v for k, v in row.items() if k.startswith(METRIC_PREFIX)}
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="warn on bench throughput regressions between two "
+        "BENCH_*.json artifacts"
+    )
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="fractional drop that counts as a regression (default 0.20)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 on regression instead of warn-only",
+    )
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    if baseline is None:
+        print(f"no baseline at {args.baseline}; nothing to compare")
+        return 0
+    current = load(args.current)
+    if current is None:
+        sys.exit(f"error: current artifact {args.current} not found")
+
+    base_rows = {row_key(r): metrics(r) for r in baseline.get("results", [])}
+    regressions = []
+    compared = 0
+    for row in current.get("results", []):
+        base = base_rows.get(row_key(row))
+        if base is None:
+            continue
+        for name, value in metrics(row).items():
+            old = base.get(name)
+            if not isinstance(old, (int, float)) or old <= 0:
+                continue
+            compared += 1
+            drop = (old - value) / old
+            if drop > args.threshold:
+                label = ", ".join(
+                    f"{k}={v}" for k, v in row.items()
+                    if not k.startswith(METRIC_PREFIX) and k != "speedup"
+                )
+                regressions.append(
+                    f"  {name} [{label}]: {old:.1f} -> {value:.1f} "
+                    f"({drop:+.0%})"
+                )
+
+    bench = current.get("bench", args.current)
+    if not compared:
+        print(f"{bench}: no comparable metrics between the two artifacts")
+        return 0
+    if regressions:
+        print(
+            f"WARNING: {bench}: {len(regressions)} metric(s) regressed "
+            f"more than {args.threshold:.0%}:"
+        )
+        print("\n".join(regressions))
+        return 1 if args.strict else 0
+    print(f"{bench}: {compared} metric(s) within {args.threshold:.0%} "
+          "of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Runs the async-learner bench and emits BENCH_learner.json (training
+# ticks/sec with the DQN trained inline vs on the dedicated learner
+# thread, plus steady-state heap allocations per tick on the audited
+# allocation-free path).
+#
+#   tools/run_learner_bench.sh [build_dir] [output.json]
+#
+# Tunables via environment:
+#   CAPES_BENCH_TICKS  training ticks per measured point (default 200)
+set -eu
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_learner.json}"
+BENCH="$BUILD_DIR/bench/ext_learner"
+
+if [ ! -x "$BENCH" ]; then
+  echo "error: $BENCH not built (cmake --build $BUILD_DIR --target ext_learner)" >&2
+  exit 1
+fi
+
+"$BENCH" --ticks="${CAPES_BENCH_TICKS:-200}" --json="$OUT"
