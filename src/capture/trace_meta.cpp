@@ -1,0 +1,108 @@
+#include "capture/trace_meta.hpp"
+
+#include "util/serialize.hpp"
+
+namespace capes::capture {
+
+namespace {
+constexpr std::uint32_t kMetaMagic = 0x4d545043u;  // "CPTM"
+constexpr std::uint32_t kMetaVersion = 1;
+}  // namespace
+
+std::vector<std::uint8_t> TraceMeta::encode() const {
+  util::BinaryWriter w;
+  w.put_u32(kMetaMagic);
+  w.put_u32(kMetaVersion);
+  w.put_u32(num_domains);
+  w.put_u32(num_nodes);
+  w.put_u32(pis_per_node);
+  w.put_u32(num_actions);
+  w.put_f64(sampling_tick_s);
+  w.put_u64(engine_seed);
+  w.put_u64(dqn_seed);
+  w.put_u8(use_double_dqn ? 1 : 0);
+  w.put_u8(use_target_network ? 1 : 0);
+  w.put_u8(loss_kind);
+  w.put_u8(activation);
+  w.put_u32(num_hidden_layers);
+  w.put_u32(hidden_size);
+  w.put_f32(gamma);
+  w.put_f32(learning_rate);
+  w.put_f32(target_update_alpha);
+  w.put_u32(minibatch_size);
+  w.put_u32(train_steps_per_tick);
+  w.put_f64(eval_epsilon);
+  w.put_f64(epsilon_initial);
+  w.put_f64(epsilon_final);
+  w.put_i64(epsilon_anneal_ticks);
+  w.put_f64(epsilon_bump_value);
+  w.put_i64(epsilon_bump_ticks);
+  w.put_u32(ticks_per_observation);
+  w.put_f64(missing_tolerance);
+  w.put_u64(max_ticks_retained);
+  w.put_u32(initial_weights_fingerprint);
+  return w.take();
+}
+
+std::optional<TraceMeta> TraceMeta::decode(
+    const std::vector<std::uint8_t>& blob) {
+  util::BinaryReader r(blob);
+  const auto magic = r.get_u32();
+  const auto version = r.get_u32();
+  if (!magic || *magic != kMetaMagic || !version || *version != kMetaVersion) {
+    return std::nullopt;
+  }
+  TraceMeta m;
+  auto u32 = [&r](std::uint32_t* out) {
+    const auto v = r.get_u32();
+    if (v) *out = *v;
+    return v.has_value();
+  };
+  auto u64 = [&r](std::uint64_t* out) {
+    const auto v = r.get_u64();
+    if (v) *out = *v;
+    return v.has_value();
+  };
+  auto i64 = [&r](std::int64_t* out) {
+    const auto v = r.get_i64();
+    if (v) *out = *v;
+    return v.has_value();
+  };
+  auto f32 = [&r](float* out) {
+    const auto v = r.get_f32();
+    if (v) *out = *v;
+    return v.has_value();
+  };
+  auto f64 = [&r](double* out) {
+    const auto v = r.get_f64();
+    if (v) *out = *v;
+    return v.has_value();
+  };
+  auto boolean = [&r](bool* out) {
+    const auto v = r.get_u8();
+    if (v) *out = *v != 0;
+    return v.has_value();
+  };
+  auto u8 = [&r](std::uint8_t* out) {
+    const auto v = r.get_u8();
+    if (v) *out = *v;
+    return v.has_value();
+  };
+  const bool ok =
+      u32(&m.num_domains) && u32(&m.num_nodes) && u32(&m.pis_per_node) &&
+      u32(&m.num_actions) && f64(&m.sampling_tick_s) && u64(&m.engine_seed) &&
+      u64(&m.dqn_seed) && boolean(&m.use_double_dqn) &&
+      boolean(&m.use_target_network) && u8(&m.loss_kind) && u8(&m.activation) &&
+      u32(&m.num_hidden_layers) && u32(&m.hidden_size) && f32(&m.gamma) &&
+      f32(&m.learning_rate) && f32(&m.target_update_alpha) &&
+      u32(&m.minibatch_size) && u32(&m.train_steps_per_tick) &&
+      f64(&m.eval_epsilon) && f64(&m.epsilon_initial) && f64(&m.epsilon_final) &&
+      i64(&m.epsilon_anneal_ticks) && f64(&m.epsilon_bump_value) &&
+      i64(&m.epsilon_bump_ticks) && u32(&m.ticks_per_observation) &&
+      f64(&m.missing_tolerance) && u64(&m.max_ticks_retained) &&
+      u32(&m.initial_weights_fingerprint);
+  if (!ok) return std::nullopt;
+  return m;
+}
+
+}  // namespace capes::capture

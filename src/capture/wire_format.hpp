@@ -1,0 +1,67 @@
+#pragma once
+// Flight-recorder wire format: the on-disk framing shared by the capture
+// writer and reader. A capture file is
+//
+//   [file header][record][record]...[record]
+//
+// File header: [u32 magic "CAPW"][u32 version][u64 dropped_records]
+// [u32 meta_len][meta bytes]. `dropped_records` is written as 0 on open
+// and patched in place on close with the number of records the capture
+// ring had to shed (a lossy capture still replays, but the differential
+// PI decoders may desynchronize — the reader surfaces the count so tools
+// can warn).
+//
+// Record framing (the WAL idiom from src/waldb/wal.cpp): [u32 payload_len]
+// [u32 crc][u8 type][i64 tick][u64 topic][u64 sender][payload bytes], all
+// little-endian; crc covers type, tick, topic, sender and payload. A torn
+// or corrupt record is detected by its CRC and everything from it onward
+// is dropped during replay — validate-before-use, like the WAL.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace capes::capture {
+
+inline constexpr std::uint32_t kWireMagic = 0x57504143u;    // "CAPW"
+inline constexpr std::uint32_t kWireVersion = 1;
+/// Byte offset of the dropped_records field inside the file header
+/// (after magic + version), patched in place by WireLogWriter::close.
+inline constexpr long kDroppedRecordsOffset = 8;
+/// Fixed bytes per record before the payload: len + crc + type + tick +
+/// topic + sender.
+inline constexpr std::size_t kRecordFixedBytes = 4 + 4 + 1 + 8 + 8 + 8;
+/// Bytes of the fixed part the CRC covers (type + tick + topic + sender).
+inline constexpr std::size_t kRecordCrcFixedBytes = 1 + 8 + 8 + 8;
+
+/// What one record captures. Values are the wire encoding — append only.
+enum class RecordType : std::uint8_t {
+  kStatus = 1,          ///< one PI message as delivered to the daemon
+  kReward = 2,          ///< payload: f64 reward, f64 throughput, f64 latency
+  kAction = 3,          ///< payload: u32 suggested, u32 recorded (post-veto)
+  kBroadcast = 4,       ///< one checked-action broadcast (f64 parameters)
+  kPhaseBegin = 5,      ///< payload: u8 RunPhase value
+  kPhaseEnd = 6,        ///< payload: u8 RunPhase value
+  kWorkloadChange = 7,  ///< §3.6 epsilon-bump marker, empty payload
+};
+
+/// One decoded record. The payload's meaning depends on `type`; tick is
+/// the delivery tick (records appear in the file in delivery order, which
+/// is exactly the order the daemon consumed them in the live run).
+struct WireRecord {
+  RecordType type = RecordType::kStatus;
+  std::int64_t tick = 0;
+  std::uint64_t topic = 0;
+  std::uint64_t sender = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Encode the CRC-covered fixed fields of a record into `out` (at least
+/// kRecordCrcFixedBytes bytes), little-endian.
+void encode_record_fixed(const WireRecord& record, std::uint8_t* out);
+
+/// CRC32 over the fixed fields and payload of `record` (what the frame's
+/// crc field stores).
+std::uint32_t record_crc(const WireRecord& record);
+
+}  // namespace capes::capture

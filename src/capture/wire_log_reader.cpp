@@ -1,0 +1,111 @@
+#include "capture/wire_log_reader.hpp"
+
+#include "util/serialize.hpp"
+
+namespace capes::capture {
+
+namespace {
+
+std::uint32_t get_le32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::uint64_t get_le64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+}  // namespace
+
+bool WireLogReader::open(const std::string& path, std::string* error) {
+  auto bytes = util::read_file(path);
+  if (!bytes) {
+    if (error) *error = "cannot read capture file " + path;
+    return false;
+  }
+  data_ = std::move(*bytes);
+
+  // Header: magic + version + dropped_records + meta_len + meta.
+  if (data_.size() < 20) {
+    if (error) *error = "capture file too short for header: " + path;
+    return false;
+  }
+  if (get_le32(data_.data()) != kWireMagic) {
+    if (error) *error = "not a capture file (bad magic): " + path;
+    return false;
+  }
+  const std::uint32_t version = get_le32(data_.data() + 4);
+  if (version != kWireVersion) {
+    if (error) {
+      *error = "unsupported capture version " + std::to_string(version) +
+               ": " + path;
+    }
+    return false;
+  }
+  stats_.dropped_records = get_le64(data_.data() + kDroppedRecordsOffset);
+  const std::uint32_t meta_len = get_le32(data_.data() + 16);
+  if (data_.size() - 20 < meta_len) {
+    if (error) *error = "capture meta truncated: " + path;
+    return false;
+  }
+  meta_.assign(data_.begin() + 20, data_.begin() + 20 + meta_len);
+  cursor_ = 20 + meta_len;
+  return true;
+}
+
+bool WireLogReader::next(WireRecord* out) {
+  if (done_) return false;
+  const std::size_t remaining = data_.size() - cursor_;
+  if (remaining == 0) {
+    done_ = true;
+    return false;  // clean EOF
+  }
+  if (remaining < kRecordFixedBytes) {
+    truncate_tail_here();
+    return false;
+  }
+  const std::uint8_t* frame = data_.data() + cursor_;
+  const std::uint32_t payload_len = get_le32(frame);
+  if (remaining - kRecordFixedBytes < payload_len) {
+    truncate_tail_here();
+    return false;
+  }
+  const std::uint32_t stored_crc = get_le32(frame + 4);
+  out->type = static_cast<RecordType>(frame[8]);
+  out->tick = static_cast<std::int64_t>(get_le64(frame + 9));
+  out->topic = get_le64(frame + 17);
+  out->sender = get_le64(frame + 25);
+  const std::uint8_t* payload = frame + kRecordFixedBytes;
+  out->payload.assign(payload, payload + payload_len);
+  if (record_crc(*out) != stored_crc) {
+    out->payload.clear();  // validate-before-use: never surface bad bytes
+    truncate_tail_here();
+    return false;
+  }
+  cursor_ += kRecordFixedBytes + payload_len;
+  ++stats_.valid_records;
+  return true;
+}
+
+void WireLogReader::truncate_tail_here() {
+  done_ = true;
+  tail_truncated_ = true;
+  stats_.truncated_bytes = data_.size() - cursor_;
+  // Estimate how many frames the dead region held by walking its length
+  // prefixes. The bytes are untrusted, so cap each stride at the region
+  // end; a trailing partial frame counts as one.
+  std::size_t pos = cursor_;
+  while (pos < data_.size()) {
+    ++stats_.truncated_records;
+    if (data_.size() - pos < kRecordFixedBytes) break;
+    const std::uint32_t len = get_le32(data_.data() + pos);
+    const std::size_t stride = kRecordFixedBytes + len;
+    if (stride > data_.size() - pos) break;
+    pos += stride;
+  }
+}
+
+}  // namespace capes::capture

@@ -1,0 +1,175 @@
+#include "capture/wire_log_writer.hpp"
+
+#include <cstring>
+
+#include "util/logging.hpp"
+#include "util/serialize.hpp"
+
+namespace capes::capture {
+
+namespace {
+
+void put_le32(std::uint8_t* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+void put_le64(std::uint8_t* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+}  // namespace
+
+WireLogWriter::WireLogWriter(WireLogWriterOptions opts,
+                             const std::vector<std::uint8_t>& meta)
+    : opts_(std::move(opts)),
+      free_ring_(opts_.ring_capacity),
+      work_ring_(opts_.ring_capacity) {
+  file_ = std::fopen(opts_.path.c_str(), "wb");
+  if (file_ == nullptr) {
+    CAPES_LOG_ERROR("capture") << "cannot open capture file " << opts_.path;
+    write_failed_.store(true, std::memory_order_release);
+    closed_ = true;
+    return;
+  }
+
+  util::BinaryWriter header;
+  header.put_u32(kWireMagic);
+  header.put_u32(kWireVersion);
+  header.put_u64(0);  // dropped_records, patched in close()
+  header.put_u32(static_cast<std::uint32_t>(meta.size()));
+  header.put_raw(meta.data(), meta.size());
+  if (std::fwrite(header.buffer().data(), 1, header.size(), file_) !=
+      header.size()) {
+    CAPES_LOG_ERROR("capture") << "cannot write capture header to "
+                               << opts_.path;
+    std::fclose(file_);
+    file_ = nullptr;
+    write_failed_.store(true, std::memory_order_release);
+    closed_ = true;
+    return;
+  }
+  bytes_written_.store(header.size(), std::memory_order_relaxed);
+
+  // Populate the slot pool. free_ring_ capacity was rounded up to a power
+  // of two, so every slot fits and the pushes cannot fail.
+  pool_.reserve(free_ring_.capacity());
+  for (std::size_t i = 0; i < free_ring_.capacity(); ++i) {
+    pool_.push_back(std::make_unique<Slot>());
+    // Pre-size every payload buffer: slots recycle in FIFO order, so
+    // without this a cold slot meeting a large record would still
+    // allocate mid-run. One record() payload above the reserve only ever
+    // grows that slot once.
+    pool_.back()->rec.payload.reserve(opts_.payload_reserve);
+    free_ring_.try_push(pool_.back().get());
+  }
+  f64_scratch_.reserve(opts_.payload_reserve);
+
+  opened_ = true;
+  writer_thread_ = std::thread([this] { writer_loop(); });
+}
+
+WireLogWriter::~WireLogWriter() { close(); }
+
+void WireLogWriter::record(RecordType type, std::int64_t tick,
+                           std::uint64_t topic, std::uint64_t sender,
+                           const void* payload, std::size_t size) {
+  if (!opened_ || closed_) {
+    records_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Slot* slot = nullptr;
+  if (!free_ring_.try_pop(slot)) {
+    // Pool exhausted: the file sink is behind. Shed rather than stall the
+    // control thread; the reader learns the count from the header.
+    records_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  slot->rec.type = type;
+  slot->rec.tick = tick;
+  slot->rec.topic = topic;
+  slot->rec.sender = sender;
+  const auto* bytes = static_cast<const std::uint8_t*>(payload);
+  slot->rec.payload.assign(bytes, bytes + size);  // reuses slot capacity
+  if (!work_ring_.try_push(std::move(slot))) {
+    // Unreachable while slots are conserved (both rings hold the whole
+    // pool), but never leak a slot if the invariant breaks.
+    free_ring_.try_push(std::move(slot));
+    records_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  records_logged_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void WireLogWriter::record_f64s(RecordType type, std::int64_t tick,
+                                std::uint64_t topic, std::uint64_t sender,
+                                const double* values, std::size_t count) {
+  f64_scratch_.resize(count * 8);  // capacity retained across calls
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &values[i], sizeof(bits));
+    put_le64(f64_scratch_.data() + i * 8, bits);
+  }
+  record(type, tick, topic, sender, f64_scratch_.data(), f64_scratch_.size());
+}
+
+bool WireLogWriter::close() {
+  if (closed_) return ok();
+  closed_ = true;
+  work_ring_.close();
+  if (writer_thread_.joinable()) writer_thread_.join();
+  free_ring_.close();
+  if (file_ != nullptr) {
+    // Patch the final drop count into the header so the reader can tell
+    // a lossy capture from a faithful one.
+    std::uint8_t dropped_le[8];
+    put_le64(dropped_le, records_dropped_.load(std::memory_order_relaxed));
+    if (std::fseek(file_, kDroppedRecordsOffset, SEEK_SET) != 0 ||
+        std::fwrite(dropped_le, 1, sizeof(dropped_le), file_) !=
+            sizeof(dropped_le)) {
+      write_failed_.store(true, std::memory_order_release);
+    }
+    if (std::fclose(file_) != 0) {
+      write_failed_.store(true, std::memory_order_release);
+    }
+    file_ = nullptr;
+  }
+  return ok();
+}
+
+void WireLogWriter::writer_loop() {
+  std::size_t since_flush = 0;
+  Slot* slot = nullptr;
+  while (work_ring_.pop(slot)) {
+    if (!write_record(slot->rec)) {
+      write_failed_.store(true, std::memory_order_release);
+    }
+    free_ring_.try_push(std::move(slot));  // recycle; capacity is conserved
+    if (opts_.flush_every_records != 0 &&
+        ++since_flush >= opts_.flush_every_records) {
+      std::fflush(file_);
+      since_flush = 0;
+    }
+  }
+  std::fflush(file_);
+}
+
+bool WireLogWriter::write_record(const WireRecord& rec) {
+  if (write_failed_.load(std::memory_order_relaxed)) return false;
+  std::uint8_t fixed[kRecordFixedBytes];
+  put_le32(fixed, static_cast<std::uint32_t>(rec.payload.size()));
+  put_le32(fixed + 4, record_crc(rec));
+  encode_record_fixed(rec, fixed + 8);
+  if (std::fwrite(fixed, 1, sizeof(fixed), file_) != sizeof(fixed)) {
+    return false;
+  }
+  if (!rec.payload.empty() &&
+      std::fwrite(rec.payload.data(), 1, rec.payload.size(), file_) !=
+          rec.payload.size()) {
+    return false;
+  }
+  bytes_written_.fetch_add(sizeof(fixed) + rec.payload.size(),
+                           std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace capes::capture

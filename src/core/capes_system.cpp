@@ -4,11 +4,59 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "capture/trace_meta.hpp"
 #include "util/alloc_hook.hpp"
 #include "util/logging.hpp"
 #include "util/thread_pool.hpp"
 
 namespace capes::core {
+
+namespace {
+
+/// Everything a replayer needs to rebuild a bit-identical Replay DB + DRL
+/// Engine, snapshotted at capture start. The fingerprint is taken after
+/// any checkpoint restore, so a replay from fresh weights can detect (and
+/// warn about) a live run that resumed mid-training.
+capture::TraceMeta trace_meta_from(const CapesOptions& opts,
+                                   std::size_t num_domains,
+                                   std::size_t num_actions,
+                                   std::uint32_t weights_fingerprint) {
+  capture::TraceMeta meta;
+  meta.num_domains = static_cast<std::uint32_t>(num_domains);
+  meta.num_nodes = static_cast<std::uint32_t>(opts.replay.num_nodes);
+  meta.pis_per_node = static_cast<std::uint32_t>(opts.replay.pis_per_node);
+  meta.num_actions = static_cast<std::uint32_t>(num_actions);
+  meta.sampling_tick_s = opts.sampling_tick_s;
+  meta.engine_seed = opts.engine.seed;
+  meta.dqn_seed = opts.engine.dqn.seed;
+  meta.use_double_dqn = opts.engine.dqn.use_double_dqn;
+  meta.use_target_network = opts.engine.dqn.use_target_network;
+  meta.loss_kind = static_cast<std::uint8_t>(opts.engine.dqn.loss);
+  meta.activation = static_cast<std::uint8_t>(opts.engine.dqn.activation);
+  meta.num_hidden_layers =
+      static_cast<std::uint32_t>(opts.engine.dqn.num_hidden_layers);
+  meta.hidden_size = static_cast<std::uint32_t>(opts.engine.dqn.hidden_size);
+  meta.gamma = opts.engine.dqn.gamma;
+  meta.learning_rate = opts.engine.dqn.learning_rate;
+  meta.target_update_alpha = opts.engine.dqn.target_update_alpha;
+  meta.minibatch_size = static_cast<std::uint32_t>(opts.engine.minibatch_size);
+  meta.train_steps_per_tick =
+      static_cast<std::uint32_t>(opts.engine.train_steps_per_tick);
+  meta.eval_epsilon = opts.engine.eval_epsilon;
+  meta.epsilon_initial = opts.engine.epsilon.initial;
+  meta.epsilon_final = opts.engine.epsilon.final_value;
+  meta.epsilon_anneal_ticks = opts.engine.epsilon.anneal_ticks;
+  meta.epsilon_bump_value = opts.engine.epsilon.bump_value;
+  meta.epsilon_bump_ticks = opts.engine.epsilon.bump_ticks;
+  meta.ticks_per_observation =
+      static_cast<std::uint32_t>(opts.replay.ticks_per_observation);
+  meta.missing_tolerance = opts.replay.missing_tolerance;
+  meta.max_ticks_retained = opts.replay.max_ticks_retained;
+  meta.initial_weights_fingerprint = weights_fingerprint;
+  return meta;
+}
+
+}  // namespace
 
 const char* phase_name(RunPhase phase) {
   switch (phase) {
@@ -125,6 +173,23 @@ CapesSystem::CapesSystem(sim::Simulator& sim,
     engine_->restore_checkpoint(*db_);
   }
 
+  if (!opts_.capture_path.empty()) {
+    capture::WireLogWriterOptions wopts;
+    wopts.path = opts_.capture_path;
+    wopts.ring_capacity = opts_.capture_ring;
+    capture_ = std::make_unique<capture::WireLogWriter>(
+        wopts, trace_meta_from(opts_, domains_.size(), space_->num_actions(),
+                               engine_->weights_fingerprint())
+                   .encode());
+    if (capture_->ok()) {
+      daemon_->set_capture(capture_.get());
+    } else {
+      CAPES_LOG_WARN("capture")
+          << "capture disabled: cannot write " << opts_.capture_path;
+      capture_.reset();
+    }
+  }
+
   if (opts_.worker_threads > 0) {
     pool_ = std::make_unique<util::ThreadPool>(opts_.worker_threads);
   }
@@ -194,6 +259,10 @@ void CapesSystem::reset_parameters() {
 }
 
 void CapesSystem::notify_workload_change() {
+  if (capture_) {
+    capture_->record(capture::RecordType::kWorkloadChange, tick_, 0, 0,
+                     nullptr, 0);
+  }
   engine_->notify_workload_change();
 }
 
@@ -276,6 +345,10 @@ void CapesSystem::on_sampling_tick(RunResult& result, RunPhase mode) {
   alloc_tally.restart();
   daemon_->on_reward(t, reward);
   hot_path_allocs_ += alloc_tally.delta();
+  if (capture_) {
+    const double values[3] = {reward, throughput_sum, latency};
+    capture_->record_f64s(capture::RecordType::kReward, t, 0, 0, values, 3);
+  }
   result.throughput.add(throughput_sum);
   result.latency_ms.add(latency);
   result.rewards.push_back(reward);
@@ -328,6 +401,10 @@ void CapesSystem::on_sampling_tick(RunResult& result, RunPhase mode) {
 RunResult CapesSystem::run_phase(std::int64_t ticks, RunPhase mode) {
   RunResult result;
   result.start_tick = tick_;
+  if (capture_) {
+    const std::uint8_t phase = static_cast<std::uint8_t>(mode);
+    capture_->record(capture::RecordType::kPhaseBegin, tick_, 0, 0, &phase, 1);
+  }
   const bus::ChannelStats bus_before = daemon_->bus_stats();
   const auto tick_us = sim::seconds(opts_.sampling_tick_s);
   for (std::int64_t i = 0; i < ticks; ++i) {
@@ -344,6 +421,10 @@ RunResult CapesSystem::run_phase(std::int64_t ticks, RunPhase mode) {
   // training.
   engine_->drain_learner();
   result.end_tick = tick_;
+  if (capture_) {
+    const std::uint8_t phase = static_cast<std::uint8_t>(mode);
+    capture_->record(capture::RecordType::kPhaseEnd, tick_, 0, 0, &phase, 1);
+  }
   const bus::ChannelStats bus_after = daemon_->bus_stats();
   result.messages_dropped = bus_after.dropped - bus_before.dropped;
   result.messages_late = bus_after.late - bus_before.late;

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "bus/transport.hpp"
+#include "capture/wire_log_writer.hpp"
 #include "core/adapter.hpp"
 #include "core/control_domain.hpp"
 #include "core/drl_engine.hpp"
@@ -77,6 +78,14 @@ struct CapesOptions {
   /// callers wiring CapesSystem onto their own Simulator shard it
   /// themselves (sim::Simulator::configure_shards / bind_shard).
   std::size_t sim_shards = 1;
+  /// Flight recorder: when non-empty, every daemon-boundary message (PI
+  /// status, suggested/recorded actions, checked-action broadcasts) plus
+  /// per-tick rewards and phase markers is written to this capture file
+  /// for offline replay (`capes_replay`). "" (the default) disables
+  /// capture and keeps the tick path allocation-free.
+  std::string capture_path;
+  /// Capture-ring slots between the control thread and the file sink.
+  std::size_t capture_ring = 8192;
 };
 
 /// The §A.4 run phases. kIdle only ever appears as "no phase running".
@@ -206,6 +215,11 @@ class CapesSystem {
   /// The durable replay database, when configured (else nullptr).
   waldb::Database* database() { return db_.get(); }
 
+  /// The flight recorder, when capture_path was set (else nullptr).
+  /// Callers may close() it early (idempotent, control thread only) to
+  /// read final byte counts before the system is destroyed.
+  capture::WireLogWriter* capture_writer() { return capture_.get(); }
+
   /// Heap allocations observed on the per-tick CAPES control path
   /// (status sample/encode/decode/record, reward record, action
   /// select/check/publish, minibatch assembly + inline training).
@@ -234,6 +248,8 @@ class CapesSystem {
   std::unique_ptr<rl::ReplayDb> replay_;
   /// Declared before the daemon: the daemon's channels reference it.
   std::unique_ptr<bus::Transport> transport_;
+  /// Declared before the daemon: the daemon holds a raw capture pointer.
+  std::unique_ptr<capture::WireLogWriter> capture_;
   std::unique_ptr<InterfaceDaemon> daemon_;
   std::unique_ptr<DrlEngine> engine_;
   std::unique_ptr<util::ThreadPool> pool_;

@@ -10,6 +10,13 @@ CapesOptions capes_options_from_config(const util::Config& cfg,
   o.sampling_tick_s = cfg.get_double("capes.sampling_tick_s", o.sampling_tick_s);
   o.reward_scale_mbs = cfg.get_double("capes.reward_scale_mbs", o.reward_scale_mbs);
   o.replay_db_dir = cfg.get("capes.replay_db_dir", o.replay_db_dir);
+  // Flight recorder: a capture file path turns recording on; the ring
+  // size bounds how far the file sink may fall behind before records are
+  // shed (counted, never blocking the control thread).
+  o.capture_path = cfg.get("capes.capture.path", o.capture_path);
+  o.capture_ring = static_cast<std::size_t>(std::max<std::int64_t>(
+      2, cfg.get_int("capes.capture.ring",
+                     static_cast<std::int64_t>(o.capture_ring))));
   // Clamp negatives to "no pool" rather than wrapping through size_t.
   o.worker_threads = static_cast<std::size_t>(std::max<std::int64_t>(
       0, cfg.get_int("capes.worker_threads",
@@ -151,6 +158,9 @@ util::Config config_from_options(const CapesOptions& capes,
   cfg.set_double("capes.sampling_tick_s", capes.sampling_tick_s);
   cfg.set_double("capes.reward_scale_mbs", capes.reward_scale_mbs);
   cfg.set("capes.replay_db_dir", capes.replay_db_dir);
+  cfg.set("capes.capture.path", capes.capture_path);
+  cfg.set_int("capes.capture.ring",
+              static_cast<std::int64_t>(capes.capture_ring));
   cfg.set_int("capes.worker_threads",
               static_cast<std::int64_t>(capes.worker_threads));
   if (capes.sim_shards == 0) {

@@ -179,6 +179,11 @@ ExperimentBuilder& ExperimentBuilder::replay_db_dir(std::string dir) {
   return *this;
 }
 
+ExperimentBuilder& ExperimentBuilder::capture(std::string path) {
+  capture_path_ = std::move(path);
+  return *this;
+}
+
 ExperimentBuilder& ExperimentBuilder::on_tick(TickObserver f) {
   if (f) tick_observers_.push_back(std::move(f));
   return *this;
@@ -314,6 +319,7 @@ std::unique_ptr<Experiment> ExperimentBuilder::build(std::string* error) {
   // or capes_options() carried.
   if (seed_) apply_seed(&preset, *seed_);
   if (replay_db_dir_) preset.capes.replay_db_dir = *replay_db_dir_;
+  if (capture_path_) preset.capes.capture_path = *capture_path_;
   if (worker_threads_) preset.capes.worker_threads = *worker_threads_;
   if (sim_shards_) preset.capes.sim_shards = *sim_shards_;
 

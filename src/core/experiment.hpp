@@ -170,6 +170,12 @@ class ExperimentBuilder {
   ExperimentBuilder& warmup_seconds(double s);
   /// Durable replay DB directory ("" = memory only).
   ExperimentBuilder& replay_db_dir(std::string dir);
+  /// Flight recorder: capture every daemon-boundary message (PI status,
+  /// actions, broadcasts) plus rewards and phase markers to `path` for
+  /// offline replay with `capes_replay` ("" = off, the default). Conf
+  /// keys: capes.capture.path / capes.capture.ring; CLI: --capture=.
+  /// Wins over capes_options()/config-file capture settings.
+  ExperimentBuilder& capture(std::string path);
 
   ExperimentBuilder& on_tick(TickObserver f);
   ExperimentBuilder& on_train_step(TrainStepObserver f);
@@ -211,6 +217,7 @@ class ExperimentBuilder {
   std::int64_t eval_ticks_ = -1;
   double warmup_seconds_ = 5.0;
   std::optional<std::string> replay_db_dir_;
+  std::optional<std::string> capture_path_;
   std::vector<TickObserver> tick_observers_;
   std::vector<TrainStepObserver> train_step_observers_;
   std::vector<PhaseObserver> phase_observers_;

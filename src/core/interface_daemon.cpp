@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "capture/wire_log_writer.hpp"
 #include "util/logging.hpp"
 #include "util/varint.hpp"
 
@@ -114,7 +115,14 @@ void InterfaceDaemon::on_reward(std::int64_t t, double reward) {
 std::size_t InterfaceDaemon::drain_status(std::int64_t t) {
   if (!inbox_) return 0;
   return inbox_->drain(
-      t, [this](bus::Message<std::vector<std::uint8_t>>& msg) {
+      t, [this, t](bus::Message<std::vector<std::uint8_t>>& msg) {
+        // Capture the raw wire bytes exactly as delivered, before the
+        // stateful decoder consumes them — replay re-feeds the same bytes
+        // to fresh decoders in the same order.
+        if (capture_ != nullptr) {
+          capture_->record(capture::RecordType::kStatus, t, kStatusTopic,
+                           msg.sender, msg.payload.data(), msg.payload.size());
+        }
         on_status_message(msg.payload);
         if (payload_recycler_) {
           payload_recycler_(msg.sender, std::move(msg.payload));
@@ -132,7 +140,14 @@ std::size_t InterfaceDaemon::drain_actions(std::int64_t t) {
     if (!shard.actions) continue;
     const auto binding = bind_domain_shard(shard.domain);
     delivered += shard.actions->drain(
-        t, [&shard](bus::Message<std::vector<double>>& msg) {
+        t, [this, t, &shard](bus::Message<std::vector<double>>& msg) {
+          if (capture_ != nullptr) {
+            capture_->record_f64s(
+                capture::RecordType::kBroadcast, t,
+                kActionTopicBase +
+                    (shard.domain != nullptr ? shard.domain->index() : 0),
+                msg.sender, msg.payload.data(), msg.payload.size());
+          }
           for (ControlAgent* agent : shard.control_agents) {
             agent->on_action_message(msg.payload);
           }
@@ -187,6 +202,20 @@ std::size_t InterfaceDaemon::apply_checked_action(
     ++actions_broadcast_;
   }
   replay_.record_action(t, recorded);
+  if (capture_ != nullptr) {
+    // Both the engine's suggestion and the post-veto outcome, so replay
+    // can detect divergence and diff tools can report veto behavior.
+    std::uint8_t payload[8];
+    for (int i = 0; i < 4; ++i) {
+      payload[i] = static_cast<std::uint8_t>(global_action >> (8 * i));
+      payload[4 + i] = static_cast<std::uint8_t>(recorded >> (8 * i));
+    }
+    capture_->record(
+        capture::RecordType::kAction, t,
+        kActionTopicBase + (shard.domain != nullptr ? shard.domain->index() : 0),
+        static_cast<std::uint64_t>(&shard - shards_.data()), payload,
+        sizeof(payload));
+  }
   return recorded;
 }
 

@@ -36,6 +36,10 @@
 #include "rl/action_space.hpp"
 #include "rl/replay_db.hpp"
 
+namespace capes::capture {
+class WireLogWriter;
+}  // namespace capes::capture
+
 namespace capes::core {
 
 /// The action hop's channel: absolute parameter vectors, sender = shard.
@@ -125,6 +129,13 @@ class InterfaceDaemon {
   std::uint64_t decode_errors() const { return decode_errors_; }
   std::uint64_t actions_broadcast() const { return actions_broadcast_; }
 
+  /// Flight recorder (nullable; must outlive the daemon while set). All
+  /// three daemon-boundary hops — PI status, suggested/recorded actions,
+  /// checked-action broadcasts — are written through it. Every capture
+  /// point runs on the control thread, matching the writer's
+  /// single-producer contract.
+  void set_capture(capture::WireLogWriter* writer) { capture_ = writer; }
+
  private:
   /// Routing state for one domain's slice of the action namespace (node
   /// routing needs no per-shard state: decoders_ is indexed by the global
@@ -159,6 +170,7 @@ class InterfaceDaemon {
   std::unique_ptr<PiChannel> inbox_;
   PayloadRecycler payload_recycler_;
   PiMessage decode_scratch_;  ///< reused across on_status_message calls
+  capture::WireLogWriter* capture_ = nullptr;
 
   std::uint64_t status_messages_ = 0;
   std::uint64_t decode_errors_ = 0;

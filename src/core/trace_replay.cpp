@@ -1,0 +1,240 @@
+#include "core/trace_replay.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "util/logging.hpp"
+
+namespace capes::core {
+
+namespace {
+
+std::uint32_t get_le32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+double get_le_f64(const std::uint8_t* p) {
+  std::uint64_t bits = 0;
+  for (int i = 7; i >= 0; --i) bits = (bits << 8) | p[i];
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+/// Rebuild the live run's engine configuration from the capture meta.
+/// Always the sync learner (bit-identical weights by the engine's
+/// sync==async guarantee) with checkpointing off.
+DrlEngineOptions engine_options_from_meta(const capture::TraceMeta& m) {
+  DrlEngineOptions e;
+  e.dqn.num_actions = m.num_actions;
+  e.dqn.num_hidden_layers = m.num_hidden_layers;
+  e.dqn.hidden_size = m.hidden_size;
+  e.dqn.gamma = m.gamma;
+  e.dqn.learning_rate = m.learning_rate;
+  e.dqn.target_update_alpha = m.target_update_alpha;
+  e.dqn.loss = static_cast<rl::LossKind>(m.loss_kind);
+  e.dqn.use_target_network = m.use_target_network;
+  e.dqn.use_double_dqn = m.use_double_dqn;
+  e.dqn.activation = static_cast<nn::Activation>(m.activation);
+  e.epsilon.initial = m.epsilon_initial;
+  e.epsilon.final_value = m.epsilon_final;
+  e.epsilon.anneal_ticks = m.epsilon_anneal_ticks;
+  e.epsilon.bump_value = m.epsilon_bump_value;
+  e.epsilon.bump_ticks = m.epsilon_bump_ticks;
+  e.minibatch_size = m.minibatch_size;
+  e.train_steps_per_tick = m.train_steps_per_tick;
+  e.eval_epsilon = m.eval_epsilon;
+  return e;
+}
+
+}  // namespace
+
+bool parse_replay_speed(const std::string& text, ReplaySpeed* out) {
+  if (text == "realtime") {
+    *out = ReplaySpeed::kRealtime;
+  } else if (text == "fast") {
+    *out = ReplaySpeed::kFast;
+  } else if (text == "max") {
+    *out = ReplaySpeed::kMax;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+TraceReplayer::TraceReplayer() = default;
+TraceReplayer::~TraceReplayer() = default;
+
+bool TraceReplayer::open(const std::string& path, TraceReplayOptions opts,
+                         std::string* error) {
+  opts_ = opts;
+  if (!reader_.open(path, error)) return false;
+  auto meta = capture::TraceMeta::decode(reader_.meta());
+  if (!meta) {
+    if (error) *error = "capture meta is missing or undecodable: " + path;
+    return false;
+  }
+  meta_ = *meta;
+  if (meta_.num_nodes == 0 || meta_.pis_per_node == 0 ||
+      meta_.num_actions == 0) {
+    if (error) *error = "capture meta describes an empty topology: " + path;
+    return false;
+  }
+
+  rl::ReplayDbOptions replay_opts;
+  replay_opts.num_nodes = meta_.num_nodes;
+  replay_opts.pis_per_node = meta_.pis_per_node;
+  replay_opts.ticks_per_observation = meta_.ticks_per_observation;
+  replay_opts.missing_tolerance = meta_.missing_tolerance;
+  replay_opts.max_ticks_retained = meta_.max_ticks_retained;
+  DrlEngineOptions engine_opts = engine_options_from_meta(meta_);
+  if (opts_.config_overlay != nullptr) {
+    const CapesOptions& overlay = *opts_.config_overlay;
+    engine_opts = overlay.engine;
+    engine_opts.dqn.num_actions = meta_.num_actions;  // topology is traced
+    engine_opts.learner_mode = LearnerMode::kSync;
+    engine_opts.checkpoint_ticks = 0;
+    replay_opts.ticks_per_observation = overlay.replay.ticks_per_observation;
+    replay_opts.missing_tolerance = overlay.replay.missing_tolerance;
+    replay_opts.max_ticks_retained = overlay.replay.max_ticks_retained;
+  }
+  // Seeds always come from the capture, overlay or not: a diff should
+  // isolate the hyperparameter change, not add seed noise (and the conf
+  // scheme has no seed keys anyway — seeds flow through --seed presets).
+  engine_opts.seed = meta_.engine_seed;
+  engine_opts.dqn.seed = meta_.dqn_seed;
+
+  replay_ = std::make_unique<rl::ReplayDb>(replay_opts);
+  // The daemon is ingest-only here (on_status_message / record routing);
+  // it never decodes or applies an action, so an empty action space — a
+  // lone NULL action — satisfies the legacy single-shard constructor.
+  space_ = std::make_unique<rl::ActionSpace>(std::vector<rl::TunableParameter>{});
+  daemon_ = std::make_unique<InterfaceDaemon>(*replay_, *space_,
+                                              meta_.num_nodes,
+                                              meta_.pis_per_node);
+  engine_ = std::make_unique<DrlEngine>(engine_opts, *replay_);
+  fresh_weights_match_ =
+      engine_->weights_fingerprint() == meta_.initial_weights_fingerprint;
+  if (!fresh_weights_match_ && opts_.config_overlay == nullptr) {
+    CAPES_LOG_WARN("replay")
+        << "fresh weights do not match the capture's starting fingerprint "
+        << "(the live run likely restored a checkpoint); the round-trip "
+        << "guarantee does not apply";
+  }
+  return true;
+}
+
+TraceReplayReport TraceReplayer::run() {
+  TraceReplayReport report;
+  ReplayPhaseSummary phase;
+  bool in_phase = false;
+  double reward_sum = 0.0;
+  double throughput_sum = 0.0;
+  double latency_sum = 0.0;
+
+  const double tick_seconds =
+      opts_.speed == ReplaySpeed::kRealtime ? meta_.sampling_tick_s
+      : opts_.speed == ReplaySpeed::kFast   ? meta_.sampling_tick_s / 20.0
+                                            : 0.0;
+
+  capture::WireRecord rec;
+  while (reader_.next(&rec)) {
+    switch (rec.type) {
+      case capture::RecordType::kStatus:
+        ++report.status_records;
+        daemon_->on_status_message(rec.payload);
+        break;
+
+      case capture::RecordType::kReward: {
+        if (rec.payload.size() < 24) break;  // malformed-but-valid-CRC guard
+        ++report.reward_records;
+        const double reward = get_le_f64(rec.payload.data());
+        replay_->record_reward(rec.tick, reward);
+        if (in_phase) {
+          ++phase.ticks;
+          reward_sum += reward;
+          throughput_sum += get_le_f64(rec.payload.data() + 8);
+          latency_sum += get_le_f64(rec.payload.data() + 16);
+        }
+        if (tick_seconds > 0.0) {
+          std::this_thread::sleep_for(
+              std::chrono::duration<double>(tick_seconds));
+        }
+        break;
+      }
+
+      case capture::RecordType::kAction: {
+        if (rec.payload.size() < 8) break;
+        ++report.action_records;
+        if (in_phase) ++phase.action_records;
+        const std::size_t traced_suggested = get_le32(rec.payload.data());
+        const std::size_t traced_recorded = get_le32(rec.payload.data() + 4);
+        const bool training = in_phase && phase.phase == RunPhase::kTraining;
+        const bool tuned = in_phase && phase.phase == RunPhase::kTuned;
+        if (training || tuned) {
+          // Consume the identical RNG stream the live engine did. The
+          // *traced* recorded action goes into the replay DB — traffic
+          // is fixed by the capture, so divergent suggestions (possible
+          // only under a config overlay) are counted, not applied.
+          const std::size_t suggested =
+              engine_->compute_action(rec.tick, training);
+          if (suggested != traced_suggested) {
+            ++report.action_mismatches;
+            if (in_phase) ++phase.action_mismatches;
+          }
+        }
+        replay_->record_action(rec.tick, traced_recorded);
+        if (training) {
+          phase.train_steps += engine_->train_tick();
+        }
+        break;
+      }
+
+      case capture::RecordType::kBroadcast:
+        ++report.broadcast_records;
+        break;
+
+      case capture::RecordType::kPhaseBegin:
+        if (in_phase) report.phases.push_back(phase);  // unterminated phase
+        phase = ReplayPhaseSummary{};
+        phase.phase = rec.payload.empty()
+                          ? RunPhase::kIdle
+                          : static_cast<RunPhase>(rec.payload[0]);
+        phase.begin_tick = rec.tick;
+        in_phase = true;
+        reward_sum = throughput_sum = latency_sum = 0.0;
+        break;
+
+      case capture::RecordType::kPhaseEnd:
+        if (!in_phase) break;
+        phase.end_tick = rec.tick;
+        if (phase.ticks > 0) {
+          const double n = static_cast<double>(phase.ticks);
+          phase.mean_reward = reward_sum / n;
+          phase.mean_throughput_mbs = throughput_sum / n;
+          phase.mean_latency_ms = latency_sum / n;
+        }
+        report.phases.push_back(phase);
+        in_phase = false;
+        break;
+
+      case capture::RecordType::kWorkloadChange:
+        ++report.workload_changes;
+        engine_->notify_workload_change();
+        break;
+    }
+  }
+  if (in_phase) report.phases.push_back(phase);  // torn tail mid-phase
+
+  report.read_stats = reader_.stats();
+  report.tail_truncated = reader_.tail_truncated();
+  report.decode_errors = daemon_->decode_errors();
+  report.total_train_steps = engine_->total_train_steps();
+  report.weights_fingerprint = engine_->weights_fingerprint();
+  return report;
+}
+
+}  // namespace capes::core

@@ -50,8 +50,18 @@ bool Database::open(const std::string& dir) {
         }
         Table* t = table_by_id_locked(rec.table_id);
         if (t != nullptr) t->put(rec.key, rec.payload);
-      });
+      },
+      &wal_recovery_stats_);
   if (!replayed) return false;
+  if (wal_recovery_stats_.truncated_records > 0) {
+    CAPES_LOG_WARN("waldb") << "WAL recovery truncated "
+                            << wal_recovery_stats_.truncated_records
+                            << " record(s) ("
+                            << wal_recovery_stats_.truncated_bytes
+                            << " bytes) after a torn/corrupt tail in "
+                            << wal_path(dir) << "; replayed " << *replayed
+                            << " valid record(s)";
+  }
   if (!wal_.open(wal_path(dir))) return false;
   durable_ = true;
   return true;

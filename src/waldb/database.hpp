@@ -61,6 +61,13 @@ class Database {
   bool is_durable() const { return durable_; }
   const std::string& directory() const { return dir_; }
 
+  /// What the last open() discarded from a torn/corrupt WAL tail (all
+  /// zero after a clean recovery). Surfaced so operators can tell "the
+  /// process crashed mid-append, one record lost" from silent data loss.
+  const WriteAheadLog::ReplayStats& wal_recovery_stats() const {
+    return wal_recovery_stats_;
+  }
+
  private:
   Table* table_locked(const std::string& name);
   Table* table_by_id_locked(std::uint32_t id);
@@ -72,6 +79,7 @@ class Database {
   std::string dir_;
   bool durable_ = false;
   WriteAheadLog wal_;
+  WriteAheadLog::ReplayStats wal_recovery_stats_;
   std::vector<std::unique_ptr<Table>> tables_;  // index == table id
 };
 

@@ -72,25 +72,61 @@ bool WriteAheadLog::reset() {
   return file_ != nullptr;
 }
 
+namespace {
+
+/// Size the dead region a torn replay left behind. The bytes are
+/// untrusted, so the record count comes from walking length prefixes with
+/// every stride capped at the region end — an estimate for scrambled
+/// data, exact for a clean tail of whole records behind one bad CRC.
+WriteAheadLog::ReplayStats tail_stats(const std::vector<std::uint8_t>& data,
+                                      std::size_t torn_at) {
+  constexpr std::size_t kFixed = 4 + 4 + 4 + 8;  // len + crc + table_id + key
+  WriteAheadLog::ReplayStats stats;
+  stats.truncated_bytes = data.size() - torn_at;
+  std::size_t pos = torn_at;
+  while (pos < data.size()) {
+    ++stats.truncated_records;
+    if (data.size() - pos < kFixed) break;
+    std::uint32_t len = 0;
+    for (int i = 3; i >= 0; --i) len = (len << 8) | data[pos + i];
+    const std::size_t stride = kFixed + len;
+    if (stride > data.size() - pos) break;
+    pos += stride;
+  }
+  return stats;
+}
+
+}  // namespace
+
 std::optional<std::size_t> WriteAheadLog::replay(
-    const std::string& path, const std::function<void(const WalRecord&)>& fn) {
+    const std::string& path, const std::function<void(const WalRecord&)>& fn,
+    ReplayStats* stats) {
+  if (stats != nullptr) *stats = {};
   if (!std::filesystem::exists(path)) return 0;
   auto data = util::read_file(path);
   if (!data) return std::nullopt;
   util::BinaryReader r(*data);
   std::size_t count = 0;
   while (!r.at_end()) {
+    const std::size_t record_start = data->size() - r.remaining();
     auto len = r.get_u32();
     auto crc = r.get_u32();
     auto table_id = r.get_u32();
     auto key = r.get_i64();
-    if (!len || !crc || !table_id.has_value() || !key) break;
     WalRecord rec;
-    rec.table_id = *table_id;
-    rec.key = *key;
-    rec.payload.resize(*len);
-    if (!r.get_raw(rec.payload.data(), rec.payload.size())) break;
-    if (record_crc(rec) != *crc) break;  // torn/corrupt tail: stop here
+    bool valid = len && crc && table_id.has_value() && key;
+    if (valid) {
+      rec.table_id = *table_id;
+      rec.key = *key;
+      rec.payload.resize(*len);
+      valid = r.get_raw(rec.payload.data(), rec.payload.size()) &&
+              record_crc(rec) == *crc;
+    }
+    if (!valid) {
+      // Torn/corrupt tail: stop here, surface what was lost.
+      if (stats != nullptr) *stats = tail_stats(*data, record_start);
+      break;
+    }
     fn(rec);
     ++count;
   }

@@ -51,12 +51,23 @@ class WriteAheadLog {
 
   const std::string& path() const { return path_; }
 
+  /// What a replay discarded: everything from the first corrupt/torn
+  /// record to the end of the file. `truncated_records` walks the dead
+  /// region's length prefixes, so for genuinely scrambled bytes it is an
+  /// estimate (always >= 1 whenever any tail was cut).
+  struct ReplayStats {
+    std::size_t truncated_records = 0;
+    std::uint64_t truncated_bytes = 0;
+  };
+
   /// Replay a log file from disk, invoking `fn` per valid record. Stops at
-  /// the first corrupt/torn record (normal after a crash). Returns the
-  /// number of records replayed, or nullopt if the file cannot be read at
-  /// all (a missing file replays as zero records).
+  /// the first corrupt/torn record (normal after a crash) and reports what
+  /// it discarded through `stats` when non-null. Returns the number of
+  /// records replayed, or nullopt if the file cannot be read at all (a
+  /// missing file replays as zero records).
   static std::optional<std::size_t> replay(
-      const std::string& path, const std::function<void(const WalRecord&)>& fn);
+      const std::string& path, const std::function<void(const WalRecord&)>& fn,
+      ReplayStats* stats = nullptr);
 
  private:
   std::string path_;

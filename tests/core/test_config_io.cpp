@@ -102,6 +102,29 @@ TEST(ConfigIo, TransportKeysRoundTrip) {
   EXPECT_TRUE(back.transport.seed_explicit);
 }
 
+TEST(ConfigIo, CaptureKeysAppliedAndRoundTrip) {
+  util::Config cfg;
+  ASSERT_TRUE(cfg.parse_string(R"(
+capes.capture.path = /tmp/trace.cap
+capes.capture.ring = 1024
+)"));
+  const CapesOptions o = capes_options_from_config(cfg);
+  EXPECT_EQ(o.capture_path, "/tmp/trace.cap");
+  EXPECT_EQ(o.capture_ring, 1024u);
+
+  const util::Config dumped = config_from_options(o, lustre::ClusterOptions{});
+  const CapesOptions back = capes_options_from_config(dumped);
+  EXPECT_EQ(back.capture_path, "/tmp/trace.cap");
+  EXPECT_EQ(back.capture_ring, 1024u);
+
+  // Defaults: capture off, ring floor of 2 enforced.
+  const CapesOptions d = capes_options_from_config(util::Config{});
+  EXPECT_TRUE(d.capture_path.empty());
+  util::Config tiny;
+  ASSERT_TRUE(tiny.parse_string("capes.capture.ring = 0\n"));
+  EXPECT_EQ(capes_options_from_config(tiny).capture_ring, 2u);
+}
+
 TEST(ConfigIo, BaseOverridesPreserved) {
   CapesOptions base;
   base.reward_scale_mbs = 123.0;

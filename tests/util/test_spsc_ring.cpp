@@ -131,6 +131,93 @@ TEST(SpscRing, ProducerConsumerStressPreservesOrderAndCount) {
   EXPECT_EQ(sum, kN * (kN - 1) / 2);
 }
 
+// Tiny ring, fast producer: try_push fails constantly (full-ring
+// backpressure) and the producer spins — yet nothing is lost or
+// reordered across the thousands of forced wraparounds.
+TEST(SpscRing, BackpressureStressLosesNothing) {
+  SpscRing<std::uint32_t> ring(2);
+  constexpr std::uint32_t kN = 200000;
+  std::uint64_t rejected = 0;
+  bool ordered = true;
+  std::thread consumer([&] {
+    std::uint32_t expect = 0;
+    std::uint32_t v = 0;
+    while (ring.pop(v)) {
+      if (v != expect++) ordered = false;
+    }
+    if (expect != kN) ordered = false;
+  });
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    while (!ring.try_push(std::uint32_t(i))) ++rejected;
+  }
+  ring.close();
+  consumer.join();
+  EXPECT_TRUE(ordered);
+  // A capacity-2 ring against a spinning producer must have pushed back.
+  EXPECT_GT(rejected, 0u);
+}
+
+// close() while records are still queued: the consumer drains every
+// buffered value before pop() reports shutdown, so an async sink (the
+// capture writer, the learner) never drops the tail on exit.
+TEST(SpscRing, ShutdownDrainStressDeliversEveryBufferedValue) {
+  for (int round = 0; round < 50; ++round) {
+    SpscRing<int> ring(16);
+    std::uint64_t delivered = 0;
+    std::thread consumer([&] {
+      int v = 0;
+      while (ring.pop(v)) ++delivered;
+    });
+    std::uint64_t pushed = 0;
+    for (int i = 0; i < 1000; ++i) {
+      if (ring.try_push(int(i))) ++pushed;
+    }
+    ring.close();  // races against the consumer's drain
+    consumer.join();
+    EXPECT_EQ(delivered, pushed) << "round " << round;
+  }
+}
+
+// The capture-writer shape: a pool of slots circulating through two
+// rings (free: consumer->producer, work: producer->consumer). Slots are
+// conserved — the producer only ever drops when the pool is exhausted,
+// and every slot pushed to the work ring comes back.
+TEST(SpscRing, TwoRingSlotRecyclingConservesSlots) {
+  constexpr std::size_t kSlots = 8;
+  SpscRing<int> free_ring(kSlots);
+  SpscRing<int> work_ring(kSlots);
+  for (std::size_t i = 0; i < kSlots; ++i) {
+    ASSERT_TRUE(free_ring.try_push(int(i)));
+  }
+  std::uint64_t consumed = 0;
+  std::thread consumer([&] {
+    int slot = -1;
+    while (work_ring.pop(slot)) {
+      ++consumed;
+      free_ring.try_push(int(slot));  // recycle
+    }
+    free_ring.close();
+  });
+  std::uint64_t sent = 0;
+  std::uint64_t dropped = 0;
+  for (int i = 0; i < 100000; ++i) {
+    int slot = -1;
+    if (!free_ring.try_pop(slot)) {
+      ++dropped;  // pool exhausted: shed, never block
+      continue;
+    }
+    ASSERT_TRUE(work_ring.try_push(int(slot)));  // never full while conserved
+    ++sent;
+  }
+  work_ring.close();
+  consumer.join();
+  EXPECT_EQ(consumed, sent);
+  EXPECT_EQ(sent + dropped, 100000u);
+  // Every slot is back in exactly one place: the (closed) free ring.
+  std::uint64_t recovered = free_ring.size();
+  EXPECT_EQ(recovered, kSlots);
+}
+
 TEST(SpscRing, MovesNonTrivialPayloads) {
   SpscRing<std::vector<int>> ring(4);
   std::vector<int> payload(100);

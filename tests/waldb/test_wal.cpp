@@ -99,6 +99,66 @@ TEST_F(WalTest, TornTailDropped) {
   EXPECT_EQ(keys[0], 1);
 }
 
+TEST_F(WalTest, TornTailSurfacesStats) {
+  {
+    WriteAheadLog wal;
+    ASSERT_TRUE(wal.open(path_));
+    ASSERT_TRUE(wal.append(make_record(0, 1, {9, 9})));
+    ASSERT_TRUE(wal.append(make_record(0, 2, {8, 8, 8})));
+    wal.flush();
+  }
+  const auto size = std::filesystem::file_size(path_);
+  std::filesystem::resize_file(path_, size - 3);
+  WriteAheadLog::ReplayStats stats;
+  auto n = WriteAheadLog::replay(path_, [](const WalRecord&) {}, &stats);
+  ASSERT_TRUE(n.has_value());
+  EXPECT_EQ(*n, 1u);
+  EXPECT_EQ(stats.truncated_records, 1u);
+  // record 2 = 20 fixed bytes + 3 payload, minus the 3 torn off the end.
+  EXPECT_EQ(stats.truncated_bytes, 20u);
+}
+
+TEST_F(WalTest, CleanReplayReportsZeroStats) {
+  {
+    WriteAheadLog wal;
+    ASSERT_TRUE(wal.open(path_));
+    ASSERT_TRUE(wal.append(make_record(0, 1, {1})));
+    wal.flush();
+  }
+  WriteAheadLog::ReplayStats stats;
+  stats.truncated_records = 99;  // must be reset even when nothing is torn
+  auto n = WriteAheadLog::replay(path_, [](const WalRecord&) {}, &stats);
+  ASSERT_TRUE(n.has_value());
+  EXPECT_EQ(*n, 1u);
+  EXPECT_EQ(stats.truncated_records, 0u);
+  EXPECT_EQ(stats.truncated_bytes, 0u);
+}
+
+TEST_F(WalTest, MidFileCorruptionCountsAllDroppedRecords) {
+  {
+    WriteAheadLog wal;
+    ASSERT_TRUE(wal.open(path_));
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(wal.append(make_record(0, i, {1, 2})));
+    }
+    wal.flush();
+  }
+  // Corrupt the second record's payload: records 2..4 are all discarded
+  // (replay cannot trust frame boundaries past a bad CRC).
+  {
+    std::fstream f(path_, std::ios::in | std::ios::out | std::ios::binary);
+    const auto one = 20 + 2;  // fixed header + payload
+    f.seekp(one + 20, std::ios::beg);
+    f.put('\x7f');
+  }
+  WriteAheadLog::ReplayStats stats;
+  auto n = WriteAheadLog::replay(path_, [](const WalRecord&) {}, &stats);
+  ASSERT_TRUE(n.has_value());
+  EXPECT_EQ(*n, 1u);
+  EXPECT_EQ(stats.truncated_records, 3u);
+  EXPECT_EQ(stats.truncated_bytes, 3u * 22u);
+}
+
 TEST_F(WalTest, CorruptedPayloadDetected) {
   {
     WriteAheadLog wal;

@@ -46,6 +46,9 @@ struct Args {
   std::string csv_prefix;
   std::string model_out;
   std::string model_in;
+  /// --capture=FILE: flight-record every daemon-boundary message for
+  /// offline replay with capes_replay ("" = off).
+  std::string capture;
   std::int64_t train_ticks = -1;
   std::int64_t eval_ticks = -1;
   /// Unset means "the preset/conf decides"; an explicit --seed wins over
@@ -148,6 +151,12 @@ ParseOutcome parse_args(int argc, char** argv, Args* args) {
       args->conf = value;
     } else if (parse_flag(argv[i], "--csv", &value)) {
       args->csv_prefix = value;
+    } else if (parse_flag(argv[i], "--capture", &value)) {
+      if (value.empty()) {
+        std::fprintf(stderr, "--capture needs a file path\n");
+        return ParseOutcome::kError;
+      }
+      args->capture = value;
     } else if (parse_flag(argv[i], "--model", &value)) {
       args->model_out = value;
     } else if (parse_flag(argv[i], "--load-model", &value)) {
@@ -198,6 +207,7 @@ void print_usage() {
       "                 [--learner=sync|async]\n"
       "                 [--conf=FILE] [--train-ticks=N] [--eval-ticks=N]\n"
       "                 [--csv=PREFIX] [--model=FILE] [--load-model=FILE]\n"
+      "                 [--capture=FILE]\n"
       "                 [--seed=N] [--monitor-servers] [--tune-write-cache]\n"
       "                 [--list-workloads] [--help]\n"
       "\n"
@@ -219,6 +229,9 @@ void print_usage() {
       "--learner=async moves DRL training to a dedicated learner thread\n"
       "that overlaps the next tick's simulation; actions and weights stay\n"
       "bit-identical to --learner=sync (the default) at the same seed.\n"
+      "--capture=FILE flight-records every daemon-boundary message (PI\n"
+      "status, actions, broadcasts) plus rewards and phase markers; replay\n"
+      "the capture offline with capes_replay (conf: capes.capture.path).\n"
       "See docs/CONFIG.md for the full flag and conf-key reference.\n",
       registered_names_joined().c_str());
 }
@@ -281,6 +294,7 @@ int main(int argc, char** argv) {
   if (args.transport) builder.transport(*args.transport);
   if (args.learner) builder.learner(*args.learner);
   if (args.seed) builder.seed(*args.seed);
+  if (!args.capture.empty()) builder.capture(args.capture);
   if (!args.conf.empty()) builder.config_file(args.conf);
   if (!args.csv_prefix.empty()) {
     // Like core::csv_phase_sink, but confirming each file on stdout — and
@@ -368,6 +382,23 @@ int main(int argc, char** argv) {
     std::printf("control network (sim): %llu messages dropped, %llu late\n",
                 static_cast<unsigned long long>(dropped),
                 static_cast<unsigned long long>(late));
+  }
+
+  // Always printed: the determinism handle the capture/replay round trip
+  // (and the CI cmp smokes) compare across runs.
+  std::printf("training fingerprint %08x (%zu train steps)\n",
+              experiment->system().engine().weights_fingerprint(),
+              experiment->system().engine().total_train_steps());
+
+  if (auto* writer = experiment->system().capture_writer()) {
+    // Close first so the byte count reflects the fully drained sink (and
+    // the header's drop count is patched before anyone reads the file).
+    writer->close();
+    std::printf("capture: %llu records (%llu dropped, %llu bytes) -> %s\n",
+                static_cast<unsigned long long>(writer->records_logged()),
+                static_cast<unsigned long long>(writer->records_dropped()),
+                static_cast<unsigned long long>(writer->bytes_written()),
+                experiment->preset().capes.capture_path.c_str());
   }
 
   if (!args.model_out.empty() && experiment->save_model(args.model_out)) {

@@ -1,10 +1,14 @@
-# Asserts that `capes_run --help` mentions every flag the strict parser
-# accepts. The flag list is extracted from capes_run.cpp itself (the
+# Asserts that a CLI tool's --help mentions every flag its strict parser
+# accepts. The flag list is extracted from the tool's source itself (the
 # parse_flag / strcmp call sites), so adding a flag without updating the
 # usage text fails this check instead of drifting silently. Run as:
 #
-#   cmake -DCAPES_RUN=<binary> -DCAPES_RUN_SOURCE=<capes_run.cpp> \
-#         -P tools/check_usage.cmake
+#   cmake -DCAPES_RUN=<binary> -DCAPES_RUN_SOURCE=<tool.cpp> \
+#         [-DCAPES_MIN_FLAGS=<n>] -P tools/check_usage.cmake
+#
+# CAPES_MIN_FLAGS (default 10, sized for capes_run) is the extraction
+# sanity floor: finding fewer flags than this means the regexes broke,
+# not that the tool shrank. Smaller tools (capes_replay) pass their own.
 
 if(NOT CAPES_RUN OR NOT CAPES_RUN_SOURCE)
   message(FATAL_ERROR
@@ -34,7 +38,10 @@ foreach(match IN LISTS value_flags bool_flags)
 endforeach()
 list(REMOVE_DUPLICATES flags)
 list(LENGTH flags flag_count)
-if(flag_count LESS 10)
+if(NOT CAPES_MIN_FLAGS)
+  set(CAPES_MIN_FLAGS 10)
+endif()
+if(flag_count LESS CAPES_MIN_FLAGS)
   message(FATAL_ERROR
     "flag extraction looks broken: only found ${flag_count} flags "
     "(${flags}) in ${CAPES_RUN_SOURCE}")
@@ -50,7 +57,7 @@ endforeach()
 
 if(missing)
   message(FATAL_ERROR
-    "capes_run usage text omits flag(s) the parser accepts: ${missing} — "
-    "update print_usage() in tools/capes_run.cpp (and docs/CONFIG.md)")
+    "usage text omits flag(s) the parser accepts: ${missing} — "
+    "update print_usage() in ${CAPES_RUN_SOURCE} (and docs/CONFIG.md)")
 endif()
 message(STATUS "usage text mentions all ${flag_count} parser flags")

@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Runs the flight-recorder bench and emits BENCH_capture.json (training
+# ticks/sec with the capture wire log off vs on, the recorder's record
+# and byte counts, and steady-state heap allocations per tick on the
+# audited allocation-free path with capture enabled).
+#
+#   tools/run_capture_bench.sh [build_dir] [output.json]
+#
+# Tunables via environment:
+#   CAPES_BENCH_TICKS  training ticks per measured point (default 200)
+set -eu
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_capture.json}"
+BENCH="$BUILD_DIR/bench/ext_capture"
+
+if [ ! -x "$BENCH" ]; then
+  echo "error: $BENCH not built (cmake --build $BUILD_DIR --target ext_capture)" >&2
+  exit 1
+fi
+
+"$BENCH" --ticks="${CAPES_BENCH_TICKS:-200}" \
+  --capture-file="$BUILD_DIR/bench_capture.cap" --json="$OUT"
