@@ -103,6 +103,19 @@ class Channel {
   /// allocating.
   template <typename Fn>
   std::size_t drain(std::int64_t now_tick, Fn&& fn) {
+    return drain_batch(now_tick, [&fn](std::vector<Message<T>>& due) {
+      for (Message<T>& msg : due) fn(msg);
+    });
+  }
+
+  /// Like drain(), but hands the whole due batch — already in
+  /// (deliver tick, sender, send tick) order — to
+  /// `fn(std::vector<Message<T>>&)` in one call, so an endpoint can fan
+  /// independent per-message work out across threads before a serial
+  /// in-order commit (the daemon's parallel PI decode). Same ordering,
+  /// counters, and threading contract as drain().
+  template <typename Fn>
+  std::size_t drain_batch(std::int64_t now_tick, Fn&& fn) {
     std::vector<Message<T>>& due = drain_scratch_;
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -118,7 +131,7 @@ class Channel {
       if (a.sender != b.sender) return a.sender < b.sender;
       return a.send_tick < b.send_tick;
     });
-    for (Message<T>& msg : due) fn(msg);
+    fn(due);
     {
       std::lock_guard<std::mutex> lock(mu_);
       stats_.delivered += due.size();

@@ -217,11 +217,19 @@ CapesSystem::CapesSystem(sim::Simulator& sim,
 
   // Every domain owns one shard of the (possibly sharded) simulator
   // event loop, so barrier-time calls into its target system route their
-  // scheduling to the right queue. With an unsharded simulator this
-  // binds everything to shard 0 — the original behavior.
+  // scheduling to the right queue. The planner is the single source of
+  // placement: runs start on its round-robin static plan (there is no
+  // rate signal yet) and a kRate planner re-packs at phase boundaries.
+  // With an unsharded simulator this binds everything to shard 0 — the
+  // original behavior.
+  planner_ =
+      sim::ShardPlanner(opts_.shard_plan, domains_.size(), sim_.num_shards());
+  shard_plan_ = planner_.static_plan();
   for (auto& domain : domains_) {
-    domain->attach_sim_shard(&sim_, domain->index() % sim_.num_shards());
+    domain->attach_sim_shard(&sim_, shard_plan_.shard_of_domain[domain->index()]);
   }
+  domain_perf_scratch_.resize(domains_.size());
+  domain_reward_scratch_.resize(domains_.size());
 
   for (auto& domain : domains_) {
     for (std::size_t n = 0; n < domain->num_nodes(); ++n) {
@@ -306,8 +314,77 @@ void CapesSystem::sample_all_agents(std::int64_t t) {
   // The daemon's sampling-tick drain: write whatever has arrived by now
   // (this tick's messages under sync; under sim whichever earlier sends
   // are due). Stragglers surface on a later tick; drops never do — the
-  // replay DB's missing-entry tolerance absorbs them.
-  daemon_->drain_status(t);
+  // replay DB's missing-entry tolerance absorbs them. With a pool the
+  // daemon decodes per-node message runs in parallel and commits them
+  // serially in delivery order — same replay writes, same counters.
+  daemon_->drain_status(t, pool_.get());
+}
+
+double RunResult::shard_imbalance() const {
+  if (shard_events.empty()) return 1.0;
+  std::uint64_t total = 0;
+  std::uint64_t max = 0;
+  for (const std::uint64_t e : shard_events) {
+    total += e;
+    if (e > max) max = e;
+  }
+  if (total == 0) return 1.0;
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(shard_events.size());
+  return static_cast<double>(max) / mean;
+}
+
+void CapesSystem::replan_shards() {
+  if (sim_.num_shards() <= 1 ||
+      planner_.kind() == sim::ShardPlanKind::kStatic) {
+    return;
+  }
+  // Window the counts: plan from events executed since the last plan, so
+  // each phase is packed by the most recent behavior, not run history.
+  sim_.domain_executed(domain_events_scratch_, domains_.size());
+  if (domain_events_baseline_.size() != domain_events_scratch_.size()) {
+    domain_events_baseline_.assign(domain_events_scratch_.size(), 0);
+  }
+  bool any = false;
+  for (std::size_t d = 0; d < domain_events_scratch_.size(); ++d) {
+    const std::uint64_t delta =
+        domain_events_scratch_[d] - domain_events_baseline_[d];
+    domain_events_baseline_[d] = domain_events_scratch_[d];
+    domain_events_scratch_[d] = delta;
+    if (delta > 0) any = true;
+  }
+  // First boundary with no events yet (no warmup ran): stay on the
+  // deterministic round-robin fallback.
+  if (!any) return;
+  const sim::ShardPlan next = planner_.plan(domain_events_scratch_);
+  bool moved = false;
+  for (std::size_t d = 0; d < domains_.size(); ++d) {
+    const std::size_t from = shard_plan_.shard_of_domain[d];
+    const std::size_t to = next.shard_of_domain[d];
+    if (from == to) continue;
+    sim_.migrate_domain(static_cast<std::uint32_t>(d), from, to);
+    domains_[d]->attach_sim_shard(&sim_, to);
+    moved = true;
+  }
+  shard_plan_ = next;
+  if (moved) ++shard_replans_;
+}
+
+void CapesSystem::accumulate_shard_stats(RunResult& result) {
+  const auto& events = sim_.last_advance_events();
+  const auto& busy = sim_.last_advance_busy_ns();
+  if (events.empty()) return;
+  std::size_t max_events = 0;
+  std::uint64_t max_busy = 0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (events[i] > max_events) max_events = events[i];
+    if (busy[i] > max_busy) max_busy = busy[i];
+  }
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    result.shard_events[i] += events[i];
+    result.barrier_wait_events += max_events - events[i];
+    result.shard_barrier_wait_ns[i] += max_busy - busy[i];
+  }
 }
 
 void CapesSystem::on_sampling_tick(RunResult& result, RunPhase mode) {
@@ -325,19 +402,38 @@ void CapesSystem::on_sampling_tick(RunResult& result, RunPhase mode) {
   // 2. Reward: each domain's objective over its own last-tick
   //    performance; the shared brain trains on the cross-domain mean
   //    (scale-stable in the domain count). Throughput aggregates.
+  //    With a pool, performance sampling and the objective fan out per
+  //    domain — each worker touches only its own domain's adapter (the
+  //    same isolation the monitoring fan-out relies on) and writes to
+  //    its own scratch slot; the reduction below runs serially in domain
+  //    order, so sums match the serial path bit for bit. At 128 domains
+  //    this loop was the next serial cost at the barrier.
+  if (pool_ != nullptr && domains_.size() > 1) {
+    pool_->parallel_for(domains_.size(), [&](std::size_t d) {
+      ControlDomain& domain = *domains_[d];
+      // Bind the domain's shard: sampling is read-only today, but any
+      // event an adapter ever schedules from here belongs in its queue.
+      const auto binding = domain.bind_sim_shard();
+      domain_perf_scratch_[d] = domain.adapter().sample_performance();
+      domain_reward_scratch_[d] = domain.objective()(domain_perf_scratch_[d]);
+    });
+  } else {
+    for (std::size_t d = 0; d < domains_.size(); ++d) {
+      ControlDomain& domain = *domains_[d];
+      const auto binding = domain.bind_sim_shard();
+      domain_perf_scratch_[d] = domain.adapter().sample_performance();
+      domain_reward_scratch_[d] = domain.objective()(domain_perf_scratch_[d]);
+    }
+  }
   double throughput_sum = 0.0;
   double latency_sum = 0.0;
   double reward_sum = 0.0;
-  for (auto& domain : domains_) {
-    // Bind the domain's shard: sampling is read-only today, but any
-    // event an adapter ever schedules from here belongs in its queue.
-    const auto binding = domain->bind_sim_shard();
-    const PerfSample perf = domain->adapter().sample_performance();
-    const double domain_reward = domain->objective()(perf);
-    domain->set_last_sample(perf, domain_reward);
-    throughput_sum += perf.throughput_mbs();
-    latency_sum += perf.avg_latency_ms;
-    reward_sum += domain_reward;
+  for (std::size_t d = 0; d < domains_.size(); ++d) {
+    domains_[d]->set_last_sample(domain_perf_scratch_[d],
+                                 domain_reward_scratch_[d]);
+    throughput_sum += domain_perf_scratch_[d].throughput_mbs();
+    latency_sum += domain_perf_scratch_[d].avg_latency_ms;
+    reward_sum += domain_reward_scratch_[d];
   }
   const double num_domains = static_cast<double>(domains_.size());
   const double reward = reward_sum / num_domains;
@@ -399,8 +495,17 @@ void CapesSystem::on_sampling_tick(RunResult& result, RunPhase mode) {
 }
 
 RunResult CapesSystem::run_phase(std::int64_t ticks, RunPhase mode) {
+  // Phase boundary: the rate planner re-packs domains onto shards by the
+  // counts of the window since the last plan (and migrates the moved
+  // domains' pending events) before any of this phase's ticks run.
+  replan_shards();
   RunResult result;
   result.start_tick = tick_;
+  const std::size_t num_shards = sim_.num_shards();
+  if (num_shards > 1) {
+    result.shard_events.assign(num_shards, 0);
+    result.shard_barrier_wait_ns.assign(num_shards, 0);
+  }
   if (capture_) {
     const std::uint8_t phase = static_cast<std::uint8_t>(mode);
     capture_->record(capture::RecordType::kPhaseBegin, tick_, 0, 0, &phase, 1);
@@ -414,6 +519,7 @@ RunResult CapesSystem::run_phase(std::int64_t ticks, RunPhase mode) {
     // after which the daemon drains, the engine acts, and delayed
     // broadcasts land, all single-threaded again.
     sim_.run_for(tick_us, pool_.get());
+    if (num_shards > 1) accumulate_shard_stats(result);
     on_sampling_tick(result, mode);
   }
   // Async learner barrier: phase results and anything read after this

@@ -34,6 +34,7 @@
 #include "core/objective.hpp"
 #include "rl/action_space.hpp"
 #include "rl/replay_db.hpp"
+#include "sim/shard_planner.hpp"
 #include "sim/simulator.hpp"
 #include "stats/measurement.hpp"
 #include "waldb/database.hpp"
@@ -78,6 +79,14 @@ struct CapesOptions {
   /// callers wiring CapesSystem onto their own Simulator shard it
   /// themselves (sim::Simulator::configure_shards / bind_shard).
   std::size_t sim_shards = 1;
+  /// How domains map onto those shards. kStatic keeps the historical
+  /// round-robin (domain d on shard d % sim_shards, fixed for the run);
+  /// kRate re-packs domains onto shards at every phase boundary by
+  /// last-phase observed event counts (LPT bin-packing, deterministic
+  /// tie-breaks), migrating each moved domain's pending events to its new
+  /// queue. Placement only changes which thread advances a domain —
+  /// never its event order — so any plan stays bit-identical to serial.
+  sim::ShardPlanKind shard_plan = sim::ShardPlanKind::kStatic;
   /// Flight recorder: when non-empty, every daemon-boundary message (PI
   /// status, suggested/recorded actions, checked-action broadcasts) plus
   /// per-tick rewards and phase markers is written to this capture file
@@ -109,9 +118,23 @@ struct RunResult {
   /// tick after they were sent. Both zero under the sync transport.
   std::uint64_t messages_dropped = 0;
   std::uint64_t messages_late = 0;
+  /// Sharded-loop observability (empty / zero when the simulator has one
+  /// shard): events each shard executed over the phase, and wall-clock
+  /// nanoseconds each shard spent idle at tick barriers while the slowest
+  /// shard finished (wall time is reporting-only, never fed back into
+  /// placement).
+  std::vector<std::uint64_t> shard_events;
+  std::vector<std::uint64_t> shard_barrier_wait_ns;
+  /// Deterministic imbalance counter: summed over ticks, the events the
+  /// busiest shard ran that tick minus each other shard's events — the
+  /// work the barrier serialized. A better-balanced plan strictly lowers
+  /// it on a skewed workload, and it is reproducible run to run.
+  std::uint64_t barrier_wait_events = 0;
 
   stats::MeasurementResult analyze() const { return throughput.analyze(); }
   stats::MeasurementResult analyze_latency() const { return latency_ms.analyze(); }
+  /// Max/mean of shard_events (1.0 when unsharded or eventless).
+  double shard_imbalance() const;
 };
 
 /// Per-tick sample snapshot delivered to tick listeners. Aggregated like
@@ -199,6 +222,15 @@ class CapesSystem {
   /// The hot-path worker pool (null when worker_threads == 0).
   util::ThreadPool* worker_pool() { return pool_.get(); }
 
+  // ---- shard placement ---------------------------------------------------
+  /// The placement policy this system was built with.
+  sim::ShardPlanKind shard_plan_kind() const { return planner_.kind(); }
+  /// The live plan: current shard per domain plus the loads it was packed
+  /// from (domain counts until the first rate re-pack).
+  const sim::ShardPlan& shard_plan() const { return shard_plan_; }
+  /// Times a phase-boundary re-pack actually moved at least one domain.
+  std::size_t shard_replans() const { return shard_replans_; }
+
   /// Domain 0's Monitoring Agents (single-cluster accessor, kept for
   /// call sites predating control domains).
   const std::vector<std::unique_ptr<MonitoringAgent>>& monitoring_agents() const {
@@ -236,6 +268,13 @@ class CapesSystem {
   RunResult run_phase(std::int64_t ticks, RunPhase mode);
   void on_sampling_tick(RunResult& result, RunPhase mode);
   void sample_all_agents(std::int64_t t);
+  /// Phase-boundary re-pack: plan from the per-domain event counts of the
+  /// window since the last plan and migrate + re-attach moved domains.
+  /// No-op for static plans, single-shard simulators, or before any
+  /// events exist (the deterministic round-robin fallback).
+  void replan_shards();
+  /// Fold the simulator's last-advance per-shard stats into `result`.
+  void accumulate_shard_stats(RunResult& result);
 
   sim::Simulator& sim_;
   CapesOptions opts_;
@@ -261,6 +300,20 @@ class CapesSystem {
   std::vector<MonitoringAgent*> agent_by_node_;
   /// Control-path allocation count (see hot_path_allocations()).
   std::uint64_t hot_path_allocs_ = 0;
+
+  /// Shard placement state: the planner, the live plan, the per-domain
+  /// executed-count snapshot at the last plan (so each re-pack sees only
+  /// the window since then), and reusable count scratch.
+  sim::ShardPlanner planner_{sim::ShardPlanKind::kStatic, 0, 1};
+  sim::ShardPlan shard_plan_;
+  std::vector<std::uint64_t> domain_events_baseline_;
+  std::vector<std::uint64_t> domain_events_scratch_;
+  std::size_t shard_replans_ = 0;
+  /// Per-domain scratch for the pooled reward-sampling fan-out (results
+  /// are reduced serially in domain order, so the pooled path matches the
+  /// serial one bit for bit).
+  std::vector<PerfSample> domain_perf_scratch_;
+  std::vector<double> domain_reward_scratch_;
 
   std::int64_t tick_ = 0;
   std::size_t total_train_steps_ = 0;

@@ -33,6 +33,13 @@ CapesOptions capes_options_from_config(const util::Config& cfg,
       o.sim_shards = n < 0 ? 1 : static_cast<std::size_t>(n);
     }
   }
+  // Domain-to-shard placement: "static" round-robin or "rate" (re-pack by
+  // observed event rate at phase boundaries). Unknown values keep the
+  // base, overlay-style; the builder's config_file path validates first.
+  const std::string plan = cfg.get("capes.sim.shard_plan",
+                                   sim::shard_plan_name(o.shard_plan));
+  o.shard_plan = plan == "rate" ? sim::ShardPlanKind::kRate
+                                : sim::ShardPlanKind::kStatic;
 
   // Control-network transport. "capes.transport" names the scheme; the
   // sim knobs mirror the CLI spec options. Out-of-range values clamp to
@@ -169,6 +176,7 @@ util::Config config_from_options(const CapesOptions& capes,
     cfg.set_int("capes.sim.shards",
                 static_cast<std::int64_t>(capes.sim_shards));
   }
+  cfg.set("capes.sim.shard_plan", sim::shard_plan_name(capes.shard_plan));
   cfg.set("capes.transport",
           capes.transport.kind == bus::TransportKind::kSim ? "sim" : "sync");
   cfg.set_int("capes.transport.latency_ticks", capes.transport.latency_ticks);

@@ -99,13 +99,12 @@ class ControlDomain {
     sim_shard_ = shard;
   }
   std::size_t sim_shard() const { return sim_shard_; }
-  /// Scoped binding of the owned shard; inactive (a no-op) when no shard
-  /// was attached or the simulator is unsharded.
+  /// Scoped binding of the owned shard, tagged with this domain's index
+  /// so events scheduled at barrier time are counted against (and migrate
+  /// with) the domain; inactive (a no-op) when no shard was attached.
   sim::Simulator::ShardBinding bind_sim_shard() const {
-    if (sim_ == nullptr || sim_->num_shards() == 1) {
-      return sim::Simulator::no_binding();
-    }
-    return sim_->bind_shard(sim_shard_);
+    if (sim_ == nullptr) return sim::Simulator::no_binding();
+    return sim_->bind_shard(sim_shard_, static_cast<std::uint32_t>(index_));
   }
 
   // ---- agents (wired by CapesSystem) -------------------------------------

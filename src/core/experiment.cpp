@@ -109,6 +109,18 @@ ExperimentBuilder& ExperimentBuilder::sim_shards(std::size_t shards) {
   return *this;
 }
 
+ExperimentBuilder& ExperimentBuilder::shard_plan(std::string spec) {
+  shard_plan_spec_ = std::move(spec);
+  shard_plan_kind_.reset();
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::shard_plan(sim::ShardPlanKind kind) {
+  shard_plan_kind_ = kind;
+  shard_plan_spec_.reset();
+  return *this;
+}
+
 ExperimentBuilder& ExperimentBuilder::transport(std::string spec) {
   transport_spec_ = std::move(spec);
   transport_options_.reset();
@@ -275,6 +287,15 @@ std::unique_ptr<Experiment> ExperimentBuilder::build(std::string* error) {
                       "' (expected sync or async)");
       return nullptr;
     }
+    // And the shard plan: a misspelled "rate" silently keeping the static
+    // round-robin would hide the load balancing this key selects.
+    if (const auto plan = cfg.get("capes.sim.shard_plan");
+        plan && *plan != "static" && *plan != "rate") {
+      fail(error, "config file '" + config_file_ +
+                      "': unknown capes.sim.shard_plan '" + *plan +
+                      "' (expected static or rate)");
+      return nullptr;
+    }
     preset.capes = capes_options_from_config(cfg, preset.capes);
     preset.cluster = cluster_options_from_config(cfg, preset.cluster);
   }
@@ -314,6 +335,19 @@ std::unique_ptr<Experiment> ExperimentBuilder::build(std::string* error) {
   }
   if (learner_checkpoint_ticks_) {
     preset.capes.engine.checkpoint_ticks = *learner_checkpoint_ticks_;
+  }
+  // Shard plan mirrors the transport/learner precedence: the spec-string
+  // form validates here so a typo is a build() error.
+  if (shard_plan_spec_) {
+    std::string plan_error;
+    if (!sim::parse_shard_plan_spec(*shard_plan_spec_,
+                                    &preset.capes.shard_plan, &plan_error)) {
+      fail(error,
+           "invalid shard plan spec '" + *shard_plan_spec_ + "': " + plan_error);
+      return nullptr;
+    }
+  } else if (shard_plan_kind_) {
+    preset.capes.shard_plan = *shard_plan_kind_;
   }
   // An explicit seed() wins over whatever seeds the preset, config file,
   // or capes_options() carried.
@@ -361,19 +395,27 @@ std::unique_ptr<Experiment> ExperimentBuilder::build(std::string* error) {
   exp->sim_ = std::make_unique<sim::Simulator>();
   exp->sim_->configure_shards(preset.capes.sim_shards);
 
+  // Startup placement comes from the planner's static plan — the same
+  // single source CapesSystem's constructor uses — so cluster-construction
+  // scheduling and the system's attach agree domain by domain.
+  const sim::ShardPlan initial_plan =
+      sim::ShardPlanner(preset.capes.shard_plan, plan.size(),
+                        preset.capes.sim_shards)
+          .static_plan();
   std::vector<ControlDomainSpec> specs;
   specs.reserve(plan.size());
   for (std::size_t d = 0; d < plan.size(); ++d) {
     Experiment::DomainRuntime runtime;
-    runtime.shard = d % preset.capes.sim_shards;
     if (plan[d].adapter != nullptr) {
       runtime.adapter = plan[d].adapter;
     } else {
-      // Bind this domain's shard while the cluster wires itself up and
-      // the generator starts: every event they schedule from outside the
-      // event loop lands in the domain's own queue (follow-ups scheduled
-      // by running events stay in the executing queue automatically).
-      const auto binding = exp->sim_->bind_shard(runtime.shard);
+      // Bind this domain's shard (tagged with the domain) while the
+      // cluster wires itself up and the generator starts: every event
+      // they schedule from outside the event loop lands in the domain's
+      // own queue under the domain's tag (follow-ups scheduled by running
+      // events inherit both automatically).
+      const auto binding = exp->sim_->bind_shard(
+          initial_plan.shard_of_domain[d], static_cast<std::uint32_t>(d));
       lustre::ClusterOptions cluster_opts = preset.cluster;
       cluster_opts.seed = domain_cluster_seed(cluster_opts.seed, d);
       runtime.cluster =
@@ -534,10 +576,12 @@ bool Experiment::switch_workload(std::size_t domain, const std::string& spec,
     return false;
   }
   DomainRuntime& runtime = domain_runtimes_[domain];
-  // Bind this domain's shard across create+start, like build() does: a
-  // generator that schedules from its constructor must land in the
-  // domain's queue too.
-  const auto binding = sim_->bind_shard(runtime.shard);
+  // Bind this domain's *live* shard across create+start, like build()
+  // does at startup: a generator that schedules from its constructor must
+  // land in the domain's queue too. The binding comes from the control
+  // domain itself — the planner may have migrated it since startup, and a
+  // cached copy here would silently re-bind the old queue.
+  const auto binding = system_->domain(domain).bind_sim_shard();
   auto next =
       workload::Registry::instance().create(spec, *runtime.cluster, error);
   if (!next) return false;

@@ -130,6 +130,16 @@ class ExperimentBuilder {
   /// loop for a fixed seed (see CapesOptions::sim_shards). Conf key:
   /// capes.sim.shards.
   ExperimentBuilder& sim_shards(std::size_t shards);
+  /// How control domains map onto those event-loop shards, as a spec
+  /// string: "static" (round-robin d % shards, fixed for the run — the
+  /// default) or "rate" (re-pack domains by last-phase observed event
+  /// counts at every phase boundary, LPT bin-packing with deterministic
+  /// tie-breaks). Placement never changes physics, so either plan is
+  /// bit-identical to the serial loop for a fixed seed. A malformed spec
+  /// fails build(). Conf key: capes.sim.shard_plan.
+  ExperimentBuilder& shard_plan(std::string spec);
+  /// Same, from the already-parsed kind.
+  ExperimentBuilder& shard_plan(sim::ShardPlanKind kind);
   /// Control-network transport for the agent <-> daemon hops, as a spec
   /// string: "sync" (immediate delivery, the default — bit-identical to
   /// builds that never call transport()) or
@@ -204,6 +214,8 @@ class ExperimentBuilder {
   std::vector<ExtraDomain> extra_domains_;
   std::optional<std::size_t> worker_threads_;
   std::optional<std::size_t> sim_shards_;
+  std::optional<std::string> shard_plan_spec_;
+  std::optional<sim::ShardPlanKind> shard_plan_kind_;
   std::optional<std::string> transport_spec_;
   std::optional<bus::TransportOptions> transport_options_;
   std::optional<LearnerMode> learner_mode_;
@@ -326,10 +338,10 @@ class Experiment {
     std::unique_ptr<lustre::Cluster> cluster;
     std::unique_ptr<workload::Workload> workload;
     TargetSystemAdapter* adapter = nullptr;
-    /// The simulator shard this domain's events live in (shard 0 when
-    /// the event loop is unsharded). Workload (re)starts bind it so
-    /// their generator chains land in the right queue.
-    std::size_t shard = 0;
+    // No shard field on purpose: CapesSystem's planner is the single
+    // source of placement. Workload restarts query the domain's live
+    // shard through ControlDomain::bind_sim_shard(), so a rate re-pack
+    // can never drift from a second cached copy here.
   };
   std::vector<DomainRuntime> domain_runtimes_;
   /// Generators replaced by switch_workload, kept alive until their

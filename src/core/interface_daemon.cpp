@@ -6,6 +6,7 @@
 
 #include "capture/wire_log_writer.hpp"
 #include "util/logging.hpp"
+#include "util/thread_pool.hpp"
 #include "util/varint.hpp"
 
 namespace capes::core {
@@ -112,20 +113,84 @@ void InterfaceDaemon::on_reward(std::int64_t t, double reward) {
   replay_.record_reward(t, reward);
 }
 
-std::size_t InterfaceDaemon::drain_status(std::int64_t t) {
+std::size_t InterfaceDaemon::drain_status(std::int64_t t,
+                                          util::ThreadPool* pool) {
   if (!inbox_) return 0;
-  return inbox_->drain(
-      t, [this, t](bus::Message<std::vector<std::uint8_t>>& msg) {
-        // Capture the raw wire bytes exactly as delivered, before the
-        // stateful decoder consumes them — replay re-feeds the same bytes
-        // to fresh decoders in the same order.
-        if (capture_ != nullptr) {
-          capture_->record(capture::RecordType::kStatus, t, kStatusTopic,
-                           msg.sender, msg.payload.data(), msg.payload.size());
+  if (pool == nullptr) {
+    return inbox_->drain(
+        t, [this, t](bus::Message<std::vector<std::uint8_t>>& msg) {
+          // Capture the raw wire bytes exactly as delivered, before the
+          // stateful decoder consumes them — replay re-feeds the same bytes
+          // to fresh decoders in the same order.
+          if (capture_ != nullptr) {
+            capture_->record(capture::RecordType::kStatus, t, kStatusTopic,
+                             msg.sender, msg.payload.data(),
+                             msg.payload.size());
+          }
+          on_status_message(msg.payload);
+          if (payload_recycler_) {
+            payload_recycler_(msg.sender, std::move(msg.payload));
+          }
+        });
+  }
+  // Pooled drain: a serial pre-pass in delivery order (capture + node
+  // routing + per-node grouping), a parallel decode keyed by node — each
+  // worker owns one node's stateful decoder and that node's messages in
+  // order, writing disjoint result slots — then a serial commit pass
+  // reproducing the serial path's replay writes, counters, warnings, and
+  // payload recycling, in the same delivery order.
+  return inbox_->drain_batch(
+      t, [this, t, pool](std::vector<bus::Message<std::vector<std::uint8_t>>>& due) {
+        if (batch_decoded_.size() < due.size()) batch_decoded_.resize(due.size());
+        batch_outcome_.assign(due.size(), kDecodeBadNode);
+        batch_node_.assign(due.size(), 0);
+        if (node_batch_index_.size() < decoders_.size()) {
+          node_batch_index_.resize(decoders_.size());
         }
-        on_status_message(msg.payload);
-        if (payload_recycler_) {
-          payload_recycler_(msg.sender, std::move(msg.payload));
+        touched_nodes_.clear();
+        for (std::size_t i = 0; i < due.size(); ++i) {
+          bus::Message<std::vector<std::uint8_t>>& msg = due[i];
+          ++status_messages_;
+          if (capture_ != nullptr) {
+            capture_->record(capture::RecordType::kStatus, t, kStatusTopic,
+                             msg.sender, msg.payload.data(),
+                             msg.payload.size());
+          }
+          util::VarintReader peek(msg.payload);
+          const auto node = peek.read_varint();
+          if (!node || *node >= decoders_.size()) continue;  // kDecodeBadNode
+          batch_node_[i] = *node;
+          if (node_batch_index_[*node].empty()) {
+            touched_nodes_.push_back(static_cast<std::uint32_t>(*node));
+          }
+          node_batch_index_[*node].push_back(static_cast<std::uint32_t>(i));
+        }
+        pool->parallel_for(touched_nodes_.size(), [&](std::size_t k) {
+          const std::uint32_t node = touched_nodes_[k];
+          for (const std::uint32_t i : node_batch_index_[node]) {
+            batch_outcome_[i] =
+                decoders_[node].decode_into(due[i].payload, batch_decoded_[i])
+                    ? kDecodeOk
+                    : kDecodeBadMsg;
+          }
+        });
+        for (std::size_t i = 0; i < due.size(); ++i) {
+          if (batch_outcome_[i] == kDecodeOk) {
+            replay_.record_status(batch_decoded_[i].tick, batch_decoded_[i].node,
+                                  batch_decoded_[i].pis);
+          } else {
+            ++decode_errors_;
+            if (batch_outcome_[i] == kDecodeBadMsg) {
+              CAPES_LOG_WARN("intfd")
+                  << "malformed PI message from node " << batch_node_[i];
+            }
+          }
+          if (payload_recycler_) {
+            payload_recycler_(due[i].sender, std::move(due[i].payload));
+          }
+        }
+        for (const std::uint32_t node : touched_nodes_) {
+          node_batch_index_[node].clear();
         }
       });
 }

@@ -40,6 +40,10 @@ namespace capes::capture {
 class WireLogWriter;
 }  // namespace capes::capture
 
+namespace capes::util {
+class ThreadPool;
+}  // namespace capes::util
+
 namespace capes::core {
 
 /// The action hop's channel: absolute parameter vectors, sender = shard.
@@ -96,8 +100,14 @@ class InterfaceDaemon {
   PiChannel* inbox() { return inbox_.get(); }
 
   /// Write every PI message that has arrived by tick `t` to the Replay
-  /// DB. No-op without a transport. Returns messages delivered.
-  std::size_t drain_status(std::int64_t t);
+  /// DB. No-op without a transport. Returns messages delivered. With a
+  /// pool, decoding fans out one worker per sender node — a node's
+  /// messages stay with its stateful decoder in arrival order — and the
+  /// replay-DB writes, error counters, and payload recycling then run
+  /// serially in delivery order, so the pooled drain is bit-identical to
+  /// the serial one. At 64/128 domains the single-threaded decode was
+  /// the dominant serial cost at the sampling-tick barrier.
+  std::size_t drain_status(std::int64_t t, util::ThreadPool* pool = nullptr);
 
   /// Optional hook: after a PI message is consumed by drain_status, its
   /// payload buffer is handed here (keyed by the sender's global node id)
@@ -171,6 +181,18 @@ class InterfaceDaemon {
   PayloadRecycler payload_recycler_;
   PiMessage decode_scratch_;  ///< reused across on_status_message calls
   capture::WireLogWriter* capture_ = nullptr;
+
+  /// Pooled-drain scratch (drain_status with a pool): one decode result
+  /// + outcome slot per due message (workers write disjoint slots), and
+  /// per-node message-index runs so exactly one worker owns each node's
+  /// stateful decoder. All vectors grow once and are reused, keeping the
+  /// steady-state drain allocation-free like the serial path.
+  enum : std::uint8_t { kDecodeBadNode = 0, kDecodeBadMsg = 1, kDecodeOk = 2 };
+  std::vector<PiMessage> batch_decoded_;
+  std::vector<std::uint8_t> batch_outcome_;
+  std::vector<std::uint64_t> batch_node_;
+  std::vector<std::vector<std::uint32_t>> node_batch_index_;
+  std::vector<std::uint32_t> touched_nodes_;
 
   std::uint64_t status_messages_ = 0;
   std::uint64_t decode_errors_ = 0;

@@ -7,12 +7,22 @@ namespace capes::sim {
 thread_local EventQueue* EventQueue::current_ = nullptr;
 
 void EventQueue::schedule_at(TimeUs t, std::function<void()> fn) {
-  if (t < now_) t = now_;
-  queue_.push(Event{t, next_seq_++, std::move(fn)});
+  schedule_at_tagged(t, std::move(fn), resolve_tag(0));
 }
 
 void EventQueue::schedule_in(TimeUs delay, std::function<void()> fn) {
   schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+}
+
+void EventQueue::schedule_at_tagged(TimeUs t, std::function<void()> fn,
+                                    std::uint32_t domain) {
+  if (t < now_) t = now_;
+  queue_.push(Event{t, next_seq_++, domain, std::move(fn)});
+}
+
+void EventQueue::schedule_in_tagged(TimeUs delay, std::function<void()> fn,
+                                    std::uint32_t domain) {
+  schedule_at_tagged(now_ + (delay < 0 ? 0 : delay), std::move(fn), domain);
 }
 
 std::size_t EventQueue::run_until(TimeUs t_end) {
@@ -22,6 +32,8 @@ std::size_t EventQueue::run_until(TimeUs t_end) {
     Event ev = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
     now_ = ev.time;
+    executing_domain_ = ev.domain;
+    count_executed(ev.domain);
     ev.fn();
     ++ran;
   }
@@ -36,24 +48,59 @@ bool EventQueue::step() {
   Event ev = std::move(const_cast<Event&>(queue_.top()));
   queue_.pop();
   now_ = ev.time;
+  executing_domain_ = ev.domain;
+  count_executed(ev.domain);
   ev.fn();
   ++executed_;
   return true;
 }
 
+std::vector<EventQueue::ExtractedEvent> EventQueue::extract_domain(
+    std::uint32_t domain) {
+  std::vector<ExtractedEvent> out;
+  std::vector<Event> kept;
+  kept.reserve(queue_.size());
+  while (!queue_.empty()) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (ev.domain == domain) {
+      out.push_back(ExtractedEvent{ev.time, ev.domain, std::move(ev.fn)});
+    } else {
+      kept.push_back(std::move(ev));
+    }
+  }
+  // Popping gave us (time, seq) order; fresh sequence numbers in that
+  // order preserve the survivors' relative firing order exactly.
+  for (Event& ev : kept) {
+    queue_.push(Event{ev.time, next_seq_++, ev.domain, std::move(ev.fn)});
+  }
+  return out;
+}
+
+void EventQueue::absorb(std::vector<ExtractedEvent> events) {
+  for (ExtractedEvent& ev : events) {
+    schedule_at_tagged(ev.time, std::move(ev.fn), ev.domain);
+  }
+}
+
 void EventQueue::schedule_periodic(
     TimeUs t, TimeUs period, std::int64_t index,
-    std::shared_ptr<std::function<void(std::int64_t)>> fn) {
-  schedule_at(t, [this, t, period, index, fn] {
-    (*fn)(index);
-    schedule_periodic(t + period, period, index + 1, fn);
-  });
+    std::shared_ptr<std::function<void(std::int64_t)>> fn,
+    std::uint32_t domain) {
+  schedule_at_tagged(
+      t,
+      [this, t, period, index, fn, domain] {
+        (*fn)(index);
+        schedule_periodic(t + period, period, index + 1, fn, domain);
+      },
+      domain);
 }
 
 void EventQueue::every(TimeUs start, TimeUs period,
-                       std::function<void(std::int64_t)> fn) {
+                       std::function<void(std::int64_t)> fn,
+                       std::uint32_t domain) {
   auto shared = std::make_shared<std::function<void(std::int64_t)>>(std::move(fn));
-  schedule_periodic(start, period, 0, shared);
+  schedule_periodic(start, period, 0, shared, resolve_tag(domain));
 }
 
 }  // namespace capes::sim

@@ -41,10 +41,23 @@ class EventQueue {
   TimeUs now() const { return now_; }
 
   /// Schedule `fn` at absolute time `t` (>= now, else it fires "now").
+  /// The event inherits the executing event's domain tag when called from
+  /// inside an event on this queue, and tag 0 otherwise.
   void schedule_at(TimeUs t, std::function<void()> fn);
 
   /// Schedule `fn` after `delay` microseconds.
   void schedule_in(TimeUs delay, std::function<void()> fn);
+
+  /// schedule_at with an explicit domain tag. Tags group events by the
+  /// control domain that owns them so the shard planner can count per-
+  /// domain rates and migrate a domain's pending events between queues;
+  /// they have no effect on execution order.
+  void schedule_at_tagged(TimeUs t, std::function<void()> fn,
+                          std::uint32_t domain);
+
+  /// schedule_in with an explicit domain tag.
+  void schedule_in_tagged(TimeUs delay, std::function<void()> fn,
+                          std::uint32_t domain);
 
   /// Run until the queue is empty or simulated time would pass `t_end`.
   /// Events exactly at t_end are executed, and the clock lands on t_end
@@ -66,10 +79,39 @@ class EventQueue {
   std::size_t pending_events() const { return queue_.size(); }
   std::size_t executed_events() const { return executed_; }
 
+  /// Events executed so far bucketed by domain tag (index == tag; tags
+  /// past the end have executed nothing). Plain counters — a queue is
+  /// single-threaded by construction, so no atomics on the hot path.
+  const std::vector<std::uint64_t>& executed_by_domain() const {
+    return executed_by_domain_;
+  }
+
   /// Register a callback invoked every `period` starting at `start`
   /// (inclusive) until the simulation stops being run. Useful for sampling
-  /// ticks. The callback receives the tick index (0-based).
-  void every(TimeUs start, TimeUs period, std::function<void(std::int64_t)> fn);
+  /// ticks. The callback receives the tick index (0-based). The periodic
+  /// chain carries `domain` as its tag (the executing event's tag wins
+  /// when registered from inside an event on this queue).
+  void every(TimeUs start, TimeUs period, std::function<void(std::int64_t)> fn,
+             std::uint32_t domain = 0);
+
+  /// One pending event lifted out of a queue for migration: absolute
+  /// firing time, domain tag, and the handler. Relative order within the
+  /// vector is the order the events would have fired in.
+  struct ExtractedEvent {
+    TimeUs time;
+    std::uint32_t domain;
+    std::function<void()> fn;
+  };
+
+  /// Remove every pending event tagged `domain`, in firing order, so the
+  /// shard planner can move the domain to another queue. The remaining
+  /// events are renumbered but keep their relative order. Must not be
+  /// called while an event is executing.
+  std::vector<ExtractedEvent> extract_domain(std::uint32_t domain);
+
+  /// Schedule previously extracted events into this queue, preserving
+  /// their relative order (times earlier than now() clamp to now()).
+  void absorb(std::vector<ExtractedEvent> events);
 
   /// The queue currently executing an event on this thread (null outside
   /// run_until()/step()). Simulator::schedule_* routes through this so an
@@ -87,6 +129,7 @@ class EventQueue {
   struct Event {
     TimeUs time;
     std::uint64_t seq;
+    std::uint32_t domain;
     std::function<void()> fn;
   };
   struct Later {
@@ -111,7 +154,22 @@ class EventQueue {
   };
 
   void schedule_periodic(TimeUs t, TimeUs period, std::int64_t index,
-                         std::shared_ptr<std::function<void(std::int64_t)>> fn);
+                         std::shared_ptr<std::function<void(std::int64_t)>> fn,
+                         std::uint32_t domain);
+
+  /// Tag for an event scheduled without an explicit tag: the executing
+  /// event's tag when this queue is running an event on this thread,
+  /// else `fallback`.
+  std::uint32_t resolve_tag(std::uint32_t fallback) const {
+    return current_ == this ? executing_domain_ : fallback;
+  }
+
+  void count_executed(std::uint32_t domain) {
+    if (domain >= executed_by_domain_.size()) {
+      executed_by_domain_.resize(domain + 1, 0);
+    }
+    ++executed_by_domain_[domain];
+  }
 
   static thread_local EventQueue* current_;
 
@@ -119,6 +177,8 @@ class EventQueue {
   TimeUs now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::size_t executed_ = 0;
+  std::uint32_t executing_domain_ = 0;
+  std::vector<std::uint64_t> executed_by_domain_;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
 };
 

@@ -69,7 +69,8 @@ class Simulator {
     ShardBinding(ShardBinding&& other) noexcept
         : active_(other.active_),
           previous_sim_(other.previous_sim_),
-          previous_shard_(other.previous_shard_) {
+          previous_shard_(other.previous_shard_),
+          previous_domain_(other.previous_domain_) {
       other.active_ = false;
     }
     ShardBinding(const ShardBinding&) = delete;
@@ -79,19 +80,24 @@ class Simulator {
    private:
     friend class Simulator;
     ShardBinding() = default;  ///< inactive: destruction restores nothing
-    ShardBinding(const Simulator* previous_sim, std::size_t previous_shard)
+    ShardBinding(const Simulator* previous_sim, std::size_t previous_shard,
+                 std::uint32_t previous_domain)
         : active_(true),
           previous_sim_(previous_sim),
-          previous_shard_(previous_shard) {}
+          previous_shard_(previous_shard),
+          previous_domain_(previous_domain) {}
     bool active_ = false;
     const Simulator* previous_sim_ = nullptr;
     std::size_t previous_shard_ = 0;
+    std::uint32_t previous_domain_ = 0;
   };
 
   /// Bind `shard` as the target of out-of-event schedule_*() calls from
-  /// this thread for the returned binding's lifetime. Aborts on an
-  /// out-of-range shard.
-  ShardBinding bind_shard(std::size_t shard) const;
+  /// this thread for the returned binding's lifetime; events scheduled
+  /// through the binding carry `domain` as their tag (the control domain
+  /// they belong to, for rate counting and shard migration). Aborts on
+  /// an out-of-range shard.
+  ShardBinding bind_shard(std::size_t shard, std::uint32_t domain = 0) const;
 
   /// An inactive binding (destruction restores nothing) for call sites
   /// that bind conditionally.
@@ -120,13 +126,26 @@ class Simulator {
   }
 
   /// Schedule `fn` at absolute time `t` (>= now, else it fires "now").
+  /// From inside an event the follow-up inherits the event's shard and
+  /// domain tag; outside, it lands in the bound shard tagged with the
+  /// binding's domain (shard 0 / domain 0 when nothing is bound).
   void schedule_at(TimeUs t, std::function<void()> fn) {
-    route().schedule_at(t, std::move(fn));
+    EventQueue* executing = EventQueue::current();
+    if (executing != nullptr && executing->owner() == this) {
+      executing->schedule_at(t, std::move(fn));
+      return;
+    }
+    route().schedule_at_tagged(t, std::move(fn), route_domain());
   }
 
   /// Schedule `fn` after `delay` microseconds.
   void schedule_in(TimeUs delay, std::function<void()> fn) {
-    route().schedule_in(delay, std::move(fn));
+    EventQueue* executing = EventQueue::current();
+    if (executing != nullptr && executing->owner() == this) {
+      executing->schedule_in(delay, std::move(fn));
+      return;
+    }
+    route().schedule_in_tagged(delay, std::move(fn), route_domain());
   }
 
   /// Advance every shard until its queue is empty or simulated time
@@ -154,9 +173,40 @@ class Simulator {
   /// Register a callback invoked every `period` starting at `start`
   /// (inclusive) until the simulation stops being run. Useful for sampling
   /// ticks. The callback receives the tick index (0-based). Routed like
-  /// schedule_at: the periodic chain lives in one shard.
+  /// schedule_at: the periodic chain lives in one shard and carries the
+  /// routing domain tag.
   void every(TimeUs start, TimeUs period, std::function<void(std::int64_t)> fn) {
-    route().every(start, period, std::move(fn));
+    route().every(start, period, std::move(fn), route_domain());
+  }
+
+  // ---- rate-aware placement support --------------------------------------
+
+  /// Move every pending event tagged `domain` from shard `from` to shard
+  /// `to`, preserving the domain's relative event order (the shard
+  /// planner re-attaching a domain at a phase boundary). Must be called
+  /// between advances — aborts if any queue is executing an event on
+  /// this thread — and with in-range shard indices.
+  void migrate_domain(std::uint32_t domain, std::size_t from, std::size_t to);
+
+  /// Sum per-domain executed-event counts across shards into `out`
+  /// (resized to `num_domains`; counts for higher tags are dropped).
+  /// Deterministic — derived from event execution only — so it is safe
+  /// input for placement decisions.
+  void domain_executed(std::vector<std::uint64_t>& out,
+                       std::size_t num_domains) const;
+
+  /// Per-shard events executed by the last multi-shard run_until()
+  /// (empty before the first one, or on a single-shard simulator whose
+  /// advances skip the bookkeeping).
+  const std::vector<std::size_t>& last_advance_events() const {
+    return last_advance_events_;
+  }
+
+  /// Per-shard wall-clock busy nanoseconds for the last multi-shard
+  /// run_until(); max(busy) - busy[i] is shard i's barrier wait.
+  /// Observability only — never feed wall clock into placement.
+  const std::vector<std::uint64_t>& last_advance_busy_ns() const {
+    return last_advance_busy_ns_;
   }
 
  private:
@@ -171,12 +221,24 @@ class Simulator {
     return *shards_[bound_sim_ == this ? bound_shard_ : 0];
   }
 
+  /// Domain tag for out-of-event schedules: the binding's domain when
+  /// this thread's binding belongs to this simulator, else 0.
+  std::uint32_t route_domain() const {
+    return bound_sim_ == this ? bound_domain_ : 0;
+  }
+
   /// This thread's active binding (see bind_shard). Tagged with the
   /// owning Simulator so bindings never leak across instances.
   static thread_local const Simulator* bound_sim_;
   static thread_local std::size_t bound_shard_;
+  static thread_local std::uint32_t bound_domain_;
 
   std::vector<std::unique_ptr<EventQueue>> shards_;
+
+  // Filled by multi-shard run_until() for barrier observability; reused
+  // across ticks so steady-state advances stay allocation-free.
+  std::vector<std::size_t> last_advance_events_;
+  std::vector<std::uint64_t> last_advance_busy_ns_;
 };
 
 }  // namespace capes::sim

@@ -2,9 +2,13 @@
 // between sampling ticks with a time-synced barrier at every tick.
 // Pins the acceptance contract — the sharded loop is bit-identical to
 // the serial single-queue loop for a fixed seed, with and without the
-// worker pool and under the sim transport (delayed actions landing
-// exactly on barrier ticks) — and the barrier edge cases: an empty
-// domain (zero monitored nodes) must not stall the barrier.
+// worker pool, under the sim transport (delayed actions landing
+// exactly on barrier ticks), and under either shard plan (static
+// round-robin vs rate-aware re-packing at phase boundaries) — and the
+// barrier edge cases: an empty domain (zero monitored nodes) must not
+// stall the barrier. The rate plan must also *do* something: on a
+// skewed workload its deterministic barrier-wait counter comes out
+// strictly below static's.
 
 #include <gtest/gtest.h>
 
@@ -27,7 +31,8 @@ using testing::MockAdapter;
 /// divergence anywhere in the run shows up in the comparison.
 std::vector<double> run_fingerprint(std::size_t sim_shards,
                                     std::size_t threads,
-                                    const std::string& transport) {
+                                    const std::string& transport,
+                                    const std::string& shard_plan = "") {
   auto builder = Experiment::builder()
                      .seed(7)
                      .workload("random:0.3")
@@ -37,6 +42,7 @@ std::vector<double> run_fingerprint(std::size_t sim_shards,
                      .worker_threads(threads)
                      .sim_shards(sim_shards);
   if (!transport.empty()) builder.transport(transport);
+  if (!shard_plan.empty()) builder.shard_plan(shard_plan);
   std::string error;
   auto exp = builder.build(&error);
   EXPECT_NE(exp, nullptr) << error;
@@ -133,6 +139,160 @@ TEST(SimShards, ShardedLoopUnderSimTransportBitIdenticalToSerial) {
   const std::vector<double> sharded = run_fingerprint(0, 3, spec);
   ASSERT_FALSE(serial.empty());
   EXPECT_EQ(serial, sharded);
+}
+
+/// Skewed 8-domain experiment: domain 0 hot (pure random writes, ~3x
+/// the executed events of the others' light fileserver load), packed
+/// onto `sim_shards` queues. The configuration every rate-plan pin
+/// runs on.
+std::unique_ptr<Experiment> build_skewed(std::size_t sim_shards,
+                                         std::size_t threads,
+                                         const std::string& shard_plan) {
+  auto builder = Experiment::builder()
+                     .seed(7)
+                     .workload("random:0.0")
+                     .warmup_seconds(2)
+                     .worker_threads(threads)
+                     .sim_shards(sim_shards)
+                     .shard_plan(shard_plan);
+  for (int d = 1; d < 8; ++d) {
+    builder.add_cluster("fileserver:instances=2,files=2");
+  }
+  std::string error;
+  auto exp = builder.build(&error);
+  EXPECT_NE(exp, nullptr) << error;
+  return exp;
+}
+
+/// Train + tuned on the skewed experiment; same fingerprint contents as
+/// run_fingerprint.
+std::vector<double> skewed_fingerprint(std::size_t sim_shards,
+                                       std::size_t threads,
+                                       const std::string& shard_plan) {
+  auto exp = build_skewed(sim_shards, threads, shard_plan);
+  if (!exp) return {};
+  const PhaseReport training = exp->run_training(40);
+  const PhaseReport tuned = exp->run_tuned(15);
+  std::vector<double> out;
+  for (const PhaseReport* phase : {&training, &tuned}) {
+    const auto& tput = phase->result.throughput.samples();
+    const auto& lat = phase->result.latency_ms.samples();
+    out.insert(out.end(), tput.begin(), tput.end());
+    out.insert(out.end(), lat.begin(), lat.end());
+    out.insert(out.end(), phase->result.rewards.begin(),
+               phase->result.rewards.end());
+  }
+  const std::vector<double> params = exp->parameter_values();
+  out.insert(out.end(), params.begin(), params.end());
+  return out;
+}
+
+TEST(SimShards, RatePlanBitIdenticalToStatic) {
+  // The new acceptance pin: placement derives only from deterministic
+  // event counts, so re-packing domains between phases must not change
+  // a single sample — on a skewed workload, at any shard count, with
+  // or without the pool.
+  const std::vector<double> serial = skewed_fingerprint(1, 0, "static");
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(serial, skewed_fingerprint(2, 0, "static"));
+  EXPECT_EQ(serial, skewed_fingerprint(2, 0, "rate"));
+  EXPECT_EQ(serial, skewed_fingerprint(2, 3, "rate"));
+  EXPECT_EQ(serial, skewed_fingerprint(0, 3, "rate"));
+}
+
+TEST(SimShards, RatePlanBitIdenticalUnderSimTransport) {
+  const std::string spec = "sim:latency_ticks=1,jitter=2,drop=0.1";
+  const std::vector<double> serial = run_fingerprint(1, 0, spec, "static");
+  const std::vector<double> rate = run_fingerprint(0, 3, spec, "rate");
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(serial, rate);
+}
+
+TEST(SimShards, RatePlanReducesBarrierWait) {
+  // The plan must also pay for itself: with one hot domain among seven
+  // light ones on two shards, static round-robin leaves the hot shard
+  // with half the light domains too, while the rate plan isolates it —
+  // so the deterministic events-based barrier-wait counter (how many
+  // events the idle shards "waited" for across ticks) comes out
+  // strictly lower. Counted over train+tuned; the first phase packs
+  // from warmup counts, later phases from the previous phase.
+  auto run = [](const std::string& plan) {
+    auto exp = build_skewed(2, 0, plan);
+    std::uint64_t wait = 0;
+    if (!exp) return wait;
+    wait += exp->run_training(40).result.barrier_wait_events;
+    wait += exp->run_tuned(15).result.barrier_wait_events;
+    return wait;
+  };
+  const std::uint64_t wait_static = run("static");
+  const std::uint64_t wait_rate = run("rate");
+  EXPECT_GT(wait_static, 0u);
+  EXPECT_LT(wait_rate, wait_static);
+}
+
+TEST(SimShards, RatePlanReportsShardCountersAndReplans) {
+  auto exp = build_skewed(2, 0, "rate");
+  ASSERT_NE(exp, nullptr);
+  EXPECT_EQ(exp->system().shard_plan_kind(), sim::ShardPlanKind::kRate);
+  const PhaseReport training = exp->run_training(40);
+  ASSERT_EQ(training.result.shard_events.size(), 2u);
+  ASSERT_EQ(training.result.shard_barrier_wait_ns.size(), 2u);
+  EXPECT_GT(training.result.shard_events[0] + training.result.shard_events[1],
+            0u);
+  EXPECT_GE(training.result.shard_imbalance(), 1.0);
+  // The skew guarantees the warmup-informed first plan differs from
+  // round-robin, so at least one replan actually moved domains.
+  EXPECT_GE(exp->system().shard_replans(), 1u);
+  // The live plan matches where the domains actually are.
+  const auto& plan = exp->system().shard_plan();
+  for (std::size_t d = 0; d < exp->num_domains(); ++d) {
+    EXPECT_EQ(exp->system().domain(d).sim_shard(), plan.shard_of_domain[d]);
+  }
+}
+
+TEST(SimShards, RatePlanSurvivesSwitchWorkload) {
+  // switch_workload rebuilds a domain's generator mid-run; its events
+  // must keep landing on the domain's *current* shard (live placement,
+  // not the build-time layout) and the run must stay deterministic.
+  auto run = [](const std::string& plan) {
+    auto exp = build_skewed(2, 0, plan);
+    std::vector<double> out;
+    if (!exp) return out;
+    exp->run_training(30);
+    std::string error;
+    EXPECT_TRUE(
+        exp->switch_workload(0, "fileserver:instances=2,files=2", &error))
+        << error;
+    EXPECT_TRUE(exp->switch_workload(3, "random:0.0", &error)) << error;
+    const PhaseReport tuned = exp->run_tuned(20);
+    const auto& tput = tuned.result.throughput.samples();
+    out.insert(out.end(), tput.begin(), tput.end());
+    out.insert(out.end(), tuned.result.rewards.begin(),
+               tuned.result.rewards.end());
+    return out;
+  };
+  const std::vector<double> with_static = run("static");
+  const std::vector<double> with_rate = run("rate");
+  ASSERT_FALSE(with_static.empty());
+  EXPECT_EQ(with_static, with_rate);
+}
+
+TEST(SimShards, MisspelledConfShardPlanFailsTheBuild) {
+  // Same strictness as capes.sim.shards: a typo'd plan name must not
+  // silently buy round-robin.
+  const std::string path = ::testing::TempDir() + "bad_shard_plan.conf";
+  {
+    std::ofstream out(path);
+    out << "capes.sim.shard_plan = rat\n";
+  }
+  std::string error;
+  auto exp = Experiment::builder()
+                 .workload("random:0.5")
+                 .config_file(path)
+                 .build(&error);
+  EXPECT_EQ(exp, nullptr);
+  EXPECT_NE(error.find("capes.sim.shard_plan"), std::string::npos) << error;
+  std::remove(path.c_str());
 }
 
 TEST(SimShards, DelayedActionLandsOnBarrierTick) {

@@ -1,0 +1,125 @@
+// ShardPlanner: deterministic domain-to-shard placement. Pins the LPT
+// packing (weight = events + 1, heaviest first onto the least-loaded
+// shard), the tie-breaking on lower domain / shard index (so equal
+// weights reproduce the static round-robin exactly), and the fallbacks
+// that keep placement a pure function of the simulated history.
+
+#include "sim/shard_planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace capes::sim {
+namespace {
+
+TEST(ShardPlanner, StaticPlanIsRoundRobin) {
+  const ShardPlanner planner(ShardPlanKind::kStatic, 6, 2);
+  const ShardPlan plan = planner.static_plan();
+  EXPECT_EQ(plan.shard_of_domain,
+            (std::vector<std::size_t>{0, 1, 0, 1, 0, 1}));
+  EXPECT_EQ(plan.shard_load, (std::vector<std::uint64_t>{3, 3}));
+  EXPECT_DOUBLE_EQ(plan.max_over_mean(), 1.0);
+}
+
+TEST(ShardPlanner, StaticPlannerIgnoresRates) {
+  const ShardPlanner planner(ShardPlanKind::kStatic, 4, 2);
+  const ShardPlan plan = planner.plan({1000, 1, 1, 1});
+  EXPECT_EQ(plan.shard_of_domain, planner.static_plan().shard_of_domain);
+}
+
+TEST(ShardPlanner, LptPacksByRate) {
+  // One hot domain: LPT must give it a shard of its own and pile the
+  // light domains onto the other, instead of round-robin's 1.5x skew.
+  const ShardPlanner planner(ShardPlanKind::kRate, 4, 2);
+  const ShardPlan plan = planner.plan({900, 100, 100, 100});
+  EXPECT_EQ(plan.shard_of_domain[0], 0u);
+  EXPECT_EQ(plan.shard_of_domain[1], 1u);
+  EXPECT_EQ(plan.shard_of_domain[2], 1u);
+  EXPECT_EQ(plan.shard_of_domain[3], 1u);
+  EXPECT_EQ(plan.shard_load, (std::vector<std::uint64_t>{901, 303}));
+  EXPECT_GT(plan.max_over_mean(), 1.0);
+}
+
+TEST(ShardPlanner, EqualRatesReproduceRoundRobin) {
+  // Ties break on the lower domain index (sort order) and the lower
+  // shard index (target choice), which is exactly d % num_shards.
+  const ShardPlanner planner(ShardPlanKind::kRate, 8, 3);
+  const ShardPlan plan = planner.plan({50, 50, 50, 50, 50, 50, 50, 50});
+  EXPECT_EQ(plan.shard_of_domain, planner.static_plan().shard_of_domain);
+}
+
+TEST(ShardPlanner, IdleDomainsSpreadInsteadOfPiling) {
+  // Zero-event domains weigh (0 + 1), not 0: they must still spread
+  // across shards rather than all landing on whichever shard looked
+  // lightest after the busy domains were placed.
+  const ShardPlanner planner(ShardPlanKind::kRate, 6, 2);
+  const ShardPlan plan = planner.plan({10, 10, 0, 0, 0, 0});
+  std::vector<std::size_t> domains_per_shard(2, 0);
+  for (const std::size_t shard : plan.shard_of_domain) {
+    ++domains_per_shard[shard];
+  }
+  EXPECT_EQ(domains_per_shard[0], 3u);
+  EXPECT_EQ(domains_per_shard[1], 3u);
+}
+
+TEST(ShardPlanner, AllZeroRatesFallBackToStatic) {
+  const ShardPlanner planner(ShardPlanKind::kRate, 5, 2);
+  const ShardPlan plan = planner.plan({0, 0, 0, 0, 0});
+  EXPECT_EQ(plan.shard_of_domain, planner.static_plan().shard_of_domain);
+}
+
+TEST(ShardPlanner, OneShardTakesEverything) {
+  const ShardPlanner planner(ShardPlanKind::kRate, 4, 1);
+  const ShardPlan plan = planner.plan({7, 2, 9, 1});
+  EXPECT_EQ(plan.shard_of_domain, (std::vector<std::size_t>{0, 0, 0, 0}));
+  EXPECT_DOUBLE_EQ(plan.max_over_mean(), 1.0);
+}
+
+TEST(ShardPlanner, MoreShardsThanDomainsLeavesShardsEmpty) {
+  const ShardPlanner planner(ShardPlanKind::kRate, 2, 4);
+  const ShardPlan plan = planner.plan({5, 500});
+  // Heaviest first: domain 1 -> shard 0, domain 0 -> shard 1.
+  EXPECT_EQ(plan.shard_of_domain, (std::vector<std::size_t>{1, 0}));
+  EXPECT_EQ(plan.shard_load[2], 0u);
+  EXPECT_EQ(plan.shard_load[3], 0u);
+}
+
+TEST(ShardPlanner, ShortRateVectorTreatsMissingDomainsAsIdle) {
+  // A caller may hand fewer counts than domains (e.g. a domain added
+  // late); the missing tail weighs like an idle domain.
+  const ShardPlanner planner(ShardPlanKind::kRate, 4, 2);
+  const ShardPlan plan = planner.plan({100, 100});
+  std::vector<std::size_t> domains_per_shard(2, 0);
+  for (const std::size_t shard : plan.shard_of_domain) {
+    ++domains_per_shard[shard];
+  }
+  EXPECT_EQ(domains_per_shard[0], 2u);
+  EXPECT_EQ(domains_per_shard[1], 2u);
+}
+
+TEST(ShardPlanner, ParseSpec) {
+  ShardPlanKind kind = ShardPlanKind::kRate;
+  std::string error;
+  EXPECT_TRUE(parse_shard_plan_spec("static", &kind, &error));
+  EXPECT_EQ(kind, ShardPlanKind::kStatic);
+  EXPECT_TRUE(parse_shard_plan_spec("rate", &kind, &error));
+  EXPECT_EQ(kind, ShardPlanKind::kRate);
+  EXPECT_FALSE(parse_shard_plan_spec("roulette", &kind, &error));
+  EXPECT_NE(error.find("roulette"), std::string::npos);
+  EXPECT_FALSE(parse_shard_plan_spec("", &kind, &error));
+  EXPECT_STREQ(shard_plan_name(ShardPlanKind::kStatic), "static");
+  EXPECT_STREQ(shard_plan_name(ShardPlanKind::kRate), "rate");
+}
+
+TEST(ShardPlanner, MaxOverMean) {
+  ShardPlan plan;
+  EXPECT_DOUBLE_EQ(plan.max_over_mean(), 1.0);  // empty
+  plan.shard_load = {0, 0};
+  EXPECT_DOUBLE_EQ(plan.max_over_mean(), 1.0);  // zero load
+  plan.shard_load = {30, 10};
+  EXPECT_DOUBLE_EQ(plan.max_over_mean(), 1.5);
+}
+
+}  // namespace
+}  // namespace capes::sim

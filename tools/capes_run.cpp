@@ -15,6 +15,7 @@
 
 #include "bus/transport.hpp"
 #include "core/experiment.hpp"
+#include "sim/shard_planner.hpp"
 #include "util/parse.hpp"
 #include "workload/registry.hpp"
 
@@ -42,6 +43,10 @@ struct Args {
   /// one per control domain). Unset means "the preset/conf decides"
   /// (the serial single-queue loop by default).
   std::optional<std::size_t> sim_shards;
+  /// --shard-plan=static|rate: how control domains are packed onto the
+  /// simulator shards. Unset means "the preset/conf decides" (static
+  /// round-robin by default).
+  std::optional<std::string> shard_plan;
   std::string conf;
   std::string csv_prefix;
   std::string model_out;
@@ -147,6 +152,15 @@ ParseOutcome parse_args(int argc, char** argv, Args* args) {
         }
         args->sim_shards = static_cast<std::size_t>(shards);
       }
+    } else if (parse_flag(argv[i], "--shard-plan", &value)) {
+      sim::ShardPlanKind kind;
+      std::string plan_error;
+      if (!sim::parse_shard_plan_spec(value, &kind, &plan_error)) {
+        std::fprintf(stderr, "invalid value for --shard-plan: %s\n",
+                     plan_error.c_str());
+        return ParseOutcome::kError;
+      }
+      args->shard_plan = value;
     } else if (parse_flag(argv[i], "--conf", &value)) {
       args->conf = value;
     } else if (parse_flag(argv[i], "--csv", &value)) {
@@ -202,6 +216,7 @@ void print_usage() {
   std::printf(
       "usage: capes_run [--workload=%s (with optional :spec args)]...\n"
       "                 [--clusters=N] [--threads=N] [--sim-shards=auto|N]\n"
+      "                 [--shard-plan=static|rate]\n"
       "                 [--transport=sync|sim[:latency_ticks=N,jitter=X,"
       "drop=P,seed=N]]\n"
       "                 [--learner=sync|async]\n"
@@ -219,7 +234,13 @@ void print_usage() {
       "every control domain its own event queue, N caps the queue count\n"
       "(1 = the serial loop), and the queues advance concurrently on the\n"
       "--threads pool between sampling ticks — same results, faster on\n"
-      "multi-core hosts.\n"
+      "multi-core hosts. --shard-plan picks the domain placement:\n"
+      "static round-robins domains over the queues (the default); rate\n"
+      "re-packs them at every phase boundary by last-phase observed event\n"
+      "rate (greedy LPT), which evens out skewed workloads. Placement\n"
+      "derives only from deterministic event counts, so results stay\n"
+      "bit-identical across plans, shard counts and thread counts\n"
+      "(conf: capes.sim.shard_plan).\n"
       "--transport=sync delivers every agent<->daemon message within its\n"
       "tick (the default). --transport=sim puts the hops on a simulated\n"
       "control network with seeded latency/jitter/drop, e.g.\n"
@@ -291,6 +312,7 @@ int main(int argc, char** argv) {
     builder.worker_threads(static_cast<std::size_t>(*args.threads));
   }
   if (args.sim_shards) builder.sim_shards(*args.sim_shards);
+  if (args.shard_plan) builder.shard_plan(*args.shard_plan);
   if (args.transport) builder.transport(*args.transport);
   if (args.learner) builder.learner(*args.learner);
   if (args.seed) builder.seed(*args.seed);
@@ -344,6 +366,12 @@ int main(int argc, char** argv) {
                 "domains\n",
                 experiment->simulator().num_shards(),
                 experiment->num_domains());
+    const auto& plan = experiment->system().shard_plan();
+    std::printf("shard plan: %s -- %zu domains -> %zu queues, "
+                "max/mean load %.2f\n",
+                sim::shard_plan_name(experiment->system().shard_plan_kind()),
+                experiment->num_domains(),
+                experiment->simulator().num_shards(), plan.max_over_mean());
   }
 
   if (train > 0) {
@@ -382,6 +410,18 @@ int main(int argc, char** argv) {
     std::printf("control network (sim): %llu messages dropped, %llu late\n",
                 static_cast<unsigned long long>(dropped),
                 static_cast<unsigned long long>(late));
+  }
+
+  if (experiment->simulator().num_shards() > 1) {
+    // Event-count based (deterministic), so CI can compare this line
+    // across runs; the strip lists only drop it when comparing static
+    // against rate placements.
+    std::printf("shard imbalance (events, max/mean):");
+    for (const auto& phase : report.phases) {
+      std::printf(" %s %.2f", phase.label.c_str(),
+                  phase.result.shard_imbalance());
+    }
+    std::printf(" -- %zu replans\n", experiment->system().shard_replans());
   }
 
   // Always printed: the determinism handle the capture/replay round trip

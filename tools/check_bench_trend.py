@@ -15,10 +15,12 @@ and skipped.
 
 The artifacts are the BENCH_*.json emitted by the bench runners
 (tools/run_*_bench.sh): a top-level "results" list of rows, each row a
-flat object mixing key fields (threads, domains, ...) with measured
-"ticks_per_sec*" metrics. Rows are matched across files by their key
-fields; a metric that dropped by more than the threshold (default 20%)
-is reported.
+flat object mixing key fields (threads, domains, scenario, ...) with
+measured metrics. "ticks_per_sec*" metrics are higher-is-better: a drop
+beyond the threshold (default 20%) is reported. "*imbalance*" metrics
+(max/mean shard load from the sharded event loop) are lower-is-better:
+a rise beyond the same threshold is reported. Rows are matched across
+files by their remaining key fields.
 
 Warn-only by default: regressions are printed but the exit code stays 0,
 so CI surfaces the trend without going red on a noisy shared runner.
@@ -32,6 +34,11 @@ import os
 import sys
 
 METRIC_PREFIX = "ticks_per_sec"
+LOWER_IS_BETTER = "imbalance"
+
+
+def is_metric(key):
+    return key.startswith(METRIC_PREFIX) or LOWER_IS_BETTER in key
 
 
 def load(path):
@@ -50,13 +57,13 @@ def row_key(row):
         sorted(
             (k, v)
             for k, v in row.items()
-            if not k.startswith(METRIC_PREFIX) and k != "speedup"
+            if not is_metric(k) and k != "speedup"
         )
     )
 
 
 def metrics(row):
-    return {k: v for k, v in row.items() if k.startswith(METRIC_PREFIX)}
+    return {k: v for k, v in row.items() if is_metric(k)}
 
 
 def compare(baseline, current, current_name, threshold):
@@ -73,15 +80,20 @@ def compare(baseline, current, current_name, threshold):
             if not isinstance(old, (int, float)) or old <= 0:
                 continue
             compared += 1
-            drop = (old - value) / old
-            if drop > threshold:
+            if LOWER_IS_BETTER in name:
+                # Imbalance: a rise is the regression.
+                change = (value - old) / old
+            else:
+                change = (old - value) / old
+            if change > threshold:
                 label = ", ".join(
                     f"{k}={v}" for k, v in row.items()
-                    if not k.startswith(METRIC_PREFIX) and k != "speedup"
+                    if not is_metric(k) and k != "speedup"
                 )
+                direction = "rose" if LOWER_IS_BETTER in name else "dropped"
                 regressions.append(
-                    f"  {name} [{label}]: {old:.1f} -> {value:.1f} "
-                    f"({drop:+.0%})"
+                    f"  {name} [{label}]: {direction} {old:.2f} -> "
+                    f"{value:.2f} ({change:+.0%})"
                 )
 
     bench = current.get("bench", current_name)
