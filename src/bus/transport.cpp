@@ -58,9 +58,21 @@ Delivery SimTransport::plan(std::uint64_t topic, std::uint64_t sender,
   return {false, send_tick + delay};
 }
 
+TcpTransport::TcpTransport(const TransportOptions& opts) : opts_(opts) {}
+
+Delivery TcpTransport::plan(std::uint64_t, std::uint64_t,
+                            std::int64_t send_tick) const {
+  // TCP is a reliable per-peer FIFO: the local channel never drops or
+  // delays. Peer-death loss is counted at the endpoint, not planned here.
+  return {false, send_tick};
+}
+
 std::unique_ptr<Transport> make_transport(const TransportOptions& opts) {
   if (opts.kind == TransportKind::kSim) {
     return std::make_unique<SimTransport>(opts);
+  }
+  if (opts.kind == TransportKind::kTcp) {
+    return std::make_unique<TcpTransport>(opts);
   }
   return std::make_unique<SyncTransport>();
 }
@@ -92,11 +104,15 @@ bool parse_transport_spec(std::string_view spec, TransportOptions* out,
     }
   } else if (scheme == "sim") {
     parsed.kind = TransportKind::kSim;
+  } else if (scheme == "tcp") {
+    parsed.kind = TransportKind::kTcp;
   } else {
     return spec_fail(error, "unknown transport '" + std::string(scheme) +
-                                "' (expected sync or sim)");
+                                "' (expected sync, sim, or tcp)");
   }
 
+  bool saw_host = false;
+  bool saw_port = false;
   while (!opts_part.empty()) {
     const std::size_t comma = opts_part.find(',');
     std::string_view item = opts_part.substr(0, comma);
@@ -110,6 +126,39 @@ bool parse_transport_spec(std::string_view spec, TransportOptions* out,
     }
     const std::string_view key = item.substr(0, eq);
     const std::string_view value = item.substr(eq + 1);
+    if (parsed.kind == TransportKind::kTcp) {
+      if (key == "host") {
+        if (value.empty()) {
+          return spec_fail(error, "host must be non-empty");
+        }
+        parsed.tcp_host = std::string(value);
+        saw_host = true;
+      } else if (key == "port") {
+        if (!util::parse_i64(value, &parsed.tcp_port) || parsed.tcp_port < 1 ||
+            parsed.tcp_port > 65535) {
+          return spec_fail(error, "port must be an integer in [1, 65535], "
+                                  "got '" + std::string(value) + "'");
+        }
+        saw_port = true;
+      } else if (key == "connect_timeout_ms") {
+        if (!util::parse_i64(value, &parsed.connect_timeout_ms) ||
+            parsed.connect_timeout_ms < 0) {
+          return spec_fail(error, "connect_timeout_ms must be an integer "
+                                  ">= 0, got '" + std::string(value) + "'");
+        }
+      } else if (key == "io_threads") {
+        if (!util::parse_i64(value, &parsed.io_threads) ||
+            parsed.io_threads < 1 || parsed.io_threads > 64) {
+          return spec_fail(error, "io_threads must be an integer in [1, 64], "
+                                  "got '" + std::string(value) + "'");
+        }
+      } else {
+        return spec_fail(error, "unknown tcp transport option '" +
+                                    std::string(key) + "' (expected host, "
+                                    "port, connect_timeout_ms, or io_threads)");
+      }
+      continue;
+    }
     if (key == "latency_ticks") {
       if (!util::parse_i64(value, &parsed.latency_ticks) ||
           parsed.latency_ticks < 0) {
@@ -139,12 +188,28 @@ bool parse_transport_spec(std::string_view spec, TransportOptions* out,
                                   "or seed)");
     }
   }
+  if (parsed.kind == TransportKind::kTcp) {
+    if (!saw_host) {
+      return spec_fail(error, "tcp transport requires host=.. in '" +
+                                  std::string(spec) + "'");
+    }
+    if (!saw_port) {
+      return spec_fail(error, "tcp transport requires port=.. in '" +
+                                  std::string(spec) + "'");
+    }
+  }
   *out = parsed;
   return true;
 }
 
 std::string transport_spec_string(const TransportOptions& opts) {
   if (opts.kind == TransportKind::kSync) return "sync";
+  if (opts.kind == TransportKind::kTcp) {
+    return "tcp:host=" + opts.tcp_host + ",port=" +
+           std::to_string(opts.tcp_port) +
+           ",connect_timeout_ms=" + std::to_string(opts.connect_timeout_ms) +
+           ",io_threads=" + std::to_string(opts.io_threads);
+  }
   std::string spec = "sim:latency_ticks=" + std::to_string(opts.latency_ticks);
   // %.17g is the shortest printf precision that reproduces any double
   // exactly, keeping the documented round-trip value-lossless.

@@ -7,7 +7,7 @@
 // that. A bus::Transport decides every message's fate; bus::Channel
 // (channel.hpp) queues accepted messages until their delivery tick.
 //
-// Two implementations:
+// Three implementations:
 //  * SyncTransport — every message delivered on its send tick. Draining a
 //    sync channel inside the same tick is bit-identical to the direct
 //    function calls it replaced (the default, and the reproduction mode).
@@ -16,6 +16,13 @@
 //    fate is a pure hash of (seed, topic, sender, send tick), never a
 //    draw from a shared RNG stream, so results are identical no matter
 //    how many worker threads publish concurrently or in what order.
+//  * TcpTransport — the real control network. The local channel policy is
+//    sync-like (nothing dropped, delivered on the send tick: TCP is a
+//    reliable FIFO per peer, so local drain order matches sync order);
+//    the socket machinery lives in src/net/ and the remote-brain wiring
+//    in src/core/, keyed off TransportKind::kTcp and the host/port
+//    fields here. Loss only happens when a peer dies, and is surfaced
+//    through PhaseReport::messages_dropped.
 
 #include <cstdint>
 #include <memory>
@@ -32,11 +39,12 @@ struct Delivery {
   std::int64_t deliver_tick = 0;
 };
 
-enum class TransportKind { kSync, kSim };
+enum class TransportKind { kSync, kSim, kTcp };
 
 /// Parsed form of a transport spec. The CLI / config grammar:
 ///   sync
 ///   sim[:latency_ticks=N,jitter=X,drop=P,seed=N]
+///   tcp:host=H,port=N[,connect_timeout_ms=N,io_threads=N]
 struct TransportOptions {
   TransportKind kind = TransportKind::kSync;
   /// Fixed delivery delay in sampling ticks (sim only).
@@ -51,6 +59,18 @@ struct TransportOptions {
   /// so a seeded run fixes its network realization too.
   std::uint64_t seed = 0;
   bool seed_explicit = false;
+  /// Daemon address (tcp only; host is required, port in [1, 65535] —
+  /// port 0 is reserved for "ephemeral, print what you got" in the
+  /// daemon binary and rejected in specs).
+  std::string tcp_host;
+  std::int64_t tcp_port = 0;
+  /// Connect retry budget: capes_agentd retries with capped backoff until
+  /// this deadline (tcp only).
+  std::int64_t connect_timeout_ms = 5000;
+  /// Reserved for multi-endpoint daemons; today each endpoint owns
+  /// exactly one I/O thread, so only 1..64 is accepted and values > 1
+  /// change nothing yet.
+  std::int64_t io_threads = 1;
 };
 
 /// Transport policy: decides each message's fate. Implementations must be
@@ -65,7 +85,7 @@ class Transport {
   virtual Delivery plan(std::uint64_t topic, std::uint64_t sender,
                         std::int64_t send_tick) const = 0;
 
-  /// "sync" or "sim" (the spec scheme).
+  /// "sync", "sim", or "tcp" (the spec scheme).
   virtual const char* name() const = 0;
 };
 
@@ -92,19 +112,42 @@ class SimTransport final : public Transport {
   TransportOptions opts_;
 };
 
+/// Local channel policy for the tcp control network: reliable FIFO, so
+/// nothing dropped and delivery on the send tick (identical to sync —
+/// which is what makes loopback tcp bit-identical to sync). The actual
+/// socket I/O lives in net::Endpoint; this object only carries the
+/// parsed connection options through the bus seam.
+class TcpTransport final : public Transport {
+ public:
+  explicit TcpTransport(const TransportOptions& opts);
+
+  Delivery plan(std::uint64_t topic, std::uint64_t sender,
+                std::int64_t send_tick) const override;
+  const char* name() const override { return "tcp"; }
+
+  const TransportOptions& options() const { return opts_; }
+
+ private:
+  TransportOptions opts_;
+};
+
 /// Build the transport `opts` describes.
 std::unique_ptr<Transport> make_transport(const TransportOptions& opts);
 
-/// Parse "sync" / "sim[:k=v,...]" into *out. Returns false (with a
-/// human-readable *error, if non-null) on an unknown scheme, an unknown
+/// Parse "sync" / "sim[:k=v,...]" / "tcp:host=..,port=..[,...]" into
+/// *out. Returns false (with a human-readable *error echoing the
+/// offending key or token, if non-null) on an unknown scheme, an unknown
 /// option key, a malformed value, or an out-of-range value
-/// (latency_ticks < 0, jitter < 0, drop outside [0, 1)).
+/// (latency_ticks < 0, jitter < 0, drop outside [0, 1), port outside
+/// [1, 65535], connect_timeout_ms < 0, io_threads outside [1, 64], or a
+/// tcp spec missing host or port).
 bool parse_transport_spec(std::string_view spec, TransportOptions* out,
                           std::string* error = nullptr);
 
-/// Canonical spec string for `opts` ("sync", or "sim:latency_ticks=..."
-/// listing every sim knob; seed only when explicitly set). Round-trips
-/// through parse_transport_spec.
+/// Canonical spec string for `opts` ("sync", "sim:latency_ticks=..."
+/// listing every sim knob with seed only when explicitly set, or
+/// "tcp:host=..,port=..,connect_timeout_ms=..,io_threads=..").
+/// Round-trips through parse_transport_spec.
 std::string transport_spec_string(const TransportOptions& opts);
 
 }  // namespace capes::bus

@@ -1,22 +1,15 @@
 #include "capture/wire_format.hpp"
 
 #include "util/crc32.hpp"
+#include "util/frame.hpp"
 
 namespace capes::capture {
 
-namespace {
-
-void put_le64(std::uint8_t* out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) out[i] = static_cast<std::uint8_t>(v >> (8 * i));
-}
-
-}  // namespace
-
 void encode_record_fixed(const WireRecord& record, std::uint8_t* out) {
   out[0] = static_cast<std::uint8_t>(record.type);
-  put_le64(out + 1, static_cast<std::uint64_t>(record.tick));
-  put_le64(out + 9, record.topic);
-  put_le64(out + 17, record.sender);
+  util::put_le64(out + 1, static_cast<std::uint64_t>(record.tick));
+  util::put_le64(out + 9, record.topic);
+  util::put_le64(out + 17, record.sender);
 }
 
 std::uint32_t record_crc(const WireRecord& record) {

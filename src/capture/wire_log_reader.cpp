@@ -1,24 +1,12 @@
 #include "capture/wire_log_reader.hpp"
 
+#include "util/frame.hpp"
 #include "util/serialize.hpp"
 
 namespace capes::capture {
 
-namespace {
-
-std::uint32_t get_le32(const std::uint8_t* p) {
-  std::uint32_t v = 0;
-  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
-  return v;
-}
-
-std::uint64_t get_le64(const std::uint8_t* p) {
-  std::uint64_t v = 0;
-  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
-  return v;
-}
-
-}  // namespace
+using util::get_le32;
+using util::get_le64;
 
 bool WireLogReader::open(const std::string& path, std::string* error) {
   auto bytes = util::read_file(path);

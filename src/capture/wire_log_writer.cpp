@@ -2,22 +2,14 @@
 
 #include <cstring>
 
+#include "util/frame.hpp"
 #include "util/logging.hpp"
 #include "util/serialize.hpp"
 
 namespace capes::capture {
 
-namespace {
-
-void put_le32(std::uint8_t* out, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) out[i] = static_cast<std::uint8_t>(v >> (8 * i));
-}
-
-void put_le64(std::uint8_t* out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) out[i] = static_cast<std::uint8_t>(v >> (8 * i));
-}
-
-}  // namespace
+using util::put_le32;
+using util::put_le64;
 
 WireLogWriter::WireLogWriter(WireLogWriterOptions opts,
                              const std::vector<std::uint8_t>& meta)

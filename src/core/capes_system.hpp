@@ -45,6 +45,8 @@ class ThreadPool;
 
 namespace capes::core {
 
+class BrainClient;
+
 struct CapesOptions {
   /// Table 1: sampling tick length (1 s) and action tick length (1 action
   /// per second).
@@ -194,9 +196,26 @@ class CapesSystem {
   /// Reset every domain's tuned parameters to their initial values.
   void reset_parameters();
 
-  DrlEngine& engine() { return *engine_; }
-  rl::ReplayDb& replay() { return *replay_; }
-  InterfaceDaemon& interface_daemon() { return *daemon_; }
+  /// In-process components. Under the `tcp:` transport these live in the
+  /// remote capes_daemond, and calling the accessors aborts with a
+  /// message — use the remote-safe training_fingerprint() /
+  /// total_train_steps() (or brain_client()) instead.
+  DrlEngine& engine();
+  rl::ReplayDb& replay();
+  InterfaceDaemon& interface_daemon();
+
+  /// True when the transport is `tcp:`: the Monitoring/Control Agents and
+  /// the simulated cluster run here while the Replay DB + DRL Engine live
+  /// in a capes_daemond this system holds a connection to.
+  bool remote_brain() const { return client_ != nullptr; }
+  /// The connection to that daemon (null in-process).
+  BrainClient* brain_client() { return client_.get(); }
+
+  /// CRC32 of the online-network weights after all in-flight training,
+  /// and cumulative minibatch steps — engine-backed in process, cached
+  /// from the latest daemon ack under `tcp:`.
+  std::uint32_t training_fingerprint() const;
+  std::size_t total_train_steps() const;
   /// The control-network transport every hop rides on.
   const bus::Transport& transport() const { return *transport_; }
   /// The composite action space: the shared NULL action plus every
@@ -291,6 +310,10 @@ class CapesSystem {
   std::unique_ptr<capture::WireLogWriter> capture_;
   std::unique_ptr<InterfaceDaemon> daemon_;
   std::unique_ptr<DrlEngine> engine_;
+  /// The distributed control plane's agent-side half (tcp transport
+  /// only; then daemon_/engine_/replay_/db_ stay null). Declared after
+  /// transport_ and capture_ — it references both.
+  std::unique_ptr<BrainClient> client_;
   std::unique_ptr<util::ThreadPool> pool_;
 
   /// All domains' Monitoring Agents in fan-in order (domain-major, then

@@ -45,11 +45,14 @@ CapesOptions capes_options_from_config(const util::Config& cfg,
   // sim knobs mirror the CLI spec options. Out-of-range values clamp to
   // the nearest valid one (config files are overlays, not validators —
   // the CLI/spec path rejects instead).
-  const std::string scheme = cfg.get(
-      "capes.transport",
-      o.transport.kind == bus::TransportKind::kSim ? "sim" : "sync");
-  o.transport.kind = scheme == "sim" ? bus::TransportKind::kSim
-                                     : bus::TransportKind::kSync;
+  const std::string scheme =
+      cfg.get("capes.transport",
+              o.transport.kind == bus::TransportKind::kSim   ? "sim"
+              : o.transport.kind == bus::TransportKind::kTcp ? "tcp"
+                                                             : "sync");
+  o.transport.kind = scheme == "sim"   ? bus::TransportKind::kSim
+                     : scheme == "tcp" ? bus::TransportKind::kTcp
+                                       : bus::TransportKind::kSync;
   o.transport.latency_ticks = std::max<std::int64_t>(
       0, cfg.get_int("capes.transport.latency_ticks", o.transport.latency_ticks));
   o.transport.jitter =
@@ -62,6 +65,18 @@ CapesOptions capes_options_from_config(const util::Config& cfg,
                     static_cast<std::int64_t>(o.transport.seed)));
     o.transport.seed_explicit = true;
   }
+  // The tcp endpoint: where capes_daemond listens. The port clamps into
+  // the valid range like the other numeric overlays; the strict
+  // CLI/spec path rejects instead.
+  o.transport.tcp_host = cfg.get("capes.transport.tcp.host", o.transport.tcp_host);
+  o.transport.tcp_port = std::clamp<std::int64_t>(
+      cfg.get_int("capes.transport.tcp.port", o.transport.tcp_port), 0, 65535);
+  o.transport.connect_timeout_ms = std::max<std::int64_t>(
+      0, cfg.get_int("capes.transport.tcp.connect_timeout_ms",
+                     o.transport.connect_timeout_ms));
+  o.transport.io_threads = std::clamp<std::int64_t>(
+      cfg.get_int("capes.transport.tcp.io_threads", o.transport.io_threads), 1,
+      64);
 
   auto& e = o.engine;
   // Learner mode reads like the transport scheme: config files are
@@ -178,13 +193,22 @@ util::Config config_from_options(const CapesOptions& capes,
   }
   cfg.set("capes.sim.shard_plan", sim::shard_plan_name(capes.shard_plan));
   cfg.set("capes.transport",
-          capes.transport.kind == bus::TransportKind::kSim ? "sim" : "sync");
+          capes.transport.kind == bus::TransportKind::kSim   ? "sim"
+          : capes.transport.kind == bus::TransportKind::kTcp ? "tcp"
+                                                             : "sync");
   cfg.set_int("capes.transport.latency_ticks", capes.transport.latency_ticks);
   cfg.set_double("capes.transport.jitter", capes.transport.jitter);
   cfg.set_double("capes.transport.drop", capes.transport.drop);
   if (capes.transport.seed_explicit) {
     cfg.set_int("capes.transport.seed",
                 static_cast<std::int64_t>(capes.transport.seed));
+  }
+  if (capes.transport.kind == bus::TransportKind::kTcp) {
+    cfg.set("capes.transport.tcp.host", capes.transport.tcp_host);
+    cfg.set_int("capes.transport.tcp.port", capes.transport.tcp_port);
+    cfg.set_int("capes.transport.tcp.connect_timeout_ms",
+                capes.transport.connect_timeout_ms);
+    cfg.set_int("capes.transport.tcp.io_threads", capes.transport.io_threads);
   }
   cfg.set("capes.learner.mode",
           capes.engine.learner_mode == LearnerMode::kAsync ? "async" : "sync");

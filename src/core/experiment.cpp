@@ -260,10 +260,10 @@ std::unique_ptr<Experiment> ExperimentBuilder::build(std::string* error) {
     // perfect network (the same strictness as the --transport/spec
     // path); the numeric keys merely clamp, like every other conf key.
     if (const auto scheme = cfg.get("capes.transport");
-        scheme && *scheme != "sync" && *scheme != "sim") {
+        scheme && *scheme != "sync" && *scheme != "sim" && *scheme != "tcp") {
       fail(error, "config file '" + config_file_ +
                       "': unknown capes.transport '" + *scheme +
-                      "' (expected sync or sim)");
+                      "' (expected sync, sim, or tcp)");
       return nullptr;
     }
     // Same strictness for the shard count: a typo'd "auto" must not

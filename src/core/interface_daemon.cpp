@@ -13,17 +13,6 @@ namespace capes::core {
 
 namespace {
 
-/// Channel topics: one inbox for all PI traffic, one action topic per
-/// shard. Topic ids feed the per-message fate hash, so distinct topics
-/// see independent network realizations.
-constexpr std::uint64_t kStatusTopic = 1;
-constexpr std::uint64_t kActionTopicBase = 2;
-
-/// Bounded action queues: one publish per tick and a per-tick drain keep
-/// the in-flight count near the transport delay, so this bound only
-/// guards against a pathological transport configuration.
-constexpr std::size_t kActionChannelCapacity = 1024;
-
 /// Applying a checked action runs the target system's parameter setters,
 /// which may schedule follow-up events (e.g. a cluster re-arming its
 /// send loop); binding the owning domain's simulator shard keeps them in

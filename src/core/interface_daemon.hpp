@@ -51,6 +51,19 @@ namespace capes::core {
 /// broadcast carries the full state), so a bounded queue is safe here.
 using ActionChannel = bus::Channel<std::vector<double>>;
 
+/// Channel topics: one inbox for all PI traffic, one action topic per
+/// shard. Topic ids feed the per-message fate hash, so distinct topics
+/// see independent network realizations. Public because the distributed
+/// control plane (remote_brain / brain_service) puts the same topic ids
+/// on the tcp wire, keeping captures from distributed runs replayable.
+inline constexpr std::uint64_t kStatusTopic = 1;
+inline constexpr std::uint64_t kActionTopicBase = 2;
+
+/// Bounded action queues: one publish per tick and a per-tick drain keep
+/// the in-flight count near the transport delay, so this bound only
+/// guards against a pathological transport configuration.
+inline constexpr std::size_t kActionChannelCapacity = 1024;
+
 class InterfaceDaemon {
  public:
   /// Single-shard daemon over an externally managed parameter vector (the

@@ -4,25 +4,13 @@
 #include <cstring>
 #include <thread>
 
+#include "util/frame.hpp"
 #include "util/logging.hpp"
 
 namespace capes::core {
 
-namespace {
-
-std::uint32_t get_le32(const std::uint8_t* p) {
-  std::uint32_t v = 0;
-  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
-  return v;
-}
-
-double get_le_f64(const std::uint8_t* p) {
-  std::uint64_t bits = 0;
-  for (int i = 7; i >= 0; --i) bits = (bits << 8) | p[i];
-  double v = 0.0;
-  std::memcpy(&v, &bits, sizeof(v));
-  return v;
-}
+using util::get_le32;
+using util::get_le_f64;
 
 /// Rebuild the live run's engine configuration from the capture meta.
 /// Always the sync learner (bit-identical weights by the engine's
@@ -49,8 +37,6 @@ DrlEngineOptions engine_options_from_meta(const capture::TraceMeta& m) {
   e.eval_epsilon = m.eval_epsilon;
   return e;
 }
-
-}  // namespace
 
 bool parse_replay_speed(const std::string& text, ReplaySpeed* out) {
   if (text == "realtime") {

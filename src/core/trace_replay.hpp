@@ -33,6 +33,13 @@ enum class ReplaySpeed {
 /// Parse "realtime" | "fast" | "max"; false leaves `out` untouched.
 bool parse_replay_speed(const std::string& text, ReplaySpeed* out);
 
+/// Rebuild a live run's engine configuration from capture meta: always
+/// the sync learner, checkpointing off. Shared by the trace replayer and
+/// the remote brain service (capes_daemond), which must both reconstruct
+/// the exact engine a capture/Hello describes. Seeds are NOT set here —
+/// callers assign engine_seed/dqn_seed from the meta explicitly.
+DrlEngineOptions engine_options_from_meta(const capture::TraceMeta& m);
+
 struct TraceReplayOptions {
   ReplaySpeed speed = ReplaySpeed::kMax;
   /// Optional engine/replay hyperparameter overlay (diff mode: same

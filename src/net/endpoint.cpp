@@ -1,0 +1,266 @@
+#include "net/endpoint.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+
+namespace capes::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::int64_t ms_since(Clock::time_point then) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                               then)
+      .count();
+}
+
+void set_nonblocking_fd(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace
+
+Endpoint::Endpoint(int fd, EndpointOptions opts)
+    : opts_(opts),
+      fd_(fd),
+      out_free_(opts.ring_capacity),
+      out_work_(opts.ring_capacity),
+      in_free_(opts.ring_capacity),
+      in_work_(opts.ring_capacity) {
+  if (::pipe(wake_pipe_) != 0) {
+    wake_pipe_[0] = wake_pipe_[1] = -1;
+  } else {
+    set_nonblocking_fd(wake_pipe_[0]);
+    set_nonblocking_fd(wake_pipe_[1]);
+  }
+  out_pool_.reserve(opts_.ring_capacity);
+  in_pool_.reserve(opts_.ring_capacity);
+  for (std::size_t i = 0; i < opts_.ring_capacity; ++i) {
+    auto out_slot = std::make_unique<OutSlot>();
+    out_slot->buf.reserve(kFrameFixedBytes + opts_.payload_reserve);
+    out_free_.try_push(out_slot.get());
+    out_pool_.push_back(std::move(out_slot));
+    auto in_slot = std::make_unique<InSlot>();
+    in_slot->frame.payload.reserve(opts_.payload_reserve);
+    in_free_.try_push(in_slot.get());
+    in_pool_.push_back(std::move(in_slot));
+  }
+  Frame heartbeat;
+  heartbeat.type = kHeartbeatFrameType;
+  encode_frame(heartbeat, &heartbeat_buf_);
+  read_buf_.resize(64 * 1024);
+  io_thread_ = std::thread(&Endpoint::io_loop, this);
+}
+
+Endpoint::~Endpoint() { close(); }
+
+bool Endpoint::send(std::uint8_t type, std::int64_t tick, std::uint64_t topic,
+                    std::uint64_t sender, const std::uint8_t* payload,
+                    std::size_t payload_size) {
+  if (closed_ || !alive()) {
+    send_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  OutSlot* slot = nullptr;
+  if (!out_free_.try_pop(slot)) {
+    // Every outbound slot is in flight toward a slow (or wedged) peer:
+    // shed rather than stall the tick loop.
+    send_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  slot->buf.clear();
+  encode_frame(type, tick, topic, sender, payload, payload_size, &slot->buf);
+  if (!out_work_.try_push(std::move(slot))) {
+    send_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  wake();
+  return true;
+}
+
+InSlot* Endpoint::recv() {
+  InSlot* slot = nullptr;
+  if (!in_work_.pop(slot)) return nullptr;
+  return slot;
+}
+
+InSlot* Endpoint::try_recv() {
+  InSlot* slot = nullptr;
+  if (!in_work_.try_pop(slot)) return nullptr;
+  return slot;
+}
+
+void Endpoint::recycle(InSlot* slot) {
+  slot->frame.payload.clear();
+  if (in_free_.try_push(std::move(slot))) wake();
+}
+
+void Endpoint::wake() {
+  if (wake_pipe_[1] >= 0) {
+    const char byte = 1;
+    // Nonblocking: a full pipe already holds a pending wake-up.
+    (void)!::write(wake_pipe_[1], &byte, 1);
+  }
+}
+
+void Endpoint::mark_dead() {
+  dead_.store(true, std::memory_order_release);
+  in_work_.close();  // recv() drains pending frames, then returns nullptr
+}
+
+void Endpoint::close() {
+  if (closed_) return;
+  closed_ = true;
+  stop_.store(true, std::memory_order_release);
+  wake();
+  if (io_thread_.joinable()) io_thread_.join();
+  mark_dead();
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
+  if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
+  wake_pipe_[0] = wake_pipe_[1] = -1;
+}
+
+bool Endpoint::flush_writes() {
+  for (;;) {
+    if (cur_out_ == nullptr && !cur_is_heartbeat_) {
+      if (!out_work_.try_pop(cur_out_)) return true;  // nothing pending
+      cur_off_ = 0;
+    }
+    const std::vector<std::uint8_t>& buf =
+        cur_is_heartbeat_ ? heartbeat_buf_ : cur_out_->buf;
+    while (cur_off_ < buf.size()) {
+      const ssize_t n = ::send(fd_, buf.data() + cur_off_,
+                               buf.size() - cur_off_, MSG_NOSIGNAL);
+      if (n > 0) {
+        cur_off_ += static_cast<std::size_t>(n);
+        bytes_sent_.fetch_add(static_cast<std::uint64_t>(n),
+                              std::memory_order_relaxed);
+        last_send_ = Clock::now();
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      if (errno == EINTR) continue;
+      return false;
+    }
+    cur_off_ = 0;
+    if (cur_is_heartbeat_) {
+      cur_is_heartbeat_ = false;
+    } else {
+      frames_sent_.fetch_add(1, std::memory_order_relaxed);
+      cur_out_->buf.clear();
+      out_free_.try_push(std::move(cur_out_));
+      cur_out_ = nullptr;
+    }
+  }
+}
+
+bool Endpoint::drain_parser() {
+  for (;;) {
+    if (spare_in_ == nullptr && !in_free_.try_pop(spare_in_)) {
+      // Consumer holds every inbound slot: stop parsing (and reading) so
+      // TCP back-pressures the peer instead of buffering unboundedly.
+      in_stalled_ = true;
+      return true;
+    }
+    in_stalled_ = false;
+    const ParseResult r = parser_.next(&spare_in_->frame);
+    if (r == ParseResult::kNeedMore) return true;
+    if (r == ParseResult::kCorrupt) return false;
+    if (spare_in_->frame.type == kHeartbeatFrameType) {
+      continue;  // liveness only; reuse the slot for the next frame
+    }
+    frames_received_.fetch_add(1, std::memory_order_relaxed);
+    in_work_.try_push(std::move(spare_in_));  // capacity == pool size
+    spare_in_ = nullptr;
+  }
+}
+
+bool Endpoint::read_frames() {
+  if (!drain_parser()) return false;
+  while (!in_stalled_) {
+    const ssize_t n = ::recv(fd_, read_buf_.data(), read_buf_.size(), 0);
+    if (n > 0) {
+      bytes_received_.fetch_add(static_cast<std::uint64_t>(n),
+                                std::memory_order_relaxed);
+      last_recv_ = Clock::now();
+      parser_.feed(read_buf_.data(), static_cast<std::size_t>(n));
+      if (!drain_parser()) return false;
+      continue;
+    }
+    if (n == 0) return false;  // EOF: clean peer shutdown
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+void Endpoint::io_loop() {
+  last_send_ = Clock::now();
+  last_recv_ = last_send_;
+  while (!stop_.load(std::memory_order_acquire)) {
+    struct pollfd fds[2];
+    fds[0].fd = fd_;
+    fds[0].events = static_cast<short>(
+        (in_stalled_ ? 0 : POLLIN) |
+        ((cur_out_ != nullptr || cur_is_heartbeat_ || !out_work_.empty())
+             ? POLLOUT
+             : 0));
+    fds[0].revents = 0;
+    fds[1].fd = wake_pipe_[0];
+    fds[1].events = POLLIN;
+    fds[1].revents = 0;
+    ::poll(fds, wake_pipe_[0] >= 0 ? 2 : 1, 50);
+
+    if (fds[1].revents & POLLIN) {
+      char drain[64];
+      while (::read(wake_pipe_[0], drain, sizeof(drain)) > 0) {
+      }
+    }
+    if (fds[0].revents & (POLLIN | POLLERR | POLLHUP)) {
+      if (!read_frames()) break;
+    } else if (in_stalled_) {
+      // A recycle may have freed a slot; finish parsing buffered bytes.
+      if (!drain_parser()) break;
+    }
+    if (!flush_writes()) break;
+    if (opts_.heartbeat_ms > 0 && cur_out_ == nullptr && !cur_is_heartbeat_ &&
+        out_work_.empty() && ms_since(last_send_) >= opts_.heartbeat_ms) {
+      cur_is_heartbeat_ = true;
+      cur_off_ = 0;
+      if (!flush_writes()) break;
+    }
+    if (opts_.idle_timeout_ms > 0 &&
+        ms_since(last_recv_) >= opts_.idle_timeout_ms) {
+      break;  // peer silent too long: declare it dead
+    }
+  }
+  if (stop_.load(std::memory_order_acquire)) {
+    // Clean shutdown (close(), not a link fault): linger briefly to
+    // flush frames already queued — the protocol's Bye rides this, so a
+    // polite disconnect is not a silent truncation.
+    const Clock::time_point deadline =
+        Clock::now() + std::chrono::milliseconds(100);
+    while ((cur_out_ != nullptr || cur_is_heartbeat_ || !out_work_.empty()) &&
+           Clock::now() < deadline) {
+      struct pollfd pfd;
+      pfd.fd = fd_;
+      pfd.events = POLLOUT;
+      pfd.revents = 0;
+      ::poll(&pfd, 1, 10);
+      if (!flush_writes()) break;
+    }
+  }
+  mark_dead();
+}
+
+}  // namespace capes::net

@@ -1,0 +1,83 @@
+#pragma once
+// capes::net — the tcp control-network wire format. One frame is one bus
+// message, byte-compatible with a flight-recorder record:
+//
+//   [u32 payload_len][u32 crc][u8 type][i64 tick][u64 topic][u64 sender]
+//   [payload_len bytes]                                (all little-endian)
+//
+// The CRC covers the 25 fixed bytes from `type` onward plus the payload,
+// exactly like capture::record_crc — so a distributed run's capture file
+// and its socket stream share one framing implementation (util/frame.hpp
+// helpers + util::crc32), and traces recorded from a distributed run
+// replay through capes_replay unchanged.
+//
+// Frame `type` values are owned by the protocol layer (core/remote_brain
+// reuses capture::RecordType values for the records it mirrors); net
+// itself reserves only kHeartbeatFrameType, which endpoints exchange and
+// filter before frames reach the control thread.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace capes::net {
+
+/// len + crc + type + tick + topic + sender.
+inline constexpr std::size_t kFrameFixedBytes = 4 + 4 + 1 + 8 + 8 + 8;
+/// The CRC'd prefix: type + tick + topic + sender.
+inline constexpr std::size_t kFrameCrcFixedBytes = 1 + 8 + 8 + 8;
+/// Sanity bound: a length prefix above this marks the stream corrupt
+/// (control-plane payloads are hundreds of bytes, not megabytes).
+inline constexpr std::size_t kMaxFramePayload = 16u << 20;
+/// Keepalive exchanged by idle endpoints; never surfaced to consumers.
+inline constexpr std::uint8_t kHeartbeatFrameType = 255;
+
+struct Frame {
+  std::uint8_t type = 0;
+  std::int64_t tick = 0;
+  std::uint64_t topic = 0;
+  std::uint64_t sender = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// CRC over the fixed header fields and payload (the stored checksum).
+std::uint32_t frame_crc(const Frame& frame);
+
+/// Append the full encoding of `frame` to `out` (existing bytes kept, so
+/// a sender can pack several frames into one buffer).
+void encode_frame(const Frame& frame, std::vector<std::uint8_t>* out);
+
+/// Same, from raw fields — the allocation-free hot path (no Frame
+/// temporary, payload never copied into an intermediate vector).
+void encode_frame(std::uint8_t type, std::int64_t tick, std::uint64_t topic,
+                  std::uint64_t sender, const std::uint8_t* payload,
+                  std::size_t payload_size, std::vector<std::uint8_t>* out);
+
+enum class ParseResult {
+  kOk,        ///< one frame extracted
+  kNeedMore,  ///< buffer holds only a frame prefix
+  kCorrupt,   ///< CRC mismatch or insane length — the stream is dead
+};
+
+/// Incremental decoder for a TCP byte stream: feed() appends raw bytes,
+/// next() peels complete frames. Single-threaded (one parser per I/O
+/// thread). Corruption is sticky: TCP already guarantees integrity, so a
+/// bad CRC means a framing bug or a hostile peer, and the connection must
+/// die rather than resynchronize.
+class FrameParser {
+ public:
+  void feed(const std::uint8_t* data, std::size_t size);
+
+  /// Extract the next complete frame into *out. The payload vector is
+  /// reused across calls when the caller hands the same Frame back.
+  ParseResult next(Frame* out);
+
+  std::size_t buffered_bytes() const { return buf_.size() - pos_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;  ///< consumed prefix, compacted inside feed()
+  bool corrupt_ = false;
+};
+
+}  // namespace capes::net

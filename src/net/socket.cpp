@@ -1,0 +1,168 @@
+#include "net/socket.hpp"
+
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace capes::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+void fail(std::string* error, const std::string& what) {
+  if (error) *error = what + ": " + std::strerror(errno);
+}
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+void tune_connected(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  set_nonblocking(fd);
+}
+
+/// getaddrinfo for one (host, port, passive?) triple; returns the first
+/// address family that yields a socket, or nullptr.
+struct addrinfo* resolve(const std::string& host, std::uint16_t port,
+                         bool passive, std::string* error) {
+  struct addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  if (passive) hints.ai_flags = AI_PASSIVE;
+  struct addrinfo* result = nullptr;
+  const std::string port_text = std::to_string(port);
+  const int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                               port_text.c_str(), &hints, &result);
+  if (rc != 0) {
+    if (error) {
+      *error = "cannot resolve '" + host + "': " + ::gai_strerror(rc);
+    }
+    return nullptr;
+  }
+  return result;
+}
+
+/// One blocking connect attempt. Returns the fd or -1.
+int connect_once(const std::string& host, std::uint16_t port,
+                 std::string* error) {
+  struct addrinfo* addrs = resolve(host, port, /*passive=*/false, error);
+  if (addrs == nullptr) return -1;
+  int fd = -1;
+  for (struct addrinfo* ai = addrs; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    fail(error, "connect to " + host + ":" + std::to_string(port));
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(addrs);
+  return fd;
+}
+
+}  // namespace
+
+int tcp_listen(const std::string& host, std::uint16_t port,
+               std::string* error) {
+  struct addrinfo* addrs = resolve(host, port, /*passive=*/true, error);
+  if (addrs == nullptr) return -1;
+  int fd = -1;
+  for (struct addrinfo* ai = addrs; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, ai->ai_addr, ai->ai_addrlen) == 0 &&
+        ::listen(fd, 16) == 0) {
+      break;
+    }
+    fail(error, "bind/listen on " + host + ":" + std::to_string(port));
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(addrs);
+  return fd;
+}
+
+std::uint16_t local_port(int fd) {
+  struct sockaddr_storage addr;
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len) != 0) {
+    return 0;
+  }
+  if (addr.ss_family == AF_INET) {
+    return ntohs(reinterpret_cast<struct sockaddr_in*>(&addr)->sin_port);
+  }
+  if (addr.ss_family == AF_INET6) {
+    return ntohs(reinterpret_cast<struct sockaddr_in6*>(&addr)->sin6_port);
+  }
+  return 0;
+}
+
+int accept_connection(int listen_fd, std::int64_t timeout_ms,
+                      std::string* error) {
+  struct pollfd pfd;
+  pfd.fd = listen_fd;
+  pfd.events = POLLIN;
+  pfd.revents = 0;
+  const int timeout = timeout_ms < 0 ? -1 : static_cast<int>(timeout_ms);
+  const int ready = ::poll(&pfd, 1, timeout);
+  if (ready < 0) {
+    fail(error, "poll on listen socket");
+    return -1;
+  }
+  if (ready == 0) {
+    if (error) *error = "timed out waiting for a connection";
+    return -1;
+  }
+  const int fd = ::accept(listen_fd, nullptr, nullptr);
+  if (fd < 0) {
+    fail(error, "accept");
+    return -1;
+  }
+  tune_connected(fd);
+  return fd;
+}
+
+int tcp_connect(const std::string& host, std::uint16_t port,
+                std::int64_t timeout_ms, std::string* error) {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  std::int64_t backoff_ms = 50;
+  for (;;) {
+    const int fd = connect_once(host, port, error);
+    if (fd >= 0) {
+      tune_connected(fd);
+      if (error) error->clear();
+      return fd;
+    }
+    const auto now = Clock::now();
+    if (now >= deadline) return -1;
+    const auto budget = static_cast<std::int64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+            .count());
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(std::min<std::int64_t>(backoff_ms, budget)));
+    backoff_ms = std::min<std::int64_t>(backoff_ms * 2, 1000);
+  }
+}
+
+void close_socket(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace capes::net

@@ -1,0 +1,35 @@
+#pragma once
+// Thin POSIX TCP helpers for the control plane: listen/accept on the
+// daemon side, connect-with-retry on the agent side. Every returned
+// connected socket is nonblocking with TCP_NODELAY set (the lock-step
+// tick protocol sends small frames and cannot afford Nagle delays).
+// Failures return -1 and fill *error; nothing here throws.
+
+#include <cstdint>
+#include <string>
+
+namespace capes::net {
+
+/// Bind + listen on host:port. `port` 0 asks the kernel for an ephemeral
+/// port — read it back with local_port(). Returns the listening fd.
+int tcp_listen(const std::string& host, std::uint16_t port,
+               std::string* error);
+
+/// The locally bound port of a socket fd (0 on error).
+std::uint16_t local_port(int fd);
+
+/// Wait up to timeout_ms for one inbound connection (timeout_ms < 0
+/// waits forever). Returns the connected fd, or -1 on timeout/error.
+int accept_connection(int listen_fd, std::int64_t timeout_ms,
+                      std::string* error);
+
+/// Connect to host:port, retrying with capped exponential backoff
+/// (50 ms doubling to 1 s) until the timeout_ms budget is spent — the
+/// agent side may legitimately start before the daemon finishes binding.
+/// timeout_ms 0 means a single immediate attempt.
+int tcp_connect(const std::string& host, std::uint16_t port,
+                std::int64_t timeout_ms, std::string* error);
+
+void close_socket(int fd);
+
+}  // namespace capes::net

@@ -1,0 +1,19 @@
+#pragma once
+// Little-endian frame field helpers shared by every length-prefixed wire
+// format in the tree (the capture log and the tcp control-network frames
+// use the same [u32 len][u32 crc][fixed][payload] framing). One encoding
+// implementation, not one per subsystem.
+
+#include <cstdint>
+
+namespace capes::util {
+
+void put_le32(std::uint8_t* out, std::uint32_t v);
+void put_le64(std::uint8_t* out, std::uint64_t v);
+void put_le_f64(std::uint8_t* out, double v);
+
+std::uint32_t get_le32(const std::uint8_t* p);
+std::uint64_t get_le64(const std::uint8_t* p);
+double get_le_f64(const std::uint8_t* p);
+
+}  // namespace capes::util

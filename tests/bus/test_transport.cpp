@@ -1,11 +1,20 @@
 // Transport policies and the spec grammar: sync immediacy, the sim
-// model's counter-based determinism, and strict parse rejection.
+// model's counter-based determinism, strict parse rejection, and a
+// conformance suite every transport kind must pass through bus::Channel
+// (per-sender FIFO, drop accounting, late-delivery counting).
 
 #include "bus/transport.hpp"
 
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bus/channel.hpp"
 
 namespace capes::bus {
 namespace {
@@ -208,7 +217,191 @@ TEST(MakeTransport, BuildsTheRequestedKind) {
   EXPECT_STREQ(make_transport(opts)->name(), "sync");
   opts.kind = TransportKind::kSim;
   EXPECT_STREQ(make_transport(opts)->name(), "sim");
+  opts.kind = TransportKind::kTcp;
+  EXPECT_STREQ(make_transport(opts)->name(), "tcp");
 }
+
+// ---------------------------------------------------------------------------
+// tcp: spec grammar
+// ---------------------------------------------------------------------------
+
+TEST(TransportSpec, ParsesTcpWithDefaults) {
+  TransportOptions opts;
+  std::string error;
+  ASSERT_TRUE(parse_transport_spec("tcp:host=10.0.0.7,port=4890", &opts,
+                                   &error))
+      << error;
+  EXPECT_EQ(opts.kind, TransportKind::kTcp);
+  EXPECT_EQ(opts.tcp_host, "10.0.0.7");
+  EXPECT_EQ(opts.tcp_port, 4890);
+  EXPECT_EQ(opts.connect_timeout_ms, 5000);
+  EXPECT_EQ(opts.io_threads, 1);
+}
+
+TEST(TransportSpec, ParsesFullTcpOptionList) {
+  TransportOptions opts;
+  std::string error;
+  ASSERT_TRUE(parse_transport_spec(
+      "tcp:host=localhost,port=19,connect_timeout_ms=250,io_threads=2", &opts,
+      &error))
+      << error;
+  EXPECT_EQ(opts.tcp_host, "localhost");
+  EXPECT_EQ(opts.tcp_port, 19);
+  EXPECT_EQ(opts.connect_timeout_ms, 250);
+  EXPECT_EQ(opts.io_threads, 2);
+}
+
+TEST(TransportSpec, TcpRoundTripsThroughSpecString) {
+  TransportOptions opts;
+  std::string error;
+  ASSERT_TRUE(parse_transport_spec(
+      "tcp:host=example.org,port=7777,connect_timeout_ms=1,io_threads=8",
+      &opts, &error))
+      << error;
+  TransportOptions reparsed;
+  ASSERT_TRUE(
+      parse_transport_spec(transport_spec_string(opts), &reparsed, &error))
+      << error;
+  EXPECT_EQ(reparsed.kind, TransportKind::kTcp);
+  EXPECT_EQ(reparsed.tcp_host, opts.tcp_host);
+  EXPECT_EQ(reparsed.tcp_port, opts.tcp_port);
+  EXPECT_EQ(reparsed.connect_timeout_ms, opts.connect_timeout_ms);
+  EXPECT_EQ(reparsed.io_threads, opts.io_threads);
+}
+
+TEST(TransportSpec, RejectsMalformedTcpSpecs) {
+  TransportOptions opts;
+  std::string error;
+  // host and port are mandatory; the error names the whole spec.
+  EXPECT_FALSE(parse_transport_spec("tcp", &opts, &error));
+  EXPECT_NE(error.find("requires host="), std::string::npos) << error;
+  EXPECT_FALSE(parse_transport_spec("tcp:port=4890", &opts, &error));
+  EXPECT_NE(error.find("requires host="), std::string::npos) << error;
+  EXPECT_FALSE(parse_transport_spec("tcp:host=a", &opts, &error));
+  EXPECT_NE(error.find("requires port="), std::string::npos) << error;
+  EXPECT_FALSE(parse_transport_spec("tcp:host=,port=1", &opts, &error));
+  EXPECT_NE(error.find("host must be non-empty"), std::string::npos) << error;
+}
+
+TEST(TransportSpec, TcpRejectionEchoesTheOffendingToken) {
+  TransportOptions opts;
+  std::string error;
+  EXPECT_FALSE(parse_transport_spec("tcp:host=a,port=0", &opts, &error));
+  EXPECT_NE(error.find("'0'"), std::string::npos) << error;
+  EXPECT_FALSE(parse_transport_spec("tcp:host=a,port=70000", &opts, &error));
+  EXPECT_NE(error.find("'70000'"), std::string::npos) << error;
+  EXPECT_FALSE(parse_transport_spec("tcp:host=a,port=http", &opts, &error));
+  EXPECT_NE(error.find("'http'"), std::string::npos) << error;
+  EXPECT_FALSE(parse_transport_spec(
+      "tcp:host=a,port=1,connect_timeout_ms=-3", &opts, &error));
+  EXPECT_NE(error.find("'-3'"), std::string::npos) << error;
+  EXPECT_FALSE(
+      parse_transport_spec("tcp:host=a,port=1,io_threads=0", &opts, &error));
+  EXPECT_NE(error.find("io_threads"), std::string::npos) << error;
+  EXPECT_FALSE(parse_transport_spec("tcp:host=a,port=1,nagle=off", &opts,
+                                    &error));
+  EXPECT_NE(error.find("'nagle'"), std::string::npos) << error;
+  // sim keys are not tcp keys and vice versa.
+  EXPECT_FALSE(parse_transport_spec("tcp:host=a,port=1,drop=0.1", &opts,
+                                    &error));
+  EXPECT_NE(error.find("'drop'"), std::string::npos) << error;
+  EXPECT_FALSE(parse_transport_spec("sim:host=a", &opts, &error));
+  EXPECT_NE(error.find("'host'"), std::string::npos) << error;
+}
+
+// ---------------------------------------------------------------------------
+// Channel conformance: contracts every transport kind must honor
+// ---------------------------------------------------------------------------
+
+class TransportConformance : public ::testing::TestWithParam<const char*> {
+ protected:
+  std::unique_ptr<Transport> make() {
+    TransportOptions opts;
+    std::string error;
+    EXPECT_TRUE(parse_transport_spec(GetParam(), &opts, &error)) << error;
+    return make_transport(opts);
+  }
+};
+
+TEST_P(TransportConformance, PerSenderFifoHoldsUnderDrain) {
+  auto transport = make();
+  Channel<int> channel(*transport, 1);
+  constexpr std::uint64_t kSenders = 4;
+  for (std::int64_t t = 0; t < 64; ++t) {
+    for (std::uint64_t s = 0; s < kSenders; ++s) {
+      channel.publish(s, t, static_cast<int>(t));
+    }
+  }
+  // Drain far in the future so every surviving message is due; per
+  // sender, payloads (the send ticks) must arrive strictly in order.
+  std::map<std::uint64_t, int> last;
+  channel.drain(1000, [&](Message<int>& msg) {
+    const auto it = last.find(msg.sender);
+    if (it != last.end()) {
+      EXPECT_GT(msg.payload, it->second)
+          << "sender " << msg.sender << " reordered";
+    }
+    last[msg.sender] = msg.payload;
+  });
+}
+
+TEST_P(TransportConformance, CountsEveryPublishExactlyOnce) {
+  auto transport = make();
+  Channel<int> channel(*transport, 1);
+  constexpr std::uint64_t kAttempts = 500;
+  std::uint64_t accepted = 0;
+  for (std::uint64_t i = 0; i < kAttempts; ++i) {
+    if (channel.publish(i % 8, static_cast<std::int64_t>(i / 8), 0)) {
+      ++accepted;
+    }
+  }
+  const ChannelStats stats = channel.stats();
+  EXPECT_EQ(stats.published, accepted);
+  EXPECT_EQ(stats.published + stats.dropped, kAttempts);
+  std::size_t drained = 0;
+  while (drained < accepted) {
+    const std::size_t n = channel.drain(1000, [](Message<int>&) {});
+    if (n == 0) break;
+    drained += n;
+  }
+  EXPECT_EQ(drained, accepted);
+  EXPECT_EQ(channel.stats().delivered, accepted);
+  EXPECT_EQ(channel.pending(), 0u);
+}
+
+TEST_P(TransportConformance, LateCountsOnlyDelayedDeliveries) {
+  auto transport = make();
+  Channel<int> channel(*transport, 1);
+  for (std::int64_t t = 0; t < 128; ++t) channel.publish(0, t, 0);
+  std::uint64_t late_seen = 0;
+  for (std::int64_t t = 0; t < 256; ++t) {
+    channel.drain(t, [&](Message<int>& msg) {
+      if (msg.deliver_tick > msg.send_tick) ++late_seen;
+      EXPECT_LE(msg.deliver_tick, t);
+    });
+  }
+  EXPECT_EQ(channel.stats().late, late_seen);
+  // Same-tick transports must never manufacture lateness.
+  const std::string spec = GetParam();
+  if (spec.rfind("sim", 0) != 0) {
+    EXPECT_EQ(late_seen, 0u);
+  }
+}
+
+// The tcp: entry exercises only the local Channel staging policy (real
+// wire loss is the endpoint's, counted separately) — it must behave
+// exactly like sync: reliable, same-tick, in-order.
+INSTANTIATE_TEST_SUITE_P(
+    AllTransports, TransportConformance,
+    ::testing::Values("sync", "sim:latency_ticks=2,jitter=3,seed=5",
+                      "sim:drop=0.3,seed=9", "tcp:host=127.0.0.1,port=9"),
+    [](const ::testing::TestParamInfo<const char*>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (!(std::isalnum(static_cast<unsigned char>(c)))) c = '_';
+      }
+      return name;
+    });
 
 }  // namespace
 }  // namespace capes::bus

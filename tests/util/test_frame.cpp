@@ -1,0 +1,65 @@
+// Little-endian frame field helpers: exact byte layout, round trips, and
+// f64 bit preservation (the capture log and tcp wire format both lean on
+// these for cross-machine byte identity).
+
+#include "util/frame.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+namespace capes::util {
+namespace {
+
+TEST(Frame, PutLe32WritesLittleEndianBytes) {
+  std::uint8_t buf[4] = {};
+  put_le32(buf, 0x04030201u);
+  EXPECT_EQ(buf[0], 0x01);
+  EXPECT_EQ(buf[1], 0x02);
+  EXPECT_EQ(buf[2], 0x03);
+  EXPECT_EQ(buf[3], 0x04);
+}
+
+TEST(Frame, PutLe64WritesLittleEndianBytes) {
+  std::uint8_t buf[8] = {};
+  put_le64(buf, 0x0807060504030201ull);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(buf[i], static_cast<std::uint8_t>(i + 1));
+  }
+}
+
+TEST(Frame, RoundTrips32) {
+  std::uint8_t buf[4];
+  for (std::uint32_t v : {0u, 1u, 0xdeadbeefu, 0xffffffffu}) {
+    put_le32(buf, v);
+    EXPECT_EQ(get_le32(buf), v);
+  }
+}
+
+TEST(Frame, RoundTrips64) {
+  std::uint8_t buf[8];
+  const std::uint64_t values[] = {0, 1, 0x0123456789abcdefull,
+                                  std::numeric_limits<std::uint64_t>::max()};
+  for (std::uint64_t v : values) {
+    put_le64(buf, v);
+    EXPECT_EQ(get_le64(buf), v);
+  }
+}
+
+TEST(Frame, RoundTripsF64BitExactly) {
+  std::uint8_t buf[8];
+  for (double v : {0.0, -0.0, 1.5, -3.14159265358979, 1e-300, 1e300,
+                   std::numeric_limits<double>::infinity()}) {
+    put_le_f64(buf, v);
+    const double back = get_le_f64(buf);
+    EXPECT_EQ(std::memcmp(&back, &v, sizeof(v)), 0);
+  }
+  put_le_f64(buf, std::nan(""));
+  EXPECT_TRUE(std::isnan(get_le_f64(buf)));
+}
+
+}  // namespace
+}  // namespace capes::util

@@ -218,7 +218,9 @@ void print_usage() {
       "                 [--clusters=N] [--threads=N] [--sim-shards=auto|N]\n"
       "                 [--shard-plan=static|rate]\n"
       "                 [--transport=sync|sim[:latency_ticks=N,jitter=X,"
-      "drop=P,seed=N]]\n"
+      "drop=P,seed=N]\n"
+      "                              |tcp:host=H,port=N[,connect_timeout_ms=N,"
+      "io_threads=N]]\n"
       "                 [--learner=sync|async]\n"
       "                 [--conf=FILE] [--train-ticks=N] [--eval-ticks=N]\n"
       "                 [--csv=PREFIX] [--model=FILE] [--load-model=FILE]\n"
@@ -246,7 +248,9 @@ void print_usage() {
       "control network with seeded latency/jitter/drop, e.g.\n"
       "  --transport=sim:latency_ticks=2,jitter=2,drop=0.05,seed=7\n"
       "(drop in [0,1); latency_ticks/jitter >= 0; seed pins the network\n"
-      "realization independently of --seed).\n"
+      "realization independently of --seed). --transport=tcp connects the\n"
+      "agents to a separate capes_daemond process hosting the DRL brain\n"
+      "(capes_agentd wraps this spec behind a --daemon=HOST:PORT flag).\n"
       "--learner=async moves DRL training to a dedicated learner thread\n"
       "that overlaps the next tick's simulation; actions and weights stay\n"
       "bit-identical to --learner=sync (the default) at the same seed.\n"
@@ -355,7 +359,7 @@ int main(int argc, char** argv) {
               static_cast<long long>(experiment->default_eval_ticks()),
               static_cast<unsigned long long>(
                   experiment->preset().capes.engine.dqn.seed));
-  if (experiment->num_domains() > 1) {
+  if (experiment->num_domains() > 1 && !experiment->system().remote_brain()) {
     std::printf("%zu control domains, observation size %zu, %zu actions\n",
                 experiment->num_domains(),
                 experiment->system().replay().observation_size(),
@@ -424,11 +428,21 @@ int main(int argc, char** argv) {
     std::printf(" -- %zu replans\n", experiment->system().shard_replans());
   }
 
+  if (experiment->preset().capes.transport.kind == bus::TransportKind::kTcp) {
+    std::uint64_t dropped = 0;
+    for (const auto& phase : report.phases) {
+      dropped += phase.result.messages_dropped;
+    }
+    std::printf("control network (tcp): %llu messages dropped\n",
+                static_cast<unsigned long long>(dropped));
+  }
+
   // Always printed: the determinism handle the capture/replay round trip
-  // (and the CI cmp smokes) compare across runs.
+  // (and the CI cmp smokes) compare across runs. Remote-safe: under a
+  // tcp: transport these come from the daemon's phase-end ack.
   std::printf("training fingerprint %08x (%zu train steps)\n",
-              experiment->system().engine().weights_fingerprint(),
-              experiment->system().engine().total_train_steps());
+              experiment->system().training_fingerprint(),
+              experiment->system().total_train_steps());
 
   if (auto* writer = experiment->system().capture_writer()) {
     // Close first so the byte count reflects the fully drained sink (and

@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Runs the distributed control-plane bench and emits BENCH_net.json
+# (training ticks/sec + bytes/tick: in-process sync vs loopback tcp to
+# an in-process BrainService, so the delta is pure wire cost).
+#
+#   tools/run_net_bench.sh [build_dir] [output.json]
+#
+# Tunables via environment:
+#   CAPES_BENCH_TICKS    training ticks per measured point (default 400)
+set -eu
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_net.json}"
+BENCH="$BUILD_DIR/bench/ext_net"
+
+if [ ! -x "$BENCH" ]; then
+  echo "error: $BENCH not built (cmake --build $BUILD_DIR --target ext_net)" >&2
+  exit 1
+fi
+
+"$BENCH" --ticks="${CAPES_BENCH_TICKS:-400}" --json="$OUT"
