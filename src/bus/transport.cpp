@@ -67,6 +67,19 @@ Delivery TcpTransport::plan(std::uint64_t, std::uint64_t,
   return {false, send_tick};
 }
 
+FaultingTransport::FaultingTransport(std::unique_ptr<Transport> inner,
+                                     DropFn drop)
+    : inner_(std::move(inner)), drop_(std::move(drop)) {}
+
+Delivery FaultingTransport::plan(std::uint64_t topic, std::uint64_t sender,
+                                 std::int64_t send_tick) const {
+  Delivery delivery = inner_->plan(topic, sender, send_tick);
+  if (!delivery.dropped && drop_ && drop_(topic, sender, send_tick)) {
+    delivery.dropped = true;
+  }
+  return delivery;
+}
+
 std::unique_ptr<Transport> make_transport(const TransportOptions& opts) {
   if (opts.kind == TransportKind::kSim) {
     return std::make_unique<SimTransport>(opts);

@@ -25,6 +25,7 @@
 //    through PhaseReport::messages_dropped.
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -129,6 +130,32 @@ class TcpTransport final : public Transport {
 
  private:
   TransportOptions opts_;
+};
+
+/// Fault-injection seam: wraps any inner transport and additionally
+/// drops the messages a predicate condemns (control-network partition
+/// windows), composing with — never replacing — the inner policy's own
+/// latency / jitter / drop fates. The predicate must satisfy the same
+/// contract as plan() itself: pure per (topic, sender, send_tick) and
+/// safe to call from concurrent worker threads (the fault predicates in
+/// sim/fault.hpp are pure hashes, so they qualify). name() forwards to
+/// the inner transport: the wrapper changes fates, not the scheme.
+class FaultingTransport final : public Transport {
+ public:
+  using DropFn = std::function<bool(std::uint64_t topic, std::uint64_t sender,
+                                    std::int64_t send_tick)>;
+
+  FaultingTransport(std::unique_ptr<Transport> inner, DropFn drop);
+
+  Delivery plan(std::uint64_t topic, std::uint64_t sender,
+                std::int64_t send_tick) const override;
+  const char* name() const override { return inner_->name(); }
+
+  Transport& inner() { return *inner_; }
+
+ private:
+  std::unique_ptr<Transport> inner_;
+  DropFn drop_;
 };
 
 /// Build the transport `opts` describes.

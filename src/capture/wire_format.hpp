@@ -43,6 +43,13 @@ enum class RecordType : std::uint8_t {
   kPhaseBegin = 5,      ///< payload: u8 RunPhase value
   kPhaseEnd = 6,        ///< payload: u8 RunPhase value
   kWorkloadChange = 7,  ///< §3.6 epsilon-bump marker, empty payload
+  /// One fault-injection observation: sender is the fault node key (or
+  /// the domain index for partition/degraded records), payload is one u8
+  /// sim::FaultKind value. Start records (kinds 1..3) count a fault
+  /// injected; the kDegraded marker (kind 0) counts one (domain, tick)
+  /// with any fault active — together they let a replay rebuild the live
+  /// run's per-phase fault counters exactly.
+  kFault = 8,
 };
 
 /// One decoded record. The payload's meaning depends on `type`; tick is

@@ -12,6 +12,10 @@
 
 #include "rl/action_space.hpp"
 
+namespace capes::sim {
+class FaultTarget;
+}  // namespace capes::sim
+
 namespace capes::core {
 
 /// Performance metrics over one sampling tick, used by the objective
@@ -66,6 +70,11 @@ class TargetSystemAdapter {
 
   /// Performance since the previous call (one sampling tick's worth).
   virtual PerfSample sample_performance() = 0;
+
+  /// Fault-injection surface (sim/fault.hpp), when this target supports
+  /// node faults (the lustre adapter exposes its OST servers). Null (the
+  /// default) means only control-network partition faults apply.
+  virtual sim::FaultTarget* fault_target() { return nullptr; }
 };
 
 }  // namespace capes::core

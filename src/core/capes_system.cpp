@@ -1,11 +1,13 @@
 #include "core/capes_system.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
 
 #include "capture/trace_meta.hpp"
 #include "core/remote_brain.hpp"
+#include "stats/changepoint.hpp"
 #include "util/alloc_hook.hpp"
 #include "util/logging.hpp"
 #include "util/thread_pool.hpp"
@@ -156,6 +158,58 @@ CapesSystem::CapesSystem(sim::Simulator& sim,
   transport_ = bus::make_transport(transport_opts);
   const bool remote = transport_opts.kind == bus::TransportKind::kTcp;
 
+  // The fault plan: seeded like the transport (one experiment seed fixes
+  // the fault realization too), enforced partly here (partition windows
+  // at the bus seam) and partly by the per-domain injectors below.
+  fault_plan_ = opts_.faults;
+  if (!fault_plan_.seed_explicit) {
+    fault_plan_.seed = opts_.engine.seed ^ 0xfa0175eedULL;
+  }
+  if (fault_plan_.enabled() && remote) {
+    // The builder rejects this combination with a proper error; reaching
+    // here means a direct caller skipped validation — fail fast like the
+    // other constructor preconditions.
+    std::fprintf(stderr,
+                 "CapesSystem: fault injection is not supported under the "
+                 "tcp transport\n");
+    std::abort();
+  }
+  if (fault_plan_.enabled() && fault_plan_.partition > 0.0) {
+    // Partition windows drop a domain's control-plane messages at the
+    // transport seam, composing with (never replacing) the inner
+    // policy's latency / jitter / drop fates and surfacing in the same
+    // ChannelStats::dropped -> messages_dropped accounting. The
+    // predicate is a pure hash per (topic, sender, tick), so it obeys
+    // the Transport contract under concurrent worker-thread publishes.
+    std::vector<std::uint64_t> node_end;
+    node_end.reserve(domains_.size());
+    for (const auto& domain : domains_) {
+      node_end.push_back(domain->node_offset() + domain->num_nodes());
+    }
+    const sim::FaultPlan plan = fault_plan_;
+    transport_ = std::make_unique<bus::FaultingTransport>(
+        std::move(transport_),
+        [plan, node_end = std::move(node_end)](
+            std::uint64_t topic, std::uint64_t sender, std::int64_t tick) {
+          std::uint32_t domain = 0;
+          if (topic == kStatusTopic) {
+            // PI senders are global node ids; domains own contiguous
+            // ranges in layout order.
+            const auto it =
+                std::upper_bound(node_end.begin(), node_end.end(), sender);
+            if (it == node_end.end()) return false;
+            domain = static_cast<std::uint32_t>(it - node_end.begin());
+          } else if (topic >= kActionTopicBase &&
+                     topic < kActionTopicBase + node_end.size()) {
+            // One action-broadcast channel per daemon shard == domain.
+            domain = static_cast<std::uint32_t>(topic - kActionTopicBase);
+          } else {
+            return false;
+          }
+          return sim::domain_partitioned(plan, domain, tick);
+        });
+  }
+
   std::vector<ControlDomain*> domain_ptrs;
   domain_ptrs.reserve(domains_.size());
   for (auto& domain : domains_) domain_ptrs.push_back(domain.get());
@@ -262,6 +316,19 @@ CapesSystem::CapesSystem(sim::Simulator& sim,
   }
   domain_perf_scratch_.resize(domains_.size());
   domain_reward_scratch_.resize(domains_.size());
+
+  // One fault injector per domain (only when the plan injects anything:
+  // a disabled plan leaves the tick loop untouched). Adapters without a
+  // fault surface still get an injector — their partition fate and the
+  // counters apply; there are just no nodes to crash or slow.
+  if (fault_plan_.enabled()) {
+    injectors_.reserve(domains_.size());
+    for (auto& domain : domains_) {
+      injectors_.push_back(std::make_unique<sim::FaultInjector>(
+          sim_, fault_plan_, static_cast<std::uint32_t>(domain->index()),
+          domain->adapter().fault_target()));
+    }
+  }
 
   // The PI inbox the Monitoring Agents publish into: the daemon's under
   // an in-process brain, the BrainClient's (which forwards over tcp)
@@ -471,6 +538,40 @@ void CapesSystem::replan_shards() {
   if (moved) ++shard_replans_;
 }
 
+sim::FaultCounters CapesSystem::fault_counters() const {
+  sim::FaultCounters total;
+  for (const auto& injector : injectors_) {
+    const sim::FaultCounters& c = injector->counters();
+    total.faults_injected += c.faults_injected;
+    total.ost_crashes += c.ost_crashes;
+    total.stragglers += c.stragglers;
+    total.partitions += c.partitions;
+    total.ticks_degraded += c.ticks_degraded;
+  }
+  return total;
+}
+
+void CapesSystem::inject_faults() {
+  for (std::size_t d = 0; d < domains_.size(); ++d) {
+    ControlDomain& domain = *domains_[d];
+    // Bind the domain's shard: the injector schedules its apply/restore
+    // transitions as events at the current time, and the binding routes
+    // them into the domain's tagged queue — so they execute first in the
+    // next advance, count against the domain, and migrate with it under
+    // the rate shard plan.
+    const auto binding = domain.bind_sim_shard();
+    sim::FaultInjector& injector = *injectors_[d];
+    injector.on_tick(tick_);
+    if (capture_ != nullptr) {
+      for (const sim::FaultEvent& event : injector.last_events()) {
+        const std::uint8_t kind = static_cast<std::uint8_t>(event.kind);
+        capture_->record(capture::RecordType::kFault, tick_, 0,
+                         event.node_key, &kind, 1);
+      }
+    }
+  }
+}
+
 void CapesSystem::accumulate_shard_stats(RunResult& result) {
   const auto& events = sim_.last_advance_events();
   const auto& busy = sim_.last_advance_busy_ns();
@@ -639,8 +740,13 @@ RunResult CapesSystem::run_phase(std::int64_t ticks, RunPhase mode) {
   if (client_) client_->begin_phase(tick_, static_cast<std::uint8_t>(mode));
   const bus::ChannelStats bus_before =
       client_ ? client_->stats() : daemon_->bus_stats();
+  const sim::FaultCounters faults_before = fault_counters();
   const auto tick_us = sim::seconds(opts_.sampling_tick_s);
   for (std::int64_t i = 0; i < ticks; ++i) {
+    // Fault schedule first (serial, at the barrier): transitions due
+    // this tick are queued as events at the current time, so the advance
+    // below executes them before any simulated time passes.
+    if (!injectors_.empty()) inject_faults();
     // One sampling tick: every simulator shard advances to the tick
     // boundary (concurrently when there is a pool and more than one
     // shard), and run_for returns only at the time-synced barrier —
@@ -668,6 +774,17 @@ RunResult CapesSystem::run_phase(std::int64_t ticks, RunPhase mode) {
       client_ ? client_->stats() : daemon_->bus_stats();
   result.messages_dropped = bus_after.dropped - bus_before.dropped;
   result.messages_late = bus_after.late - bus_before.late;
+  const sim::FaultCounters faults_after = fault_counters();
+  result.faults_injected = faults_after.faults_injected - faults_before.faults_injected;
+  result.ost_crashes = faults_after.ost_crashes - faults_before.ost_crashes;
+  result.stragglers = faults_after.stragglers - faults_before.stragglers;
+  result.partitions = faults_after.partitions - faults_before.partitions;
+  result.ticks_degraded = faults_after.ticks_degraded - faults_before.ticks_degraded;
+  // Regime shifts over the phase's throughput series: computed for every
+  // phase (replay recomputes it from the captured per-tick rewards, so
+  // live and replay reports agree whether or not faults fired).
+  result.regime_shifts =
+      stats::pelt_mean_shift(result.throughput.samples()).size();
   return result;
 }
 

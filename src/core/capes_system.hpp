@@ -34,6 +34,7 @@
 #include "core/objective.hpp"
 #include "rl/action_space.hpp"
 #include "rl/replay_db.hpp"
+#include "sim/fault.hpp"
 #include "sim/shard_planner.hpp"
 #include "sim/simulator.hpp"
 #include "stats/measurement.hpp"
@@ -89,6 +90,15 @@ struct CapesOptions {
   /// queue. Placement only changes which thread advances a domain —
   /// never its event order — so any plan stays bit-identical to serial.
   sim::ShardPlanKind shard_plan = sim::ShardPlanKind::kStatic;
+  /// Deterministic fault injection (sim/fault.hpp): OST crashes with
+  /// timed restarts, straggler disks, and control-network partition
+  /// windows. The default (every rate zero) injects nothing and keeps
+  /// the run bit-identical to a build without fault support. When the
+  /// plan's seed is not explicitly set, it derives from the engine seed
+  /// so one experiment seed also fixes the fault realization. Rejected
+  /// under the tcp transport (the brain is remote; fault state could not
+  /// be replayed bit-identically).
+  sim::FaultPlan faults;
   /// Flight recorder: when non-empty, every daemon-boundary message (PI
   /// status, suggested/recorded actions, checked-action broadcasts) plus
   /// per-tick rewards and phase markers is written to this capture file
@@ -132,6 +142,18 @@ struct RunResult {
   /// work the barrier serialized. A better-balanced plan strictly lowers
   /// it on a skewed workload, and it is reproducible run to run.
   std::uint64_t barrier_wait_events = 0;
+  /// Fault-injection accounting over this phase, summed across domains
+  /// (all zero when CapesOptions::faults is disabled): fault starts by
+  /// kind, their total, and (domain, tick) pairs with any fault active.
+  std::uint64_t faults_injected = 0;
+  std::uint64_t ost_crashes = 0;
+  std::uint64_t stragglers = 0;
+  std::uint64_t partitions = 0;
+  std::uint64_t ticks_degraded = 0;
+  /// Regime shifts the phase's per-tick throughput series shows
+  /// (stats::pelt_mean_shift change points) — how much churn, injected
+  /// or organic, the tuner was exposed to.
+  std::size_t regime_shifts = 0;
 
   stats::MeasurementResult analyze() const { return throughput.analyze(); }
   stats::MeasurementResult analyze_latency() const { return latency_ms.analyze(); }
@@ -250,6 +272,13 @@ class CapesSystem {
   /// Times a phase-boundary re-pack actually moved at least one domain.
   std::size_t shard_replans() const { return shard_replans_; }
 
+  // ---- fault injection ---------------------------------------------------
+  /// The fault plan in effect (seed already derived; disabled when
+  /// CapesOptions::faults was not enabled).
+  const sim::FaultPlan& fault_plan() const { return fault_plan_; }
+  /// Lifetime fault counters summed across every domain's injector.
+  sim::FaultCounters fault_counters() const;
+
   /// Domain 0's Monitoring Agents (single-cluster accessor, kept for
   /// call sites predating control domains).
   const std::vector<std::unique_ptr<MonitoringAgent>>& monitoring_agents() const {
@@ -287,6 +316,10 @@ class CapesSystem {
   RunResult run_phase(std::int64_t ticks, RunPhase mode);
   void on_sampling_tick(RunResult& result, RunPhase mode);
   void sample_all_agents(std::int64_t t);
+  /// Advance every domain's fault schedule to the current tick (under
+  /// that domain's shard binding) and capture the observed fault events.
+  /// Runs at the sampling-tick barrier, before the simulator advance.
+  void inject_faults();
   /// Phase-boundary re-pack: plan from the per-domain event counts of the
   /// window since the last plan and migrate + re-attach moved domains.
   /// No-op for static plans, single-shard simulators, or before any
@@ -332,6 +365,11 @@ class CapesSystem {
   std::vector<std::uint64_t> domain_events_baseline_;
   std::vector<std::uint64_t> domain_events_scratch_;
   std::size_t shard_replans_ = 0;
+  /// Fault injection: the seeded plan and one injector per domain (empty
+  /// when the plan is disabled — the tick loop then never touches fault
+  /// state, keeping faults-off runs bit-identical to pre-fault builds).
+  sim::FaultPlan fault_plan_;
+  std::vector<std::unique_ptr<sim::FaultInjector>> injectors_;
   /// Per-domain scratch for the pooled reward-sampling fan-out (results
   /// are reduced serially in domain order, so the pooled path matches the
   /// serial one bit for bit).

@@ -78,6 +78,31 @@ CapesOptions capes_options_from_config(const util::Config& cfg,
       cfg.get_int("capes.transport.tcp.io_threads", o.transport.io_threads), 1,
       64);
 
+  // Deterministic fault injection. Rates clamp into [0, 0.999] and
+  // windows to >= 1 like the other numeric overlays (the --faults= spec
+  // path rejects instead); slow_factor clamps to >= 1 so a typo can
+  // never make a straggler faster than healthy.
+  auto& f = o.faults;
+  f.ost_crash = std::clamp(
+      cfg.get_double("capes.sim.faults.ost_crash", f.ost_crash), 0.0, 0.999);
+  f.restart_ticks = std::max<std::int64_t>(
+      1, cfg.get_int("capes.sim.faults.restart_ticks", f.restart_ticks));
+  f.straggler = std::clamp(
+      cfg.get_double("capes.sim.faults.straggler", f.straggler), 0.0, 0.999);
+  f.slow_factor = std::max(
+      1.0, cfg.get_double("capes.sim.faults.slow_factor", f.slow_factor));
+  f.straggler_ticks = std::max<std::int64_t>(
+      1, cfg.get_int("capes.sim.faults.straggler_ticks", f.straggler_ticks));
+  f.partition = std::clamp(
+      cfg.get_double("capes.sim.faults.partition", f.partition), 0.0, 0.999);
+  f.partition_ticks = std::max<std::int64_t>(
+      1, cfg.get_int("capes.sim.faults.partition_ticks", f.partition_ticks));
+  if (cfg.has("capes.sim.faults.seed")) {
+    f.seed = static_cast<std::uint64_t>(cfg.get_int(
+        "capes.sim.faults.seed", static_cast<std::int64_t>(f.seed)));
+    f.seed_explicit = true;
+  }
+
   auto& e = o.engine;
   // Learner mode reads like the transport scheme: config files are
   // overlays, so an unknown value keeps the base rather than failing
@@ -209,6 +234,23 @@ util::Config config_from_options(const CapesOptions& capes,
     cfg.set_int("capes.transport.tcp.connect_timeout_ms",
                 capes.transport.connect_timeout_ms);
     cfg.set_int("capes.transport.tcp.io_threads", capes.transport.io_threads);
+  }
+  // Emitted only when a fault plan is active, so faultless configs stay
+  // byte-identical to pre-fault builds.
+  if (capes.faults.enabled()) {
+    cfg.set_double("capes.sim.faults.ost_crash", capes.faults.ost_crash);
+    cfg.set_int("capes.sim.faults.restart_ticks", capes.faults.restart_ticks);
+    cfg.set_double("capes.sim.faults.straggler", capes.faults.straggler);
+    cfg.set_double("capes.sim.faults.slow_factor", capes.faults.slow_factor);
+    cfg.set_int("capes.sim.faults.straggler_ticks",
+                capes.faults.straggler_ticks);
+    cfg.set_double("capes.sim.faults.partition", capes.faults.partition);
+    cfg.set_int("capes.sim.faults.partition_ticks",
+                capes.faults.partition_ticks);
+  }
+  if (capes.faults.seed_explicit) {
+    cfg.set_int("capes.sim.faults.seed",
+                static_cast<std::int64_t>(capes.faults.seed));
   }
   cfg.set("capes.learner.mode",
           capes.engine.learner_mode == LearnerMode::kAsync ? "async" : "sync");

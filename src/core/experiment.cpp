@@ -133,6 +133,18 @@ ExperimentBuilder& ExperimentBuilder::transport(bus::TransportOptions opts) {
   return *this;
 }
 
+ExperimentBuilder& ExperimentBuilder::faults(std::string spec) {
+  faults_spec_ = std::move(spec);
+  faults_plan_.reset();
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::faults(sim::FaultPlan plan) {
+  faults_plan_ = plan;
+  faults_spec_.reset();
+  return *this;
+}
+
 ExperimentBuilder& ExperimentBuilder::learner(LearnerMode mode) {
   learner_mode_ = mode;
   learner_spec_.reset();
@@ -348,6 +360,29 @@ std::unique_ptr<Experiment> ExperimentBuilder::build(std::string* error) {
     }
   } else if (shard_plan_kind_) {
     preset.capes.shard_plan = *shard_plan_kind_;
+  }
+  // Fault injection mirrors the same precedence: the spec-string form
+  // validates here so a typo is a build() error, not a silent faults-off
+  // run.
+  if (faults_spec_) {
+    std::string fault_error;
+    if (!sim::parse_fault_spec(*faults_spec_, &preset.capes.faults,
+                               &fault_error)) {
+      fail(error, "invalid fault spec '" + *faults_spec_ + "': " + fault_error);
+      return nullptr;
+    }
+  } else if (faults_plan_) {
+    preset.capes.faults = *faults_plan_;
+  }
+  // Fault fates are pure functions of the simulated tick clock; a real
+  // control network has no such clock to share, so the combination is a
+  // configuration error, not a degraded mode.
+  if (preset.capes.faults.enabled() &&
+      preset.capes.transport.kind == bus::TransportKind::kTcp) {
+    fail(error,
+         "fault injection requires a simulated control network (sync or sim "
+         "transport); tcp cannot replay deterministic fault fates");
+    return nullptr;
   }
   // An explicit seed() wins over whatever seeds the preset, config file,
   // or capes_options() carried.

@@ -149,6 +149,19 @@ class ExperimentBuilder {
   ExperimentBuilder& transport(std::string spec);
   /// Same, from already-parsed options.
   ExperimentBuilder& transport(bus::TransportOptions opts);
+  /// Deterministic fault injection, as a spec string: "off" (the default
+  /// — bit-identical to builds that never call faults()) or
+  /// "faults[:ost_crash=P,restart_ticks=N,straggler=P,slow_factor=X,
+  /// straggler_ticks=N,partition=P,partition_ticks=N,seed=N]". Every
+  /// fault fate is a pure hash of (seed, kind, node, tick), so a seeded
+  /// faulted run is bit-identical at any shard/thread count. A malformed
+  /// spec fails build(), as does combining faults with the tcp transport
+  /// (a real control network cannot replay deterministic fates). Conf
+  /// keys: capes.sim.faults.*; CLI: --faults=. Wins over
+  /// capes_options()/config-file fault settings.
+  ExperimentBuilder& faults(std::string spec);
+  /// Same, from an already-parsed plan.
+  ExperimentBuilder& faults(sim::FaultPlan plan);
   /// Where DRL training steps run: LearnerMode::kSync trains inline on
   /// the control thread (bit-identical to builds that never call this),
   /// kAsync moves training to a dedicated learner thread that overlaps
@@ -218,6 +231,8 @@ class ExperimentBuilder {
   std::optional<sim::ShardPlanKind> shard_plan_kind_;
   std::optional<std::string> transport_spec_;
   std::optional<bus::TransportOptions> transport_options_;
+  std::optional<std::string> faults_spec_;
+  std::optional<sim::FaultPlan> faults_plan_;
   std::optional<LearnerMode> learner_mode_;
   std::optional<std::string> learner_spec_;
   std::optional<std::size_t> learner_checkpoint_ticks_;

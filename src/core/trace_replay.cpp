@@ -4,6 +4,8 @@
 #include <cstring>
 #include <thread>
 
+#include "sim/fault.hpp"
+#include "stats/changepoint.hpp"
 #include "util/frame.hpp"
 #include "util/logging.hpp"
 
@@ -120,6 +122,10 @@ TraceReplayReport TraceReplayer::run() {
   double reward_sum = 0.0;
   double throughput_sum = 0.0;
   double latency_sum = 0.0;
+  // Per-tick throughput inside the current phase: the traced analogue of
+  // RunResult::throughput.samples(), so the changepoint count below is
+  // computed on exactly the series the live run analyzed.
+  std::vector<double> throughput_samples;
 
   const double tick_seconds =
       opts_.speed == ReplaySpeed::kRealtime ? meta_.sampling_tick_s
@@ -142,7 +148,9 @@ TraceReplayReport TraceReplayer::run() {
         if (in_phase) {
           ++phase.ticks;
           reward_sum += reward;
-          throughput_sum += get_le_f64(rec.payload.data() + 8);
+          const double throughput = get_le_f64(rec.payload.data() + 8);
+          throughput_sum += throughput;
+          throughput_samples.push_back(throughput);
           latency_sum += get_le_f64(rec.payload.data() + 16);
         }
         if (tick_seconds > 0.0) {
@@ -192,6 +200,7 @@ TraceReplayReport TraceReplayer::run() {
         phase.begin_tick = rec.tick;
         in_phase = true;
         reward_sum = throughput_sum = latency_sum = 0.0;
+        throughput_samples.clear();
         break;
 
       case capture::RecordType::kPhaseEnd:
@@ -203,6 +212,10 @@ TraceReplayReport TraceReplayer::run() {
           phase.mean_throughput_mbs = throughput_sum / n;
           phase.mean_latency_ms = latency_sum / n;
         }
+        // Unconditional, like the live run: live and replay must agree on
+        // this count whether or not any fault fired.
+        phase.regime_shifts =
+            stats::pelt_mean_shift(throughput_samples).size();
         report.phases.push_back(phase);
         in_phase = false;
         break;
@@ -211,9 +224,36 @@ TraceReplayReport TraceReplayer::run() {
         ++report.workload_changes;
         engine_->notify_workload_change();
         break;
+
+      case capture::RecordType::kFault: {
+        ++report.fault_records;
+        if (rec.payload.empty() || !in_phase) break;
+        switch (static_cast<sim::FaultKind>(rec.payload[0])) {
+          case sim::FaultKind::kDegraded:
+            ++phase.ticks_degraded;
+            break;
+          case sim::FaultKind::kOstCrash:
+            ++phase.faults_injected;
+            ++phase.ost_crashes;
+            break;
+          case sim::FaultKind::kStraggler:
+            ++phase.faults_injected;
+            ++phase.stragglers;
+            break;
+          case sim::FaultKind::kPartition:
+            ++phase.faults_injected;
+            ++phase.partitions;
+            break;
+        }
+        break;
+      }
     }
   }
-  if (in_phase) report.phases.push_back(phase);  // torn tail mid-phase
+  if (in_phase) {
+    // Torn tail mid-phase: finish the changepoint count on what we have.
+    phase.regime_shifts = stats::pelt_mean_shift(throughput_samples).size();
+    report.phases.push_back(phase);
+  }
 
   report.read_stats = reader_.stats();
   report.tail_truncated = reader_.tail_truncated();

@@ -63,6 +63,17 @@ struct ReplayPhaseSummary {
   /// on a faithful round trip; nonzero under a config overlay is the
   /// diff-mode signal, not an error.
   std::uint64_t action_mismatches = 0;
+  /// Fault-injection accounting rebuilt from kFault records (all zero on
+  /// a faultless capture) — matches the live run's RunResult counters.
+  std::uint64_t faults_injected = 0;
+  std::uint64_t ost_crashes = 0;
+  std::uint64_t stragglers = 0;
+  std::uint64_t partitions = 0;
+  std::uint64_t ticks_degraded = 0;
+  /// PELT mean-shift changepoints over the phase's traced per-tick
+  /// throughput series — the same statistic the live run computes, so a
+  /// faithful replay reproduces it exactly.
+  std::size_t regime_shifts = 0;
 };
 
 struct TraceReplayReport {
@@ -73,6 +84,7 @@ struct TraceReplayReport {
   std::uint64_t action_records = 0;
   std::uint64_t broadcast_records = 0;
   std::uint64_t workload_changes = 0;
+  std::uint64_t fault_records = 0;
   std::uint64_t decode_errors = 0;
   std::uint64_t action_mismatches = 0;
   std::size_t total_train_steps = 0;

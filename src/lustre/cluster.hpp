@@ -11,13 +11,14 @@
 #include "lustre/client.hpp"
 #include "lustre/ost.hpp"
 #include "lustre/types.hpp"
+#include "sim/fault.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 
 namespace capes::lustre {
 
-class Cluster : public core::TargetSystemAdapter {
+class Cluster : public core::TargetSystemAdapter, public sim::FaultTarget {
  public:
   /// Number of performance indicators collected per client node; see
   /// collect_observation() for the layout.
@@ -49,6 +50,17 @@ class Cluster : public core::TargetSystemAdapter {
   void set_parameters(const std::vector<double>& values) override;
   std::vector<double> current_parameters() const override;
   core::PerfSample sample_performance() override;
+  sim::FaultTarget* fault_target() override { return this; }
+
+  // ---- sim::FaultTarget --------------------------------------------------
+  /// Fault-capable nodes are the OST servers (fault node i == server i).
+  std::size_t num_fault_nodes() const override { return servers_.size(); }
+  void apply_node_down(std::size_t node, bool down) override {
+    servers_[node]->set_down(down);
+  }
+  void apply_node_slow(std::size_t node, double factor) override {
+    servers_[node]->disk().set_slow_factor(factor);
+  }
 
   // ---- direct access (workload generators, benches, tests) --------------
   sim::Simulator& simulator() { return sim_; }

@@ -26,7 +26,25 @@ Ost::Ost(sim::Simulator& sim, sim::Network& net, sim::NodeId node,
   disk_ = std::make_unique<sim::Disk>(sim_, adjusted_disk(opts_), rng_.split());
 }
 
+void Ost::set_down(bool down) {
+  if (down == down_) return;
+  down_ = down;
+  if (down) {
+    // Crash: queued work is lost. The in-flight disk/metadata service
+    // event still fires (keeping the busy flags honest) but its reply is
+    // suppressed by the send_reply gate below.
+    rejected_ += metadata_queue_.size() + disk_->drop_pending();
+    metadata_queue_.clear();
+  }
+}
+
 void Ost::on_request(const RpcRequest& req) {
+  if (down_) {
+    // A dead server answers nothing; the client's RPC timeout will
+    // retransmit until the restart lands.
+    ++rejected_;
+    return;
+  }
   if (req.type == RpcType::kMetadata) {
     metadata_queue_.push_back(MetaPending{req, sim_.now()});
     metadata_dispatch();
@@ -67,6 +85,12 @@ void Ost::metadata_dispatch() {
 }
 
 void Ost::send_reply(const RpcRequest& req, sim::TimeUs process_time) {
+  if (down_) {
+    // In-flight work finishing during an outage: the result is lost with
+    // the server, so the client sees a gap, not a reply.
+    ++rejected_;
+    return;
+  }
   ++served_;
   RpcReply reply;
   reply.id = req.id;

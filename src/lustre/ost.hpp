@@ -41,6 +41,18 @@ class Ost {
   std::uint64_t requests_served() const { return served_; }
   std::uint64_t metadata_served() const { return metadata_served_; }
 
+  /// Fault hook (OST crash + timed restart): while down the server
+  /// silently rejects incoming requests and suppresses replies for
+  /// whatever was in flight, and going down discards every queued bulk
+  /// and metadata request — clients observe the gap and recover through
+  /// their own RPC retransmit machinery (the daemon never stalls on a
+  /// dead server). set_down(false) resumes normal service; requests
+  /// rejected during the outage are never replayed.
+  void set_down(bool down);
+  bool is_down() const { return down_; }
+  /// Requests rejected (dropped on crash or refused while down).
+  std::uint64_t requests_rejected() const { return rejected_; }
+
  private:
   void send_reply(const RpcRequest& req, sim::TimeUs process_time);
   void metadata_dispatch();
@@ -62,6 +74,8 @@ class Ost {
   ReplyDelivery deliver_reply_;
   std::uint64_t served_ = 0;
   std::uint64_t metadata_served_ = 0;
+  bool down_ = false;
+  std::uint64_t rejected_ = 0;
 };
 
 }  // namespace capes::lustre

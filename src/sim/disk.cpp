@@ -43,7 +43,19 @@ TimeUs Disk::service_time(const DiskRequest& req) {
   if (opts_.service_noise > 0.0) {
     total *= 1.0 + rng_.uniform(-opts_.service_noise, opts_.service_noise);
   }
+  // Straggler fault: the multiplier sits outside the noise draw, so the
+  // rng_ stream advances identically whether or not a fault plan is
+  // active (faults off stays bit-identical).
+  if (slow_factor_ != 1.0) total *= slow_factor_;
   return std::max<TimeUs>(1, static_cast<TimeUs>(total));
+}
+
+std::size_t Disk::drop_pending() {
+  const std::size_t dropped = read_queue_.size() + write_queue_.size();
+  read_queue_.clear();
+  write_queue_.clear();
+  consecutive_reads_ = 0;
+  return dropped;
 }
 
 void Disk::maybe_dispatch() {

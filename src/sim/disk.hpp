@@ -78,6 +78,18 @@ class Disk {
   /// Most recent process time.
   TimeUs last_process_time() const { return last_pt_; }
 
+  /// Fault hook (straggler disks): multiply every subsequent service time
+  /// by `factor` (>= 1; 1.0 restores normal service). The in-flight
+  /// request keeps the service time it was dispatched with.
+  void set_slow_factor(double factor) { slow_factor_ = factor; }
+  double slow_factor() const { return slow_factor_; }
+
+  /// Fault hook (OST crash): discard every queued request without
+  /// completing it (the owner rejects the I/O; clients recover via their
+  /// own retransmit machinery). The in-flight request, if any, still
+  /// fires its completion. Returns the number of requests dropped.
+  std::size_t drop_pending();
+
   const DiskOptions& options() const { return opts_; }
 
  private:
@@ -96,6 +108,7 @@ class Disk {
   std::deque<Pending> write_queue_;
   std::size_t consecutive_reads_ = 0;
   bool busy_ = false;
+  double slow_factor_ = 1.0;
 
   std::uint64_t last_object_ = ~0ULL;
   std::uint64_t last_end_offset_ = 0;

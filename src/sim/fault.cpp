@@ -1,0 +1,285 @@
+#include "sim/fault.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/parse.hpp"
+
+namespace capes::sim {
+
+namespace {
+
+/// splitmix64 finalizer — the per-fate hash (the SimTransport pattern).
+/// Statistically strong enough for a rate model and, unlike a shared RNG
+/// stream, order-independent: the fate of (kind, node, tick) never
+/// depends on which other fates were evaluated before it.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Map a 64-bit hash to a uniform double in [0, 1).
+double to_unit(std::uint64_t x) {
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+/// Independent per-(kind, node, tick) draw: chain the key through the
+/// mixer once per field (counter mode), tagged so distinct kinds see
+/// independent realizations even on one node.
+bool fate_starts(const FaultPlan& plan, double rate, std::uint64_t kind_tag,
+                 std::uint64_t node_key, std::int64_t tick) {
+  if (rate <= 0.0 || tick < 0) return false;
+  std::uint64_t key = plan.seed;
+  key = mix64(key ^ mix64(kind_tag));
+  key = mix64(key ^ mix64(node_key ^ 0x6e6f6465ULL));  // "node"
+  key = mix64(key ^ static_cast<std::uint64_t>(tick));
+  return to_unit(mix64(key)) < rate;
+}
+
+/// Window membership: active at `tick` iff some start within the last
+/// `window` ticks — exactly the union of per-start windows, so the pure
+/// predicate and the injector's until-extension state always agree.
+template <typename Starts>
+bool active_in_window(std::int64_t tick, std::int64_t window, Starts starts) {
+  const std::int64_t first = std::max<std::int64_t>(0, tick - window + 1);
+  for (std::int64_t s = tick; s >= first; --s) {
+    if (starts(s)) return true;
+  }
+  return false;
+}
+
+constexpr std::uint64_t kCrashTag = 0x6372617368ULL;      // "crash"
+constexpr std::uint64_t kStragglerTag = 0x736c6f77ULL;    // "slow"
+constexpr std::uint64_t kPartitionTag = 0x70617274ULL;    // "part"
+
+}  // namespace
+
+bool crash_starts(const FaultPlan& plan, std::uint64_t node_key,
+                  std::int64_t tick) {
+  return fate_starts(plan, plan.ost_crash, kCrashTag, node_key, tick);
+}
+
+bool ost_down(const FaultPlan& plan, std::uint64_t node_key,
+              std::int64_t tick) {
+  return active_in_window(tick, plan.restart_ticks, [&](std::int64_t s) {
+    return crash_starts(plan, node_key, s);
+  });
+}
+
+bool straggle_starts(const FaultPlan& plan, std::uint64_t node_key,
+                     std::int64_t tick) {
+  return fate_starts(plan, plan.straggler, kStragglerTag, node_key, tick);
+}
+
+bool disk_straggling(const FaultPlan& plan, std::uint64_t node_key,
+                     std::int64_t tick) {
+  return active_in_window(tick, plan.straggler_ticks, [&](std::int64_t s) {
+    return straggle_starts(plan, node_key, s);
+  });
+}
+
+bool partition_starts(const FaultPlan& plan, std::uint32_t domain,
+                      std::int64_t tick) {
+  return fate_starts(plan, plan.partition, kPartitionTag, domain, tick);
+}
+
+bool domain_partitioned(const FaultPlan& plan, std::uint32_t domain,
+                        std::int64_t tick) {
+  return active_in_window(tick, plan.partition_ticks, [&](std::int64_t s) {
+    return partition_starts(plan, domain, s);
+  });
+}
+
+namespace {
+
+bool spec_fail(std::string* error, std::string message) {
+  if (error) *error = std::move(message);
+  return false;
+}
+
+}  // namespace
+
+bool parse_fault_spec(std::string_view spec, FaultPlan* out,
+                      std::string* error) {
+  FaultPlan parsed;
+  std::string_view scheme = spec;
+  std::string_view opts_part;
+  const std::size_t colon = spec.find(':');
+  if (colon != std::string_view::npos) {
+    scheme = spec.substr(0, colon);
+    opts_part = spec.substr(colon + 1);
+  }
+
+  if (scheme == "off") {
+    if (colon != std::string_view::npos) {
+      return spec_fail(error, "fault spec 'off' takes no options");
+    }
+    *out = parsed;
+    return true;
+  }
+  if (scheme != "faults") {
+    return spec_fail(error, "unknown fault spec '" + std::string(scheme) +
+                                "' (expected off or faults)");
+  }
+
+  auto parse_rate = [&](std::string_view key, std::string_view value,
+                        double* slot) {
+    if (!util::parse_double(value, slot) || *slot < 0.0 || *slot >= 1.0) {
+      return spec_fail(error, std::string(key) +
+                                  " must be a probability in [0, 1), got '" +
+                                  std::string(value) + "'");
+    }
+    return true;
+  };
+  auto parse_window = [&](std::string_view key, std::string_view value,
+                          std::int64_t* slot) {
+    if (!util::parse_i64(value, slot) || *slot < 1) {
+      return spec_fail(error, std::string(key) +
+                                  " must be an integer >= 1, got '" +
+                                  std::string(value) + "'");
+    }
+    return true;
+  };
+
+  while (!opts_part.empty()) {
+    const std::size_t comma = opts_part.find(',');
+    std::string_view item = opts_part.substr(0, comma);
+    opts_part = comma == std::string_view::npos
+                    ? std::string_view{}
+                    : opts_part.substr(comma + 1);
+    const std::size_t eq = item.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      return spec_fail(error, "malformed fault option '" + std::string(item) +
+                                  "' (expected key=value)");
+    }
+    const std::string_view key = item.substr(0, eq);
+    const std::string_view value = item.substr(eq + 1);
+    if (key == "ost_crash") {
+      if (!parse_rate(key, value, &parsed.ost_crash)) return false;
+    } else if (key == "restart_ticks") {
+      if (!parse_window(key, value, &parsed.restart_ticks)) return false;
+    } else if (key == "straggler") {
+      if (!parse_rate(key, value, &parsed.straggler)) return false;
+    } else if (key == "slow_factor") {
+      if (!util::parse_double(value, &parsed.slow_factor) ||
+          parsed.slow_factor < 1.0) {
+        return spec_fail(error, "slow_factor must be a number >= 1, got '" +
+                                    std::string(value) + "'");
+      }
+    } else if (key == "straggler_ticks") {
+      if (!parse_window(key, value, &parsed.straggler_ticks)) return false;
+    } else if (key == "partition") {
+      if (!parse_rate(key, value, &parsed.partition)) return false;
+    } else if (key == "partition_ticks") {
+      if (!parse_window(key, value, &parsed.partition_ticks)) return false;
+    } else if (key == "seed") {
+      if (!util::parse_u64(value, &parsed.seed)) {
+        return spec_fail(error, "seed must be an unsigned integer, got '" +
+                                    std::string(value) + "'");
+      }
+      parsed.seed_explicit = true;
+    } else {
+      return spec_fail(error, "unknown fault kind or option '" +
+                                  std::string(key) +
+                                  "' (expected ost_crash, restart_ticks, "
+                                  "straggler, slow_factor, straggler_ticks, "
+                                  "partition, partition_ticks, or seed)");
+    }
+  }
+  *out = parsed;
+  return true;
+}
+
+std::string fault_spec_string(const FaultPlan& plan) {
+  if (!plan.enabled() && !plan.seed_explicit) return "off";
+  // %.17g is the shortest printf precision that reproduces any double
+  // exactly, keeping the documented round-trip value-lossless.
+  char buffer[224];
+  std::snprintf(buffer, sizeof(buffer),
+                "faults:ost_crash=%.17g,restart_ticks=%lld,straggler=%.17g,"
+                "slow_factor=%.17g,straggler_ticks=%lld,partition=%.17g,"
+                "partition_ticks=%lld",
+                plan.ost_crash, static_cast<long long>(plan.restart_ticks),
+                plan.straggler, plan.slow_factor,
+                static_cast<long long>(plan.straggler_ticks), plan.partition,
+                static_cast<long long>(plan.partition_ticks));
+  std::string spec = buffer;
+  if (plan.seed_explicit) spec += ",seed=" + std::to_string(plan.seed);
+  return spec;
+}
+
+FaultInjector::FaultInjector(Simulator& sim, const FaultPlan& plan,
+                             std::uint32_t domain, FaultTarget* target)
+    : sim_(sim), plan_(plan), domain_(domain), target_(target) {
+  const std::size_t nodes = target_ != nullptr ? target_->num_fault_nodes() : 0;
+  down_until_.assign(nodes, 0);
+  slow_until_.assign(nodes, 0);
+  down_applied_.assign(nodes, 0);
+  slow_applied_.assign(nodes, 0);
+  last_events_.reserve(nodes + 2);
+}
+
+bool FaultInjector::partitioned(std::int64_t tick) const {
+  return domain_partitioned(plan_, domain_, tick);
+}
+
+void FaultInjector::on_tick(std::int64_t tick) {
+  last_events_.clear();
+  bool degraded = false;
+  const TimeUs now = sim_.now();
+  for (std::size_t n = 0; n < down_until_.size(); ++n) {
+    const std::uint64_t key =
+        fault_node_key(domain_, static_cast<std::uint32_t>(n));
+    if (plan_.ost_crash > 0.0) {
+      if (crash_starts(plan_, key, tick)) {
+        // Overlapping starts extend the window (union semantics, exactly
+        // the pure ost_down predicate).
+        down_until_[n] = tick + plan_.restart_ticks;
+        ++counters_.faults_injected;
+        ++counters_.ost_crashes;
+        last_events_.push_back({FaultKind::kOstCrash, key});
+      }
+      const bool down_now = tick < down_until_[n];
+      if (down_now != (down_applied_[n] != 0)) {
+        down_applied_[n] = down_now ? 1 : 0;
+        FaultTarget* target = target_;
+        sim_.schedule_at(now,
+                         [target, n, down_now] { target->apply_node_down(n, down_now); });
+      }
+      degraded = degraded || down_now;
+    }
+    if (plan_.straggler > 0.0) {
+      if (straggle_starts(plan_, key, tick)) {
+        slow_until_[n] = tick + plan_.straggler_ticks;
+        ++counters_.faults_injected;
+        ++counters_.stragglers;
+        last_events_.push_back({FaultKind::kStraggler, key});
+      }
+      const bool slow_now = tick < slow_until_[n];
+      if (slow_now != (slow_applied_[n] != 0)) {
+        slow_applied_[n] = slow_now ? 1 : 0;
+        FaultTarget* target = target_;
+        const double factor = slow_now ? plan_.slow_factor : 1.0;
+        sim_.schedule_at(now,
+                         [target, n, factor] { target->apply_node_slow(n, factor); });
+      }
+      degraded = degraded || slow_now;
+    }
+  }
+  if (plan_.partition > 0.0) {
+    if (partition_starts(plan_, domain_, tick)) {
+      ++counters_.faults_injected;
+      ++counters_.partitions;
+      last_events_.push_back({FaultKind::kPartition, domain_});
+    }
+    degraded = degraded || domain_partitioned(plan_, domain_, tick);
+  }
+  if (degraded) {
+    ++counters_.ticks_degraded;
+    last_events_.push_back({FaultKind::kDegraded, domain_});
+  }
+}
+
+}  // namespace capes::sim

@@ -125,6 +125,33 @@ void print_report(const core::TraceReplayReport& report) {
       static_cast<unsigned long long>(report.broadcast_records),
       static_cast<unsigned long long>(report.workload_changes),
       static_cast<unsigned long long>(report.decode_errors));
+  // Gated on traced fault records so faultless captures print exactly
+  // what they always did. The format matches capes_run's fault lines, so
+  // live-vs-replay parity is a plain grep + cmp between the two outputs.
+  if (report.fault_records > 0) {
+    std::uint64_t injected = 0, crashes = 0, stragglers = 0, partitions = 0,
+                  degraded = 0;
+    for (const auto& phase : report.phases) {
+      injected += phase.faults_injected;
+      crashes += phase.ost_crashes;
+      stragglers += phase.stragglers;
+      partitions += phase.partitions;
+      degraded += phase.ticks_degraded;
+    }
+    std::printf("faults: %llu injected (%llu ost crashes, %llu stragglers, "
+                "%llu partitions), %llu degraded domain-ticks\n",
+                static_cast<unsigned long long>(injected),
+                static_cast<unsigned long long>(crashes),
+                static_cast<unsigned long long>(stragglers),
+                static_cast<unsigned long long>(partitions),
+                static_cast<unsigned long long>(degraded));
+    std::printf("regime shifts:");
+    for (const auto& phase : report.phases) {
+      std::printf(" %s %zu", core::phase_name(phase.phase),
+                  phase.regime_shifts);
+    }
+    std::printf("\n");
+  }
 }
 
 /// One replay pass. Returns false only on open failure.

@@ -15,6 +15,7 @@
 
 #include "bus/transport.hpp"
 #include "core/experiment.hpp"
+#include "sim/fault.hpp"
 #include "sim/shard_planner.hpp"
 #include "util/parse.hpp"
 #include "workload/registry.hpp"
@@ -47,6 +48,9 @@ struct Args {
   /// simulator shards. Unset means "the preset/conf decides" (static
   /// round-robin by default).
   std::optional<std::string> shard_plan;
+  /// --faults=off|faults[:ost_crash=..,...]: deterministic fault
+  /// injection. Unset means "the preset/conf decides" (off by default).
+  std::optional<std::string> faults;
   std::string conf;
   std::string csv_prefix;
   std::string model_out;
@@ -161,6 +165,18 @@ ParseOutcome parse_args(int argc, char** argv, Args* args) {
         return ParseOutcome::kError;
       }
       args->shard_plan = value;
+    } else if (parse_flag(argv[i], "--faults", &value)) {
+      // Validate eagerly, like --transport: an unknown fault kind or an
+      // out-of-range rate is a usage error (exit 2) before any
+      // experiment work starts.
+      sim::FaultPlan parsed;
+      std::string fault_error;
+      if (!sim::parse_fault_spec(value, &parsed, &fault_error)) {
+        std::fprintf(stderr, "invalid value for --faults: %s\n",
+                     fault_error.c_str());
+        return ParseOutcome::kError;
+      }
+      args->faults = value;
     } else if (parse_flag(argv[i], "--conf", &value)) {
       args->conf = value;
     } else if (parse_flag(argv[i], "--csv", &value)) {
@@ -217,6 +233,11 @@ void print_usage() {
       "usage: capes_run [--workload=%s (with optional :spec args)]...\n"
       "                 [--clusters=N] [--threads=N] [--sim-shards=auto|N]\n"
       "                 [--shard-plan=static|rate]\n"
+      "                 [--faults=off|faults[:ost_crash=P,restart_ticks=N,"
+      "straggler=P,\n"
+      "                           slow_factor=X,straggler_ticks=N,partition=P,"
+      "\n"
+      "                           partition_ticks=N,seed=N]]\n"
       "                 [--transport=sync|sim[:latency_ticks=N,jitter=X,"
       "drop=P,seed=N]\n"
       "                              |tcp:host=H,port=N[,connect_timeout_ms=N,"
@@ -251,6 +272,20 @@ void print_usage() {
       "realization independently of --seed). --transport=tcp connects the\n"
       "agents to a separate capes_daemond process hosting the DRL brain\n"
       "(capes_agentd wraps this spec behind a --daemon=HOST:PORT flag).\n"
+      "--faults injects deterministic failures into the simulated target\n"
+      "systems: ost_crash crashes an OST per tick with probability P (it\n"
+      "restarts after restart_ticks; queued and in-flight I/O is rejected\n"
+      "while down), straggler slows a disk by slow_factor for\n"
+      "straggler_ticks, and partition silently drops a control domain's\n"
+      "agent traffic for partition_ticks (surfacing as dropped messages),\n"
+      "e.g.\n"
+      "  --faults=faults:ost_crash=0.001,straggler=0.01,slow_factor=8\n"
+      "(rates in [0,1); windows >= 1; seed pins the fault realization\n"
+      "independently of --seed). Every fate is a pure hash of (seed, kind,\n"
+      "node, tick), so a seeded faulted run is bit-identical at any\n"
+      "--sim-shards/--threads count and under --shard-plan=rate; faults\n"
+      "compose with --transport=sim drops. Rejected with --transport=tcp\n"
+      "(conf: capes.sim.faults.*).\n"
       "--learner=async moves DRL training to a dedicated learner thread\n"
       "that overlaps the next tick's simulation; actions and weights stay\n"
       "bit-identical to --learner=sync (the default) at the same seed.\n"
@@ -317,6 +352,7 @@ int main(int argc, char** argv) {
   }
   if (args.sim_shards) builder.sim_shards(*args.sim_shards);
   if (args.shard_plan) builder.shard_plan(*args.shard_plan);
+  if (args.faults) builder.faults(*args.faults);
   if (args.transport) builder.transport(*args.transport);
   if (args.learner) builder.learner(*args.learner);
   if (args.seed) builder.seed(*args.seed);
@@ -426,6 +462,33 @@ int main(int argc, char** argv) {
                   phase.result.shard_imbalance());
     }
     std::printf(" -- %zu replans\n", experiment->system().shard_replans());
+  }
+
+  // Gated on the plan, not on whether anything fired: faults-off output
+  // stays byte-identical to pre-fault builds, and a quiet faulted run
+  // still reports its zeros.
+  if (experiment->preset().capes.faults.enabled()) {
+    std::uint64_t injected = 0, crashes = 0, stragglers = 0, partitions = 0,
+                  degraded = 0;
+    for (const auto& phase : report.phases) {
+      injected += phase.result.faults_injected;
+      crashes += phase.result.ost_crashes;
+      stragglers += phase.result.stragglers;
+      partitions += phase.result.partitions;
+      degraded += phase.result.ticks_degraded;
+    }
+    std::printf("faults: %llu injected (%llu ost crashes, %llu stragglers, "
+                "%llu partitions), %llu degraded domain-ticks\n",
+                static_cast<unsigned long long>(injected),
+                static_cast<unsigned long long>(crashes),
+                static_cast<unsigned long long>(stragglers),
+                static_cast<unsigned long long>(partitions),
+                static_cast<unsigned long long>(degraded));
+    std::printf("regime shifts:");
+    for (const auto& phase : report.phases) {
+      std::printf(" %s %zu", phase.label.c_str(), phase.result.regime_shifts);
+    }
+    std::printf("\n");
   }
 
   if (experiment->preset().capes.transport.kind == bus::TransportKind::kTcp) {

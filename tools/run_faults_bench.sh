@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# Runs the fault-injection bench and emits BENCH_faults.json (training
+# ticks/sec at 1/4/8 domains: injector off vs a busy fault regime —
+# OST crashes, straggler disks and partition windows all firing).
+#
+#   tools/run_faults_bench.sh [build_dir] [output.json]
+#
+# Tunables via environment:
+#   CAPES_BENCH_TICKS    training ticks per measured point (default 150)
+#   CAPES_BENCH_THREADS  worker threads (default: bench picks
+#                        min(8, hardware threads))
+set -eu
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_faults.json}"
+BENCH="$BUILD_DIR/bench/ext_faults"
+
+if [ ! -x "$BENCH" ]; then
+  echo "error: $BENCH not built (cmake --build $BUILD_DIR --target ext_faults)" >&2
+  exit 1
+fi
+
+set -- --ticks="${CAPES_BENCH_TICKS:-150}" --json="$OUT"
+if [ -n "${CAPES_BENCH_THREADS:-}" ]; then
+  set -- "$@" --threads="$CAPES_BENCH_THREADS"
+fi
+"$BENCH" "$@"
